@@ -1,0 +1,91 @@
+//! One benchmark group per figure of the paper.
+//!
+//! Each bench regenerates the figure's series at `Scale::Tiny` (20 nodes) —
+//! the same code paths as the full 230-node reproduction, scaled for bench
+//! runtime. Run the `repro` binary for full-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gossip_experiments::figures::{
+    churn, fig1_fanout, fig2_lag_cdf, fig3_caps, fig4_bandwidth, fig5_refresh, fig6_feedme,
+};
+use gossip_experiments::Scale;
+
+const SEED: u64 = 1;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fanout");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig1_fanout::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_lag_cdf");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig2_lag_cdf::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_caps");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig3_caps::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_bandwidth");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig4_bandwidth::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_refresh");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig5_refresh::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_feedme");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(fig6_feedme::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    // Figures 7 and 8 share their churn sweep; bench it once.
+    let mut g = c.benchmark_group("fig7_fig8_churn");
+    g.sample_size(10);
+    g.bench_function("sweep_tiny", |b| {
+        b.iter(|| black_box(churn::sweep(Scale::Tiny, SEED)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7_fig8
+);
+criterion_main!(figures);

@@ -1,0 +1,33 @@
+//! Benchmark support crate.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion group per figure of the paper, each running
+//!   the corresponding experiment at `Scale::Tiny` (shape-preserving,
+//!   seconds per iteration). The full-scale data behind `EXPERIMENTS.md`
+//!   comes from the `repro` binary (`cargo run -p gossip-experiments
+//!   --release -- all`), which regenerates every series at 230 nodes.
+//! * `micro` — microbenchmarks of the hot substrates: GF(256) algebra,
+//!   Reed–Solomon window encode/reconstruct, the event queue, the
+//!   deterministic RNG, the bandwidth link and the wire codec.
+//! * `ablations` — the design-choice ablations called out in DESIGN.md
+//!   (infect-and-die lifetime, retransmission budget `K`, FEC parity count,
+//!   throttling-queue depth, serve batching).
+//!
+//! This library only exposes small helpers shared by those benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gossip_experiments::{RunResult, Scenario};
+
+/// Runs a scenario and returns a scalar "work proxy" (events processed) so
+/// Criterion has something to black-box.
+pub fn run_events(scenario: &Scenario) -> u64 {
+    scenario.run().events_processed
+}
+
+/// Runs a scenario and returns the full result (for ablation reporting).
+pub fn run_full(scenario: &Scenario) -> RunResult {
+    scenario.run()
+}

@@ -1,0 +1,115 @@
+//! Protocol messages and their wire sizes.
+
+use crate::event::Event;
+
+/// Fixed per-message header budget: 1 byte message type + 4 bytes sender id
+/// + 2 bytes element count (UDP/IP overhead is charged separately by the
+///   network layer).
+pub const MESSAGE_HEADER_BYTES: usize = 7;
+
+/// A message of the three-phase protocol (plus the feed-me extension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message<E: Event> {
+    /// Phase 1: push event ids to the selected partners.
+    Propose {
+        /// Ids of the events the sender can serve.
+        ids: Vec<E::Id>,
+    },
+    /// Phase 2: pull the ids we still miss from the proposing peer.
+    Request {
+        /// Ids the sender wants served.
+        ids: Vec<E::Id>,
+    },
+    /// Phase 3: push the actual events to the requesting peer.
+    Serve {
+        /// The requested events.
+        events: Vec<E>,
+    },
+    /// Proactiveness knob `Y`: ask the receiver to insert the sender into
+    /// its partner view (replacing a random current partner).
+    FeedMe,
+}
+
+impl<E: Event> Message<E> {
+    /// Returns the serialized size of the message in bytes, excluding
+    /// UDP/IP overhead.
+    ///
+    /// This is the size the bandwidth limiter charges: the economics of the
+    /// protocol (cheap id gossip, expensive payload push) flow from here.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Propose { ids } | Message::Request { ids } => {
+                MESSAGE_HEADER_BYTES + ids.len() * E::id_wire_size()
+            }
+            Message::Serve { events } => {
+                MESSAGE_HEADER_BYTES + events.iter().map(Event::wire_size).sum::<usize>()
+            }
+            Message::FeedMe => MESSAGE_HEADER_BYTES,
+        }
+    }
+
+    /// Returns a short name for logging and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Propose { .. } => "propose",
+            Message::Request { .. } => "request",
+            Message::Serve { .. } => "serve",
+            Message::FeedMe => "feedme",
+        }
+    }
+
+    /// Returns `true` for messages that carry no elements (which the
+    /// protocol never sends).
+    pub fn is_empty_payload(&self) -> bool {
+        match self {
+            Message::Propose { ids } | Message::Request { ids } => ids.is_empty(),
+            Message::Serve { events } => events.is_empty(),
+            Message::FeedMe => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TestEvent;
+
+    #[test]
+    fn wire_sizes() {
+        let propose: Message<TestEvent> = Message::Propose { ids: vec![1, 2, 3] };
+        assert_eq!(propose.wire_size(), 7 + 3 * 8);
+
+        let request: Message<TestEvent> = Message::Request { ids: vec![1] };
+        assert_eq!(request.wire_size(), 7 + 8);
+
+        let serve: Message<TestEvent> =
+            Message::Serve { events: vec![TestEvent::new(1, 1000), TestEvent::new(2, 500)] };
+        assert_eq!(serve.wire_size(), 7 + 1012 + 512);
+
+        let feedme: Message<TestEvent> = Message::FeedMe;
+        assert_eq!(feedme.wire_size(), 7);
+    }
+
+    #[test]
+    fn kinds_and_emptiness() {
+        let m: Message<TestEvent> = Message::Propose { ids: vec![] };
+        assert_eq!(m.kind(), "propose");
+        assert!(m.is_empty_payload());
+        let m: Message<TestEvent> = Message::Serve { events: vec![TestEvent::new(1, 1)] };
+        assert_eq!(m.kind(), "serve");
+        assert!(!m.is_empty_payload());
+        let m: Message<TestEvent> = Message::FeedMe;
+        assert_eq!(m.kind(), "feedme");
+        assert!(!m.is_empty_payload());
+    }
+
+    #[test]
+    fn serve_dominates_propose_for_streaming_sizes() {
+        // The design premise: ids are ~2 orders of magnitude cheaper than
+        // payloads.
+        let ids: Message<TestEvent> = Message::Propose { ids: (0..15).collect() };
+        let payloads: Message<TestEvent> =
+            Message::Serve { events: (0..15).map(|i| TestEvent::new(i, 1000)).collect() };
+        assert!(payloads.wire_size() > 50 * ids.wire_size() / 2);
+    }
+}

@@ -1,0 +1,804 @@
+//! The sans-io gossip node: Algorithm 1 of the paper as a state machine.
+//!
+//! One [`GossipNode`] holds all per-node protocol state. It is driven by
+//! three inputs — [`GossipNode::on_round`] (the gossip timer),
+//! [`GossipNode::on_message`] (a datagram arrived) and
+//! [`GossipNode::on_timer`] (a retransmission timer fired) — and produces
+//! [`Output`]s (messages to send, events to deliver to the application,
+//! timers to arm). It never performs I/O and never reads a clock: the
+//! current time is always an argument. The same code therefore runs under
+//! the deterministic simulator and on real UDP sockets.
+//!
+//! ## Faithfulness notes (vs. the paper's Algorithm 1)
+//!
+//! * **Batched publishing.** Line 5 gossips each published event id
+//!   immediately; with a 600 kbps stream that would be ~75 tiny datagrams
+//!   per second from the source. Like the paper's actual deployment (which
+//!   gossips "a set of event ids" per period), published ids are batched
+//!   into the next round's proposal, at most one gossip period later.
+//! * **Empty proposals are suppressed.** Line 6 gossips unconditionally; we
+//!   skip the send when there is nothing to propose (an empty `[PROPOSE]`
+//!   serves no protocol purpose and only spends bandwidth). Round counting
+//!   for the `X` refresh knob still advances every period.
+//! * **Retransmission (lines 14–15, 25).** Re-executing "receive
+//!   `[PROPOSE]`" verbatim would re-request nothing, because line 10 filters
+//!   on `requestedEvents`. The evident intent is implemented instead: when
+//!   the timer fires, ids from that proposal that are still undelivered and
+//!   have been requested fewer than `K` times are re-requested from the same
+//!   proposer.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use gossip_sim::DetRng;
+use gossip_types::{NodeId, Time};
+
+use crate::config::GossipConfig;
+use crate::event::Event;
+use crate::message::Message;
+use crate::rto::RttEstimator;
+use crate::stats::ProtocolStats;
+use crate::view::PartnerView;
+
+/// An opaque token naming a timer the driver must schedule.
+///
+/// The node hands out tokens via [`Output::ScheduleTimer`]; the driver calls
+/// [`GossipNode::on_timer`] with the token when the deadline passes. Stale
+/// tokens (whose purpose has since been fulfilled) are ignored, so drivers
+/// never need to cancel timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(u64);
+
+/// An effect requested by the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output<E: Event> {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to transmit.
+        msg: Message<E>,
+    },
+    /// Deliver an event to the local application (the stream player).
+    Deliver {
+        /// The newly received event.
+        event: E,
+    },
+    /// Arm a timer: call [`GossipNode::on_timer`] with `token` at `at`.
+    ScheduleTimer {
+        /// Token to pass back on expiry.
+        token: TimerToken,
+        /// Absolute deadline.
+        at: Time,
+    },
+}
+
+/// Per-event request bookkeeping (the paper's `requestedEvents` set, plus
+/// the request counter that bounds retransmissions).
+#[derive(Debug, Clone, Copy)]
+struct RequestState {
+    times_requested: u32,
+    delivered: bool,
+    /// When the first request went out (RTT sampling; Karn's rule applies).
+    first_requested_at: Time,
+}
+
+/// A pending retransmission timer: re-request the still-missing ids of a
+/// proposal from the peer that proposed them.
+#[derive(Debug, Clone)]
+struct RetransmitEntry<Id> {
+    peer: NodeId,
+    ids: Vec<Id>,
+    /// How many requests have been sent for this proposal (for backoff).
+    attempt: u32,
+}
+
+/// The gossip protocol state machine for one node.
+///
+/// See the [crate-level documentation](crate) for the protocol description
+/// and an end-to-end example.
+pub struct GossipNode<E: Event> {
+    id: NodeId,
+    config: GossipConfig,
+    membership: Vec<NodeId>,
+    view: PartnerView,
+    rng: DetRng,
+    is_source: bool,
+
+    /// Ids to include in upcoming proposals, with the number of rounds they
+    /// have left (1 under infect-and-die).
+    propose_queue: Vec<(E::Id, u32)>,
+    /// Payload store for serving, with delivery timestamps for pruning.
+    store: HashMap<E::Id, (E, Time)>,
+    /// All-time request/delivery bookkeeping (never pruned; an id is
+    /// requested from exactly one peer, ever, apart from retransmissions).
+    requested: HashMap<E::Id, RequestState>,
+    /// Armed retransmission timers by token.
+    retransmits: HashMap<TimerToken, RetransmitEntry<E::Id>>,
+    rtt: RttEstimator,
+    next_token: u64,
+    rounds: u64,
+    outputs: VecDeque<Output<E>>,
+    stats: ProtocolStats,
+}
+
+impl<E: Event> std::fmt::Debug for GossipNode<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GossipNode")
+            .field("id", &self.id)
+            .field("is_source", &self.is_source)
+            .field("rounds", &self.rounds)
+            .field("stored_events", &self.store.len())
+            .field("pending_outputs", &self.outputs.len())
+            .finish()
+    }
+}
+
+impl<E: Event> GossipNode<E> {
+    /// Creates a regular (receiving) node.
+    ///
+    /// `membership` is the full node list (the paper assumes uniform random
+    /// selection over all nodes); `seed` determines the node's private
+    /// random stream.
+    pub fn new(id: NodeId, config: GossipConfig, membership: Vec<NodeId>, seed: u64) -> Self {
+        let view = PartnerView::new(config.refresh_rounds);
+        let rtt = RttEstimator::new(config.retransmit_timeout, config.rto_min, config.rto_max);
+        GossipNode {
+            id,
+            config,
+            membership,
+            view,
+            rng: DetRng::seed_from(seed).split(id.as_u32() as u64),
+            is_source: false,
+            propose_queue: Vec::new(),
+            store: HashMap::new(),
+            requested: HashMap::new(),
+            retransmits: HashMap::new(),
+            rtt,
+            next_token: 0,
+            rounds: 0,
+            outputs: VecDeque::new(),
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// Creates the stream source. The source proposes with
+    /// [`GossipConfig::source_fanout`] (7 in all the paper's experiments)
+    /// and never requests events.
+    pub fn new_source(id: NodeId, config: GossipConfig, membership: Vec<NodeId>, seed: u64) -> Self {
+        let mut node = GossipNode::new(id, config, membership, seed);
+        node.is_source = true;
+        node
+    }
+
+    /// Returns the node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Returns whether this node is the stream source.
+    pub fn is_source(&self) -> bool {
+        self.is_source
+    }
+
+    /// Returns the protocol configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+
+    /// Returns the accumulated protocol counters.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// Returns the number of gossip rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Returns the current partner set (for inspection/tests).
+    pub fn partners(&self) -> &[NodeId] {
+        self.view.current()
+    }
+
+    /// Replaces the membership list `selectNodes` draws from.
+    ///
+    /// The paper assumes full, static membership; this hook lets a peer
+    /// sampling service (see the `gossip-membership` crate) feed the node a
+    /// live partial view instead. Takes effect at the next view refresh —
+    /// with `X = 1`, the next round.
+    pub fn set_membership(&mut self, members: Vec<NodeId>) {
+        self.membership = members;
+    }
+
+    /// Returns the current membership list.
+    pub fn membership(&self) -> &[NodeId] {
+        &self.membership
+    }
+
+    /// Drains the next pending effect, if any.
+    ///
+    /// Drivers call this in a loop after every `on_*` call.
+    pub fn poll_output(&mut self) -> Option<Output<E>> {
+        self.outputs.pop_front()
+    }
+
+    /// Returns `true` if effects are pending.
+    pub fn has_output(&self) -> bool {
+        !self.outputs.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Publishes a new event at this node (the source's `publish(e)`,
+    /// lines 4–5): the event is delivered locally and its id queued for the
+    /// next round's proposal.
+    pub fn publish(&mut self, now: Time, event: E) {
+        let id = event.id();
+        // The publisher has, by definition, "requested and received" its own
+        // event: mark it so proposals from other nodes are ignored.
+        self.requested.insert(
+            id,
+            RequestState {
+                times_requested: self.config.max_requests_per_event,
+                delivered: true,
+                first_requested_at: now,
+            },
+        );
+        self.store.insert(id, (event.clone(), now));
+        self.stats.events_delivered += 1;
+        self.outputs.push_back(Output::Deliver { event });
+        self.propose_queue.push((id, self.config.propose_lifetime_rounds));
+    }
+
+    /// Executes one gossip round (the `GossipTimer` of Algorithm 1,
+    /// lines 6–7). The driver calls this every [`GossipConfig::gossip_period`].
+    pub fn on_round(&mut self, now: Time) {
+        self.rounds += 1;
+        self.stats.rounds += 1;
+
+        // Feed-me (knob Y): ask f random nodes to adopt us.
+        if let Some(y) = self.config.feedme_rounds {
+            if self.rounds.is_multiple_of(y as u64) {
+                self.send_feedmes();
+            }
+        }
+
+        // Phase 1: propose the ids gathered since the last round.
+        let ids: Vec<E::Id> = self.propose_queue.iter().map(|(id, _)| *id).collect();
+        // Infect-and-die: decrement lifetimes, drop the dead.
+        for entry in &mut self.propose_queue {
+            entry.1 -= 1;
+        }
+        self.propose_queue.retain(|&(_, life)| life > 0);
+
+        let fanout = if self.is_source { self.config.source_fanout } else { self.config.fanout };
+        // selectNodes is invoked every round so the X counter advances even
+        // when there is nothing to send.
+        let partners: Vec<NodeId> =
+            self.view.select(fanout, &self.membership, self.id, &mut self.rng).to_vec();
+        if !ids.is_empty() {
+            for p in partners {
+                self.stats.proposes_sent += 1;
+                self.outputs.push_back(Output::Send { to: p, msg: Message::Propose { ids: ids.clone() } });
+            }
+        }
+
+        self.prune_store(now);
+    }
+
+    /// Handles an incoming message (phases 2 and 3, plus feed-me).
+    pub fn on_message(&mut self, now: Time, from: NodeId, msg: Message<E>) {
+        match msg {
+            Message::Propose { ids } => self.handle_propose(now, from, ids),
+            Message::Request { ids } => self.handle_request(from, ids),
+            Message::Serve { events } => self.handle_serve(now, events),
+            Message::FeedMe => self.handle_feedme(from),
+        }
+    }
+
+    /// Handles a retransmission timer expiry (line 25). Stale tokens are
+    /// ignored.
+    pub fn on_timer(&mut self, now: Time, token: TimerToken) {
+        let Some(entry) = self.retransmits.remove(&token) else {
+            return; // stale timer: its proposal was fully served
+        };
+        let mut missing: Vec<E::Id> = Vec::new();
+        for id in entry.ids {
+            if let Some(state) = self.requested.get_mut(&id) {
+                if !state.delivered && state.times_requested < self.config.max_requests_per_event {
+                    state.times_requested += 1;
+                    missing.push(id);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        self.stats.retransmit_requests += 1;
+        self.stats.requests_sent += 1;
+        self.outputs
+            .push_back(Output::Send { to: entry.peer, msg: Message::Request { ids: missing.clone() } });
+        // Re-arm with exponential backoff while the budget lasts (checked
+        // again on expiry).
+        let can_retry_more = missing.iter().any(|id| {
+            self.requested
+                .get(id)
+                .is_some_and(|s| s.times_requested < self.config.max_requests_per_event)
+        });
+        if can_retry_more {
+            self.arm_retransmit(now, entry.peer, missing, entry.attempt + 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase handlers
+    // ------------------------------------------------------------------
+
+    /// Phase 2 (lines 8–15): request the proposed ids we have not requested
+    /// from anyone yet, and arm a retransmission timer for them.
+    fn handle_propose(&mut self, now: Time, from: NodeId, ids: Vec<E::Id>) {
+        self.stats.proposes_received += 1;
+        if self.is_source {
+            return; // the source never pulls
+        }
+        let mut wanted: Vec<E::Id> = Vec::new();
+        for id in ids {
+            match self.requested.entry(id) {
+                Entry::Occupied(_) => {
+                    // Already requested (from whoever proposed first) or
+                    // already delivered: line 10 filters it out.
+                    self.stats.duplicate_ids_proposed += 1;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(RequestState {
+                        times_requested: 1,
+                        delivered: false,
+                        first_requested_at: now,
+                    });
+                    wanted.push(id);
+                }
+            }
+        }
+        if wanted.is_empty() {
+            return;
+        }
+        self.stats.requests_sent += 1;
+        self.outputs
+            .push_back(Output::Send { to: from, msg: Message::Request { ids: wanted.clone() } });
+        // Line 14: arm the retransmission timer if the budget allows a
+        // second request.
+        if self.config.max_requests_per_event > 1 {
+            self.arm_retransmit(now, from, wanted, 1);
+        }
+    }
+
+    /// Phase 3, serving side (lines 16–19): push the requested events we
+    /// still hold, split into MTU-sized serve datagrams.
+    fn handle_request(&mut self, from: NodeId, ids: Vec<E::Id>) {
+        self.stats.requests_received += 1;
+        let mut events: Vec<E> = Vec::with_capacity(ids.len());
+        for id in ids {
+            match self.store.get(&id) {
+                Some((event, _)) => events.push(event.clone()),
+                None => self.stats.unservable_ids += 1,
+            }
+        }
+        for chunk in events.chunks(self.config.max_serve_events_per_message) {
+            self.stats.serves_sent += 1;
+            self.outputs
+                .push_back(Output::Send { to: from, msg: Message::Serve { events: chunk.to_vec() } });
+        }
+    }
+
+    /// Phase 3, receiving side (lines 20–24): deliver fresh events, queue
+    /// their ids for the next proposal.
+    fn handle_serve(&mut self, now: Time, events: Vec<E>) {
+        self.stats.serves_received += 1;
+        for event in events {
+            let id = event.id();
+            let state = self.requested.entry(id).or_insert(RequestState {
+                times_requested: 0,
+                delivered: false,
+                first_requested_at: now,
+            });
+            if state.delivered {
+                self.stats.duplicate_events_received += 1;
+                continue;
+            }
+            state.delivered = true;
+            // Karn's rule: only first-request serves give unambiguous
+            // request->serve delay samples.
+            if state.times_requested == 1 {
+                self.rtt.sample(now.saturating_since(state.first_requested_at));
+            }
+            self.store.insert(id, (event.clone(), now));
+            self.propose_queue.push((id, self.config.propose_lifetime_rounds));
+            self.stats.events_delivered += 1;
+            self.outputs.push_back(Output::Deliver { event });
+        }
+        // Line 24 (cancel RetTimer) is implicit: when a timer fires, ids
+        // marked delivered are skipped, and empty entries evaporate.
+    }
+
+    /// Feed-me handling: replace a random partner with the sender.
+    fn handle_feedme(&mut self, from: NodeId) {
+        self.stats.feedmes_received += 1;
+        if from == self.id {
+            return;
+        }
+        if self.view.adopt(from, &mut self.rng) {
+            self.stats.feedmes_adopted += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn send_feedmes(&mut self) {
+        let candidates: Vec<NodeId> =
+            self.membership.iter().copied().filter(|&m| m != self.id).collect();
+        let picked = self.rng.sample_indices(candidates.len(), self.config.fanout);
+        for i in picked {
+            self.stats.feedmes_sent += 1;
+            self.outputs.push_back(Output::Send { to: candidates[i], msg: Message::FeedMe });
+        }
+    }
+
+    /// Arms a retransmission timer for the `attempt`-th request (1-based)
+    /// of a proposal, using the adaptive RTO with exponential backoff.
+    fn arm_retransmit(&mut self, now: Time, peer: NodeId, ids: Vec<E::Id>, attempt: u32) {
+        let token = TimerToken(self.next_token);
+        self.next_token += 1;
+        self.retransmits.insert(token, RetransmitEntry { peer, ids, attempt });
+        let at = now + self.rtt.rto_backoff(attempt);
+        self.outputs.push_back(Output::ScheduleTimer { token, at });
+    }
+
+    /// Returns the node's current adaptive retransmission timeout.
+    pub fn current_rto(&self) -> gossip_types::Duration {
+        self.rtt.rto()
+    }
+
+    /// Drops served payloads older than the retention horizon. The
+    /// `requested` bookkeeping is deliberately kept forever so pruned ids
+    /// are never re-requested.
+    fn prune_store(&mut self, now: Time) {
+        let retention = self.config.retention;
+        if retention == gossip_types::Duration::MAX {
+            return;
+        }
+        let cutoff = match now.as_micros().checked_sub(retention.as_micros()) {
+            Some(c) => Time::from_micros(c),
+            None => return, // still inside the first horizon
+        };
+        self.store.retain(|_, (_, delivered_at)| *delivered_at >= cutoff);
+    }
+
+    /// Returns the number of events currently stored (servable).
+    pub fn stored_events(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns whether the given event id has been delivered here.
+    pub fn has_delivered(&self, id: &E::Id) -> bool {
+        self.requested.get(id).is_some_and(|s| s.delivered)
+    }
+
+    /// Returns `(times_requested, delivered)` for an id, if it was ever
+    /// requested or delivered (diagnostics).
+    pub fn request_info(&self, id: &E::Id) -> Option<(u32, bool)> {
+        self.requested.get(id).map(|s| (s.times_requested, s.delivered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TestEvent;
+    use gossip_types::Duration;
+
+    fn members(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    fn drain(node: &mut GossipNode<TestEvent>) -> Vec<Output<TestEvent>> {
+        std::iter::from_fn(|| node.poll_output()).collect()
+    }
+
+    fn sends(outputs: &[Output<TestEvent>]) -> Vec<(NodeId, &Message<TestEvent>)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_delivers_locally_and_proposes_next_round() {
+        let mut node =
+            GossipNode::new_source(NodeId::new(0), GossipConfig::new(3), members(10), 1);
+        node.publish(Time::ZERO, TestEvent::new(42, 100));
+        let out = drain(&mut node);
+        assert!(matches!(out[0], Output::Deliver { event } if event.id() == 42));
+        assert!(node.has_delivered(&42));
+
+        node.on_round(Time::from_millis(200));
+        let out = drain(&mut node);
+        let proposals = sends(&out);
+        assert_eq!(proposals.len(), 7, "source proposes with source_fanout = 7");
+        for (_, msg) in &proposals {
+            assert_eq!(**msg, Message::Propose { ids: vec![42] });
+        }
+    }
+
+    #[test]
+    fn infect_and_die_proposes_exactly_once() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(2), members(10), 1);
+        node.on_message(
+            Time::ZERO,
+            NodeId::new(2),
+            Message::Serve { events: vec![TestEvent::new(7, 10)] },
+        );
+        drain(&mut node);
+        node.on_round(Time::from_millis(200));
+        let first = sends(&drain(&mut node)).len();
+        assert_eq!(first, 2, "freshly delivered id proposed to fanout partners");
+        node.on_round(Time::from_millis(400));
+        let second = sends(&drain(&mut node)).len();
+        assert_eq!(second, 0, "infect-and-die: nothing proposed twice");
+    }
+
+    #[test]
+    fn propose_lifetime_two_reproposes_once() {
+        let config = GossipConfig::new(2).with_propose_lifetime(2);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
+        node.on_message(
+            Time::ZERO,
+            NodeId::new(2),
+            Message::Serve { events: vec![TestEvent::new(7, 10)] },
+        );
+        drain(&mut node);
+        node.on_round(Time::from_millis(200));
+        assert_eq!(sends(&drain(&mut node)).len(), 2);
+        node.on_round(Time::from_millis(400));
+        assert_eq!(sends(&drain(&mut node)).len(), 2, "lifetime 2: proposed a second round");
+        node.on_round(Time::from_millis(600));
+        assert_eq!(sends(&drain(&mut node)).len(), 0);
+    }
+
+    #[test]
+    fn propose_requests_only_unrequested_ids() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        let peer_a = NodeId::new(2);
+        let peer_b = NodeId::new(3);
+
+        node.on_message(Time::ZERO, peer_a, Message::Propose { ids: vec![1, 2] });
+        let out = drain(&mut node);
+        let s = sends(&out);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0], (peer_a, &Message::Request { ids: vec![1, 2] }));
+
+        // A second proposal overlapping the first only pulls the new id.
+        node.on_message(Time::ZERO, peer_b, Message::Propose { ids: vec![2, 3] });
+        let out = drain(&mut node);
+        let s = sends(&out);
+        assert_eq!(s[0], (peer_b, &Message::Request { ids: vec![3] }));
+        assert_eq!(node.stats().duplicate_ids_proposed, 1);
+    }
+
+    #[test]
+    fn fully_duplicate_proposal_sends_nothing() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![5] });
+        drain(&mut node);
+        node.on_message(Time::ZERO, NodeId::new(3), Message::Propose { ids: vec![5] });
+        let out = drain(&mut node);
+        assert!(sends(&out).is_empty(), "no request for an already-requested id");
+    }
+
+    #[test]
+    fn request_is_served_from_store() {
+        let mut node = GossipNode::new(NodeId::new(0), GossipConfig::new(3), members(10), 1);
+        node.publish(Time::ZERO, TestEvent::new(9, 50));
+        drain(&mut node);
+        node.on_message(Time::ZERO, NodeId::new(4), Message::Request { ids: vec![9, 10] });
+        let out = drain(&mut node);
+        let s = sends(&out);
+        assert_eq!(s.len(), 1);
+        match s[0].1 {
+            Message::Serve { events } => {
+                assert_eq!(events.len(), 1, "id 10 is unknown and skipped");
+                assert_eq!(events[0].id(), 9);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert_eq!(node.stats().unservable_ids, 1);
+    }
+
+    #[test]
+    fn serve_delivers_once_and_counts_duplicates() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        let ev = TestEvent::new(3, 10);
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Serve { events: vec![ev] });
+        let out = drain(&mut node);
+        assert_eq!(out.iter().filter(|o| matches!(o, Output::Deliver { .. })).count(), 1);
+        node.on_message(Time::ZERO, NodeId::new(3), Message::Serve { events: vec![ev] });
+        let out = drain(&mut node);
+        assert!(out.iter().all(|o| !matches!(o, Output::Deliver { .. })));
+        assert_eq!(node.stats().duplicate_events_received, 1);
+        assert_eq!(node.stats().events_delivered, 1);
+    }
+
+    #[test]
+    fn retransmission_rerequests_missing_ids_up_to_k() {
+        let config = GossipConfig::new(3).with_max_requests(3);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
+        let peer = NodeId::new(2);
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1, 2] });
+        let out = drain(&mut node);
+        // Initial request + a scheduled retransmission timer.
+        let timer = out
+            .iter()
+            .find_map(|o| match o {
+                Output::ScheduleTimer { token, at } => Some((*token, *at)),
+                _ => None,
+            })
+            .expect("retransmission timer armed");
+        assert_eq!(timer.1, Time::ZERO + Duration::from_millis(8000), "initial RTO");
+
+        // Event 1 arrives; event 2 does not.
+        node.on_message(Time::from_millis(100), peer, Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        drain(&mut node);
+
+        // Timer fires: only id 2 is re-requested, and a new timer is armed.
+        node.on_timer(timer.1, timer.0);
+        let out = drain(&mut node);
+        let s = sends(&out);
+        assert_eq!(s[0], (peer, &Message::Request { ids: vec![2] }));
+        assert_eq!(node.stats().retransmit_requests, 1);
+        let timer2 = out.iter().find_map(|o| match o {
+            Output::ScheduleTimer { token, at } => Some((*token, *at)),
+            _ => None,
+        });
+        let (tok2, at2) = timer2.expect("budget allows a third request");
+
+        // Third expiry: id 2 has now been requested K = 3 times; afterwards
+        // no more requests ever go out.
+        node.on_timer(at2, tok2);
+        let out = drain(&mut node);
+        assert_eq!(sends(&out).len(), 1, "third and final request");
+        let timer3 = out.iter().find_map(|o| match o {
+            Output::ScheduleTimer { token, at } => Some((*token, *at)),
+            _ => None,
+        });
+        if let Some((tok3, at3)) = timer3 {
+            node.on_timer(at3, tok3);
+            let out = drain(&mut node);
+            assert!(sends(&out).is_empty(), "K exhausted: no fourth request");
+        }
+    }
+
+    #[test]
+    fn retransmit_timer_is_noop_when_everything_arrived() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        let peer = NodeId::new(2);
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1] });
+        let out = drain(&mut node);
+        let (token, at) = out
+            .iter()
+            .find_map(|o| match o {
+                Output::ScheduleTimer { token, at } => Some((*token, *at)),
+                _ => None,
+            })
+            .unwrap();
+        node.on_message(Time::from_millis(50), peer, Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        drain(&mut node);
+        node.on_timer(at, token);
+        let out = drain(&mut node);
+        assert!(out.is_empty(), "everything arrived: timer is a silent no-op");
+    }
+
+    #[test]
+    fn stale_timer_token_is_ignored() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        node.on_timer(Time::ZERO, TimerToken(999));
+        assert!(drain(&mut node).is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_arms_no_timer() {
+        let config = GossipConfig::new(3).with_max_requests(1);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![1] });
+        let out = drain(&mut node);
+        assert!(
+            out.iter().all(|o| !matches!(o, Output::ScheduleTimer { .. })),
+            "K = 1 means the initial request is the only one"
+        );
+    }
+
+    #[test]
+    fn source_ignores_proposals() {
+        let mut source =
+            GossipNode::new_source(NodeId::new(0), GossipConfig::new(3), members(10), 1);
+        source.on_message(Time::ZERO, NodeId::new(1), Message::Propose { ids: vec![1, 2, 3] });
+        assert!(drain(&mut source).is_empty(), "the source never requests");
+    }
+
+    #[test]
+    fn feedme_messages_sent_every_y_rounds() {
+        let config = GossipConfig::new(4).with_feedme_rounds(Some(2));
+        let mut node = GossipNode::new(NodeId::new(1), config, members(20), 1);
+        node.on_round(Time::ZERO);
+        let r1 = drain(&mut node);
+        assert_eq!(r1.iter().filter(|o| matches!(o, Output::Send { msg: Message::FeedMe, .. })).count(), 0);
+        node.on_round(Time::from_millis(200));
+        let r2 = drain(&mut node);
+        assert_eq!(
+            r2.iter().filter(|o| matches!(o, Output::Send { msg: Message::FeedMe, .. })).count(),
+            4,
+            "every Y=2 rounds, f feed-mes go out"
+        );
+        assert_eq!(node.stats().feedmes_sent, 4);
+    }
+
+    #[test]
+    fn feedme_reception_changes_view() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(30), 1);
+        node.on_round(Time::ZERO); // initialise the view
+        drain(&mut node);
+        let before = node.partners().to_vec();
+        let newcomer = (0..30)
+            .map(NodeId::new)
+            .find(|id| !before.contains(id) && *id != node.id())
+            .unwrap();
+        node.on_message(Time::ZERO, newcomer, Message::FeedMe);
+        assert!(node.partners().contains(&newcomer));
+        assert_eq!(node.stats().feedmes_adopted, 1);
+    }
+
+    #[test]
+    fn store_pruning_forgets_old_payloads_but_not_requests() {
+        let config = GossipConfig::new(2).with_retention(Duration::from_secs(10));
+        let mut node = GossipNode::new(NodeId::new(1), config, members(5), 1);
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        drain(&mut node);
+        assert_eq!(node.stored_events(), 1);
+
+        node.on_round(Time::from_secs(30));
+        drain(&mut node);
+        assert_eq!(node.stored_events(), 0, "payload pruned after retention");
+        assert!(node.has_delivered(&1), "delivery bookkeeping survives pruning");
+
+        // A late proposal for the pruned id is *not* re-requested.
+        node.on_message(Time::from_secs(31), NodeId::new(3), Message::Propose { ids: vec![1] });
+        assert!(sends(&drain(&mut node)).is_empty());
+    }
+
+    #[test]
+    fn empty_round_sends_nothing_but_advances_refresh() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(20), 1);
+        node.on_round(Time::ZERO);
+        assert!(drain(&mut node).is_empty(), "nothing to propose");
+        assert_eq!(node.rounds(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(5), members(50), seed);
+            node.on_message(Time::ZERO, NodeId::new(2), Message::Serve { events: vec![TestEvent::new(1, 10)] });
+            drain(&mut node);
+            node.on_round(Time::from_millis(200));
+            sends(&drain(&mut node)).iter().map(|(to, _)| *to).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

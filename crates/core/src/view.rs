@@ -1,0 +1,232 @@
+//! Partner-view management: the proactiveness knobs `X` and `Y`.
+//!
+//! The paper defines *proactiveness* as the rate at which a node modifies
+//! its set of communication partners, and studies two mechanisms:
+//!
+//! * **local refresh (`X`)** — the output of `selectNodes` changes every
+//!   `X` calls: with `X = 1` partners are re-drawn uniformly at random every
+//!   gossip round (the classic theoretical model); with `X = ∞` the initial
+//!   draw is kept forever (a static mesh);
+//! * **feed-me (`Y`)** — every `Y` rounds a node asks `f` random nodes to
+//!   insert it into their views, each replacing one random current partner.
+//!
+//! [`PartnerView`] implements both; the owning [`crate::GossipNode`] calls
+//! [`PartnerView::select`] once per round and
+//! [`PartnerView::adopt`] when a feed-me arrives.
+
+use gossip_sim::DetRng;
+use gossip_types::NodeId;
+
+/// The set of communication partners of one node.
+#[derive(Debug, Clone)]
+pub struct PartnerView {
+    /// Current partners (at most `fanout`).
+    partners: Vec<NodeId>,
+    /// `X`: how many `select` calls between refreshes; `None` = never.
+    refresh_rounds: Option<u32>,
+    /// Calls since the last refresh.
+    calls_since_refresh: u32,
+    /// Whether a first draw has happened.
+    initialised: bool,
+}
+
+impl PartnerView {
+    /// Creates an empty view with refresh rate `X` (`None` = `∞`).
+    pub fn new(refresh_rounds: Option<u32>) -> Self {
+        PartnerView {
+            partners: Vec::new(),
+            refresh_rounds,
+            calls_since_refresh: 0,
+            initialised: false,
+        }
+    }
+
+    /// Returns the partner set for this round, refreshing it if the round
+    /// counter says so.
+    ///
+    /// `membership` is the full node list; `self_id` is excluded from
+    /// selection. `fanout` partners are drawn without replacement (fewer if
+    /// the membership is too small).
+    pub fn select(
+        &mut self,
+        fanout: usize,
+        membership: &[NodeId],
+        self_id: NodeId,
+        rng: &mut DetRng,
+    ) -> &[NodeId] {
+        let needs_refresh = !self.initialised
+            || self.partners.len() != fanout.min(membership.len().saturating_sub(1))
+            || match self.refresh_rounds {
+                Some(x) => self.calls_since_refresh >= x,
+                None => false,
+            };
+        if needs_refresh {
+            self.refresh(fanout, membership, self_id, rng);
+            self.calls_since_refresh = 0;
+        }
+        self.calls_since_refresh += 1;
+        &self.partners
+    }
+
+    /// Unconditionally re-draws the partner set.
+    fn refresh(&mut self, fanout: usize, membership: &[NodeId], self_id: NodeId, rng: &mut DetRng) {
+        // Draw from membership excluding self. Dead nodes are *not*
+        // excluded: the paper's protocol has no failure detector, which is
+        // precisely why proactiveness matters under churn.
+        let candidates: Vec<NodeId> =
+            membership.iter().copied().filter(|&m| m != self_id).collect();
+        let picked = rng.sample_indices(candidates.len(), fanout);
+        self.partners = picked.into_iter().map(|i| candidates[i]).collect();
+        self.initialised = true;
+    }
+
+    /// Handles a feed-me request from `newcomer`: replaces one uniformly
+    /// random current partner with it (no-op if the newcomer is already a
+    /// partner or the view is empty).
+    ///
+    /// Returns `true` if the view changed.
+    pub fn adopt(&mut self, newcomer: NodeId, rng: &mut DetRng) -> bool {
+        if !self.initialised || self.partners.is_empty() || self.partners.contains(&newcomer) {
+            return false;
+        }
+        let slot = rng.index(self.partners.len());
+        self.partners[slot] = newcomer;
+        true
+    }
+
+    /// Returns the current partners without advancing the round counter.
+    pub fn current(&self) -> &[NodeId] {
+        &self.partners
+    }
+
+    /// Returns `true` once a first selection has been made.
+    pub fn is_initialised(&self) -> bool {
+        self.initialised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn selects_fanout_distinct_partners_excluding_self() {
+        let mut rng = DetRng::seed_from(1);
+        let mut view = PartnerView::new(Some(1));
+        let m = members(20);
+        let me = NodeId::new(3);
+        let partners = view.select(7, &m, me, &mut rng).to_vec();
+        assert_eq!(partners.len(), 7);
+        assert!(!partners.contains(&me));
+        let mut sorted = partners.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7, "partners must be distinct");
+    }
+
+    #[test]
+    fn x_equals_one_refreshes_every_round() {
+        let mut rng = DetRng::seed_from(2);
+        let mut view = PartnerView::new(Some(1));
+        let m = members(100);
+        let me = NodeId::new(0);
+        let a = view.select(10, &m, me, &mut rng).to_vec();
+        let b = view.select(10, &m, me, &mut rng).to_vec();
+        // With 99 candidates choose 10, two consecutive draws are virtually
+        // never identical.
+        assert_ne!(a, b, "X=1 must re-draw partners each round");
+    }
+
+    #[test]
+    fn x_equals_two_holds_for_two_rounds() {
+        let mut rng = DetRng::seed_from(3);
+        let mut view = PartnerView::new(Some(2));
+        let m = members(100);
+        let me = NodeId::new(0);
+        let r1 = view.select(8, &m, me, &mut rng).to_vec();
+        let r2 = view.select(8, &m, me, &mut rng).to_vec();
+        let r3 = view.select(8, &m, me, &mut rng).to_vec();
+        assert_eq!(r1, r2, "X=2 keeps partners for two rounds");
+        assert_ne!(r2, r3, "...then refreshes");
+    }
+
+    #[test]
+    fn x_infinity_never_refreshes() {
+        let mut rng = DetRng::seed_from(4);
+        let mut view = PartnerView::new(None);
+        let m = members(50);
+        let me = NodeId::new(1);
+        let first = view.select(6, &m, me, &mut rng).to_vec();
+        for _ in 0..100 {
+            assert_eq!(view.select(6, &m, me, &mut rng), &first[..]);
+        }
+    }
+
+    #[test]
+    fn fanout_larger_than_membership_saturates() {
+        let mut rng = DetRng::seed_from(5);
+        let mut view = PartnerView::new(Some(1));
+        let m = members(5);
+        let partners = view.select(10, &m, NodeId::new(0), &mut rng).to_vec();
+        assert_eq!(partners.len(), 4, "can never select more than n-1 partners");
+    }
+
+    #[test]
+    fn fanout_change_forces_refresh_even_with_x_infinity() {
+        let mut rng = DetRng::seed_from(6);
+        let mut view = PartnerView::new(None);
+        let m = members(50);
+        let me = NodeId::new(0);
+        assert_eq!(view.select(5, &m, me, &mut rng).len(), 5);
+        assert_eq!(view.select(9, &m, me, &mut rng).len(), 9);
+    }
+
+    #[test]
+    fn adopt_replaces_exactly_one_partner() {
+        let mut rng = DetRng::seed_from(7);
+        let mut view = PartnerView::new(None);
+        let m = members(50);
+        let me = NodeId::new(0);
+        let before = view.select(8, &m, me, &mut rng).to_vec();
+        let newcomer = (1..50)
+            .map(NodeId::new)
+            .find(|id| !before.contains(id) && *id != me)
+            .expect("some node is not a partner");
+        assert!(view.adopt(newcomer, &mut rng));
+        let after = view.current().to_vec();
+        assert!(after.contains(&newcomer));
+        let kept = after.iter().filter(|p| before.contains(p)).count();
+        assert_eq!(kept, 7, "exactly one partner replaced");
+    }
+
+    #[test]
+    fn adopt_is_noop_for_existing_partner_or_uninitialised_view() {
+        let mut rng = DetRng::seed_from(8);
+        let mut view = PartnerView::new(None);
+        assert!(!view.adopt(NodeId::new(1), &mut rng), "uninitialised view ignores feed-me");
+        let m = members(10);
+        let partners = view.select(9, &m, NodeId::new(0), &mut rng).to_vec();
+        assert!(!view.adopt(partners[0], &mut rng), "existing partner is not re-adopted");
+    }
+
+    #[test]
+    fn adopted_partner_survives_until_refresh() {
+        let mut rng = DetRng::seed_from(9);
+        let mut view = PartnerView::new(Some(3));
+        let m = members(60);
+        let me = NodeId::new(0);
+        view.select(5, &m, me, &mut rng);
+        let newcomer = (1..60)
+            .map(NodeId::new)
+            .find(|id| !view.current().contains(id))
+            .unwrap();
+        view.adopt(newcomer, &mut rng);
+        // Round 2 and 3 keep the adopted partner (X=3: refresh on round 4).
+        assert!(view.select(5, &m, me, &mut rng).contains(&newcomer));
+        assert!(view.select(5, &m, me, &mut rng).contains(&newcomer));
+    }
+}

@@ -1,0 +1,227 @@
+//! Binary wire codec for protocol messages.
+//!
+//! The simulator only ever needs message *sizes* ([`Message::wire_size`]),
+//! but the real-socket runtime (`gossip-udp`) must put actual bytes on the
+//! wire. This module defines the compact framing used there:
+//!
+//! ```text
+//! [ type: u8 ][ sender: u32 LE ][ count: u16 LE ][ elements ... ]
+//! ```
+//!
+//! Element encoding is delegated to the event type through [`WireEvent`], so
+//! the codec works for any application payload. Decoding is defensive: any
+//! truncated or malformed datagram yields `None` rather than a panic —
+//! datagrams arrive from the network and must never crash a node.
+
+use gossip_types::NodeId;
+
+use crate::event::{Event, TestEvent};
+use crate::message::Message;
+
+/// Message type tags on the wire.
+const TAG_PROPOSE: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_SERVE: u8 = 3;
+const TAG_FEEDME: u8 = 4;
+
+/// Events that can be serialized into datagrams.
+///
+/// Implementations must be consistent with [`Event::wire_size`] and
+/// [`Event::id_wire_size`]: the byte counts produced here are what the
+/// simulated bandwidth limiter charges, so they should match.
+pub trait WireEvent: Event + Sized {
+    /// Appends the encoding of an id to `buf`.
+    fn encode_id(id: &Self::Id, buf: &mut Vec<u8>);
+    /// Decodes an id from the front of `input`, advancing it.
+    fn decode_id(input: &mut &[u8]) -> Option<Self::Id>;
+    /// Appends the encoding of the full event to `buf`.
+    fn encode_event(&self, buf: &mut Vec<u8>);
+    /// Decodes a full event from the front of `input`, advancing it.
+    fn decode_event(input: &mut &[u8]) -> Option<Self>;
+}
+
+/// Encodes `msg` from `sender` into a fresh datagram buffer.
+pub fn encode_message<E: WireEvent>(sender: NodeId, msg: &Message<E>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(msg.wire_size());
+    let (tag, count) = match msg {
+        Message::Propose { ids } => (TAG_PROPOSE, ids.len()),
+        Message::Request { ids } => (TAG_REQUEST, ids.len()),
+        Message::Serve { events } => (TAG_SERVE, events.len()),
+        Message::FeedMe => (TAG_FEEDME, 0),
+    };
+    assert!(count <= u16::MAX as usize, "message element count exceeds wire format");
+    buf.push(tag);
+    buf.extend_from_slice(&sender.as_u32().to_le_bytes());
+    buf.extend_from_slice(&(count as u16).to_le_bytes());
+    match msg {
+        Message::Propose { ids } | Message::Request { ids } => {
+            for id in ids {
+                E::encode_id(id, &mut buf);
+            }
+        }
+        Message::Serve { events } => {
+            for event in events {
+                event.encode_event(&mut buf);
+            }
+        }
+        Message::FeedMe => {}
+    }
+    buf
+}
+
+/// Decodes a datagram into the sender and the message.
+///
+/// Returns `None` for truncated or malformed input.
+pub fn decode_message<E: WireEvent>(datagram: &[u8]) -> Option<(NodeId, Message<E>)> {
+    let mut input = datagram;
+    let tag = take_u8(&mut input)?;
+    let sender = NodeId::new(take_u32(&mut input)?);
+    let count = take_u16(&mut input)? as usize;
+    let msg = match tag {
+        TAG_PROPOSE | TAG_REQUEST => {
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(E::decode_id(&mut input)?);
+            }
+            if tag == TAG_PROPOSE {
+                Message::Propose { ids }
+            } else {
+                Message::Request { ids }
+            }
+        }
+        TAG_SERVE => {
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(E::decode_event(&mut input)?);
+            }
+            Message::Serve { events }
+        }
+        TAG_FEEDME => Message::FeedMe,
+        _ => return None,
+    };
+    if !input.is_empty() {
+        return None; // trailing garbage: reject the datagram
+    }
+    Some((sender, msg))
+}
+
+fn take_u8(input: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = input.split_first()?;
+    *input = rest;
+    Some(first)
+}
+
+fn take_u16(input: &mut &[u8]) -> Option<u16> {
+    if input.len() < 2 {
+        return None;
+    }
+    let (bytes, rest) = input.split_at(2);
+    *input = rest;
+    Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+}
+
+fn take_u32(input: &mut &[u8]) -> Option<u32> {
+    if input.len() < 4 {
+        return None;
+    }
+    let (bytes, rest) = input.split_at(4);
+    *input = rest;
+    Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Reads a `u64` from the front of `input` (helper for implementors).
+pub fn take_u64(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let (bytes, rest) = input.split_at(8);
+    *input = rest;
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(bytes);
+    Some(u64::from_le_bytes(arr))
+}
+
+impl WireEvent for TestEvent {
+    fn encode_id(id: &u64, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&id.to_le_bytes());
+    }
+
+    fn decode_id(input: &mut &[u8]) -> Option<u64> {
+        take_u64(input)
+    }
+
+    fn encode_event(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.id().to_le_bytes());
+        buf.extend_from_slice(&(self.payload_size() as u32).to_le_bytes());
+        // Test events carry a synthetic zeroed payload so the datagram
+        // length matches `wire_size()` exactly.
+        buf.extend(std::iter::repeat_n(0u8, self.payload_size()));
+    }
+
+    fn decode_event(input: &mut &[u8]) -> Option<Self> {
+        let id = take_u64(input)?;
+        if input.len() < 4 {
+            return None;
+        }
+        let (bytes, rest) = input.split_at(4);
+        *input = rest;
+        let size = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if input.len() < size {
+            return None;
+        }
+        *input = &input[size..];
+        Some(TestEvent::new(id, size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message<TestEvent>) {
+        let sender = NodeId::new(17);
+        let bytes = encode_message(sender, &msg);
+        let (got_sender, got_msg) = decode_message::<TestEvent>(&bytes).expect("decodes");
+        assert_eq!(got_sender, sender);
+        assert_eq!(got_msg, msg);
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        round_trip(Message::Propose { ids: vec![1, 2, u64::MAX] });
+        round_trip(Message::Request { ids: vec![] });
+        round_trip(Message::Serve {
+            events: vec![TestEvent::new(9, 1000), TestEvent::new(10, 0)],
+        });
+        round_trip(Message::FeedMe);
+    }
+
+    #[test]
+    fn truncated_datagrams_are_rejected() {
+        let bytes = encode_message(NodeId::new(1), &Message::Propose::<TestEvent> { ids: vec![1, 2, 3] });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_message::<TestEvent>(&bytes[..cut]).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_message(NodeId::new(1), &Message::FeedMe::<TestEvent>);
+        bytes.push(0xFF);
+        assert!(decode_message::<TestEvent>(&bytes).is_none());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let bytes = vec![42u8, 0, 0, 0, 0, 0, 0];
+        assert!(decode_message::<TestEvent>(&bytes).is_none());
+    }
+
+    #[test]
+    fn empty_datagram_is_rejected() {
+        assert!(decode_message::<TestEvent>(&[]).is_none());
+    }
+}

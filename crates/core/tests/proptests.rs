@@ -1,0 +1,155 @@
+//! Property-based tests of the protocol core: the state machine must hold
+//! its invariants under arbitrary message interleavings, and the wire codec
+//! must round-trip and reject garbage without panicking.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gossip_core::wire::{decode_message, encode_message};
+use gossip_core::{Event, GossipConfig, GossipNode, Message, Output, TestEvent};
+use gossip_types::{NodeId, Time};
+
+fn members(n: u32) -> Vec<NodeId> {
+    (0..n).map(NodeId::new).collect()
+}
+
+/// An arbitrary protocol input.
+#[derive(Debug, Clone)]
+enum Input {
+    Propose { from: u32, ids: Vec<u64> },
+    Request { from: u32, ids: Vec<u64> },
+    Serve { from: u32, ids: Vec<u64> },
+    FeedMe { from: u32 },
+    Round,
+}
+
+fn input_strategy() -> impl Strategy<Value = Input> {
+    prop_oneof![
+        (0u32..10, vec(0u64..50, 0..8)).prop_map(|(from, ids)| Input::Propose { from, ids }),
+        (0u32..10, vec(0u64..50, 0..8)).prop_map(|(from, ids)| Input::Request { from, ids }),
+        (0u32..10, vec(0u64..50, 0..8)).prop_map(|(from, ids)| Input::Serve { from, ids }),
+        (0u32..10).prop_map(|from| Input::FeedMe { from }),
+        Just(Input::Round),
+    ]
+}
+
+proptest! {
+    /// Under any interleaving of inputs: no panics, every event delivered
+    /// at most once, and every outgoing message is non-empty.
+    #[test]
+    fn node_invariants_under_arbitrary_inputs(inputs in vec(input_strategy(), 1..200)) {
+        let mut node: GossipNode<TestEvent> =
+            GossipNode::new(NodeId::new(0), GossipConfig::new(3), members(10), 1);
+        let mut delivered = std::collections::HashSet::new();
+        let mut now = Time::ZERO;
+        let mut timers = Vec::new();
+        for input in inputs {
+            now = now + gossip_types::Duration::from_millis(10);
+            match input {
+                Input::Propose { from, ids } => {
+                    node.on_message(now, NodeId::new(from), Message::Propose { ids });
+                }
+                Input::Request { from, ids } => {
+                    node.on_message(now, NodeId::new(from), Message::Request { ids });
+                }
+                Input::Serve { from, ids } => {
+                    let events = ids.into_iter().map(|i| TestEvent::new(i, 16)).collect();
+                    node.on_message(now, NodeId::new(from), Message::Serve { events });
+                }
+                Input::FeedMe { from } => {
+                    node.on_message(now, NodeId::new(from), Message::FeedMe);
+                }
+                Input::Round => node.on_round(now),
+            }
+            // Occasionally fire a pending timer.
+            if let Some((token, at)) = timers.pop() {
+                if at <= now {
+                    node.on_timer(now, token);
+                }
+            }
+            while let Some(out) = node.poll_output() {
+                match out {
+                    Output::Deliver { event } => {
+                        prop_assert!(
+                            delivered.insert(event.id()),
+                            "event {:?} delivered twice", event.id()
+                        );
+                    }
+                    Output::Send { msg, .. } => {
+                        prop_assert!(!msg.is_empty_payload(), "empty {} sent", msg.kind());
+                    }
+                    Output::ScheduleTimer { token, at } => timers.push((token, at)),
+                }
+            }
+        }
+        prop_assert_eq!(delivered.len() as u64, node.stats().events_delivered);
+    }
+
+    /// The node never requests an id twice via fresh proposals, no matter
+    /// who proposes what in which order.
+    #[test]
+    fn ids_are_requested_from_one_peer_only(
+        proposals in vec((0u32..8, vec(0u64..20, 1..6)), 1..40)
+    ) {
+        let mut node: GossipNode<TestEvent> =
+            GossipNode::new(NodeId::new(9), GossipConfig::new(3).with_max_requests(1), members(10), 1);
+        let mut requested = std::collections::HashSet::new();
+        for (i, (from, ids)) in proposals.into_iter().enumerate() {
+            let now = Time::from_millis(i as u64);
+            node.on_message(now, NodeId::new(from), Message::Propose { ids });
+            while let Some(out) = node.poll_output() {
+                if let Output::Send { msg: Message::Request { ids }, .. } = out {
+                    for id in ids {
+                        prop_assert!(requested.insert(id), "id {id} requested twice");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wire codec: every message round-trips byte-exactly, and the encoded
+    /// length equals the declared wire size.
+    #[test]
+    fn codec_round_trips(
+        sender in any::<u32>(),
+        ids in vec(any::<u64>(), 0..50),
+        sizes in vec(0usize..2000, 0..5),
+        kind in 0u8..4,
+    ) {
+        let msg: Message<TestEvent> = match kind {
+            0 => Message::Propose { ids },
+            1 => Message::Request { ids },
+            2 => Message::Serve {
+                events: sizes.iter().enumerate().map(|(i, &s)| TestEvent::new(i as u64, s)).collect(),
+            },
+            _ => Message::FeedMe,
+        };
+        let bytes = encode_message(NodeId::new(sender), &msg);
+        prop_assert_eq!(bytes.len(), msg.wire_size(), "encoded length must match wire_size");
+        let (got_sender, got) = decode_message::<TestEvent>(&bytes).expect("round-trips");
+        prop_assert_eq!(got_sender, NodeId::new(sender));
+        prop_assert_eq!(got, msg);
+    }
+
+    /// Arbitrary garbage never decodes into a message and never panics.
+    #[test]
+    fn codec_rejects_garbage_gracefully(bytes in vec(any::<u8>(), 0..300)) {
+        // Either decodes (if it happens to be valid) or returns None —
+        // what matters is that it never panics.
+        let _ = decode_message::<TestEvent>(&bytes);
+    }
+
+    /// Truncating a valid datagram anywhere makes it undecodable.
+    #[test]
+    fn codec_rejects_truncation(
+        ids in vec(any::<u64>(), 1..20),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg: Message<TestEvent> = Message::Propose { ids };
+        let bytes = encode_message(NodeId::new(1), &msg);
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_message::<TestEvent>(&bytes[..cut]).is_none());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 1 — percentage of nodes viewing the stream with less than 1 %
+//! jitter as a function of the fanout, with upload capped at 700 kbps.
+//!
+//! The paper's headline result: a narrow optimal fanout range (7–15 at
+//! n = 230) slightly above `ln n`, with degradation below (insufficient
+//! dissemination) and collapse above (bandwidth contention). Three series:
+//! offline viewing, 20 s lag, 10 s lag.
+
+use gossip_metrics::Table;
+
+use crate::figures::{fanout_sweep, series_table, FigureOutput, LAG_10S, LAG_20S, MAX_JITTER, OFFLINE};
+use crate::scenario::{Scale, Scenario};
+
+/// One row of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// The fanout swept.
+    pub fanout: usize,
+    /// % nodes with < 1 % jitter, offline viewing.
+    pub offline: f64,
+    /// % nodes with < 1 % jitter at 20 s lag.
+    pub lag20: f64,
+    /// % nodes with < 1 % jitter at 10 s lag.
+    pub lag10: f64,
+}
+
+/// Runs the sweep and returns the raw rows.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
+    fanout_sweep(scale)
+        .into_iter()
+        .map(|fanout| {
+            let result = Scenario::at_scale(scale, fanout).with_seed(seed).run();
+            Row {
+                fanout,
+                offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+                lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+                lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+            }
+        })
+        .collect()
+}
+
+/// Runs the figure and renders it.
+pub fn run(scale: Scale, seed: u64) -> FigureOutput {
+    let rows = sweep(scale, seed);
+    let mut table: Table = series_table("fanout");
+    for row in &rows {
+        table.row_f64(row.fanout.to_string(), &[row.offline, row.lag20, row.lag10]);
+    }
+    FigureOutput {
+        id: "fig1",
+        title: "% nodes viewing with <1% jitter vs fanout (700 kbps cap)".to_string(),
+        table,
+        notes: vec![
+            format!("n = {}, X = 1, Y = inf, 600 kbps stream", scale.nodes()),
+            "expected shape: bell around ln(n)+c, collapse at high fanout".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_shows_the_bell_shape() {
+        let rows = sweep(Scale::Tiny, 7);
+        // The smallest fanout must be clearly worse than the best fanout.
+        let best = rows.iter().map(|r| r.offline).fold(0.0f64, f64::max);
+        let first = rows.first().unwrap().offline;
+        assert!(best > first, "optimum ({best}) should beat fanout=2 ({first})");
+        // Quality at infinite lag dominates quality at 10 s.
+        for r in &rows {
+            assert!(r.offline + 1e-9 >= r.lag20, "offline >= 20s at fanout {}", r.fanout);
+            assert!(r.lag20 + 1e-9 >= r.lag10, "20s >= 10s at fanout {}", r.fanout);
+        }
+    }
+}

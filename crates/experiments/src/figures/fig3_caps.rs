@@ -1,0 +1,93 @@
+//! Figure 3 — percentage of nodes viewing the stream with less than 1 %
+//! jitter for upload caps of 1000 and 2000 kbps, across fanouts.
+//!
+//! With more headroom above the stream rate the optimal fanout window
+//! widens and shifts right; at 2000 kbps even very large fanouts barely
+//! hurt.
+
+use gossip_metrics::Table;
+
+use crate::figures::{FigureOutput, LAG_10S, MAX_JITTER, OFFLINE};
+use crate::scenario::{Scale, Scenario};
+
+/// The fanout sweep (the paper plots 10–150 at n = 230).
+pub fn fanouts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Full => vec![7, 10, 20, 30, 40, 50, 75, 100, 125, 150],
+        Scale::Quick => vec![5, 8, 12, 16, 24, 32, 40, 50],
+        Scale::Tiny => vec![4, 6, 10, 14, 18],
+    }
+}
+
+/// One row of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// The fanout swept.
+    pub fanout: usize,
+    /// Offline series at 1000 kbps.
+    pub offline_1000: f64,
+    /// 10 s lag series at 1000 kbps.
+    pub lag10_1000: f64,
+    /// Offline series at 2000 kbps.
+    pub offline_2000: f64,
+    /// 10 s lag series at 2000 kbps.
+    pub lag10_2000: f64,
+}
+
+/// Runs the sweep for both caps.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
+    fanouts(scale)
+        .into_iter()
+        .map(|fanout| {
+            let run_cap = |kbps: u64| {
+                let result = Scenario::at_scale(scale, fanout)
+                    .with_seed(seed)
+                    .with_upload_cap_kbps(Some(kbps))
+                    .run();
+                (
+                    result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+                    result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+                )
+            };
+            let (offline_1000, lag10_1000) = run_cap(1000);
+            let (offline_2000, lag10_2000) = run_cap(2000);
+            Row { fanout, offline_1000, lag10_1000, offline_2000, lag10_2000 }
+        })
+        .collect()
+}
+
+/// Runs the figure and renders it.
+pub fn run(scale: Scale, seed: u64) -> FigureOutput {
+    let rows = sweep(scale, seed);
+    let mut table =
+        Table::new(vec!["fanout", "off_1000k", "10s_1000k", "off_2000k", "10s_2000k"]);
+    for r in &rows {
+        table.row_f64(
+            r.fanout.to_string(),
+            &[r.offline_1000, r.lag10_1000, r.offline_2000, r.lag10_2000],
+        );
+    }
+    FigureOutput {
+        id: "fig3",
+        title: "% nodes viewing with <1% jitter, 1000/2000 kbps caps".to_string(),
+        table,
+        notes: vec![
+            "expected: the good-fanout region widens and moves right as headroom grows".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_headroom_never_hurts_much() {
+        let rows = sweep(Scale::Tiny, 5);
+        // Averaged across the sweep, the 2000 kbps series should dominate
+        // the 1000 kbps series.
+        let avg_1000: f64 = rows.iter().map(|r| r.lag10_1000).sum::<f64>() / rows.len() as f64;
+        let avg_2000: f64 = rows.iter().map(|r| r.lag10_2000).sum::<f64>() / rows.len() as f64;
+        assert!(avg_2000 + 5.0 >= avg_1000, "2000 kbps ({avg_2000}) vs 1000 kbps ({avg_1000})");
+    }
+}

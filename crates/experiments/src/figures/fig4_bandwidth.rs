@@ -1,0 +1,116 @@
+//! Figure 4 — distribution of bandwidth usage among nodes, sorted from the
+//! most to the least contributing, for several fanout/cap combinations.
+//!
+//! The paper's observation: despite a homogeneous cap, utilisation is
+//! heterogeneous — and the heterogeneity *grows* with available bandwidth,
+//! because under tight caps the good (low-latency) nodes saturate, their
+//! proposals slow down, and the load spreads out.
+
+use gossip_metrics::Table;
+
+use crate::scenario::{Scale, Scenario};
+
+use crate::figures::FigureOutput;
+
+/// The five scenarios plotted by the paper: `(fanout, cap kbps)`.
+pub fn combos(scale: Scale) -> Vec<(usize, u64)> {
+    match scale {
+        Scale::Full => vec![(7, 700), (50, 700), (50, 1000), (50, 2000), (100, 2000)],
+        Scale::Quick => vec![(6, 700), (24, 700), (24, 1000), (24, 2000), (40, 2000)],
+        Scale::Tiny => vec![(4, 600), (10, 600), (10, 1200)],
+    }
+}
+
+/// One series: per-node upload kbit/s sorted descending.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Fanout of the scenario.
+    pub fanout: usize,
+    /// Upload cap in kbps.
+    pub cap_kbps: u64,
+    /// Sorted (descending) per-node upload rates in kbps.
+    pub sorted_kbps: Vec<f64>,
+}
+
+impl Series {
+    /// The ratio between the 10th-percentile-busiest and the
+    /// 90th-percentile-busiest node — a scalar measure of heterogeneity.
+    pub fn heterogeneity(&self) -> f64 {
+        if self.sorted_kbps.is_empty() {
+            return 1.0;
+        }
+        let n = self.sorted_kbps.len();
+        let hi = self.sorted_kbps[n / 10];
+        let lo = self.sorted_kbps[n - 1 - n / 10].max(1e-6);
+        hi / lo
+    }
+}
+
+/// Runs all combinations.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<Series> {
+    combos(scale)
+        .into_iter()
+        .map(|(fanout, cap_kbps)| {
+            let result = Scenario::at_scale(scale, fanout)
+                .with_seed(seed)
+                .with_upload_cap_kbps(Some(cap_kbps))
+                .run();
+            Series { fanout, cap_kbps, sorted_kbps: result.sorted_upload_kbps() }
+        })
+        .collect()
+}
+
+/// Runs the figure and renders it: rows are node-rank percentiles, columns
+/// the five scenarios.
+pub fn run(scale: Scale, seed: u64) -> FigureOutput {
+    let series = sweep(scale, seed);
+    let mut header = vec!["rank_pct".to_string()];
+    header.extend(series.iter().map(|s| format!("f{}_{}k", s.fanout, s.cap_kbps)));
+    let mut table = Table::new(header);
+    for pct in (0..=100).step_by(5) {
+        let values: Vec<f64> = series
+            .iter()
+            .map(|s| {
+                let n = s.sorted_kbps.len();
+                let idx = ((pct as f64 / 100.0) * (n - 1) as f64).round() as usize;
+                s.sorted_kbps[idx]
+            })
+            .collect();
+        table.row_f64(pct.to_string(), &values);
+    }
+    FigureOutput {
+        id: "fig4",
+        title: "per-node upload usage (kbps), nodes sorted by contribution".to_string(),
+        table,
+        notes: vec![
+            "row = node rank percentile (0 = busiest node)".to_string(),
+            "expected: near-flat at 700 kbps, increasingly skewed at 1000/2000 kbps".to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_sorted_and_capped() {
+        let series = sweep(Scale::Tiny, 3);
+        for s in &series {
+            assert!(s.sorted_kbps.windows(2).all(|w| w[0] >= w[1]), "sorted descending");
+            // Long-run average can never exceed the cap (plus a little
+            // start-of-run slack from the final in-flight message).
+            let max = s.sorted_kbps.first().copied().unwrap_or(0.0);
+            assert!(max <= s.cap_kbps as f64 * 1.05, "{max} kbps exceeds the {}k cap", s.cap_kbps);
+        }
+    }
+
+    #[test]
+    fn heterogeneity_is_finite() {
+        let series = sweep(Scale::Tiny, 3);
+        for s in &series {
+            assert!(s.heterogeneity().is_finite());
+            assert!(s.heterogeneity() >= 1.0);
+        }
+    }
+}

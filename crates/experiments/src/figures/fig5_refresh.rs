@@ -1,0 +1,94 @@
+//! Figure 5 — percentage of nodes viewing the stream with at most 1 %
+//! jitter as a function of the view refresh rate `X` (700 kbps cap).
+//!
+//! `X = 1` (fresh partners every round) is best; as `X` grows, a small set
+//! of nodes keeps feeding everyone, saturates, and quality collapses — even
+//! for offline viewing when `X = ∞`.
+
+use gossip_core::GossipConfig;
+use gossip_metrics::Table;
+
+use crate::figures::{
+    knob_label, proactiveness_sweep, series_table, FigureOutput, LAG_10S, LAG_20S, MAX_JITTER,
+    OFFLINE,
+};
+use crate::scenario::{Scale, Scenario};
+
+/// One row of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// The refresh rate (`None` = ∞).
+    pub x: Option<u32>,
+    /// % nodes with < 1 % jitter, offline viewing.
+    pub offline: f64,
+    /// % nodes with < 1 % jitter at 20 s lag.
+    pub lag20: f64,
+    /// % nodes with < 1 % jitter at 10 s lag.
+    pub lag10: f64,
+}
+
+/// The fanout used for the proactiveness experiments (the paper keeps the
+/// optimal fanout: 7 at n = 230).
+pub fn experiment_fanout(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 7,
+        Scale::Quick => 6,
+        Scale::Tiny => 5,
+    }
+}
+
+/// Runs the sweep over `X`.
+pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
+    let fanout = experiment_fanout(scale);
+    proactiveness_sweep()
+        .into_iter()
+        .map(|x| {
+            let gossip = GossipConfig::new(fanout).with_refresh_rounds(x);
+            let result =
+                Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
+            Row {
+                x,
+                offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+                lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+                lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+            }
+        })
+        .collect()
+}
+
+/// Runs the figure and renders it.
+pub fn run(scale: Scale, seed: u64) -> FigureOutput {
+    let rows = sweep(scale, seed);
+    let mut table: Table = series_table("X");
+    for r in &rows {
+        table.row_f64(knob_label(r.x), &[r.offline, r.lag20, r.lag10]);
+    }
+    FigureOutput {
+        id: "fig5",
+        title: "% nodes viewing with <=1% jitter vs view refresh rate X".to_string(),
+        table,
+        notes: vec![
+            format!("fanout = {}, Y = inf, 700 kbps cap", experiment_fanout(scale)),
+            "expected: monotone degradation with X; static mesh (X=inf) bad even offline"
+                .to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x1_beats_static_mesh() {
+        let rows = sweep(Scale::Tiny, 3);
+        let x1 = rows.iter().find(|r| r.x == Some(1)).unwrap();
+        let xinf = rows.iter().find(|r| r.x.is_none()).unwrap();
+        assert!(
+            x1.lag20 >= xinf.lag20,
+            "X=1 ({}) must not lose to X=inf ({}) at 20 s lag",
+            x1.lag20,
+            xinf.lag20
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The reproduction harness: every figure of *Stretching Gossip with Live
+//! Streaming* (DSN 2009), regenerated from the simulated deployment.
+//!
+//! * [`scenario`] — binds the protocol core, the streaming layer and the
+//!   network substrate into one deterministic simulated deployment
+//!   ([`Scenario`] → [`RunResult`]);
+//! * [`figures`] — one module per figure of the paper (workload, parameter
+//!   sweep and series extraction);
+//! * the `repro` binary — `repro fig1 … fig8 | all [--scale full|quick|tiny]
+//!   [--seed N]` prints each figure's data as a text table.
+//!
+//! The paper's evaluation has no numbered tables; Figures 1–8 are the
+//! complete set of reported results. See `DESIGN.md` at the repository root
+//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scenario;
+
+pub use scenario::{RunResult, Scale, Scenario};

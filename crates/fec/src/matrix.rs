@@ -1,0 +1,323 @@
+//! Dense matrices over GF(256).
+//!
+//! Just enough linear algebra for erasure coding: construction (identity,
+//! Vandermonde), multiplication, row access, sub-matrix extraction and
+//! Gauss–Jordan inversion.
+
+use std::fmt;
+
+use crate::gf;
+
+/// A dense row-major matrix over GF(256).
+///
+/// # Examples
+///
+/// ```
+/// use gossip_fec::matrix::Matrix;
+///
+/// let id = Matrix::identity(3);
+/// let m = Matrix::vandermonde(3, 3);
+/// let product = id.mul(&m);
+/// assert_eq!(product, m);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:02x?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates the n×n identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have rows");
+        let cols = rows[0].len();
+        assert!(cols > 0 && rows.iter().all(|r| r.len() == cols), "rows must have equal positive length");
+        Matrix { rows: rows.len(), cols, data: rows.concat() }
+    }
+
+    /// Creates the `rows × cols` Vandermonde matrix `V[r][c] = (r)^(c)`
+    /// evaluated in GF(256) (row index as the evaluation point).
+    ///
+    /// Any `cols` distinct rows of this matrix are linearly independent,
+    /// which is the property erasure codes rely on.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf::pow(r as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Returns the number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns the number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Multiplies `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let prod = gf::mul(a, rhs.get(k, c));
+                    out.set(r, c, gf::add(out.get(r, c), prod));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix made of the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one row");
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index out of bounds");
+            out.data[dst * self.cols..(dst + 1) * self.cols].copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Returns the sub-matrix of the first `rows` rows.
+    pub fn top_rows(&self, rows: usize) -> Matrix {
+        self.select_rows(&(0..rows).collect::<Vec<_>>())
+    }
+
+    /// Inverts the matrix by Gauss–Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot in this column.
+            let pivot = (col..n).find(|&r| work.get(r, col) != 0)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale the pivot row to make the pivot 1.
+            let scale = gf::inv(work.get(col, col));
+            work.scale_row(col, scale);
+            inv.scale_row(col, scale);
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor != 0 {
+                    work.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        gf::mul_slice(&mut self.data[r * self.cols..(r + 1) * self.cols], factor);
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u8) {
+        debug_assert_ne!(dst, src, "cannot eliminate a row against itself");
+        let src_copy: Vec<u8> = self.row(src).to_vec();
+        let dst_slice = &mut self.data[dst * self.cols..(dst + 1) * self.cols];
+        gf::mul_acc_slice(dst_slice, &src_copy, factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let v = Matrix::vandermonde(4, 4);
+        assert_eq!(Matrix::identity(4).mul(&v), v);
+        assert_eq!(v.mul(&Matrix::identity(4)), v);
+    }
+
+    #[test]
+    fn vandermonde_square_is_invertible() {
+        for n in 1..12 {
+            let v = Matrix::vandermonde(n, n);
+            let inv = v.inverse().expect("square Vandermonde with distinct points is invertible");
+            assert_eq!(v.mul(&inv), Matrix::identity(n));
+            assert_eq!(inv.mul(&v), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        // Two identical rows.
+        let m = Matrix::from_rows(&[vec![1, 2], vec![1, 2]]);
+        assert!(m.inverse().is_none());
+        let zero = Matrix::zero(3, 3);
+        assert!(zero.inverse().is_none());
+    }
+
+    #[test]
+    fn any_k_rows_of_tall_vandermonde_are_independent() {
+        // The defining property for erasure codes: pick arbitrary subsets.
+        let v = Matrix::vandermonde(10, 4);
+        let subsets: [[usize; 4]; 5] =
+            [[0, 1, 2, 3], [6, 7, 8, 9], [0, 3, 5, 9], [1, 4, 6, 8], [2, 3, 7, 9]];
+        for subset in subsets {
+            let sub = v.select_rows(&subset);
+            assert!(sub.inverse().is_some(), "rows {subset:?} should be independent");
+        }
+    }
+
+    #[test]
+    fn select_and_top_rows() {
+        let v = Matrix::vandermonde(5, 3);
+        let top = v.top_rows(2);
+        assert_eq!(top.rows(), 2);
+        assert_eq!(top.row(1), v.row(1));
+        let picked = v.select_rows(&[4, 0]);
+        assert_eq!(picked.row(0), v.row(4));
+        assert_eq!(picked.row(1), v.row(0));
+    }
+
+    #[test]
+    fn mul_matches_manual_example() {
+        // [1 1; 0 1] * [a; b] = [a^b; b] in GF(256).
+        let m = Matrix::from_rows(&[vec![1, 1], vec![0, 1]]);
+        let v = Matrix::from_rows(&[vec![0x53], vec![0xCA]]);
+        let out = m.mul(&v);
+        assert_eq!(out.get(0, 0), 0x53 ^ 0xCA);
+        assert_eq!(out.get(1, 0), 0xCA);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let m = Matrix::from_rows(&rows);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal positive length")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn debug_output_mentions_shape() {
+        let m = Matrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("2x2"), "debug should mention shape: {s}");
+    }
+
+    #[test]
+    fn elimination_with_dst_above_src() {
+        // Force the dst < src branch of add_scaled_row via inversion of a
+        // matrix needing upward elimination.
+        let m = Matrix::from_rows(&[vec![2, 1, 0], vec![1, 2, 1], vec![0, 1, 2]]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(3));
+    }
+}

@@ -1,0 +1,359 @@
+//! The systematic Reed–Solomon erasure codec.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gf;
+use crate::matrix::Matrix;
+
+/// Errors produced by the erasure codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FecError {
+    /// The requested code parameters are unusable (zero shards, or more than
+    /// 256 total shards — GF(256) supports at most 256 evaluation points).
+    InvalidParams {
+        /// Requested number of data shards.
+        data_shards: usize,
+        /// Requested number of parity shards.
+        parity_shards: usize,
+    },
+    /// The number of shards handed to encode/reconstruct does not match the
+    /// codec's geometry.
+    WrongShardCount {
+        /// Number of shards provided by the caller.
+        got: usize,
+        /// Number of shards the codec expects.
+        expected: usize,
+    },
+    /// Shards have inconsistent lengths (all shards of a window must be
+    /// equally sized).
+    ShardSizeMismatch,
+    /// Fewer than `data_shards` shards are present, so the window cannot be
+    /// reconstructed.
+    TooFewShards {
+        /// Shards currently present.
+        have: usize,
+        /// Shards needed for reconstruction.
+        need: usize,
+    },
+}
+
+impl fmt::Display for FecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FecError::InvalidParams { data_shards, parity_shards } => {
+                write!(f, "invalid code parameters: {data_shards} data + {parity_shards} parity shards")
+            }
+            FecError::WrongShardCount { got, expected } => {
+                write!(f, "wrong shard count: got {got}, expected {expected}")
+            }
+            FecError::ShardSizeMismatch => write!(f, "shards have inconsistent sizes"),
+            FecError::TooFewShards { have, need } => {
+                write!(f, "too few shards to reconstruct: have {have}, need {need}")
+            }
+        }
+    }
+}
+
+impl Error for FecError {}
+
+/// A systematic Reed–Solomon erasure code with `k` data shards and `r`
+/// parity shards.
+///
+/// The encoding matrix is the classic construction: take the
+/// `(k + r) × k` Vandermonde matrix, normalise it so the top `k × k` block is
+/// the identity (multiply by the inverse of the top block). The first `k`
+/// output shards are then the data itself (systematic), and **any** `k` of
+/// the `k + r` shards reconstruct the original data.
+///
+/// The paper's configuration is `ReedSolomon::new(101, 9)` — windows of 110
+/// packets that survive any 9 losses.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_fec::ReedSolomon;
+///
+/// # fn main() -> Result<(), gossip_fec::FecError> {
+/// let rs = ReedSolomon::new(101, 9)?;
+/// assert_eq!(rs.total_shards(), 110);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// Full `(k + r) × k` encoding matrix with identity top block.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec for `data_shards` data and `parity_shards` parity
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidParams`] if `data_shards == 0` or the total
+    /// exceeds 256 (the field size).
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, FecError> {
+        let total = data_shards + parity_shards;
+        if data_shards == 0 || total > 256 {
+            return Err(FecError::InvalidParams { data_shards, parity_shards });
+        }
+        let vandermonde = Matrix::vandermonde(total, data_shards);
+        let top_inv = vandermonde
+            .top_rows(data_shards)
+            .inverse()
+            .expect("square Vandermonde with distinct points is invertible");
+        let encode_matrix = vandermonde.mul(&top_inv);
+        Ok(ReedSolomon { data_shards, parity_shards, encode_matrix })
+    }
+
+    /// Returns the number of data shards (`k`).
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Returns the number of parity shards (`r`).
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Returns `k + r`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// Computes the parity shards for `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::WrongShardCount`] if `data.len() != k`, or
+    /// [`FecError::ShardSizeMismatch`] if the shards differ in length.
+    pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, FecError> {
+        if data.len() != self.data_shards {
+            return Err(FecError::WrongShardCount { got: data.len(), expected: self.data_shards });
+        }
+        let shard_len = data[0].as_ref().len();
+        if data.iter().any(|s| s.as_ref().len() != shard_len) {
+            return Err(FecError::ShardSizeMismatch);
+        }
+        let mut parity = vec![vec![0u8; shard_len]; self.parity_shards];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(self.data_shards + p);
+            for (d, shard) in data.iter().enumerate() {
+                gf::mul_acc_slice(out, shard.as_ref(), row[d]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstructs all missing shards in place.
+    ///
+    /// `shards` must contain exactly `k + r` entries; missing shards are
+    /// `None`. On success every entry is `Some` and the data shards carry the
+    /// original content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::TooFewShards`] if fewer than `k` shards are
+    /// present, plus the geometry errors of [`ReedSolomon::encode`].
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), FecError> {
+        let total = self.total_shards();
+        if shards.len() != total {
+            return Err(FecError::WrongShardCount { got: shards.len(), expected: total });
+        }
+        let present: Vec<usize> = (0..total).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.data_shards {
+            return Err(FecError::TooFewShards { have: present.len(), need: self.data_shards });
+        }
+        let shard_len = shards[present[0]].as_ref().expect("present shard").len();
+        if present.iter().any(|&i| shards[i].as_ref().expect("present shard").len() != shard_len) {
+            return Err(FecError::ShardSizeMismatch);
+        }
+        if present.len() == total {
+            return Ok(()); // nothing to do
+        }
+
+        // Take the first k present shards; their encoding rows form an
+        // invertible k×k matrix (any k rows of the normalised Vandermonde
+        // construction are independent).
+        let used = &present[..self.data_shards];
+        let sub = self.encode_matrix.select_rows(used);
+        let decode = sub.inverse().expect("any k rows of the encoding matrix are independent");
+
+        // Recover the data shards: data[d] = Σ decode[d][j] * shard[used[j]].
+        let missing_data: Vec<usize> =
+            (0..self.data_shards).filter(|&i| shards[i].is_none()).collect();
+        let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
+        for &d in &missing_data {
+            let mut out = vec![0u8; shard_len];
+            for (j, &src) in used.iter().enumerate() {
+                let coeff = decode.get(d, j);
+                gf::mul_acc_slice(&mut out, shards[src].as_ref().expect("present shard"), coeff);
+            }
+            recovered.push((d, out));
+        }
+        for (d, shard) in recovered {
+            shards[d] = Some(shard);
+        }
+
+        // Recompute any missing parity from the (now complete) data shards.
+        let missing_parity: Vec<usize> =
+            (self.data_shards..total).filter(|&i| shards[i].is_none()).collect();
+        for p in missing_parity {
+            let row = self.encode_matrix.row(p);
+            let mut out = vec![0u8; shard_len];
+            for d in 0..self.data_shards {
+                gf::mul_acc_slice(&mut out, shards[d].as_ref().expect("data shard"), row[d]);
+            }
+            shards[p] = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Convenience check: can a window with `present` shards out of
+    /// `k + r` be reconstructed?
+    pub fn is_decodable(&self, present: usize) -> bool {
+        present >= self.data_shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k).map(|i| (0..len).map(|j| ((i * 31 + j * 7 + 13) % 251) as u8).collect()).collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        // The top block of the encode matrix must be the identity: encoding
+        // leaves data untouched and only *adds* parity.
+        for d in 0..5 {
+            for c in 0..5 {
+                let expected = u8::from(d == c);
+                assert_eq!(rs.encode_matrix.get(d, c), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_no_loss_is_noop() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        let before = shards.clone();
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn recovers_from_max_erasures_all_positions() {
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let data = sample_data(6, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        // Erase every possible triple of shards.
+        let total = 9;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                for c in (b + 1)..total {
+                    let mut shards: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    shards[a] = None;
+                    shards[b] = None;
+                    shards[c] = None;
+                    rs.reconstruct(&mut shards).unwrap();
+                    for (i, shard) in shards.iter().enumerate() {
+                        assert_eq!(shard.as_ref().unwrap(), &full[i], "erasure {a},{b},{c} shard {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_fail_cleanly() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().chain(parity).map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        let err = rs.reconstruct(&mut shards).unwrap_err();
+        assert_eq!(err, FecError::TooFewShards { have: 3, need: 4 });
+    }
+
+    #[test]
+    fn paper_geometry_101_9() {
+        let rs = ReedSolomon::new(101, 9).unwrap();
+        let data = sample_data(101, 64);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 9);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        // Drop 9 scattered shards (6 data, 3 parity).
+        for i in [0, 17, 33, 50, 76, 100, 101, 105, 109] {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.as_ref().unwrap(), &full[i], "shard {i}");
+        }
+        assert!(rs.is_decodable(101));
+        assert!(!rs.is_decodable(100));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(ReedSolomon::new(0, 5), Err(FecError::InvalidParams { .. })));
+        assert!(matches!(ReedSolomon::new(250, 7), Err(FecError::InvalidParams { .. })));
+        assert!(ReedSolomon::new(247, 9).is_ok());
+    }
+
+    #[test]
+    fn shard_geometry_errors() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let wrong_count = sample_data(2, 4);
+        assert!(matches!(rs.encode(&wrong_count), Err(FecError::WrongShardCount { got: 2, expected: 3 })));
+
+        let ragged = vec![vec![0u8; 4], vec![0u8; 5], vec![0u8; 4]];
+        assert_eq!(rs.encode(&ragged), Err(FecError::ShardSizeMismatch));
+
+        let mut too_few = vec![Some(vec![0u8; 4]); 4];
+        assert!(matches!(
+            rs.reconstruct(&mut too_few),
+            Err(FecError::WrongShardCount { got: 4, expected: 5 })
+        ));
+    }
+
+    #[test]
+    fn zero_parity_code_degenerates_gracefully() {
+        let rs = ReedSolomon::new(4, 0).unwrap();
+        let data = sample_data(4, 8);
+        let parity = rs.encode(&data).unwrap();
+        assert!(parity.is_empty());
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().map(Some).collect();
+        rs.reconstruct(&mut shards).unwrap();
+        // With no parity, any loss is fatal.
+        shards[2] = None;
+        assert!(matches!(rs.reconstruct(&mut shards), Err(FecError::TooFewShards { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FecError::TooFewShards { have: 3, need: 4 };
+        assert_eq!(e.to_string(), "too few shards to reconstruct: have 3, need 4");
+        let e = FecError::InvalidParams { data_shards: 0, parity_shards: 1 };
+        assert!(e.to_string().contains("invalid code parameters"));
+    }
+}

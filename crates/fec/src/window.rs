@@ -1,0 +1,272 @@
+//! Window-level FEC wrappers.
+//!
+//! The streaming layer deals in *windows*: fixed groups of packets where the
+//! first `k` carry stream data and the remaining `r` carry parity
+//! ([`WindowParams`], paper default `k = 101`, `r = 9`). [`WindowEncoder`]
+//! turns a window's worth of data packets into parity packets at the source;
+//! [`WindowDecoder`] accumulates whatever packets arrive at a receiver (in
+//! any order) and reconstructs the data once any `k` distinct packets are
+//! in.
+
+use std::fmt;
+
+use crate::rs::{FecError, ReedSolomon};
+
+/// The FEC geometry of a stream window.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_fec::WindowParams;
+///
+/// let p = WindowParams::paper_default();
+/// assert_eq!(p.data_packets, 101);
+/// assert_eq!(p.fec_packets, 9);
+/// assert_eq!(p.total_packets(), 110);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowParams {
+    /// Number of data packets per window (`k`).
+    pub data_packets: usize,
+    /// Number of parity packets per window (`r`).
+    pub fec_packets: usize,
+}
+
+impl WindowParams {
+    /// The configuration used throughout the paper: windows of 110 packets
+    /// including 9 FEC-coded packets.
+    pub const fn paper_default() -> Self {
+        WindowParams { data_packets: 101, fec_packets: 9 }
+    }
+
+    /// Creates a custom geometry.
+    pub const fn new(data_packets: usize, fec_packets: usize) -> Self {
+        WindowParams { data_packets, fec_packets }
+    }
+
+    /// Total packets per window (`k + r`).
+    pub const fn total_packets(&self) -> usize {
+        self.data_packets + self.fec_packets
+    }
+
+    /// Whether a window with `present` distinct packets can be fully
+    /// reconstructed.
+    pub const fn is_decodable(&self, present: usize) -> bool {
+        present >= self.data_packets
+    }
+}
+
+impl Default for WindowParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Encodes one window of data packets into parity packets.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_fec::{WindowEncoder, WindowParams};
+///
+/// # fn main() -> Result<(), gossip_fec::FecError> {
+/// let enc = WindowEncoder::new(WindowParams::new(4, 2))?;
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+/// let parity = enc.encode(&data)?;
+/// assert_eq!(parity.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowEncoder {
+    params: WindowParams,
+    rs: ReedSolomon,
+}
+
+impl WindowEncoder {
+    /// Creates an encoder for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidParams`] for unusable geometries (zero data
+    /// packets or more than 256 total).
+    pub fn new(params: WindowParams) -> Result<Self, FecError> {
+        let rs = ReedSolomon::new(params.data_packets, params.fec_packets)?;
+        Ok(WindowEncoder { params, rs })
+    }
+
+    /// Returns the geometry.
+    pub fn params(&self) -> WindowParams {
+        self.params
+    }
+
+    /// Computes the parity packets for one window of data packets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the geometry errors of [`ReedSolomon::encode`].
+    pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, FecError> {
+        self.rs.encode(data)
+    }
+}
+
+/// Accumulates received packets of one window and reconstructs the data.
+///
+/// Duplicate packets are ignored; packets may arrive in any order. Once
+/// [`WindowDecoder::is_decodable`] is true, [`WindowDecoder::reconstruct`]
+/// returns the `k` original data packets.
+pub struct WindowDecoder {
+    params: WindowParams,
+    rs: ReedSolomon,
+    shards: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+impl fmt::Debug for WindowDecoder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WindowDecoder")
+            .field("params", &self.params)
+            .field("received", &self.received)
+            .finish()
+    }
+}
+
+impl WindowDecoder {
+    /// Creates an empty decoder for the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::InvalidParams`] for unusable geometries.
+    pub fn new(params: WindowParams) -> Result<Self, FecError> {
+        let rs = ReedSolomon::new(params.data_packets, params.fec_packets)?;
+        Ok(WindowDecoder { params, rs, shards: vec![None; params.total_packets()], received: 0 })
+    }
+
+    /// Records the arrival of packet `index` of the window. Returns `true`
+    /// if the packet was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the window.
+    pub fn receive(&mut self, index: usize, payload: Vec<u8>) -> bool {
+        assert!(index < self.params.total_packets(), "packet index outside window");
+        if self.shards[index].is_some() {
+            return false;
+        }
+        self.shards[index] = Some(payload);
+        self.received += 1;
+        true
+    }
+
+    /// Returns how many distinct packets have been received.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Returns whether enough packets are in to reconstruct the window.
+    pub fn is_decodable(&self) -> bool {
+        self.params.is_decodable(self.received)
+    }
+
+    /// Reconstructs and returns the `k` data packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FecError::TooFewShards`] when fewer than `k` packets have
+    /// been received, or [`FecError::ShardSizeMismatch`] if received packets
+    /// disagree in size.
+    pub fn reconstruct(mut self) -> Result<Vec<Vec<u8>>, FecError> {
+        self.rs.reconstruct(&mut self.shards)?;
+        Ok(self
+            .shards
+            .into_iter()
+            .take(self.params.data_packets)
+            .map(|s| s.expect("reconstruct fills all shards"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_data(params: WindowParams, len: usize) -> Vec<Vec<u8>> {
+        (0..params.data_packets)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_then_decode_with_losses() {
+        let params = WindowParams::new(10, 4);
+        let enc = WindowEncoder::new(params).unwrap();
+        let data = window_data(params, 24);
+        let parity = enc.encode(&data).unwrap();
+
+        let mut dec = WindowDecoder::new(params).unwrap();
+        // Deliver out of order, losing packets 1, 5, 8 and parity 12.
+        for (i, shard) in data.iter().enumerate().rev() {
+            if [1, 5, 8].contains(&i) {
+                continue;
+            }
+            assert!(dec.receive(i, shard.clone()));
+        }
+        for (p, shard) in parity.iter().enumerate() {
+            if p == 2 {
+                continue; // index 12 lost
+            }
+            dec.receive(params.data_packets + p, shard.clone());
+        }
+        assert!(dec.is_decodable());
+        assert_eq!(dec.received(), 10);
+        let recovered = dec.reconstruct().unwrap();
+        assert_eq!(recovered, data);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_count() {
+        let params = WindowParams::new(3, 1);
+        let mut dec = WindowDecoder::new(params).unwrap();
+        assert!(dec.receive(0, vec![1]));
+        assert!(!dec.receive(0, vec![1]));
+        assert_eq!(dec.received(), 1);
+    }
+
+    #[test]
+    fn not_decodable_below_threshold() {
+        let params = WindowParams::paper_default();
+        let mut dec = WindowDecoder::new(params).unwrap();
+        for i in 0..100 {
+            dec.receive(i, vec![0u8; 4]);
+        }
+        assert!(!dec.is_decodable());
+        dec.receive(105, vec![0u8; 4]); // a parity packet tips it over
+        assert!(dec.is_decodable());
+    }
+
+    #[test]
+    fn reconstruct_too_few_fails() {
+        let params = WindowParams::new(4, 2);
+        let mut dec = WindowDecoder::new(params).unwrap();
+        dec.receive(0, vec![0u8; 2]);
+        let err = dec.reconstruct().unwrap_err();
+        assert!(matches!(err, FecError::TooFewShards { have: 1, need: 4 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn out_of_range_index_panics() {
+        let params = WindowParams::new(2, 1);
+        let mut dec = WindowDecoder::new(params).unwrap();
+        dec.receive(3, vec![]);
+    }
+
+    #[test]
+    fn params_helpers() {
+        let p = WindowParams::default();
+        assert_eq!(p, WindowParams::paper_default());
+        assert!(p.is_decodable(101));
+        assert!(!p.is_decodable(100));
+        assert_eq!(WindowParams::new(5, 0).total_packets(), 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Full membership: the paper's model.
+
+use gossip_sim::DetRng;
+use gossip_types::NodeId;
+
+use crate::Sampler;
+
+/// Complete knowledge of the node population (Algorithm 1, line 26:
+/// "`f` uniformly random chosen nodes in the set of all nodes").
+///
+/// # Examples
+///
+/// ```
+/// use gossip_membership::{FullMembership, Sampler};
+/// use gossip_sim::DetRng;
+/// use gossip_types::NodeId;
+///
+/// let all: Vec<NodeId> = (0..230).map(NodeId::new).collect();
+/// let mut m = FullMembership::new(all, NodeId::new(7));
+/// assert_eq!(m.known(), 229);
+/// let mut rng = DetRng::seed_from(3);
+/// assert_eq!(m.sample(7, &mut rng).len(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullMembership {
+    /// All nodes except self.
+    others: Vec<NodeId>,
+}
+
+impl FullMembership {
+    /// Creates a full membership over `all` nodes, excluding `self_id`.
+    pub fn new(all: Vec<NodeId>, self_id: NodeId) -> Self {
+        FullMembership { others: all.into_iter().filter(|&n| n != self_id).collect() }
+    }
+}
+
+impl Sampler for FullMembership {
+    fn sample(&mut self, k: usize, rng: &mut DetRng) -> Vec<NodeId> {
+        let picked = rng.sample_indices(self.others.len(), k);
+        picked.into_iter().map(|i| self.others[i]).collect()
+    }
+
+    fn known(&self) -> usize {
+        self.others.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excludes_self_and_dedups() {
+        let all: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+        let mut m = FullMembership::new(all, NodeId::new(5));
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..50 {
+            let s = m.sample(7, &mut rng);
+            assert_eq!(s.len(), 7);
+            assert!(!s.contains(&NodeId::new(5)));
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 7);
+        }
+    }
+
+    #[test]
+    fn saturates_at_population() {
+        let all: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let mut m = FullMembership::new(all, NodeId::new(0));
+        let mut rng = DetRng::seed_from(2);
+        assert_eq!(m.sample(100, &mut rng).len(), 4);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let all: Vec<NodeId> = (0..50).map(NodeId::new).collect();
+        let mut m = FullMembership::new(all, NodeId::new(0));
+        let mut rng = DetRng::seed_from(3);
+        let mut counts = vec![0u32; 50];
+        for _ in 0..10_000 {
+            for n in m.sample(5, &mut rng) {
+                counts[n.index()] += 1;
+            }
+        }
+        // Expected hits per node ≈ 10_000 × 5 / 49 ≈ 1020.
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!((800..1300).contains(&c), "node {i} sampled {c} times");
+        }
+    }
+}

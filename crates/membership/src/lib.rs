@@ -1,0 +1,57 @@
+//! Membership substrate: who can a node gossip with?
+//!
+//! The paper assumes **full membership** — `selectNodes` draws uniformly
+//! from the set of *all* nodes (its Algorithm 1, line 26) — which is
+//! realistic at 230 nodes but not at internet scale. Deployed gossip
+//! systems instead run a *peer sampling service*: each node maintains a
+//! small partial view that is continuously shuffled so that draws from it
+//! approximate uniform sampling.
+//!
+//! This crate provides both:
+//!
+//! * [`FullMembership`] — the paper's model;
+//! * [`CyclonView`] — a Cyclon-style shuffling partial view (Voulgaris,
+//!   Gavidia, van Steen, JNSM 2005), implemented sans-io like the protocol
+//!   core: shuffle messages in, shuffle messages out;
+//! * the [`Sampler`] trait they share, which the experiment harness uses to
+//!   run the paper's streaming workload over either membership model (the
+//!   `ext_membership` extension experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use gossip_membership::{FullMembership, Sampler};
+//! use gossip_sim::DetRng;
+//! use gossip_types::NodeId;
+//!
+//! let all: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+//! let mut membership = FullMembership::new(all, NodeId::new(0));
+//! let mut rng = DetRng::seed_from(1);
+//! let partners = membership.sample(3, &mut rng);
+//! assert_eq!(partners.len(), 3);
+//! assert!(!partners.contains(&NodeId::new(0)), "never samples self");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cyclon;
+mod full;
+
+pub use cyclon::{CyclonConfig, CyclonView, ShuffleMessage};
+pub use full::FullMembership;
+
+use gossip_sim::DetRng;
+use gossip_types::NodeId;
+
+/// A source of gossip partners.
+///
+/// Implementations must never return the local node and never return
+/// duplicates within one call.
+pub trait Sampler {
+    /// Draws up to `k` distinct candidate partners.
+    fn sample(&mut self, k: usize, rng: &mut DetRng) -> Vec<NodeId>;
+
+    /// Returns the number of nodes currently known.
+    fn known(&self) -> usize;
+}

@@ -1,0 +1,135 @@
+//! Empirical cumulative distributions.
+
+/// An empirical CDF over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_metrics::Cdf;
+///
+/// let cdf = Cdf::of(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_most(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are discarded).
+    pub fn of<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x` (0 for an empty CDF).
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), as the smallest sample `v` with
+    /// `fraction_at_most(v) >= q`. Returns `None` for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = (q * self.sorted.len() as f64 - 1e-9).ceil().max(1.0) as usize;
+        Some(self.sorted[rank - 1])
+    }
+
+    /// The median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Evaluates the CDF at a set of probe points, returning
+    /// `(probe, fraction)` pairs — ready for plotting.
+    pub fn evaluate(&self, probes: &[f64]) -> Vec<(f64, f64)> {
+        probes.iter().map(|&p| (p, self.fraction_at_most(p))).collect()
+    }
+
+    /// Returns the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf = Cdf::of(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.fraction_at_most(5.0), 0.0);
+        assert_eq!(cdf.fraction_at_most(10.0), 0.2);
+        assert_eq!(cdf.fraction_at_most(35.0), 0.6);
+        assert_eq!(cdf.fraction_at_most(100.0), 1.0);
+        assert_eq!(cdf.quantile(0.2), Some(10.0));
+        assert_eq!(cdf.quantile(0.21), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(50.0));
+        assert_eq!(cdf.median(), Some(30.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let cdf = Cdf::of(vec![3.0, 1.0, 2.0]);
+        assert_eq!(cdf.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nans_are_discarded() {
+        let cdf = Cdf::of(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::of(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_most(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn zero_quantile_panics() {
+        Cdf::of(vec![1.0]).quantile(0.0);
+    }
+
+    #[test]
+    fn evaluate_produces_plot_series() {
+        let cdf = Cdf::of(vec![1.0, 2.0]);
+        let series = cdf.evaluate(&[0.0, 1.0, 2.0]);
+        assert_eq!(series, vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn duplicate_samples() {
+        let cdf = Cdf::of(vec![5.0, 5.0, 5.0, 10.0]);
+        assert_eq!(cdf.fraction_at_most(5.0), 0.75);
+        assert_eq!(cdf.quantile(0.75), Some(5.0));
+        assert_eq!(cdf.quantile(0.76), Some(10.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Summary statistics.
+
+use std::fmt;
+
+/// Mean / min / max / standard deviation of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_metrics::Summary;
+///
+/// let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    min: f64,
+    max: f64,
+    variance: f64,
+}
+
+impl Summary {
+    /// Computes the summary of an iterator of samples.
+    ///
+    /// An empty input yields a zeroed summary with `count == 0`.
+    pub fn of<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for x in samples {
+            count += 1;
+            // Welford's online algorithm: numerically stable at any length.
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if count == 0 {
+            return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, variance: 0.0 };
+        }
+        Summary { count, mean, min, max, variance: m2 / count as f64 }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest sample (0 for an empty sample).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (0 for an empty sample).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of([42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_offsets() {
+        // Numerical stability check: huge offset, small variance.
+        let samples: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 10) as f64).collect();
+        let s = Summary::of(samples.iter().copied());
+        let naive_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((s.mean() - naive_mean).abs() < 1e-3);
+        assert!((s.variance() - 8.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_mentions_count() {
+        let s = Summary::of([1.0]);
+        assert!(s.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Time series of sampled measurements.
+
+use gossip_types::{Duration, Time};
+
+/// A time series: `(t, value)` samples in non-decreasing time order.
+///
+/// Used by the experiment harness to record per-second system state
+/// (delivered packets, queued bytes, drops) so that runs can be inspected
+/// *over time* — e.g. the dip-and-recovery around a churn event.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_metrics::TimeSeries;
+/// use gossip_types::{Duration, Time};
+///
+/// let mut s = TimeSeries::new("delivered");
+/// s.push(Time::from_secs(1), 75.0);
+/// s.push(Time::from_secs(2), 150.0);
+/// assert_eq!(s.len(), 2);
+/// // Per-interval rate between consecutive samples:
+/// let rates = s.rates();
+/// assert_eq!(rates[0].1, 75.0); // 75 units over 1 s
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new<S: Into<String>>(name: S) -> Self {
+        TimeSeries { name: name.into(), samples: Vec::new() }
+    }
+
+    /// Returns the series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous sample.
+    pub fn push(&mut self, t: Time, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "time series samples must be time-ordered");
+        }
+        self.samples.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the raw samples.
+    pub fn samples(&self) -> &[(Time, f64)] {
+        &self.samples
+    }
+
+    /// Returns the last sample, if any.
+    pub fn last(&self) -> Option<(Time, f64)> {
+        self.samples.last().copied()
+    }
+
+    /// Derives per-second rates between consecutive samples of a cumulative
+    /// counter: `(t_i, (v_i - v_{i-1}) / (t_i - t_{i-1}))`.
+    ///
+    /// Zero-length intervals are skipped.
+    pub fn rates(&self) -> Vec<(Time, f64)> {
+        self.samples
+            .windows(2)
+            .filter_map(|w| {
+                let dt = (w[1].0 - w[0].0).as_secs_f64();
+                if dt <= 0.0 {
+                    None
+                } else {
+                    Some((w[1].0, (w[1].1 - w[0].1) / dt))
+                }
+            })
+            .collect()
+    }
+
+    /// The maximum value in the window `[from, to]` (None if no samples
+    /// fall inside).
+    pub fn max_in(&self, from: Time, to: Time) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The minimum value in the window `[from, to]`.
+    pub fn min_in(&self, from: Time, to: Time) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t <= to)
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Renders the series as a one-line unicode sparkline over `buckets`
+    /// uniform time buckets (bucket value = last sample in the bucket).
+    pub fn sparkline(&self, buckets: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.samples.is_empty() || buckets == 0 {
+            return String::new();
+        }
+        let start = self.samples[0].0;
+        let end = self.samples[self.samples.len() - 1].0;
+        let span = (end - start).max(Duration::from_micros(1));
+        let mut values = vec![f64::NAN; buckets];
+        for &(t, v) in &self.samples {
+            let idx = (((t - start).as_micros() as u128 * buckets as u128)
+                / (span.as_micros() as u128 + 1)) as usize;
+            values[idx.min(buckets - 1)] = v;
+        }
+        let (lo, hi) = values.iter().filter(|v| !v.is_nan()).fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        );
+        let range = (hi - lo).max(1e-12);
+        values
+            .iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    ' '
+                } else {
+                    BARS[(((v - lo) / range) * 7.0).round() as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(t, v) in points {
+            s.push(Time::from_secs(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn rates_from_cumulative_counter() {
+        let s = series(&[(0, 0.0), (1, 75.0), (2, 150.0), (4, 160.0)]);
+        let rates = s.rates();
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[0], (Time::from_secs(1), 75.0));
+        assert_eq!(rates[1], (Time::from_secs(2), 75.0));
+        assert_eq!(rates[2], (Time::from_secs(4), 5.0));
+    }
+
+    #[test]
+    fn window_extrema() {
+        let s = series(&[(0, 5.0), (1, 9.0), (2, 1.0), (3, 7.0)]);
+        assert_eq!(s.max_in(Time::from_secs(1), Time::from_secs(2)), Some(9.0));
+        assert_eq!(s.min_in(Time::from_secs(1), Time::from_secs(3)), Some(1.0));
+        assert_eq!(s.max_in(Time::from_secs(10), Time::from_secs(20)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new("x");
+        s.push(Time::from_secs(2), 1.0);
+        s.push(Time::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let s = series(&[(0, 0.0), (1, 1.0), (2, 4.0), (3, 9.0), (4, 16.0)]);
+        let line = s.sparkline(10);
+        assert_eq!(line.chars().count(), 10);
+        assert!(line.contains('█'), "max bucket should hit the top bar: {line}");
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_flat() {
+        assert_eq!(TimeSeries::new("e").sparkline(5), "");
+        let flat = series(&[(0, 3.0), (1, 3.0), (2, 3.0)]);
+        let line = flat.sparkline(3);
+        assert_eq!(line.chars().count(), 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = series(&[(0, 1.0), (5, 2.0)]);
+        assert_eq!(s.name(), "test");
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.last(), Some((Time::from_secs(5), 2.0)));
+        assert_eq!(s.samples().len(), 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! The bandwidth-capped upload link.
+//!
+//! This is the heart of the reproduction: the paper's "bandwidth limiter
+//! \[that\] also implements a bandwidth throttling mechanism". Every node owns
+//! one [`UploadLink`]. Messages offered to the link serialise through it at
+//! the configured rate: if the link is idle the message starts transmitting
+//! immediately; otherwise it waits in a FIFO queue (throttling — bursts are
+//! converted into delay). The queue is bounded; once the backlog exceeds the
+//! configured depth, further messages are dropped (sustained overload
+//! becomes loss). Both effects — congestion latency and overflow loss — are
+//! exactly the failure modes the paper attributes to high fanouts.
+//!
+//! The link is a pure state machine over virtual time so the simulator and
+//! the tests can drive it directly; the experiment harness schedules a
+//! "transmission complete" event at every [`Enqueued::Started`] /
+//! [`UploadLink::complete_head`] boundary.
+
+use std::collections::VecDeque;
+
+use gossip_types::{Duration, Time};
+
+use crate::stats::NetStats;
+
+/// Outcome of offering a message to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// The link was idle; transmission started and completes at the given
+    /// time.
+    Started {
+        /// When the last byte leaves the node.
+        completes_at: Time,
+    },
+    /// The link is busy; the message waits in the throttling queue and will
+    /// be started by a later [`UploadLink::complete_head`] call.
+    Queued,
+    /// The queue was full; the message was dropped (counted in
+    /// [`NetStats::msgs_dropped`]).
+    Dropped,
+}
+
+struct Pending<T> {
+    item: T,
+    wire_bytes: usize,
+}
+
+/// A rate-capped upload link with a bounded throttling queue.
+///
+/// Generic over the queued item `T` (the harness queues addressed, encoded
+/// messages). An *uncapped* link (`rate_bps = None`) transmits instantly and
+/// never queues.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_net::{Enqueued, UploadLink};
+/// use gossip_types::{Duration, Time};
+///
+/// // 800 kbps link: a 1000-byte message takes 10 ms on the wire.
+/// let mut link: UploadLink<&str> = UploadLink::new(Some(800_000), Duration::from_secs(1));
+/// match link.enqueue(Time::ZERO, 1000, "first") {
+///     Enqueued::Started { completes_at } => {
+///         assert_eq!(completes_at, Time::from_millis(10));
+///     }
+///     _ => unreachable!("idle link starts immediately"),
+/// }
+/// ```
+pub struct UploadLink<T> {
+    /// Upload cap in bits per second; `None` = unconstrained.
+    rate_bps: Option<u64>,
+    /// Maximum queued backlog expressed as wire time (depth ≈ rate ×
+    /// max_queue_delay).
+    max_queue_bytes: usize,
+    queue: VecDeque<Pending<T>>,
+    queued_bytes: usize,
+    /// The message currently on the wire, if any.
+    in_flight: Option<Pending<T>>,
+    stats: NetStats,
+}
+
+impl<T> std::fmt::Debug for UploadLink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UploadLink")
+            .field("rate_bps", &self.rate_bps)
+            .field("queued", &self.queue.len())
+            .field("queued_bytes", &self.queued_bytes)
+            .field("busy", &self.in_flight.is_some())
+            .finish()
+    }
+}
+
+impl<T> UploadLink<T> {
+    /// Creates a link with the given cap and maximum queueing delay.
+    ///
+    /// `max_queue_delay` bounds how much backlog (expressed in wire time) the
+    /// throttler absorbs before dropping; the paper's limiter smooths bursts,
+    /// so the default used by the experiments is several seconds.
+    pub fn new(rate_bps: Option<u64>, max_queue_delay: Duration) -> Self {
+        let max_queue_bytes = match rate_bps {
+            Some(bps) => ((bps as u128 * max_queue_delay.as_micros() as u128) / 8_000_000) as usize,
+            None => usize::MAX,
+        };
+        UploadLink {
+            rate_bps,
+            max_queue_bytes,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            in_flight: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Creates an unconstrained link (for tests and uncapped scenarios).
+    pub fn uncapped() -> Self {
+        UploadLink::new(None, Duration::MAX)
+    }
+
+    /// Returns the wire time of a message of `wire_bytes`.
+    fn tx_time(&self, wire_bytes: usize) -> Duration {
+        match self.rate_bps {
+            None => Duration::ZERO,
+            Some(bps) => {
+                Duration::from_micros(((wire_bytes as u128 * 8_000_000) / bps as u128) as u64)
+            }
+        }
+    }
+
+    /// Offers a message of `wire_bytes` to the link at time `now`.
+    ///
+    /// Returns whether transmission started, the message was queued, or the
+    /// message was dropped because the backlog exceeded the queue bound.
+    pub fn enqueue(&mut self, now: Time, wire_bytes: usize, item: T) -> Enqueued {
+        if self.in_flight.is_none() {
+            debug_assert!(self.queue.is_empty(), "idle link must have an empty queue");
+            let completes_at = now + self.tx_time(wire_bytes);
+            self.in_flight = Some(Pending { item, wire_bytes });
+            Enqueued::Started { completes_at }
+        } else if self.queued_bytes + wire_bytes <= self.max_queue_bytes {
+            self.queued_bytes += wire_bytes;
+            self.queue.push_back(Pending { item, wire_bytes });
+            Enqueued::Queued
+        } else {
+            self.stats.msgs_dropped += 1;
+            self.stats.bytes_dropped += wire_bytes as u64;
+            Enqueued::Dropped
+        }
+    }
+
+    /// Completes the in-flight transmission at time `now`, returning the
+    /// finished item and — if the queue was non-empty — the completion time
+    /// of the next message, which starts transmitting immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has no message in flight (a completion event fired
+    /// without a matching start).
+    pub fn complete_head(&mut self, now: Time) -> (T, Option<Time>) {
+        let done = self.in_flight.take().expect("complete_head called on an idle link");
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += done.wire_bytes as u64;
+        let next_at = self.queue.pop_front().map(|next| {
+            self.queued_bytes -= next.wire_bytes;
+            let at = now + self.tx_time(next.wire_bytes);
+            self.in_flight = Some(next);
+            at
+        });
+        (done.item, next_at)
+    }
+
+    /// Returns `true` if a message is currently transmitting.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Returns the number of queued (not yet transmitting) messages.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns the queued backlog in bytes.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Returns the accumulated transmit-side statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Drops all queued messages and the in-flight message (used when a node
+    /// crashes). Returns how many messages were discarded.
+    pub fn crash(&mut self) -> usize {
+        let discarded = self.queue.len() + usize::from(self.in_flight.is_some());
+        self.queue.clear();
+        self.queued_bytes = 0;
+        self.in_flight = None;
+        discarded
+    }
+
+    /// Returns the configured rate, if capped.
+    pub fn rate_bps(&self) -> Option<u64> {
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capped(kbps: u64, max_delay_ms: u64) -> UploadLink<u32> {
+        UploadLink::new(Some(kbps * 1000), Duration::from_millis(max_delay_ms))
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = capped(800, 1000);
+        match link.enqueue(Time::ZERO, 1000, 1) {
+            Enqueued::Started { completes_at } => assert_eq!(completes_at, Time::from_millis(10)),
+            other => panic!("expected start, got {other:?}"),
+        }
+        assert!(link.is_busy());
+    }
+
+    #[test]
+    fn busy_link_queues_then_drains_fifo() {
+        let mut link = capped(800, 10_000);
+        let t0 = Time::ZERO;
+        assert!(matches!(link.enqueue(t0, 1000, 1), Enqueued::Started { .. }));
+        assert_eq!(link.enqueue(t0, 1000, 2), Enqueued::Queued);
+        assert_eq!(link.enqueue(t0, 1000, 3), Enqueued::Queued);
+        assert_eq!(link.queue_len(), 2);
+
+        let (done, next) = link.complete_head(Time::from_millis(10));
+        assert_eq!(done, 1);
+        assert_eq!(next, Some(Time::from_millis(20)));
+        let (done, next) = link.complete_head(Time::from_millis(20));
+        assert_eq!(done, 2);
+        assert_eq!(next, Some(Time::from_millis(30)));
+        let (done, next) = link.complete_head(Time::from_millis(30));
+        assert_eq!(done, 3);
+        assert_eq!(next, None);
+        assert!(!link.is_busy());
+    }
+
+    #[test]
+    fn overflow_drops_and_accounts() {
+        // 800 kbps with 20 ms of queue = 2000 bytes of backlog allowance.
+        let mut link = capped(800, 20);
+        let t0 = Time::ZERO;
+        assert!(matches!(link.enqueue(t0, 1000, 1), Enqueued::Started { .. }));
+        assert_eq!(link.enqueue(t0, 1000, 2), Enqueued::Queued);
+        assert_eq!(link.enqueue(t0, 1000, 3), Enqueued::Queued);
+        assert_eq!(link.enqueue(t0, 1000, 4), Enqueued::Dropped);
+        assert_eq!(link.stats().msgs_dropped, 1);
+        assert_eq!(link.stats().bytes_dropped, 1000);
+    }
+
+    #[test]
+    fn sent_bytes_accounted_on_completion() {
+        let mut link = capped(800, 1000);
+        link.enqueue(Time::ZERO, 500, 7);
+        assert_eq!(link.stats().bytes_sent, 0, "not accounted until the last byte leaves");
+        link.complete_head(Time::from_millis(5));
+        assert_eq!(link.stats().bytes_sent, 500);
+        assert_eq!(link.stats().msgs_sent, 1);
+    }
+
+    #[test]
+    fn uncapped_link_is_instant_and_never_queues() {
+        let mut link: UploadLink<u8> = UploadLink::uncapped();
+        match link.enqueue(Time::from_secs(1), 1_000_000, 1) {
+            Enqueued::Started { completes_at } => assert_eq!(completes_at, Time::from_secs(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (_, next) = link.complete_head(Time::from_secs(1));
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn rate_is_exact_over_a_long_burst() {
+        // Conservation: N messages of b bytes at rate r take exactly N*b*8/r.
+        let mut link = capped(700, 100_000);
+        let mut now = Time::ZERO;
+        let n = 100;
+        let b = 875; // 875 bytes at 700 kbps = 10 ms each
+        let mut started = match link.enqueue(now, b, 0) {
+            Enqueued::Started { completes_at } => completes_at,
+            _ => unreachable!(),
+        };
+        for i in 1..n {
+            assert_eq!(link.enqueue(now, b, i), Enqueued::Queued);
+        }
+        let mut completed = 0;
+        loop {
+            now = started;
+            let (_, next) = link.complete_head(now);
+            completed += 1;
+            match next {
+                Some(at) => started = at,
+                None => break,
+            }
+        }
+        assert_eq!(completed, n);
+        assert_eq!(now, Time::from_millis(10 * n as u64));
+        assert_eq!(link.stats().bytes_sent, (b * n as usize) as u64);
+    }
+
+    #[test]
+    fn crash_discards_everything() {
+        let mut link = capped(800, 10_000);
+        link.enqueue(Time::ZERO, 1000, 1);
+        link.enqueue(Time::ZERO, 1000, 2);
+        link.enqueue(Time::ZERO, 1000, 3);
+        assert_eq!(link.crash(), 3);
+        assert!(!link.is_busy());
+        assert_eq!(link.queue_len(), 0);
+        assert_eq!(link.queued_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle link")]
+    fn completing_an_idle_link_panics() {
+        let mut link: UploadLink<u8> = UploadLink::uncapped();
+        link.complete_head(Time::ZERO);
+    }
+
+    #[test]
+    fn queue_bound_is_byte_based() {
+        // 1000 kbps, 100 ms queue = 12_500 bytes.
+        let mut link = capped(1000, 100);
+        link.enqueue(Time::ZERO, 100, 0);
+        let mut queued = 0;
+        let mut dropped = 0;
+        for i in 0..200 {
+            match link.enqueue(Time::ZERO, 100, i) {
+                Enqueued::Queued => queued += 1,
+                Enqueued::Dropped => dropped += 1,
+                Enqueued::Started { .. } => unreachable!(),
+            }
+        }
+        assert_eq!(queued, 125);
+        assert_eq!(dropped, 75);
+    }
+}

@@ -1,0 +1,165 @@
+//! Churn (catastrophic failure) plans.
+//!
+//! The paper's churn experiments (Figures 7 and 8) pick a random fraction of
+//! nodes and crash them *simultaneously* mid-stream. A [`ChurnPlan`] is a
+//! list of timed crash events that the experiment harness applies to the
+//! simulation; crashed nodes stop processing, their queued uploads are
+//! discarded and messages addressed to them evaporate.
+
+use gossip_sim::DetRng;
+use gossip_types::{NodeId, Time};
+
+/// A scheduled set of node crashes.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_net::ChurnPlan;
+/// use gossip_sim::DetRng;
+/// use gossip_types::{NodeId, Time};
+///
+/// let mut rng = DetRng::seed_from(1);
+/// // Crash 20% of 100 nodes at t = 60 s, never the source (node 0).
+/// let plan = ChurnPlan::catastrophic(Time::from_secs(60), 100, 0.20, &[NodeId::new(0)], &mut rng);
+/// assert_eq!(plan.events().len(), 1);
+/// assert_eq!(plan.events()[0].victims.len(), 20);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    events: Vec<CrashEvent>,
+}
+
+/// One simultaneous crash of a set of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// When the crash happens.
+    pub at: Time,
+    /// The nodes that fail.
+    pub victims: Vec<NodeId>,
+}
+
+impl ChurnPlan {
+    /// A plan with no failures (the baseline).
+    pub fn none() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// Builds the paper's catastrophic-failure scenario: at time `at`,
+    /// `fraction` of the `n` nodes crash simultaneously, chosen uniformly at
+    /// random excluding `protected` (the source must survive or there is no
+    /// stream left to measure).
+    ///
+    /// The number of victims is `round(fraction * n)`, capped so that all
+    /// protected nodes survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn catastrophic(
+        at: Time,
+        n: usize,
+        fraction: f64,
+        protected: &[NodeId],
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        let target = (fraction * n as f64).round() as usize;
+        let candidates: Vec<NodeId> =
+            (0..n as u32).map(NodeId::new).filter(|id| !protected.contains(id)).collect();
+        let count = target.min(candidates.len());
+        let picked = rng.sample_indices(candidates.len(), count);
+        let mut victims: Vec<NodeId> = picked.into_iter().map(|i| candidates[i]).collect();
+        victims.sort_unstable();
+        if victims.is_empty() {
+            return ChurnPlan::none();
+        }
+        ChurnPlan { events: vec![CrashEvent { at, victims }] }
+    }
+
+    /// Adds a crash event to the plan (builder-style, for custom scenarios).
+    pub fn with_event(mut self, at: Time, victims: Vec<NodeId>) -> Self {
+        self.events.push(CrashEvent { at, victims });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Returns the scheduled events, ordered by time.
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+
+    /// Returns every node that crashes at any point in the plan.
+    pub fn all_victims(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.events.iter().flat_map(|e| e.victims.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        assert!(ChurnPlan::none().events().is_empty());
+        assert!(ChurnPlan::none().all_victims().is_empty());
+    }
+
+    #[test]
+    fn catastrophic_respects_fraction_and_protection() {
+        let mut rng = DetRng::seed_from(2);
+        let source = NodeId::new(0);
+        for pct in [10, 20, 35, 50, 80] {
+            let plan = ChurnPlan::catastrophic(
+                Time::from_secs(60),
+                230,
+                pct as f64 / 100.0,
+                &[source],
+                &mut rng,
+            );
+            let victims = &plan.events()[0].victims;
+            assert_eq!(victims.len(), (230 * pct + 50) / 100, "fraction {pct}%");
+            assert!(!victims.contains(&source), "source must survive");
+            let mut dedup = victims.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), victims.len(), "victims must be distinct");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_no_churn() {
+        let mut rng = DetRng::seed_from(3);
+        let plan = ChurnPlan::catastrophic(Time::from_secs(1), 50, 0.0, &[], &mut rng);
+        assert_eq!(plan, ChurnPlan::none());
+    }
+
+    #[test]
+    fn full_fraction_spares_protected() {
+        let mut rng = DetRng::seed_from(4);
+        let protected = [NodeId::new(0), NodeId::new(1)];
+        let plan = ChurnPlan::catastrophic(Time::from_secs(1), 10, 1.0, &protected, &mut rng);
+        let victims = &plan.events()[0].victims;
+        assert_eq!(victims.len(), 8, "10 nodes minus 2 protected");
+        assert!(protected.iter().all(|p| !victims.contains(p)));
+    }
+
+    #[test]
+    fn with_event_orders_by_time() {
+        let plan = ChurnPlan::none()
+            .with_event(Time::from_secs(10), vec![NodeId::new(1)])
+            .with_event(Time::from_secs(5), vec![NodeId::new(2)]);
+        assert_eq!(plan.events()[0].at, Time::from_secs(5));
+        assert_eq!(plan.all_victims(), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::seed_from(5);
+        let mut b = DetRng::seed_from(5);
+        let p1 = ChurnPlan::catastrophic(Time::from_secs(1), 100, 0.3, &[], &mut a);
+        let p2 = ChurnPlan::catastrophic(Time::from_secs(1), 100, 0.3, &[], &mut b);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Pairwise latency models.
+//!
+//! PlanetLab is latency-heterogeneous: some nodes sit on fast, reliable
+//! links ("good" nodes) and some behind slow or overloaded ones ("bad"
+//! nodes). The paper attributes the skew of Figure 4 to exactly this: good
+//! nodes' proposals arrive first, win the request, and end up serving more.
+//! [`LatencyModel::TwoClass`] reproduces that structure; simpler models are
+//! available for tests and microbenchmarks.
+
+use gossip_sim::DetRng;
+use gossip_types::{Duration, NodeId};
+
+/// A latency model for directed node pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long (useful in unit tests).
+    Constant(Duration),
+    /// Uniformly random one-way delay in `[min, max)` per message.
+    Uniform {
+        /// Minimum one-way delay.
+        min: Duration,
+        /// Maximum one-way delay (exclusive).
+        max: Duration,
+    },
+    /// Two node classes with per-node base delays and per-message
+    /// log-normal jitter — the PlanetLab-like heterogeneous model.
+    ///
+    /// Each node draws a base delay uniformly from its class's range when
+    /// the sampler is built; the delay of a message from `a` to `b` is
+    /// `(base(a) + base(b)) / 2` scaled by `exp(σ · N(0,1))` jitter.
+    TwoClass {
+        /// Base one-way delay range for good nodes.
+        good: (Duration, Duration),
+        /// Base one-way delay range for bad nodes.
+        bad: (Duration, Duration),
+        /// Fraction of nodes assigned to the bad class (0.0–1.0).
+        bad_fraction: f64,
+        /// σ of the log-normal per-message jitter (0 disables jitter).
+        jitter_sigma: f64,
+    },
+    /// An explicit directed latency matrix (e.g. replayed from a real
+    /// measurement study); entry `[from][to]` is the one-way delay.
+    Matrix(
+        /// Row-major `n × n` matrix of one-way delays.
+        std::sync::Arc<Vec<Vec<Duration>>>,
+    ),
+}
+
+impl LatencyModel {
+    /// The default PlanetLab-like model used by the experiments: 80 % good
+    /// nodes at 10–60 ms, 20 % bad nodes at 80–250 ms, moderate jitter.
+    pub fn planetlab_default() -> Self {
+        LatencyModel::TwoClass {
+            good: (Duration::from_millis(10), Duration::from_millis(60)),
+            bad: (Duration::from_millis(80), Duration::from_millis(250)),
+            bad_fraction: 0.2,
+            jitter_sigma: 0.15,
+        }
+    }
+}
+
+/// A sampler binding a [`LatencyModel`] to a concrete set of nodes.
+///
+/// Building the sampler fixes each node's class and base delay (drawn from
+/// the provided RNG), so the *structure* of the network is stable across the
+/// run while individual messages still jitter.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_net::{LatencyModel, LatencySampler};
+/// use gossip_sim::DetRng;
+/// use gossip_types::{Duration, NodeId};
+///
+/// let mut rng = DetRng::seed_from(1);
+/// let sampler = LatencySampler::new(LatencyModel::planetlab_default(), 10, &mut rng);
+/// let d = sampler.sample(NodeId::new(0), NodeId::new(1), &mut rng);
+/// assert!(d >= Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencySampler {
+    model: LatencyModel,
+    /// Per-node base one-way delay in microseconds (empty for stateless
+    /// models).
+    base_micros: Vec<u64>,
+    /// Which nodes are in the bad class (parallel to `base_micros`).
+    is_bad: Vec<bool>,
+}
+
+impl LatencySampler {
+    /// Builds a sampler for `n` nodes, drawing per-node parameters from
+    /// `rng`.
+    pub fn new(model: LatencyModel, n: usize, rng: &mut DetRng) -> Self {
+        let (base_micros, is_bad) = match &model {
+            LatencyModel::Matrix(matrix) => {
+                assert_eq!(matrix.len(), n, "latency matrix must be n x n");
+                assert!(matrix.iter().all(|row| row.len() == n), "latency matrix must be square");
+                (Vec::new(), Vec::new())
+            }
+            LatencyModel::TwoClass { good, bad, bad_fraction, .. } => {
+                let mut bases = Vec::with_capacity(n);
+                let mut flags = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let is_bad = rng.chance(*bad_fraction);
+                    let (lo, hi) = if is_bad { *bad } else { *good };
+                    let base = if hi > lo {
+                        rng.range_u64(lo.as_micros(), hi.as_micros())
+                    } else {
+                        lo.as_micros()
+                    };
+                    bases.push(base);
+                    flags.push(is_bad);
+                }
+                (bases, flags)
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        LatencySampler { model, base_micros, is_bad }
+    }
+
+    /// Samples the one-way delay for a message from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the two-class model) if a node index exceeds the size the
+    /// sampler was built for.
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Duration {
+        match &self.model {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                if max > min {
+                    Duration::from_micros(rng.range_u64(min.as_micros(), max.as_micros()))
+                } else {
+                    *min
+                }
+            }
+            LatencyModel::Matrix(matrix) => matrix[from.index()][to.index()],
+            LatencyModel::TwoClass { jitter_sigma, .. } => {
+                let a = self.base_micros[from.index()];
+                let b = self.base_micros[to.index()];
+                let base = (a + b) / 2;
+                let jittered = if *jitter_sigma > 0.0 {
+                    let factor = rng.log_normal(0.0, *jitter_sigma);
+                    (base as f64 * factor) as u64
+                } else {
+                    base
+                };
+                // Physical floor: nothing arrives in under a millisecond.
+                Duration::from_micros(jittered.max(1_000))
+            }
+        }
+    }
+
+    /// Returns whether the node was assigned to the bad class (two-class
+    /// model only; `false` otherwise).
+    pub fn is_bad_node(&self, node: NodeId) -> bool {
+        self.is_bad.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Returns the node's base one-way delay (two-class model only).
+    pub fn base_delay(&self, node: NodeId) -> Option<Duration> {
+        self.base_micros.get(node.index()).map(|&m| Duration::from_micros(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = DetRng::seed_from(1);
+        let s = LatencySampler::new(LatencyModel::Constant(Duration::from_millis(50)), 4, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(s.sample(NodeId::new(0), NodeId::new(1), &mut rng), Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = DetRng::seed_from(2);
+        let min = Duration::from_millis(10);
+        let max = Duration::from_millis(20);
+        let s = LatencySampler::new(LatencyModel::Uniform { min, max }, 4, &mut rng);
+        for _ in 0..1000 {
+            let d = s.sample(NodeId::new(0), NodeId::new(1), &mut rng);
+            assert!(d >= min && d < max, "{d} outside [{min}, {max})");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = DetRng::seed_from(3);
+        let d = Duration::from_millis(5);
+        let s = LatencySampler::new(LatencyModel::Uniform { min: d, max: d }, 2, &mut rng);
+        assert_eq!(s.sample(NodeId::new(0), NodeId::new(1), &mut rng), d);
+    }
+
+    #[test]
+    fn two_class_assigns_roughly_the_right_fraction() {
+        let mut rng = DetRng::seed_from(4);
+        let s = LatencySampler::new(LatencyModel::planetlab_default(), 1000, &mut rng);
+        let bad = (0..1000).filter(|&i| s.is_bad_node(NodeId::new(i))).count();
+        assert!((120..=280).contains(&bad), "expected ~200 bad nodes, got {bad}");
+    }
+
+    #[test]
+    fn two_class_bad_nodes_are_slower_on_average() {
+        let mut rng = DetRng::seed_from(5);
+        let s = LatencySampler::new(LatencyModel::planetlab_default(), 500, &mut rng);
+        let (mut good_sum, mut good_n, mut bad_sum, mut bad_n) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..500 {
+            let base = s.base_delay(NodeId::new(i)).unwrap().as_micros();
+            if s.is_bad_node(NodeId::new(i)) {
+                bad_sum += base;
+                bad_n += 1;
+            } else {
+                good_sum += base;
+                good_n += 1;
+            }
+        }
+        assert!(bad_n > 0 && good_n > 0);
+        assert!(bad_sum / bad_n > 2 * (good_sum / good_n), "bad nodes should be much slower");
+    }
+
+    #[test]
+    fn two_class_latency_has_floor() {
+        let mut rng = DetRng::seed_from(6);
+        let s = LatencySampler::new(LatencyModel::planetlab_default(), 20, &mut rng);
+        for _ in 0..500 {
+            let d = s.sample(NodeId::new(1), NodeId::new(2), &mut rng);
+            assert!(d >= Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn matrix_model_returns_exact_entries() {
+        let mut rng = DetRng::seed_from(8);
+        let n = 3;
+        let matrix: Vec<Vec<Duration>> = (0..n)
+            .map(|i| (0..n).map(|j| Duration::from_millis((i * 10 + j) as u64)).collect())
+            .collect();
+        let model = LatencyModel::Matrix(std::sync::Arc::new(matrix));
+        let s = LatencySampler::new(model, n, &mut rng);
+        assert_eq!(
+            s.sample(NodeId::new(1), NodeId::new(2), &mut rng),
+            Duration::from_millis(12)
+        );
+        assert_eq!(
+            s.sample(NodeId::new(2), NodeId::new(0), &mut rng),
+            Duration::from_millis(20)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n x n")]
+    fn wrong_matrix_shape_panics() {
+        let mut rng = DetRng::seed_from(9);
+        let model = LatencyModel::Matrix(std::sync::Arc::new(vec![vec![Duration::ZERO]]));
+        LatencySampler::new(model, 3, &mut rng);
+    }
+
+    #[test]
+    fn structure_is_deterministic_per_seed() {
+        let mut rng_a = DetRng::seed_from(7);
+        let mut rng_b = DetRng::seed_from(7);
+        let a = LatencySampler::new(LatencyModel::planetlab_default(), 50, &mut rng_a);
+        let b = LatencySampler::new(LatencyModel::planetlab_default(), 50, &mut rng_b);
+        for i in 0..50 {
+            assert_eq!(a.base_delay(NodeId::new(i)), b.base_delay(NodeId::new(i)));
+            assert_eq!(a.is_bad_node(NodeId::new(i)), b.is_bad_node(NodeId::new(i)));
+        }
+    }
+}

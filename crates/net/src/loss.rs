@@ -1,0 +1,167 @@
+//! Packet-loss models.
+//!
+//! The paper's deployment runs over UDP on the public Internet, so messages
+//! are lost both randomly (congested routers) and in bursts (route flaps,
+//! overloaded hosts). [`LossModel::Bernoulli`] covers the former;
+//! [`LossModel::GilbertElliott`] the latter. Loss from *upload-queue
+//! overflow* is not modelled here — that is produced structurally by
+//! [`crate::bandwidth::UploadLink`].
+
+use gossip_sim::DetRng;
+use gossip_types::NodeId;
+
+/// A packet-loss model applied to messages in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No in-network loss (loss still arises from bandwidth-queue overflow).
+    None,
+    /// Each message is independently lost with probability `p`.
+    Bernoulli(
+        /// Loss probability in `[0, 1]`.
+        f64,
+    ),
+    /// Two-state Markov (Gilbert–Elliott) bursty loss, tracked per
+    /// *receiving* node: a node in the bad state loses most packets.
+    GilbertElliott {
+        /// Probability of moving good → bad, evaluated per message.
+        p_enter_bad: f64,
+        /// Probability of moving bad → good, evaluated per message.
+        p_exit_bad: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+/// A stateful loss process for a set of nodes.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_net::{LossModel, LossProcess};
+/// use gossip_sim::DetRng;
+/// use gossip_types::NodeId;
+///
+/// let mut rng = DetRng::seed_from(9);
+/// let mut loss = LossProcess::new(LossModel::Bernoulli(1.0), 3);
+/// assert!(loss.is_lost(NodeId::new(0), &mut rng));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    /// Gilbert–Elliott state per receiving node (`true` = bad state).
+    in_bad_state: Vec<bool>,
+}
+
+impl LossProcess {
+    /// Creates a loss process for `n` nodes.
+    pub fn new(model: LossModel, n: usize) -> Self {
+        LossProcess { model, in_bad_state: vec![false; n] }
+    }
+
+    /// Decides whether a message destined to `to` is lost, advancing any
+    /// per-node channel state.
+    pub fn is_lost(&mut self, to: NodeId, rng: &mut DetRng) -> bool {
+        match self.model {
+            LossModel::None => false,
+            LossModel::Bernoulli(p) => rng.chance(p),
+            LossModel::GilbertElliott { p_enter_bad, p_exit_bad, loss_good, loss_bad } => {
+                let state = &mut self.in_bad_state[to.index()];
+                if *state {
+                    if rng.chance(p_exit_bad) {
+                        *state = false;
+                    }
+                } else if rng.chance(p_enter_bad) {
+                    *state = true;
+                }
+                let p = if *state { loss_bad } else { loss_good };
+                rng.chance(p)
+            }
+        }
+    }
+
+    /// Returns the configured model.
+    pub fn model(&self) -> LossModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_loses() {
+        let mut rng = DetRng::seed_from(1);
+        let mut p = LossProcess::new(LossModel::None, 2);
+        assert!((0..1000).all(|_| !p.is_lost(NodeId::new(0), &mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close() {
+        let mut rng = DetRng::seed_from(2);
+        let mut p = LossProcess::new(LossModel::Bernoulli(0.1), 1);
+        let lost = (0..100_000).filter(|_| p.is_lost(NodeId::new(0), &mut rng)).count();
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "measured loss rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        let mut rng = DetRng::seed_from(3);
+        let model = LossModel::GilbertElliott {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        };
+        let mut p = LossProcess::new(model, 1);
+        let outcomes: Vec<bool> = (0..200_000).map(|_| p.is_lost(NodeId::new(0), &mut rng)).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count();
+        assert!(losses > 0, "bursty model should lose something");
+        // Burstiness: probability that the message following a loss is also
+        // lost should far exceed the marginal loss rate.
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let marginal = losses as f64 / outcomes.len() as f64;
+        let conditional = after_loss_lost as f64 / after_loss as f64;
+        assert!(
+            conditional > 3.0 * marginal,
+            "loss should cluster: conditional {conditional:.3} vs marginal {marginal:.3}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_state_is_per_node() {
+        let mut rng = DetRng::seed_from(4);
+        let model = LossModel::GilbertElliott {
+            p_enter_bad: 1.0, // node 0 will enter bad state on first message
+            p_exit_bad: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut p = LossProcess::new(model, 2);
+        let _ = p.is_lost(NodeId::new(0), &mut rng); // trips node 0 into bad
+        assert!(p.is_lost(NodeId::new(0), &mut rng), "node 0 is in the bad state");
+        // Node 1 was never touched: first message transitions it, but
+        // with loss_good = 0 the pre-transition draw may still pass; after
+        // the transition it must lose.
+        let _ = p.is_lost(NodeId::new(1), &mut rng);
+        assert!(p.is_lost(NodeId::new(1), &mut rng));
+    }
+
+    #[test]
+    fn model_accessor() {
+        let p = LossProcess::new(LossModel::Bernoulli(0.5), 1);
+        assert_eq!(p.model(), LossModel::Bernoulli(0.5));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the network substrate, centred on the
+//! conservation laws of the bandwidth-capped link.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gossip_net::{Enqueued, UploadLink};
+use gossip_types::{Duration, Time};
+
+proptest! {
+    /// Conservation: every message offered to the link is eventually either
+    /// transmitted or dropped — never lost, never duplicated.
+    #[test]
+    fn link_conserves_messages(sizes in vec(1usize..5_000, 1..200)) {
+        let mut link: UploadLink<usize> =
+            UploadLink::new(Some(1_000_000), Duration::from_millis(500));
+        let mut transmitted = Vec::new();
+        let mut dropped = 0usize;
+        let mut pending_completion: Option<Time> = None;
+        let now = Time::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            match link.enqueue(now, size, i) {
+                Enqueued::Started { completes_at } => {
+                    prop_assert!(pending_completion.is_none(), "started while busy");
+                    pending_completion = Some(completes_at);
+                }
+                Enqueued::Queued => {}
+                Enqueued::Dropped => dropped += 1,
+            }
+        }
+        while let Some(at) = pending_completion.take() {
+            let (item, next) = link.complete_head(at);
+            transmitted.push(item);
+            pending_completion = next;
+        }
+        prop_assert_eq!(transmitted.len() + dropped, sizes.len());
+        // FIFO order among transmitted messages.
+        prop_assert!(transmitted.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(link.stats().msgs_sent as usize, transmitted.len());
+        prop_assert_eq!(link.stats().msgs_dropped as usize, dropped);
+        let sent_bytes: usize = transmitted.iter().map(|&i| sizes[i]).sum();
+        prop_assert_eq!(link.stats().bytes_sent as usize, sent_bytes);
+    }
+
+    /// Rate law: transmitting B bytes through an r-bps link takes exactly
+    /// B×8/r seconds (within rounding), regardless of message sizes.
+    #[test]
+    fn link_rate_is_exact(sizes in vec(100usize..2_000, 1..100), rate_kbps in 100u64..5_000) {
+        let rate = rate_kbps * 1000;
+        let mut link: UploadLink<usize> = UploadLink::new(Some(rate), Duration::from_secs(3_600));
+        let mut completion = match link.enqueue(Time::ZERO, sizes[0], 0) {
+            Enqueued::Started { completes_at } => completes_at,
+            _ => unreachable!("idle link starts immediately"),
+        };
+        for (i, &size) in sizes.iter().enumerate().skip(1) {
+            prop_assert_eq!(link.enqueue(Time::ZERO, size, i), Enqueued::Queued);
+        }
+        let mut last = completion;
+        loop {
+            let (_, next) = link.complete_head(completion);
+            last = completion;
+            match next {
+                Some(at) => completion = at,
+                None => break,
+            }
+        }
+        let total_bytes: usize = sizes.iter().sum();
+        let expected_micros: u128 = sizes
+            .iter()
+            .map(|&b| (b as u128 * 8_000_000) / rate as u128)
+            .sum();
+        let got = last.as_micros() as i128;
+        let want = expected_micros as i128;
+        prop_assert!(
+            (got - want).abs() <= sizes.len() as i128,
+            "total tx time {got}us vs expected {want}us for {total_bytes} bytes"
+        );
+    }
+
+    /// The queue bound is honoured: backlog never exceeds the configured
+    /// byte depth.
+    #[test]
+    fn backlog_never_exceeds_bound(sizes in vec(1usize..2_000, 1..300)) {
+        let rate = 800_000u64; // 100 kB/s
+        let max_delay = Duration::from_millis(250); // = 25_000 bytes
+        let bound_bytes = 25_000usize;
+        let mut link: UploadLink<usize> = UploadLink::new(Some(rate), max_delay);
+        for (i, &size) in sizes.iter().enumerate() {
+            link.enqueue(Time::ZERO, size, i);
+            prop_assert!(link.queued_bytes() <= bound_bytes);
+        }
+    }
+}

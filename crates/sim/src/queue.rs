@@ -1,0 +1,231 @@
+//! The timestamped event queue.
+//!
+//! A thin wrapper around [`std::collections::BinaryHeap`] that provides the
+//! two things a deterministic simulator needs beyond a plain heap:
+//!
+//! 1. **a stable total order** — events at equal times pop in insertion
+//!    order, so the simulation schedule does not depend on heap internals;
+//! 2. **cancellation** — scheduling returns an [`EventHandle`] that can later
+//!    cancel the event in O(1) (tombstoning; the entry is skipped on pop).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use gossip_types::Time;
+
+/// A handle to a scheduled event, usable to cancel it.
+///
+/// Handles are unique per queue for the lifetime of the queue (a `u64`
+/// sequence number), so a handle never aliases a different event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, with the
+        // insertion sequence breaking ties so ordering is total and stable.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable ordering and
+/// cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_sim::EventQueue;
+/// use gossip_types::Time;
+///
+/// let mut q = EventQueue::new();
+/// let h = q.push(Time::from_secs(1), "late");
+/// q.push(Time::from_millis(1), "early");
+/// q.cancel(h);
+/// assert_eq!(q.pop(), Some((Time::from_millis(1), "early")));
+/// assert_eq!(q.pop(), None); // "late" was cancelled
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at time `at` and returns a cancellation handle.
+    pub fn push(&mut self, at: Time, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already fired (or was already cancelled) is a
+    /// no-op; the method returns whether the tombstone was newly planted
+    /// against a *possibly* pending event.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the earliest pending (non-cancelled) event
+    /// without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Returns the number of entries in the heap, *including* cancelled
+    /// entries that have not been reaped yet.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_types::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3), 'c');
+        q.push(Time::from_secs(1), 'a');
+        q.push(Time::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(Time::from_secs(1), 1);
+        let h2 = q.push(Time::from_secs(2), 2);
+        q.push(Time::from_secs(3), 3);
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double-cancel is a no-op");
+        assert!(q.cancel(h1));
+        assert_eq!(q.pop(), Some((Time::from_secs(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_rejected() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push(Time::from_secs(1), 'x');
+        q.push(Time::from_secs(2), 'y');
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
+        assert_eq!(q.pop(), Some((Time::from_secs(2), 'y')));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let h = q.push(Time::from_secs(1), 0);
+        q.push(Time::from_secs(2), 1);
+        assert_eq!(q.len(), 2);
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        let base = Time::ZERO;
+        q.push(base + Duration::from_millis(10), 10);
+        q.push(base + Duration::from_millis(30), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.push(base + Duration::from_millis(20), 20);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}

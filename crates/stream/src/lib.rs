@@ -1,0 +1,49 @@
+//! The live-streaming layer.
+//!
+//! This crate turns the generic gossip dissemination of [`gossip_core`] into
+//! the paper's streaming application:
+//!
+//! * [`StreamConfig`] — the paper's stream parameters (600 kbps, windows of
+//!   110 packets with 9 FEC parity packets, 1000-byte payloads);
+//! * [`packet`] — [`StreamPacket`] and its [`PacketId`] (window number +
+//!   index within the window), implementing [`gossip_core::Event`] so the
+//!   protocol can carry it;
+//! * [`source`] — the constant-bit-rate packetiser: emits data packets on
+//!   schedule and closes each window with Reed–Solomon parity packets;
+//! * [`player`] — per-window reception tracking at a receiver: when each
+//!   window became decodable (≥ 101 distinct packets);
+//! * [`quality`] — the paper's two metrics, stream *lag* and stream
+//!   *quality* (a window is jittered if it cannot be decoded by its playout
+//!   deadline; a node "views the stream" at lag L if ≥ 99 % of windows are
+//!   complete within L).
+//!
+//! # Examples
+//!
+//! Generate half a second of stream and check the packet cadence:
+//!
+//! ```
+//! use gossip_stream::{StreamConfig, StreamSource};
+//! use gossip_types::Time;
+//!
+//! let config = StreamConfig::paper_default();
+//! let mut source = StreamSource::new(config, Time::ZERO);
+//! let packets = source.poll(Time::from_millis(500));
+//! // 600 kbps / (8 × 1000 B) = 75 packets/s → ~37 packets in 500 ms.
+//! assert!((35..=39).contains(&packets.len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod packet;
+pub mod player;
+pub mod quality;
+pub mod source;
+
+mod config;
+
+pub use config::StreamConfig;
+pub use packet::{PacketId, StreamPacket};
+pub use player::StreamPlayer;
+pub use quality::{NodeQuality, QualityReport};
+pub use source::StreamSource;

@@ -1,0 +1,227 @@
+//! Stream packets: the events the gossip protocol disseminates.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use gossip_core::wire::{take_u64, WireEvent};
+use gossip_core::Event;
+use gossip_types::Time;
+
+/// Identity of one packet of the stream: window number plus index within
+/// the window.
+///
+/// Indices `0..data_packets` are data; `data_packets..total_packets` are FEC
+/// parity. The ordering (window-major) matches stream order, which lets
+/// receivers prune and reason about progress.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_stream::PacketId;
+///
+/// let a = PacketId::new(0, 109);
+/// let b = PacketId::new(1, 0);
+/// assert!(a < b, "ids order by window first");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId {
+    /// Window number (0-based, consecutive).
+    pub window: u32,
+    /// Index within the window (0-based; data first, then parity).
+    pub index: u16,
+}
+
+impl PacketId {
+    /// Creates a packet id.
+    pub const fn new(window: u32, index: u16) -> Self {
+        PacketId { window, index }
+    }
+
+    /// Serialized size of an id on the wire (u32 window + u16 index).
+    pub const WIRE_SIZE: usize = 6;
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}p{}", self.window, self.index)
+    }
+}
+
+/// One packet of the live stream.
+///
+/// Carries its id, the time the source published it (stamped into the
+/// header, 8 bytes on the wire) and the payload. Parity packets carry
+/// Reed–Solomon parity bytes; data packets carry stream data.
+///
+/// Cloning is cheap: the payload is a reference-counted [`Bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPacket {
+    id: PacketId,
+    published_at: Time,
+    payload: Bytes,
+}
+
+impl StreamPacket {
+    /// Creates a packet.
+    pub fn new(id: PacketId, published_at: Time, payload: Bytes) -> Self {
+        StreamPacket { id, published_at, payload }
+    }
+
+    /// Returns the packet id.
+    pub fn packet_id(&self) -> PacketId {
+        self.id
+    }
+
+    /// Returns when the source published this packet.
+    pub fn published_at(&self) -> Time {
+        self.published_at
+    }
+
+    /// Returns the payload bytes.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Returns `true` if this is a parity (FEC) packet for the given number
+    /// of data packets per window.
+    pub fn is_parity(&self, data_packets: usize) -> bool {
+        (self.id.index as usize) >= data_packets
+    }
+}
+
+impl Event for StreamPacket {
+    type Id = PacketId;
+
+    fn id(&self) -> PacketId {
+        self.id
+    }
+
+    fn wire_size(&self) -> usize {
+        // id + publish timestamp + 2-byte length + payload
+        PacketId::WIRE_SIZE + 8 + 2 + self.payload.len()
+    }
+
+    fn id_wire_size() -> usize {
+        PacketId::WIRE_SIZE
+    }
+}
+
+impl WireEvent for StreamPacket {
+    fn encode_id(id: &PacketId, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&id.window.to_le_bytes());
+        buf.extend_from_slice(&id.index.to_le_bytes());
+    }
+
+    fn decode_id(input: &mut &[u8]) -> Option<PacketId> {
+        if input.len() < PacketId::WIRE_SIZE {
+            return None;
+        }
+        let window = u32::from_le_bytes([input[0], input[1], input[2], input[3]]);
+        let index = u16::from_le_bytes([input[4], input[5]]);
+        *input = &input[PacketId::WIRE_SIZE..];
+        Some(PacketId::new(window, index))
+    }
+
+    fn encode_event(&self, buf: &mut Vec<u8>) {
+        Self::encode_id(&self.id, buf);
+        buf.extend_from_slice(&self.published_at.as_micros().to_le_bytes());
+        debug_assert!(self.payload.len() <= u16::MAX as usize, "payload exceeds wire framing");
+        buf.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    fn decode_event(input: &mut &[u8]) -> Option<Self> {
+        let id = Self::decode_id(input)?;
+        let micros = take_u64(input)?;
+        if input.len() < 2 {
+            return None;
+        }
+        let len = u16::from_le_bytes([input[0], input[1]]) as usize;
+        *input = &input[2..];
+        if input.len() < len {
+            return None;
+        }
+        let payload = Bytes::copy_from_slice(&input[..len]);
+        *input = &input[len..];
+        Some(StreamPacket::new(id, Time::from_micros(micros), payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::wire::{decode_message, encode_message};
+    use gossip_core::Message;
+    use gossip_types::NodeId;
+
+    #[test]
+    fn id_ordering_is_stream_order() {
+        let mut ids =
+            vec![PacketId::new(1, 0), PacketId::new(0, 109), PacketId::new(0, 0), PacketId::new(1, 5)];
+        ids.sort();
+        assert_eq!(
+            ids,
+            vec![PacketId::new(0, 0), PacketId::new(0, 109), PacketId::new(1, 0), PacketId::new(1, 5)]
+        );
+    }
+
+    #[test]
+    fn wire_size_accounts_for_payload() {
+        let p = StreamPacket::new(PacketId::new(0, 0), Time::ZERO, Bytes::from(vec![0u8; 1000]));
+        assert_eq!(p.wire_size(), 6 + 8 + 2 + 1000);
+        assert_eq!(StreamPacket::id_wire_size(), 6);
+    }
+
+    #[test]
+    fn parity_detection() {
+        let data = StreamPacket::new(PacketId::new(0, 100), Time::ZERO, Bytes::new());
+        let parity = StreamPacket::new(PacketId::new(0, 101), Time::ZERO, Bytes::new());
+        assert!(!data.is_parity(101));
+        assert!(parity.is_parity(101));
+    }
+
+    #[test]
+    fn message_round_trip_with_stream_packets() {
+        let sender = NodeId::new(3);
+        let packet = StreamPacket::new(
+            PacketId::new(7, 42),
+            Time::from_millis(1234),
+            Bytes::from(vec![9u8; 100]),
+        );
+        let msg = Message::Serve { events: vec![packet.clone()] };
+        let bytes = encode_message(sender, &msg);
+        let (got_sender, got_msg) = decode_message::<StreamPacket>(&bytes).unwrap();
+        assert_eq!(got_sender, sender);
+        assert_eq!(got_msg, msg);
+
+        let propose: Message<StreamPacket> =
+            Message::Propose { ids: vec![PacketId::new(0, 1), PacketId::new(2, 3)] };
+        let bytes = encode_message(sender, &propose);
+        let (_, got) = decode_message::<StreamPacket>(&bytes).unwrap();
+        assert_eq!(got, propose);
+    }
+
+    #[test]
+    fn encoded_size_matches_declared_wire_size() {
+        // The simulator charges Message::wire_size(); the UDP runtime sends
+        // encode_message() bytes. They must agree.
+        let packet = StreamPacket::new(
+            PacketId::new(1, 2),
+            Time::from_secs(3),
+            Bytes::from(vec![7u8; 321]),
+        );
+        let msg = Message::Serve { events: vec![packet] };
+        let encoded = encode_message(NodeId::new(0), &msg);
+        assert_eq!(encoded.len(), msg.wire_size());
+
+        let propose: Message<StreamPacket> = Message::Propose { ids: vec![PacketId::new(0, 1); 15] };
+        assert_eq!(encode_message(NodeId::new(0), &propose).len(), propose.wire_size());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PacketId::new(3, 14).to_string(), "w3p14");
+    }
+}

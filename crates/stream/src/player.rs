@@ -1,0 +1,203 @@
+//! Receiver-side window tracking.
+
+use std::collections::BTreeMap;
+
+use gossip_types::Time;
+
+use crate::config::StreamConfig;
+use crate::packet::PacketId;
+
+/// Reception state of one window.
+#[derive(Debug, Clone)]
+struct WindowRecord {
+    /// Bitmask of received packet indices.
+    received: Vec<u64>,
+    /// Distinct packets received.
+    count: u16,
+    /// When the window first became decodable (count reached `k`).
+    decodable_at: Option<Time>,
+}
+
+impl WindowRecord {
+    fn new(total: usize) -> Self {
+        WindowRecord { received: vec![0u64; total.div_ceil(64)], count: 0, decodable_at: None }
+    }
+
+    /// Marks an index received; returns `false` for duplicates.
+    fn mark(&mut self, index: usize) -> bool {
+        let (word, bit) = (index / 64, index % 64);
+        if self.received[word] & (1 << bit) != 0 {
+            return false;
+        }
+        self.received[word] |= 1 << bit;
+        self.count += 1;
+        true
+    }
+}
+
+/// Tracks, per window, when the stream became decodable at one node.
+///
+/// The player does not keep payload bytes: decodability is a pure counting
+/// property of a maximum-distance-separable code (any `k` of `k + r` packets
+/// reconstruct the window — proven against the real Reed–Solomon
+/// implementation in `gossip-fec`'s tests). The UDP runtime performs actual
+/// reconstruction; the simulation tracks only arrival times, which is what
+/// every figure of the paper is computed from.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_stream::{PacketId, StreamConfig, StreamPlayer};
+/// use gossip_types::Time;
+///
+/// let config = StreamConfig::test_small(); // windows of 20 + 4
+/// let mut player = StreamPlayer::new(config);
+/// for i in 0..20 {
+///     player.on_packet(Time::from_millis(i as u64), PacketId::new(0, i));
+/// }
+/// assert_eq!(player.window_decodable_at(0), Some(Time::from_millis(19)));
+/// ```
+#[derive(Debug)]
+pub struct StreamPlayer {
+    config: StreamConfig,
+    windows: BTreeMap<u32, WindowRecord>,
+    packets_received: u64,
+    duplicate_packets: u64,
+}
+
+impl StreamPlayer {
+    /// Creates an empty player for the given stream.
+    pub fn new(config: StreamConfig) -> Self {
+        StreamPlayer { config, windows: BTreeMap::new(), packets_received: 0, duplicate_packets: 0 }
+    }
+
+    /// Returns the stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Records the arrival of a packet at `now`. Returns `true` if the
+    /// packet was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet index is outside the configured window geometry.
+    pub fn on_packet(&mut self, now: Time, id: PacketId) -> bool {
+        let total = self.config.window.total_packets();
+        assert!((id.index as usize) < total, "packet index {id} outside window geometry");
+        let record =
+            self.windows.entry(id.window).or_insert_with(|| WindowRecord::new(total));
+        if !record.mark(id.index as usize) {
+            self.duplicate_packets += 1;
+            return false;
+        }
+        self.packets_received += 1;
+        if record.decodable_at.is_none() && self.config.window.is_decodable(record.count as usize) {
+            record.decodable_at = Some(now);
+        }
+        true
+    }
+
+    /// Returns when `window` became decodable, or `None` if it has not.
+    pub fn window_decodable_at(&self, window: u32) -> Option<Time> {
+        self.windows.get(&window).and_then(|r| r.decodable_at)
+    }
+
+    /// Returns how many distinct packets of `window` arrived.
+    pub fn packets_in_window(&self, window: u32) -> usize {
+        self.windows.get(&window).map_or(0, |r| r.count as usize)
+    }
+
+    /// Returns the total number of distinct packets received.
+    pub fn packets_received(&self) -> u64 {
+        self.packets_received
+    }
+
+    /// Returns the number of duplicate packet receptions.
+    pub fn duplicate_packets(&self) -> u64 {
+        self.duplicate_packets
+    }
+
+    /// Returns the highest window number with any reception.
+    pub fn highest_window(&self) -> Option<u32> {
+        self.windows.keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_player() -> StreamPlayer {
+        StreamPlayer::new(StreamConfig::test_small()) // 20 data + 4 parity
+    }
+
+    #[test]
+    fn window_becomes_decodable_at_kth_distinct_packet() {
+        let mut p = small_player();
+        // 17 data + 2 parity = 19 packets: not decodable yet.
+        for i in 0..17u16 {
+            p.on_packet(Time::from_millis(i as u64), PacketId::new(0, i));
+        }
+        p.on_packet(Time::from_millis(100), PacketId::new(0, 20));
+        p.on_packet(Time::from_millis(101), PacketId::new(0, 21));
+        assert_eq!(p.window_decodable_at(0), None);
+        assert_eq!(p.packets_in_window(0), 19);
+        // The 20th distinct packet tips it over.
+        p.on_packet(Time::from_millis(200), PacketId::new(0, 18));
+        assert_eq!(p.window_decodable_at(0), Some(Time::from_millis(200)));
+    }
+
+    #[test]
+    fn decodable_time_does_not_move_with_later_packets() {
+        let mut p = small_player();
+        for i in 0..20u16 {
+            p.on_packet(Time::from_millis(i as u64), PacketId::new(0, i));
+        }
+        let first = p.window_decodable_at(0);
+        p.on_packet(Time::from_secs(99), PacketId::new(0, 20));
+        assert_eq!(p.window_decodable_at(0), first);
+    }
+
+    #[test]
+    fn duplicates_are_counted_but_ignored() {
+        let mut p = small_player();
+        assert!(p.on_packet(Time::ZERO, PacketId::new(0, 0)));
+        assert!(!p.on_packet(Time::ZERO, PacketId::new(0, 0)));
+        assert_eq!(p.packets_received(), 1);
+        assert_eq!(p.duplicate_packets(), 1);
+        assert_eq!(p.packets_in_window(0), 1);
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let mut p = small_player();
+        for i in 0..20u16 {
+            p.on_packet(Time::from_millis(i as u64), PacketId::new(3, i));
+        }
+        assert_eq!(p.window_decodable_at(3), Some(Time::from_millis(19)));
+        assert_eq!(p.window_decodable_at(0), None);
+        assert_eq!(p.packets_in_window(2), 0);
+        assert_eq!(p.highest_window(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window geometry")]
+    fn out_of_geometry_index_panics() {
+        let mut p = small_player();
+        p.on_packet(Time::ZERO, PacketId::new(0, 24));
+    }
+
+    #[test]
+    fn parity_packets_count_toward_decodability() {
+        let mut p = small_player();
+        // 16 data + 4 parity = 20 distinct ≥ k: decodable (MDS property).
+        for i in 0..16u16 {
+            p.on_packet(Time::from_millis(i as u64), PacketId::new(0, i));
+        }
+        for i in 20..24u16 {
+            p.on_packet(Time::from_millis(50 + i as u64), PacketId::new(0, i));
+        }
+        assert!(p.window_decodable_at(0).is_some());
+    }
+}

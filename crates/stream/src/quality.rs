@@ -1,0 +1,322 @@
+//! The paper's evaluation metrics: stream quality and stream lag.
+//!
+//! Definitions (Section 4 of the paper):
+//!
+//! * a window is **jittered** at lag `L` if it cannot be reconstructed
+//!   (fewer than `k` of its `k + r` packets have arrived) by its playout
+//!   deadline — the time the source finished publishing it plus `L`;
+//! * a node **views the stream with at most 1 % jitter** at lag `L` if at
+//!   least 99 % of the measured windows are complete by their deadlines;
+//! * **offline viewing** is the limit `L → ∞`: only windows that never
+//!   become decodable count as lost;
+//! * the **stream lag of a node** (Figure 2) is the smallest `L` at which
+//!   the node views ≥ 99 % of the stream.
+
+use gossip_types::{Duration, Time};
+
+use crate::config::StreamConfig;
+use crate::player::StreamPlayer;
+
+/// Per-window lag measurements for one node.
+///
+/// Construct with [`NodeQuality::from_player`] after a run; every metric of
+/// the paper derives from the per-window lags stored here.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_stream::NodeQuality;
+/// use gossip_types::Duration;
+///
+/// // 3 windows: decodable 1 s and 4 s after publication, one never.
+/// let q = NodeQuality::from_lags(vec![
+///     Some(Duration::from_secs(1)),
+///     Some(Duration::from_secs(4)),
+///     None,
+/// ]);
+/// assert_eq!(q.quality_at_lag(Duration::from_secs(2)), 1.0 / 3.0);
+/// assert_eq!(q.quality_at_lag(Duration::MAX), 2.0 / 3.0); // offline viewing
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeQuality {
+    /// For each measured window: how long after its publication it became
+    /// decodable (`None` = never).
+    window_lags: Vec<Option<Duration>>,
+}
+
+impl NodeQuality {
+    /// Builds the per-window lags directly (mostly for tests).
+    pub fn from_lags(window_lags: Vec<Option<Duration>>) -> Self {
+        NodeQuality { window_lags }
+    }
+
+    /// Extracts quality data from a player for windows
+    /// `first_window..=last_window`.
+    ///
+    /// `stream_start` is when the source began publishing; window `w`'s
+    /// publication deadline is `stream_start + (w + 1) × window_duration`
+    /// (the stream is constant-bit-rate, so this is exact).
+    pub fn from_player(
+        player: &StreamPlayer,
+        config: &StreamConfig,
+        stream_start: Time,
+        first_window: u32,
+        last_window: u32,
+    ) -> Self {
+        let wd = config.window_duration();
+        let mut window_lags = Vec::with_capacity((last_window - first_window + 1) as usize);
+        for w in first_window..=last_window {
+            let published_at = stream_start + wd * (w as u64 + 1);
+            let lag = player
+                .window_decodable_at(w)
+                .map(|decodable_at| decodable_at.saturating_since(published_at));
+            window_lags.push(lag);
+        }
+        NodeQuality { window_lags }
+    }
+
+    /// Returns the number of measured windows.
+    pub fn window_count(&self) -> usize {
+        self.window_lags.len()
+    }
+
+    /// Returns the per-window lags.
+    pub fn window_lags(&self) -> &[Option<Duration>] {
+        &self.window_lags
+    }
+
+    /// Returns the fraction of windows decodable within `lag` of their
+    /// publication ([`Duration::MAX`] = offline viewing).
+    ///
+    /// With no measured windows the quality is vacuously 1.
+    pub fn quality_at_lag(&self, lag: Duration) -> f64 {
+        if self.window_lags.is_empty() {
+            return 1.0;
+        }
+        let complete =
+            self.window_lags.iter().filter(|l| l.is_some_and(|l| l <= lag)).count();
+        complete as f64 / self.window_lags.len() as f64
+    }
+
+    /// Returns `true` if the node views the stream with at most
+    /// `max_jitter` (e.g. `0.01`) at the given lag.
+    pub fn views_stream(&self, max_jitter: f64, lag: Duration) -> bool {
+        self.quality_at_lag(lag) >= 1.0 - max_jitter - 1e-9
+    }
+
+    /// Returns the smallest lag at which the node reaches `quality`
+    /// (Figure 2's per-node stream lag), or `None` if it never does (even
+    /// offline).
+    pub fn lag_for_quality(&self, quality: f64) -> Option<Duration> {
+        if self.window_lags.is_empty() {
+            return Some(Duration::ZERO);
+        }
+        let needed = (quality * self.window_lags.len() as f64 - 1e-9).ceil().max(0.0) as usize;
+        if needed == 0 {
+            return Some(Duration::ZERO);
+        }
+        let mut lags: Vec<Duration> = self.window_lags.iter().flatten().copied().collect();
+        if lags.len() < needed {
+            return None;
+        }
+        lags.sort_unstable();
+        Some(lags[needed - 1])
+    }
+
+    /// Returns the fraction of windows that ever became decodable (offline
+    /// quality).
+    pub fn complete_fraction(&self) -> f64 {
+        self.quality_at_lag(Duration::MAX)
+    }
+}
+
+/// Aggregate quality statistics across the nodes of one experiment.
+///
+/// Thin helpers over a collection of [`NodeQuality`] — these compute the
+/// exact series plotted in the paper's figures.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    nodes: Vec<NodeQuality>,
+}
+
+impl QualityReport {
+    /// Wraps per-node qualities.
+    pub fn new(nodes: Vec<NodeQuality>) -> Self {
+        QualityReport { nodes }
+    }
+
+    /// Returns the wrapped per-node measurements.
+    pub fn nodes(&self) -> &[NodeQuality] {
+        &self.nodes
+    }
+
+    /// Percentage (0–100) of nodes viewing the stream with at most
+    /// `max_jitter` at the given lag — the y-axis of Figures 1, 3, 5, 6
+    /// and 7.
+    pub fn percent_viewing(&self, max_jitter: f64, lag: Duration) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let viewing = self.nodes.iter().filter(|n| n.views_stream(max_jitter, lag)).count();
+        100.0 * viewing as f64 / self.nodes.len() as f64
+    }
+
+    /// Average percentage (0–100) of complete windows across nodes at the
+    /// given lag — the y-axis of Figure 8.
+    pub fn average_quality_percent(&self, lag: Duration) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.nodes.iter().map(|n| n.quality_at_lag(lag)).sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    /// The cumulative distribution of per-node stream lag at the given
+    /// quality (Figure 2): for each probe lag, the percentage of nodes whose
+    /// lag-for-99 %-quality is at most that value.
+    pub fn lag_cdf(&self, quality: f64, probes: &[Duration]) -> Vec<(Duration, f64)> {
+        let lags: Vec<Option<Duration>> =
+            self.nodes.iter().map(|n| n.lag_for_quality(quality)).collect();
+        probes
+            .iter()
+            .map(|&probe| {
+                let within =
+                    lags.iter().filter(|l| l.is_some_and(|l| l <= probe)).count();
+                let pct = if self.nodes.is_empty() {
+                    0.0
+                } else {
+                    100.0 * within as f64 / self.nodes.len() as f64
+                };
+                (probe, pct)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+
+    fn lag(s: u64) -> Option<Duration> {
+        Some(Duration::from_secs(s))
+    }
+
+    #[test]
+    fn quality_at_lag_thresholds() {
+        let q = NodeQuality::from_lags(vec![lag(1), lag(5), lag(10), None]);
+        assert_eq!(q.quality_at_lag(Duration::ZERO), 0.0);
+        assert_eq!(q.quality_at_lag(Duration::from_secs(1)), 0.25);
+        assert_eq!(q.quality_at_lag(Duration::from_secs(7)), 0.5);
+        assert_eq!(q.quality_at_lag(Duration::MAX), 0.75);
+        assert_eq!(q.complete_fraction(), 0.75);
+    }
+
+    #[test]
+    fn views_stream_at_one_percent_jitter() {
+        // 100 windows, 99 perfect, one slow: views at 1% jitter only once
+        // the slow window's lag is allowed.
+        let mut lags: Vec<Option<Duration>> = vec![lag(1); 99];
+        lags.push(lag(30));
+        let q = NodeQuality::from_lags(lags);
+        assert!(!q.views_stream(0.0, Duration::from_secs(10)));
+        assert!(q.views_stream(0.01, Duration::from_secs(10)));
+        assert!(q.views_stream(0.0, Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn lag_for_quality_is_the_right_quantile() {
+        let q = NodeQuality::from_lags(vec![lag(1), lag(2), lag(3), lag(4), lag(50)]);
+        assert_eq!(q.lag_for_quality(1.0), Some(Duration::from_secs(50)));
+        assert_eq!(q.lag_for_quality(0.8), Some(Duration::from_secs(4)));
+        assert_eq!(q.lag_for_quality(0.2), Some(Duration::from_secs(1)));
+        assert_eq!(q.lag_for_quality(0.0), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn lag_for_quality_none_when_unreachable() {
+        let q = NodeQuality::from_lags(vec![lag(1), None, None]);
+        assert_eq!(q.lag_for_quality(0.99), None, "2/3 of windows never decodable");
+        assert_eq!(q.lag_for_quality(0.33), Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn empty_window_set_is_vacuously_perfect() {
+        let q = NodeQuality::from_lags(vec![]);
+        assert_eq!(q.quality_at_lag(Duration::ZERO), 1.0);
+        assert_eq!(q.lag_for_quality(0.99), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn from_player_computes_lags_against_publication() {
+        let config = StreamConfig::test_small(); // window duration = 24 × 40 ms = 960 ms
+        let mut player = StreamPlayer::new(config);
+        // Window 0 decodable at t = 1.46 s; published at 0.96 s → lag 0.5 s.
+        for i in 0..20u16 {
+            player.on_packet(Time::from_millis(1_460), PacketId::new(0, i));
+        }
+        // Window 1 never decodable (only 3 packets).
+        for i in 0..3u16 {
+            player.on_packet(Time::from_millis(2_000), PacketId::new(1, i));
+        }
+        let q = NodeQuality::from_player(&player, &config, Time::ZERO, 0, 1);
+        assert_eq!(q.window_count(), 2);
+        assert_eq!(q.window_lags()[0], Some(Duration::from_millis(500)));
+        assert_eq!(q.window_lags()[1], None);
+    }
+
+    #[test]
+    fn from_player_lag_saturates_for_early_decodes() {
+        // A window fully received *before* the source finished publishing it
+        // (possible: data packets arrive as they are produced) has lag 0.
+        let config = StreamConfig::test_small();
+        let mut player = StreamPlayer::new(config);
+        for i in 0..20u16 {
+            player.on_packet(Time::from_millis(100), PacketId::new(0, i));
+        }
+        let q = NodeQuality::from_player(&player, &config, Time::ZERO, 0, 0);
+        assert_eq!(q.window_lags()[0], Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn report_percent_viewing() {
+        let good = NodeQuality::from_lags(vec![lag(1); 10]);
+        let bad = NodeQuality::from_lags(vec![None; 10]);
+        let report = QualityReport::new(vec![good.clone(), good, bad]);
+        let pct = report.percent_viewing(0.01, Duration::from_secs(5));
+        assert!((pct - 66.666).abs() < 0.01);
+        assert_eq!(report.nodes().len(), 3);
+    }
+
+    #[test]
+    fn report_average_quality() {
+        let half = NodeQuality::from_lags(vec![lag(1), None]);
+        let full = NodeQuality::from_lags(vec![lag(1), lag(1)]);
+        let report = QualityReport::new(vec![half, full]);
+        assert_eq!(report.average_quality_percent(Duration::from_secs(5)), 75.0);
+    }
+
+    #[test]
+    fn report_lag_cdf_is_monotone() {
+        let nodes = vec![
+            NodeQuality::from_lags(vec![lag(1); 4]),
+            NodeQuality::from_lags(vec![lag(10); 4]),
+            NodeQuality::from_lags(vec![None; 4]),
+        ];
+        let report = QualityReport::new(nodes);
+        let probes: Vec<Duration> = [0u64, 1, 5, 10, 100].iter().map(|&s| Duration::from_secs(s)).collect();
+        let cdf = report.lag_cdf(0.99, &probes);
+        let values: Vec<f64> = cdf.iter().map(|&(_, p)| p).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "CDF must be monotone: {values:?}");
+        assert!((values[1] - 33.333).abs() < 0.01);
+        assert!((values[3] - 66.666).abs() < 0.01);
+        assert!((values[4] - 66.666).abs() < 0.01, "the never-node caps the CDF");
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = QualityReport::new(vec![]);
+        assert_eq!(report.percent_viewing(0.01, Duration::MAX), 0.0);
+        assert_eq!(report.average_quality_percent(Duration::MAX), 0.0);
+    }
+}

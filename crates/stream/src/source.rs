@@ -1,0 +1,243 @@
+//! The constant-bit-rate stream source.
+
+use bytes::Bytes;
+
+use gossip_fec::WindowEncoder;
+use gossip_types::Time;
+
+use crate::config::StreamConfig;
+use crate::packet::{PacketId, StreamPacket};
+
+/// The stream packetiser at the source node.
+///
+/// Emits packets at the configured constant *gross* bit rate — the paper's
+/// "stream of 600 kbps" whose 110-packet windows *include* the 9 FEC parity
+/// packets (75 packets/s at 1000 B/packet). Within each 110-slot window the
+/// first 101 slots carry data; once the data is out, the window is
+/// Reed–Solomon-encoded and the 9 parity packets occupy the remaining slots
+/// on the same cadence, so the wire rate never bursts above the stream
+/// rate.
+///
+/// The source is pull-driven: the owner calls [`StreamSource::poll`] with
+/// the current time and gets every packet whose scheduled emission time has
+/// passed, stamped with its *scheduled* time (so batching cannot skew the
+/// lag measurements).
+///
+/// # Examples
+///
+/// ```
+/// use gossip_stream::{StreamConfig, StreamSource};
+/// use gossip_types::Time;
+///
+/// let mut source = StreamSource::new(StreamConfig::test_small(), Time::ZERO);
+/// // Poll past the end of the first window: data + parity packets appear.
+/// let packets = source.poll(Time::from_secs(10));
+/// assert!(packets.iter().any(|p| p.is_parity(20)));
+/// ```
+#[derive(Debug)]
+pub struct StreamSource {
+    config: StreamConfig,
+    start: Time,
+    /// Global packet slot number (window = seq / (k + r), slot = seq % (k + r)).
+    next_seq: u64,
+    /// Data payloads of the window currently being filled.
+    window_buffer: Vec<Bytes>,
+    /// Parity payloads of the current window, computed when the data is out.
+    parity_buffer: Vec<Bytes>,
+    encoder: WindowEncoder,
+    windows_completed: u64,
+}
+
+impl StreamSource {
+    /// Creates a source that starts streaming at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window geometry is unusable (zero data packets or more
+    /// than 256 packets per window).
+    pub fn new(config: StreamConfig, start: Time) -> Self {
+        let encoder = WindowEncoder::new(config.window).expect("valid window geometry");
+        StreamSource {
+            config,
+            start,
+            next_seq: 0,
+            window_buffer: Vec::with_capacity(config.window.data_packets),
+            parity_buffer: Vec::new(),
+            encoder,
+            windows_completed: 0,
+        }
+    }
+
+    /// Returns the stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Returns when the next data packet is due.
+    pub fn next_packet_at(&self) -> Time {
+        self.start + self.config.packet_interval() * self.next_seq
+    }
+
+    /// Returns how many windows have been fully published (data + parity).
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Emits every packet due by `now`, data and parity alike on the
+    /// constant per-slot cadence.
+    pub fn poll(&mut self, now: Time) -> Vec<StreamPacket> {
+        let mut out = Vec::new();
+        while self.next_packet_at() <= now {
+            let at = self.next_packet_at();
+            let total = self.config.window.total_packets() as u64;
+            let k = self.config.window.data_packets;
+            let window = (self.next_seq / total) as u32;
+            let slot = (self.next_seq % total) as usize;
+            let id = PacketId::new(window, slot as u16);
+
+            let payload = if slot < k {
+                let payload = synth_payload(id, self.config.packet_payload_bytes);
+                self.window_buffer.push(payload.clone());
+                payload
+            } else {
+                if slot == k {
+                    // The window's data is complete: encode its parity.
+                    let parity = self
+                        .encoder
+                        .encode(&self.window_buffer)
+                        .expect("window buffer geometry matches the encoder");
+                    self.parity_buffer = parity.into_iter().map(Bytes::from).collect();
+                    self.window_buffer.clear();
+                }
+                self.parity_buffer[slot - k].clone()
+            };
+            out.push(StreamPacket::new(id, at, payload));
+            self.next_seq += 1;
+            if self.next_seq.is_multiple_of(total) {
+                self.windows_completed += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic synthetic payload for a packet: a cheap byte pattern that
+/// is unique per id, so end-to-end integrity (and real FEC decoding) can be
+/// verified in tests and the UDP runtime.
+pub fn synth_payload(id: PacketId, len: usize) -> Bytes {
+    let seed = (id.window as u64) << 16 | id.index as u64;
+    let mut bytes = Vec::with_capacity(len);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        bytes.push(state as u8);
+    }
+    Bytes::from(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_fec::{WindowDecoder, WindowParams};
+
+    #[test]
+    fn emits_at_the_configured_gross_rate() {
+        let config = StreamConfig::paper_default();
+        let mut source = StreamSource::new(config, Time::ZERO);
+        let packets = source.poll(Time::from_secs(1));
+        assert_eq!(packets.len(), 76, "75 packets/s (data + parity) plus the one at t = 0");
+        // The first 9 parity packets appear in slots 101..110, not as a
+        // burst: gross rate stays at 75 packets/s.
+        let bytes: usize = packets.iter().map(|p| p.payload().len()).sum();
+        assert_eq!(bytes, 76_000);
+    }
+
+    #[test]
+    fn timestamps_are_scheduled_not_polled() {
+        let config = StreamConfig::paper_default();
+        let mut source = StreamSource::new(config, Time::ZERO);
+        // Poll late: timestamps must still be on the 13.333 ms grid.
+        let packets = source.poll(Time::from_secs(1));
+        assert_eq!(packets[0].published_at(), Time::ZERO);
+        assert_eq!(packets[1].published_at(), Time::from_micros(13_333));
+    }
+
+    #[test]
+    fn windows_close_with_parity_on_schedule() {
+        let config = StreamConfig::test_small(); // windows of 20 + 4
+        let mut source = StreamSource::new(config, Time::ZERO);
+        let interval = config.packet_interval();
+        let packets = source.poll(Time::ZERO + interval * 23); // one full window
+        assert_eq!(packets.len(), 24, "20 data + 4 parity");
+        assert_eq!(source.windows_completed(), 1);
+        let parity: Vec<_> = packets.iter().filter(|p| p.is_parity(20)).collect();
+        assert_eq!(parity.len(), 4);
+        // Parity packets keep the per-slot cadence (no burst).
+        for (i, p) in parity.iter().enumerate() {
+            assert_eq!(p.published_at(), Time::ZERO + interval * (20 + i as u64));
+        }
+        // Ids continue into the next window afterwards.
+        let next = source.poll(Time::ZERO + interval * 24);
+        assert_eq!(next[0].packet_id(), PacketId::new(1, 0));
+    }
+
+    #[test]
+    fn poll_is_incremental_and_never_duplicates() {
+        let config = StreamConfig::test_small();
+        let mut a = StreamSource::new(config, Time::ZERO);
+        let mut b = StreamSource::new(config, Time::ZERO);
+
+        // a: one big poll; b: many small polls. Same packets either way.
+        let big = a.poll(Time::from_secs(5));
+        let mut small = Vec::new();
+        for ms in (0..=5000).step_by(7) {
+            small.extend(b.poll(Time::from_millis(ms)));
+        }
+        small.extend(b.poll(Time::from_secs(5)));
+        assert_eq!(big.len(), small.len());
+        assert!(big.iter().zip(&small).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn parity_actually_decodes_the_window() {
+        let config = StreamConfig::test_small();
+        let mut source = StreamSource::new(config, Time::ZERO);
+        let packets = source.poll(Time::from_secs(2));
+        let window0: Vec<_> = packets.iter().filter(|p| p.packet_id().window == 0).collect();
+        assert_eq!(window0.len(), 24);
+
+        // Lose 4 data packets; reconstruct from the rest.
+        let mut dec = WindowDecoder::new(WindowParams::new(20, 4)).unwrap();
+        for p in window0.iter().filter(|p| ![1usize, 5, 9, 13].contains(&(p.packet_id().index as usize))) {
+            dec.receive(p.packet_id().index as usize, p.payload().to_vec());
+        }
+        assert!(dec.is_decodable());
+        let data = dec.reconstruct().unwrap();
+        for (i, original) in window0.iter().take(20).enumerate() {
+            assert_eq!(&data[i][..], &original.payload()[..], "data packet {i} reconstructed");
+        }
+    }
+
+    #[test]
+    fn synth_payload_is_deterministic_and_distinct() {
+        let a = synth_payload(PacketId::new(1, 2), 64);
+        let b = synth_payload(PacketId::new(1, 2), 64);
+        let c = synth_payload(PacketId::new(1, 3), 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn start_offset_shifts_the_schedule() {
+        let config = StreamConfig::paper_default();
+        let start = Time::from_secs(10);
+        let mut source = StreamSource::new(config, start);
+        assert!(source.poll(Time::from_secs(9)).is_empty(), "nothing before start");
+        let packets = source.poll(start);
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].published_at(), start);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the streaming layer.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gossip_fec::WindowParams;
+use gossip_stream::{NodeQuality, PacketId, StreamConfig, StreamPlayer, StreamSource};
+use gossip_types::{Duration, Time};
+
+proptest! {
+    /// The source's output is invariant under how it is polled: any
+    /// monotone polling schedule yields the same packet sequence.
+    #[test]
+    fn source_is_poll_schedule_invariant(mut poll_times in vec(0u64..20_000, 1..40)) {
+        poll_times.sort_unstable();
+        let config = StreamConfig::test_small();
+        let mut reference = StreamSource::new(config, Time::ZERO);
+        let expected = reference.poll(Time::from_millis(20_000));
+
+        let mut source = StreamSource::new(config, Time::ZERO);
+        let mut got = Vec::new();
+        for &ms in &poll_times {
+            got.extend(source.poll(Time::from_millis(ms)));
+        }
+        got.extend(source.poll(Time::from_millis(20_000)));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Delivering any permutation of a window's packets yields the same
+    /// decodability and the same per-window count.
+    #[test]
+    fn player_is_order_invariant(order in Just(()).prop_perturb(|(), mut rng| {
+        let mut idx: Vec<u16> = (0..24).collect();
+        for i in (1..idx.len()).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            idx.swap(i, j);
+        }
+        idx
+    })) {
+        let config = StreamConfig::test_small(); // 20 + 4
+        let mut player = StreamPlayer::new(config);
+        let mut decodable_at_count = None;
+        for (step, &idx) in order.iter().enumerate() {
+            player.on_packet(Time::from_millis(step as u64), PacketId::new(0, idx));
+            if player.window_decodable_at(0).is_some() && decodable_at_count.is_none() {
+                decodable_at_count = Some(step + 1);
+            }
+        }
+        // Exactly at the 20th distinct packet, never before or after.
+        prop_assert_eq!(decodable_at_count, Some(20));
+        prop_assert_eq!(player.packets_in_window(0), 24);
+    }
+
+    /// Quality is monotone in lag for arbitrary window-lag vectors, and
+    /// `lag_for_quality` is consistent with `quality_at_lag`.
+    #[test]
+    fn quality_lag_consistency(lags in vec(proptest::option::of(0u64..100), 1..60)) {
+        let q = NodeQuality::from_lags(
+            lags.iter().map(|l| l.map(Duration::from_secs)).collect(),
+        );
+        let mut prev = -1.0f64;
+        for s in 0..100u64 {
+            let v = q.quality_at_lag(Duration::from_secs(s));
+            prop_assert!(v >= prev - 1e-12, "quality must be monotone in lag");
+            prev = v;
+        }
+        // Wherever lag_for_quality answers, quality at that lag must reach
+        // the target.
+        for target in [0.25, 0.5, 0.9, 0.99, 1.0] {
+            if let Some(l) = q.lag_for_quality(target) {
+                prop_assert!(
+                    q.quality_at_lag(l) + 1e-12 >= target,
+                    "quality at lag {l} below target {target}"
+                );
+            }
+        }
+    }
+
+    /// Window geometries partition packets correctly for any geometry.
+    #[test]
+    fn window_indexing_is_consistent(k in 1usize..50, r in 0usize..10, windows in 1u32..5) {
+        let params = WindowParams::new(k, r);
+        let config = StreamConfig {
+            rate_bps: 400_000,
+            packet_payload_bytes: 500,
+            window: params,
+        };
+        let mut source = StreamSource::new(config, Time::ZERO);
+        let total_packets = params.total_packets() as u32 * windows;
+        let horizon = config.packet_interval() * u64::from(total_packets.saturating_sub(1));
+        let packets = source.poll(Time::ZERO + horizon);
+        prop_assert_eq!(packets.len() as u32, total_packets);
+        for (i, p) in packets.iter().enumerate() {
+            let id = p.packet_id();
+            prop_assert_eq!(u32::try_from(i).expect("small") / params.total_packets() as u32, id.window);
+            prop_assert_eq!(i % params.total_packets(), id.index as usize);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared primitive types for the gossip-streaming workspace.
+//!
+//! This crate hosts the handful of vocabulary types that every other crate in
+//! the workspace speaks: virtual [`Time`] / [`Duration`] newtypes (microsecond
+//! resolution) and the [`NodeId`] identity of a participant. Keeping them in a
+//! leaf crate lets the protocol core stay sans-io (it never has to import the
+//! simulator just to name a point in time) while the simulator, the network
+//! model and the real-socket runtime all agree on representations.
+//!
+//! # Examples
+//!
+//! ```
+//! use gossip_types::{Duration, NodeId, Time};
+//!
+//! let start = Time::ZERO;
+//! let later = start + Duration::from_millis(200);
+//! assert_eq!(later - start, Duration::from_millis(200));
+//! assert!(later > start);
+//!
+//! let node = NodeId::new(42);
+//! assert_eq!(node.index(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod time;
+
+pub use node::NodeId;
+pub use time::{Duration, Time};

@@ -1,0 +1,87 @@
+//! Participant identity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The identity of a participant in the dissemination.
+///
+/// Nodes are numbered densely from zero, which lets every component index
+/// per-node state with a plain `Vec`. The source is conventionally node 0 in
+/// the experiment harness, but nothing in the protocol relies on that.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_types::NodeId;
+///
+/// let ids: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+/// assert_eq!(ids[2].index(), 2);
+/// assert_eq!(ids[1].to_string(), "n1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identity from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of the node (usable to index per-node `Vec`s).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value (used by the wire codec).
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_u32() {
+        let id = NodeId::new(17);
+        assert_eq!(u32::from(id), 17);
+        assert_eq!(NodeId::from(17u32), id);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+        assert_eq!(NodeId::new(229).to_string(), "n229");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! The per-node event loop around the sans-io protocol core.
+
+use std::collections::BinaryHeap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gossip_core::wire::{decode_message, encode_message};
+use gossip_core::{GossipNode, Output, TimerToken};
+use gossip_sim::DetRng;
+use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
+use gossip_types::{Duration, NodeId, Time};
+
+use crate::clock::ClusterClock;
+use crate::shaper::UploadShaper;
+
+/// Everything a node thread reports back when it finishes.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Protocol counters.
+    pub protocol: gossip_core::ProtocolStats,
+    /// The playout state (window completeness and timing).
+    pub player: StreamPlayer,
+    /// Bytes handed to the kernel.
+    pub sent_bytes: u64,
+    /// Datagrams handed to the kernel.
+    pub sent_msgs: u64,
+    /// Datagrams dropped by the local shaper.
+    pub shaper_drops: u64,
+    /// Datagrams received.
+    pub recv_msgs: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// Configuration of one node driver.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Protocol configuration.
+    pub gossip: gossip_core::GossipConfig,
+    /// Stream configuration (used by the player).
+    pub stream: gossip_stream::StreamConfig,
+    /// Upload cap in bits/s (`None` = unshaped).
+    pub upload_cap_bps: Option<u64>,
+    /// Shaper backlog bound.
+    pub max_backlog: Duration,
+    /// RNG seed shared by the cluster.
+    pub seed: u64,
+    /// If set, this node is the source and streams for the given duration.
+    pub stream_for: Option<Duration>,
+    /// Probability of dropping each received datagram (impairment
+    /// injection; the drop decision is deterministic per seed).
+    pub inject_loss: f64,
+    /// If set, the node crashes (stops processing and sending) at this
+    /// point of the run — churn injection for the real runtime.
+    pub crash_at: Option<Duration>,
+}
+
+/// Runs one node until `stop` is raised. Returns the node's report.
+///
+/// The loop multiplexes four deadline sources — the gossip round timer, the
+/// protocol's retransmission timers, the shaper's next release and the
+/// source's next packet — over a blocking `recv_from` with a timeout.
+///
+/// # Errors
+///
+/// Returns any I/O error from the socket (binding errors are handled by the
+/// cluster before threads start).
+#[allow(clippy::too_many_lines)]
+pub fn run_node(
+    config: DriverConfig,
+    socket: UdpSocket,
+    addresses: Arc<Vec<SocketAddr>>,
+    clock: ClusterClock,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<NodeReport> {
+    let n = addresses.len();
+    let membership: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+    let mut node: GossipNode<StreamPacket> = if config.stream_for.is_some() {
+        GossipNode::new_source(config.id, config.gossip.clone(), membership, config.seed)
+    } else {
+        GossipNode::new(config.id, config.gossip.clone(), membership, config.seed)
+    };
+    let mut player = StreamPlayer::new(config.stream);
+    let mut shaper: UploadShaper<(NodeId, Vec<u8>)> =
+        UploadShaper::new(config.upload_cap_bps, config.max_backlog);
+    let mut source = config.stream_for.map(|_| StreamSource::new(config.stream, Time::ZERO));
+    let stream_end = config.stream_for.map(|d| Time::ZERO + d);
+
+    // Min-heap of armed protocol timers.
+    let mut timers: BinaryHeap<std::cmp::Reverse<(Time, TimerToken)>> = BinaryHeap::new();
+    let mut next_round = clock.now();
+    let mut recv_buf = vec![0u8; 65_536];
+    let mut recv_msgs = 0u64;
+    let mut decode_errors = 0u64;
+    let mut loss_rng = DetRng::seed_from(config.seed).split(0xD409 + u64::from(config.id.as_u32()));
+    let crash_at = config.crash_at.map(|d| Time::ZERO + d);
+
+    socket.set_nonblocking(false)?;
+
+    while !stop.load(Ordering::Relaxed) {
+        let now = clock.now();
+
+        // Churn injection: a crashed node goes silent but its thread stays
+        // parked until shutdown so the join logic stays uniform.
+        if crash_at.is_some_and(|at| now >= at) {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        }
+
+        // 1. Source emission.
+        if let (Some(src), Some(end)) = (source.as_mut(), stream_end) {
+            if now <= end {
+                for packet in src.poll(now) {
+                    node.publish(now, packet);
+                }
+            }
+        }
+
+        // 2. Gossip rounds.
+        while now >= next_round {
+            node.on_round(now);
+            next_round += config.gossip.gossip_period;
+        }
+
+        // 3. Protocol timers.
+        while timers.peek().is_some_and(|std::cmp::Reverse((at, _))| *at <= now) {
+            let std::cmp::Reverse((_, token)) = timers.pop().expect("peeked");
+            node.on_timer(now, token);
+        }
+
+        // 4. Drain protocol outputs into the shaper/player.
+        while let Some(out) = node.poll_output() {
+            match out {
+                Output::Send { to, msg } => {
+                    let bytes = encode_message(config.id, &msg);
+                    let len = bytes.len();
+                    shaper.offer(now, len, (to, bytes));
+                }
+                Output::Deliver { event } => {
+                    player.on_packet(now, event.packet_id());
+                }
+                Output::ScheduleTimer { token, at } => {
+                    timers.push(std::cmp::Reverse((at, token)));
+                }
+            }
+        }
+
+        // 5. Put released datagrams on the wire.
+        while let Some((to, bytes)) = shaper.pop_due(clock.now()) {
+            let _ = socket.send_to(&bytes, addresses[to.index()]);
+        }
+
+        // 6. Sleep until the next deadline, receiving datagrams meanwhile.
+        let mut deadline = next_round;
+        if let Some(std::cmp::Reverse((at, _))) = timers.peek() {
+            deadline = deadline.min(*at);
+        }
+        if let Some(at) = shaper.next_release() {
+            deadline = deadline.min(at);
+        }
+        if let (Some(src), Some(end)) = (source.as_ref(), stream_end) {
+            let next = src.next_packet_at();
+            if next <= end {
+                deadline = deadline.min(next);
+            }
+        }
+        let wait = clock.until(deadline).min(std::time::Duration::from_millis(50));
+        socket.set_read_timeout(Some(wait.max(std::time::Duration::from_micros(100))))?;
+        match socket.recv_from(&mut recv_buf) {
+            Ok((len, _)) => {
+                if config.inject_loss > 0.0 && loss_rng.chance(config.inject_loss) {
+                    // Injected network loss: the datagram evaporates.
+                } else {
+                    recv_msgs += 1;
+                    match decode_message::<StreamPacket>(&recv_buf[..len]) {
+                        Some((from, msg)) => {
+                            node.on_message(clock.now(), from, msg);
+                        }
+                        None => decode_errors += 1,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(NodeReport {
+        id: config.id,
+        protocol: *node.stats(),
+        player,
+        sent_bytes: shaper.sent_bytes(),
+        sent_msgs: shaper.sent_msgs(),
+        shaper_drops: shaper.dropped_msgs(),
+        recv_msgs,
+        decode_errors,
+    })
+}

@@ -1,0 +1,37 @@
+//! The paper's headline experiment in miniature: sweep the fanout and watch
+//! the optimal window appear (Figure 1).
+//!
+//! ```text
+//! cargo run --release --example fanout_sweep [quick|tiny]
+//! ```
+//!
+//! Too small a fanout fails to reach everyone; too large a fanout saturates
+//! the upload caps and collapses. The sweet spot sits a little above
+//! `ln(n)`.
+
+use gossip_experiments::figures::fig1_fanout;
+use gossip_experiments::Scale;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("quick") => Scale::Quick,
+        _ => Scale::Tiny,
+    };
+    println!(
+        "sweeping fanout over {} nodes (ln n = {:.1})...\n",
+        scale.nodes(),
+        (scale.nodes() as f64).ln()
+    );
+    let figure = fig1_fanout::run(scale, 42);
+    println!("{figure}");
+
+    let rows = fig1_fanout::sweep(scale, 42);
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.offline.partial_cmp(&b.offline).expect("finite"))
+        .expect("sweep is non-empty");
+    println!(
+        "best fanout in this run: {} ({:.1}% of nodes at offline viewing)",
+        best.fanout, best.offline
+    );
+}

@@ -1,0 +1,62 @@
+//! Live deployment on real UDP sockets: the same protocol core that runs in
+//! the simulator, running as one thread-per-node loopback cluster with
+//! real wire encoding, real upload shaping and real Reed–Solomon
+//! verification of the received windows.
+//!
+//! ```text
+//! cargo run --release --example live_udp [nodes] [seconds]
+//! ```
+
+use gossip_core::GossipConfig;
+use gossip_fec::WindowParams;
+use gossip_stream::StreamConfig;
+use gossip_types::Duration;
+use gossip_udp::cluster::{ClusterConfig, UdpCluster};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let secs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    assert!(n >= 2, "need a source and at least one receiver");
+
+    let config = ClusterConfig {
+        n,
+        gossip: GossipConfig::new(5).with_gossip_period(Duration::from_millis(100)),
+        stream: StreamConfig {
+            rate_bps: 300_000,
+            packet_payload_bytes: 1000,
+            window: WindowParams::new(20, 4),
+        },
+        upload_cap_bps: Some(2_000_000),
+        source_uncapped: true,
+        max_backlog: Duration::from_secs(5),
+        stream_duration: Duration::from_secs(secs),
+        drain_duration: Duration::from_secs(2),
+        seed: 42,
+        inject_loss: 0.0,
+        crashes: Vec::new(),
+    };
+
+    println!(
+        "streaming {} kbps to {} receivers over loopback UDP for {secs} s...",
+        config.stream.rate_bps / 1000,
+        n - 1
+    );
+    let report = UdpCluster::run(config).expect("cluster runs");
+
+    println!("\nresults:");
+    println!("  windows measured per node: {}", report.windows_measured);
+    println!(
+        "  receivers decoding every window: {}/{}",
+        report.nodes_all_windows_ok(),
+        report.receivers()
+    );
+    println!(
+        "  average complete windows: {:.1}%",
+        report.quality.average_quality_percent(Duration::MAX)
+    );
+    println!("  windows byte-verified through real Reed-Solomon: {}", report.windows_verified);
+    let sent: u64 = report.nodes.iter().map(|r| r.sent_msgs).sum();
+    let recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
+    let errs: u64 = report.nodes.iter().map(|r| r.decode_errors).sum();
+    println!("  datagrams sent {sent}, received {recv}, malformed {errs}");
+}

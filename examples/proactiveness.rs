@@ -1,0 +1,22 @@
+//! Proactiveness knobs: local view refresh (`X`) vs explicit feed-me
+//! requests (`Y`) — Figures 5 and 6 in miniature.
+//!
+//! ```text
+//! cargo run --release --example proactiveness
+//! ```
+//!
+//! `X` controls how often `selectNodes` re-draws the partner set; `Y` makes
+//! nodes ask peers to adopt them instead. The paper's conclusion — plain
+//! `X = 1` is the sweet spot, and feed-me buys nothing — falls out of the
+//! same simulation.
+
+use gossip_experiments::figures::{fig5_refresh, fig6_feedme};
+use gossip_experiments::Scale;
+
+fn main() {
+    let scale = Scale::Tiny;
+    println!("view refresh sweep (X), {} nodes:\n", scale.nodes());
+    println!("{}", fig5_refresh::run(scale, 42));
+    println!("feed-me sweep (Y), X = inf:\n");
+    println!("{}", fig6_feedme::run(scale, 42));
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the gossip-streaming workspace.
+//!
+//! Re-exports the public crates so examples and downstream users can depend
+//! on a single package. See the individual crates for full documentation:
+//!
+//! * [`gossip_core`] — the three-phase gossip protocol (the paper's
+//!   contribution);
+//! * [`gossip_stream`] — the live-streaming layer (source, player, quality);
+//! * [`gossip_fec`] — systematic Reed–Solomon erasure coding;
+//! * [`gossip_sim`] / [`gossip_net`] — the deterministic simulation substrate;
+//! * [`gossip_experiments`] — the figure-by-figure reproduction harness;
+//! * [`gossip_udp`] — the real-socket runtime.
+
+#![forbid(unsafe_code)]
+
+pub use gossip_core as core;
+pub use gossip_experiments as experiments;
+pub use gossip_fec as fec;
+pub use gossip_membership as membership;
+pub use gossip_metrics as metrics;
+pub use gossip_net as net;
+pub use gossip_sim as sim;
+pub use gossip_stream as stream;
+pub use gossip_types as types;
+pub use gossip_udp as udp;

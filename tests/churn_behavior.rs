@@ -1,0 +1,98 @@
+//! Integration tests for behaviour under catastrophic churn (the paper's
+//! Figures 7 and 8).
+
+use gossip_core::GossipConfig;
+use gossip_experiments::Scenario;
+use gossip_net::ChurnPlan;
+use gossip_sim::DetRng;
+use gossip_types::{Duration, NodeId, Time};
+
+fn churned(fanout: usize, x: Option<u32>, pct: f64, seed: u64) -> gossip_experiments::RunResult {
+    let scenario = Scenario::tiny(fanout).with_seed(seed);
+    let mut rng = DetRng::seed_from(seed).split(0xC0FFEE);
+    let churn = ChurnPlan::catastrophic(
+        Time::ZERO + scenario.stream_duration / 2,
+        scenario.n,
+        pct,
+        &[NodeId::new(0)],
+        &mut rng,
+    );
+    scenario
+        .with_gossip(GossipConfig::new(fanout).with_refresh_rounds(x))
+        .with_churn(churn)
+        .run()
+}
+
+/// A fully dynamic view keeps delivering most of the stream through heavy
+/// churn — Figure 8's headline.
+#[test]
+fn x1_survives_heavy_churn() {
+    for pct in [0.2, 0.5] {
+        let result = churned(6, Some(1), pct, 11);
+        let avg = result.quality.average_quality_percent(Duration::from_secs(20));
+        assert!(avg > 70.0, "X=1 at {:.0}% churn: avg quality {avg}%", pct * 100.0);
+    }
+}
+
+/// Averaged over seeds, the dynamic view (X=1) beats the static mesh
+/// (X=∞) under churn. Single runs are noisy at 20 nodes — the paper itself
+/// reports wild variability for static meshes — so this compares means.
+#[test]
+fn x1_beats_static_mesh_on_average() {
+    let seeds = [3u64, 11, 23, 31];
+    let mean = |x: Option<u32>| {
+        seeds
+            .iter()
+            .map(|&s| churned(6, x, 0.35, s).quality.average_quality_percent(Duration::from_secs(20)))
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let dynamic = mean(Some(1));
+    let static_mesh = mean(None);
+    assert!(
+        dynamic + 2.0 >= static_mesh,
+        "X=1 mean ({dynamic:.1}%) should not trail X=inf mean ({static_mesh:.1}%)"
+    );
+}
+
+/// Victims stop consuming *and* serving: the survivors' reports exclude
+/// them entirely.
+#[test]
+fn victims_disappear_from_reports() {
+    let scenario = Scenario::tiny(6).with_seed(13);
+    let n = scenario.n;
+    let mut rng = DetRng::seed_from(13);
+    let churn = ChurnPlan::catastrophic(Time::from_secs(5), n, 0.3, &[NodeId::new(0)], &mut rng);
+    let victims = churn.all_victims().len();
+    assert!(victims > 0);
+    let result = scenario.with_churn(churn).run();
+    assert_eq!(result.quality.nodes().len(), n - 1 - victims);
+    assert_eq!(result.upload_kbps.len(), n - 1 - victims);
+}
+
+/// Churn at the very start (before any dissemination) still lets the
+/// survivors view the stream.
+#[test]
+fn early_churn_is_survivable() {
+    let scenario = Scenario::tiny(6).with_seed(17);
+    let mut rng = DetRng::seed_from(17);
+    let churn =
+        ChurnPlan::catastrophic(Time::from_millis(100), scenario.n, 0.25, &[NodeId::new(0)], &mut rng);
+    let result = scenario.with_churn(churn).run();
+    let avg = result.quality.average_quality_percent(Duration::MAX);
+    assert!(avg > 80.0, "early churn should not doom the survivors: {avg}%");
+}
+
+/// 80% simultaneous failure degrades but does not zero the stream for
+/// survivors with a dynamic view (Figure 8's rightmost point).
+#[test]
+fn extreme_churn_degrades_gracefully() {
+    let result = churned(6, Some(1), 0.8, 19);
+    let avg = result.quality.average_quality_percent(Duration::from_secs(20));
+    assert!(avg > 30.0, "X=1 at 80% churn should still deliver something: {avg}%");
+    let baseline = churned(6, Some(1), 0.0, 19);
+    assert!(
+        baseline.quality.average_quality_percent(Duration::from_secs(20)) >= avg,
+        "churn cannot improve quality"
+    );
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: end-to-end dissemination through the
+//! simulated deployment.
+
+use gossip_core::GossipConfig;
+use gossip_experiments::{Scale, Scenario};
+use gossip_types::Duration;
+
+/// With a fanout comfortably above ln(n) and light load, (almost) every
+/// node views the whole stream.
+#[test]
+fn adequate_fanout_reaches_everyone() {
+    let result = Scenario::tiny(6).with_seed(3).run();
+    let offline = result.quality.percent_viewing(0.01, Duration::MAX);
+    assert!(offline >= 85.0, "offline viewing {offline}% too low");
+    let avg = result.quality.average_quality_percent(Duration::MAX);
+    assert!(avg >= 98.0, "average quality {avg}% too low");
+}
+
+/// Far below the ln(n) threshold, dissemination fails for a large share of
+/// nodes — the left side of Figure 1.
+#[test]
+fn starved_fanout_fails() {
+    let ok = Scenario::tiny(6).with_seed(5).run();
+    let starved = Scenario::tiny(1).with_seed(5).run();
+    let ok_q = ok.quality.average_quality_percent(Duration::MAX);
+    let starved_q = starved.quality.average_quality_percent(Duration::MAX);
+    assert!(
+        starved_q < ok_q - 20.0,
+        "fanout 1 ({starved_q}%) must be far worse than fanout 6 ({ok_q}%)"
+    );
+}
+
+/// The same seed reproduces the run event for event; different seeds do
+/// not.
+#[test]
+fn determinism_end_to_end() {
+    let a = Scenario::tiny(5).with_seed(77).run();
+    let b = Scenario::tiny(5).with_seed(77).run();
+    let c = Scenario::tiny(5).with_seed(78).run();
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.upload_kbps, b.upload_kbps);
+    assert_eq!(
+        a.quality.average_quality_percent(Duration::MAX),
+        b.quality.average_quality_percent(Duration::MAX)
+    );
+    assert_ne!(a.events_processed, c.events_processed);
+}
+
+/// Upload caps bind: no receiver's long-run upload exceeds its cap.
+#[test]
+fn caps_are_respected() {
+    let result = Scenario::tiny(8).with_seed(2).run();
+    for (i, &kbps) in result.upload_kbps.iter().enumerate() {
+        assert!(kbps <= 600.0 * 1.02, "receiver {i} upload {kbps} kbps exceeds the 600 kbps cap");
+    }
+}
+
+/// Quality is monotone in allowed lag, and offline dominates every finite
+/// lag.
+#[test]
+fn quality_is_monotone_in_lag() {
+    let result = Scenario::tiny(6).with_seed(9).run();
+    let lags: Vec<Duration> =
+        (1..=6).map(|s| Duration::from_secs(s * 5)).chain([Duration::MAX]).collect();
+    let series: Vec<f64> =
+        lags.iter().map(|&l| result.quality.average_quality_percent(l)).collect();
+    assert!(
+        series.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+        "quality must be monotone in lag: {series:?}"
+    );
+}
+
+/// Disabling retransmission (K = 1) leaves visible holes under loss;
+/// the default budget repairs them.
+#[test]
+fn retransmission_repairs_losses() {
+    let lossy = gossip_net::LossModel::Bernoulli(0.01);
+    let without = Scenario::tiny(6)
+        .with_seed(4)
+        .with_loss(lossy)
+        .with_gossip(GossipConfig::new(6).with_max_requests(1))
+        .run();
+    let with = Scenario::tiny(6)
+        .with_seed(4)
+        .with_loss(lossy)
+        .with_gossip(GossipConfig::new(6).with_max_requests(3))
+        .run();
+    let q_without = without.quality.average_quality_percent(Duration::MAX);
+    let q_with = with.quality.average_quality_percent(Duration::MAX);
+    assert!(
+        q_with >= q_without,
+        "retransmission must not hurt: K=3 {q_with}% vs K=1 {q_without}%"
+    );
+    assert!(with.protocol.retransmit_requests > 0, "retransmissions must fire under loss");
+}
+
+/// The source is never counted among the receivers' quality reports.
+#[test]
+fn source_excluded_from_metrics() {
+    let scenario = Scenario::tiny(5).with_seed(6);
+    let result = scenario.run();
+    assert_eq!(result.quality.nodes().len(), scenario.n - 1);
+    assert_eq!(result.upload_kbps.len(), scenario.n - 1);
+    assert!(result.source_upload_kbps > 0.0);
+}
+
+/// Dissemination depth matches epidemic theory: with fanout f over n
+/// nodes, packets reach everyone within O(log n / log f) hops.
+#[test]
+fn dissemination_depth_is_logarithmic() {
+    let result = Scenario::tiny(6).with_seed(12).with_depth_tracking().run();
+    let depth = result.depth.expect("tracking enabled");
+    assert!(depth.deliveries > 1000, "most packets tracked: {depth:?}");
+    // ln(20)/ln(6) ≈ 1.7; allow generous slack for the request indirection
+    // and retransmissions.
+    assert!(depth.mean >= 1.0, "receivers are at least one hop out: {depth:?}");
+    assert!(depth.mean <= 5.0, "mean depth should stay logarithmic: {depth:?}");
+    assert!(depth.max <= 15, "no pathological chains: {depth:?}");
+}
+
+/// Depth tracking is off by default and costs nothing.
+#[test]
+fn depth_tracking_is_opt_in() {
+    let result = Scenario::tiny(5).with_seed(12).run();
+    assert!(result.depth.is_none());
+}
+
+/// Scale presets expose coherent parameters.
+#[test]
+fn scale_presets_are_coherent() {
+    for scale in [Scale::Full, Scale::Quick, Scale::Tiny] {
+        let s = Scenario::at_scale(scale, 5);
+        assert_eq!(s.n, scale.nodes());
+        assert!(s.last_measured_window() > s.measure_from_window);
+        assert!(s.total_duration() > s.stream_duration);
+    }
+}

@@ -1,0 +1,102 @@
+//! Failure-injection integration tests: loss storms, bursty channels,
+//! starved links and pathological configurations.
+
+use gossip_experiments::Scenario;
+use gossip_net::{LatencyModel, LossModel};
+use gossip_types::Duration;
+
+/// Heavy random loss (5% of datagrams) degrades quality but does not
+/// deadlock or panic, and FEC + retransmission keep the average usable.
+#[test]
+fn heavy_random_loss() {
+    let result = Scenario::tiny(6).with_seed(21).with_loss(LossModel::Bernoulli(0.05)).run();
+    let avg = result.quality.average_quality_percent(Duration::MAX);
+    assert!(avg > 50.0, "5% loss should be survivable: {avg}%");
+    assert!(result.protocol.retransmit_requests > 0);
+}
+
+/// Bursty (Gilbert–Elliott) loss is harsher than the same average rate of
+/// independent loss, but the run completes and delivers.
+#[test]
+fn bursty_loss() {
+    let bursty = LossModel::GilbertElliott {
+        p_enter_bad: 0.005,
+        p_exit_bad: 0.1,
+        loss_good: 0.001,
+        loss_bad: 0.5,
+    };
+    let result = Scenario::tiny(6).with_seed(23).with_loss(bursty).run();
+    let avg = result.quality.average_quality_percent(Duration::MAX);
+    assert!(avg > 40.0, "bursty loss should be survivable: {avg}%");
+}
+
+/// Starved uplinks (caps below the stream rate) cannot carry the stream —
+/// quality collapses rather than hangs. The source must be capped too: at
+/// 20 nodes an unconstrained source with `source_fanout = 7` can feed most
+/// of the swarm single-handedly.
+#[test]
+fn starved_uplinks_collapse_cleanly() {
+    let mut scenario = Scenario::tiny(6).with_seed(25).with_upload_cap_kbps(Some(150));
+    scenario.source_uncapped = false;
+    let result = scenario.run();
+    let avg = result.quality.average_quality_percent(Duration::from_secs(20));
+    assert!(avg < 60.0, "150 kbps caps cannot carry a 300 kbps stream: {avg}%");
+    assert!(result.net.msgs_dropped > 0, "overload must surface as drops");
+}
+
+/// Extreme latency heterogeneity (all nodes slow and jittery) stretches lag
+/// but the stream still arrives offline.
+#[test]
+fn slow_jittery_network() {
+    let slow = LatencyModel::TwoClass {
+        good: (Duration::from_millis(200), Duration::from_millis(400)),
+        bad: (Duration::from_millis(500), Duration::from_millis(900)),
+        bad_fraction: 0.5,
+        jitter_sigma: 0.5,
+    };
+    let result = Scenario::tiny(6).with_seed(27).with_latency(slow).run();
+    let offline = result.quality.average_quality_percent(Duration::MAX);
+    assert!(offline > 80.0, "latency alone must not lose data: {offline}%");
+}
+
+/// A shallow throttling queue (aggressive drop-tail) hurts more than the
+/// default deep queue under the same workload.
+#[test]
+fn shallow_queue_hurts() {
+    let deep = Scenario::tiny(8).with_seed(29).run();
+    let shallow =
+        Scenario::tiny(8).with_seed(29).with_max_queue_delay(Duration::from_millis(200)).run();
+    let q_deep = deep.quality.average_quality_percent(Duration::MAX);
+    let q_shallow = shallow.quality.average_quality_percent(Duration::MAX);
+    assert!(
+        q_deep + 1e-9 >= q_shallow,
+        "deep queue ({q_deep}%) must not lose to shallow ({q_shallow}%)"
+    );
+}
+
+/// Fanout larger than the membership saturates at n-1 and still works.
+#[test]
+fn oversized_fanout_saturates() {
+    let result = Scenario::tiny(50).with_seed(31).run();
+    // 20-node deployment: fanout clamps to 19. The run completes; quality
+    // is whatever the caps allow.
+    assert!(result.events_processed > 1000);
+}
+
+/// Disabling FEC (no parity) makes every single packet loss a window loss;
+/// parity buys a visible margin under loss.
+#[test]
+fn fec_margin_under_loss() {
+    let loss = LossModel::Bernoulli(0.01);
+    let mut no_fec = Scenario::tiny(6).with_seed(33).with_loss(loss);
+    no_fec.stream.window = gossip_fec::WindowParams::new(30, 0);
+    let mut with_fec = Scenario::tiny(6).with_seed(33).with_loss(loss);
+    with_fec.stream.window = gossip_fec::WindowParams::new(30, 4);
+
+    let q_none = no_fec.run().quality.average_quality_percent(Duration::MAX);
+    let q_fec = with_fec.run().quality.average_quality_percent(Duration::MAX);
+    assert!(
+        q_fec + 1e-9 >= q_none,
+        "parity must not hurt: with {q_fec}% vs without {q_none}%"
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration tests of the real-socket runtime, and agreement between the
+//! simulator and the UDP deployment on the same workload class.
+
+use gossip_core::GossipConfig;
+use gossip_fec::WindowParams;
+use gossip_stream::StreamConfig;
+use gossip_types::Duration;
+use gossip_udp::cluster::{ClusterConfig, UdpCluster};
+
+fn small_cluster(n: usize, secs: u64) -> ClusterConfig {
+    ClusterConfig {
+        n,
+        gossip: GossipConfig::new(4).with_gossip_period(Duration::from_millis(100)),
+        stream: StreamConfig {
+            rate_bps: 200_000,
+            packet_payload_bytes: 500,
+            window: WindowParams::new(10, 3),
+        },
+        upload_cap_bps: Some(2_000_000),
+        source_uncapped: true,
+        max_backlog: Duration::from_secs(5),
+        stream_duration: Duration::from_secs(secs),
+        drain_duration: Duration::from_secs(2),
+        seed: 7,
+        inject_loss: 0.0,
+        crashes: Vec::new(),
+    }
+}
+
+/// Injected datagram loss degrades but does not break the deployment: FEC
+/// and retransmission cover a few percent of loss on real sockets too.
+#[test]
+fn udp_cluster_survives_injected_loss() {
+    let mut config = small_cluster(8, 4);
+    config.inject_loss = 0.02;
+    let report = UdpCluster::run(config).expect("cluster runs");
+    let avg = report.quality.average_quality_percent(Duration::MAX);
+    assert!(avg >= 60.0, "2% injected loss should be survivable: {avg}%");
+}
+
+/// Crashing receivers mid-run leaves the survivors streaming.
+#[test]
+fn udp_cluster_survives_crashes() {
+    let mut config = small_cluster(10, 5);
+    config.crashes = vec![(3, Duration::from_secs(2)), (4, Duration::from_secs(2))];
+    let report = UdpCluster::run(config).expect("cluster runs");
+    // Judge only the survivors (victims obviously miss late windows).
+    let survivors: Vec<_> = report
+        .quality
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ![2usize, 3].contains(i)) // receiver indices of nodes 3 and 4
+        .map(|(_, q)| q.complete_fraction())
+        .collect();
+    let avg = 100.0 * survivors.iter().sum::<f64>() / survivors.len() as f64;
+    assert!(avg >= 60.0, "survivors should keep streaming: {avg:.1}%");
+}
+
+/// The loopback deployment disseminates the stream to (almost) every node
+/// and the received windows byte-verify through the real Reed–Solomon
+/// decoder.
+#[test]
+fn udp_cluster_disseminates_and_verifies() {
+    let report = UdpCluster::run(small_cluster(8, 4)).expect("cluster runs");
+    let avg = report.quality.average_quality_percent(Duration::MAX);
+    assert!(avg >= 80.0, "average quality {avg}% too low for a loopback run");
+    assert!(report.windows_verified > 0, "windows must byte-verify");
+    let decode_errors: u64 = report.nodes.iter().map(|n| n.decode_errors).sum();
+    assert_eq!(decode_errors, 0);
+}
+
+/// The sim and the UDP runtime drive the *same* protocol state machine:
+/// both must reach high offline quality on an equivalent lightly-loaded
+/// workload. (Wall-clock scheduling differs, so agreement is qualitative —
+/// both succeed — rather than event-exact.)
+#[test]
+fn sim_and_udp_agree_qualitatively() {
+    // UDP side.
+    let udp = UdpCluster::run(small_cluster(8, 4)).expect("cluster runs");
+    let udp_q = udp.quality.average_quality_percent(Duration::MAX);
+
+    // Simulated side: same scale regime (light load, ample caps).
+    let sim = gossip_experiments::Scenario::tiny(6)
+        .with_seed(7)
+        .with_upload_cap_kbps(Some(2_000))
+        .run();
+    let sim_q = sim.quality.average_quality_percent(Duration::MAX);
+
+    assert!(udp_q >= 80.0, "udp quality {udp_q}%");
+    assert!(sim_q >= 90.0, "sim quality {sim_q}%");
+}
+
+/// Shapers actually limit throughput: with a tight cap, a node cannot send
+/// faster than configured.
+#[test]
+fn shaper_limits_throughput() {
+    let mut config = small_cluster(4, 3);
+    config.upload_cap_bps = Some(300_000);
+    let report = UdpCluster::run(config).expect("cluster runs");
+    let elapsed_secs = 5.0; // 3 s stream + 2 s drain
+    for node in report.nodes.iter().skip(1) {
+        let kbps = node.sent_bytes as f64 * 8.0 / 1000.0 / elapsed_secs;
+        assert!(kbps <= 330.0, "node {} sent {kbps:.0} kbps through a 300 kbps shaper", node.id);
+    }
+}
