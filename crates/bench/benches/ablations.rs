@@ -77,9 +77,8 @@ fn ablation_throttle(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_throttle");
     g.sample_size(10);
     for secs in [1u64, 5, 25] {
-        let scenario = Scenario::tiny(6)
-            .with_seed(SEED)
-            .with_max_queue_delay(Duration::from_secs(secs));
+        let scenario =
+            Scenario::tiny(6).with_seed(SEED).with_max_queue_delay(Duration::from_secs(secs));
         report(&format!("queue={secs}s"), &scenario);
         g.bench_function(format!("queue_{secs}s"), |b| {
             b.iter(|| black_box(scenario.run().events_processed));

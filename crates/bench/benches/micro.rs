@@ -93,8 +93,7 @@ fn bench_upload_link(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1000));
     g.bench_function("enqueue_complete_1k", |b| {
         b.iter(|| {
-            let mut link: UploadLink<u32> =
-                UploadLink::new(Some(700_000), Duration::from_secs(60));
+            let mut link: UploadLink<u32> = UploadLink::new(Some(700_000), Duration::from_secs(60));
             let mut now = Time::ZERO;
             let mut next = match link.enqueue(now, 1000, 0) {
                 gossip_net::Enqueued::Started { completes_at } => completes_at,
@@ -119,8 +118,7 @@ fn bench_upload_link(c: &mut Criterion) {
 
 fn bench_wire_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_codec");
-    let serve: Message<TestEvent> =
-        Message::Serve { events: vec![TestEvent::new(42, 1000)] };
+    let serve: Message<TestEvent> = Message::Serve { events: vec![TestEvent::new(42, 1000)] };
     let propose: Message<TestEvent> = Message::Propose { ids: (0..15).collect() };
     g.bench_function("encode_serve", |b| {
         b.iter(|| black_box(encode_message(NodeId::new(1), black_box(&serve))));

@@ -1,0 +1,232 @@
+//! Workspace-local stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness, so
+//! `cargo bench` works without a registry.
+//!
+//! It implements the subset of the criterion API the workspace's benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! group `sample_size` / `throughput` / `finish`, the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`Throughput`] — with a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Results print as `name: median time [± spread] (throughput)` lines.
+//!
+//! The measurement loop auto-calibrates the per-sample iteration count so
+//! each sample runs for at least ~20 ms (or once, for slow benchmarks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver (stand-in).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, Some(self.sample_size), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one sample takes >= 20 ms,
+    // so cheap benchmarks are not dominated by timer resolution.
+    let mut iters = 1u64;
+    let per_iter_estimate;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 24 {
+            per_iter_estimate = b.elapsed / iters.max(1) as u32;
+            break;
+        }
+        iters = if b.elapsed.is_zero() {
+            iters * 16
+        } else {
+            // Aim straight for ~25 ms.
+            let needed = (Duration::from_millis(25).as_nanos() / b.elapsed.as_nanos().max(1))
+                .clamp(2, 16) as u64;
+            (iters * needed).min(1 << 24)
+        };
+    }
+
+    // For slow benchmarks cap the total wall-clock at ~2 s.
+    let samples = sample_size.unwrap_or(10).min(
+        (Duration::from_secs(2).as_nanos()
+            / per_iter_estimate.as_nanos().max(1)
+            / u128::from(iters))
+        .clamp(2, 100) as usize,
+    );
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let spread = times[times.len() - 1].saturating_sub(times[0]);
+
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(b) => format_rate(per_sec(b), "B/s"),
+            Throughput::Elements(e) => format_rate(per_sec(e), "elem/s"),
+        }
+    });
+    match rate {
+        Some(rate) => println!("{name}: {median:?} (± {spread:?}) {rate}"),
+        None => println!("{name}: {median:?} (± {spread:?})"),
+    }
+}
+
+fn format_rate(mut v: f64, unit: &str) -> String {
+    for prefix in ["", "K", "M", "G", "T"] {
+        if v < 1000.0 {
+            return format!("{v:.1} {prefix}{unit}");
+        }
+        v /= 1000.0;
+    }
+    format!("{v:.1} P{unit}")
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` / `--test` arguments are accepted
+            // and ignored by this stand-in.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_apply_settings() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(10));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(format_rate(1234.0, "B/s"), "1.2 KB/s");
+        assert_eq!(format_rate(10.0, "B/s"), "10.0 B/s");
+    }
+}

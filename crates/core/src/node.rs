@@ -165,7 +165,12 @@ impl<E: Event> GossipNode<E> {
     /// Creates the stream source. The source proposes with
     /// [`GossipConfig::source_fanout`] (7 in all the paper's experiments)
     /// and never requests events.
-    pub fn new_source(id: NodeId, config: GossipConfig, membership: Vec<NodeId>, seed: u64) -> Self {
+    pub fn new_source(
+        id: NodeId,
+        config: GossipConfig,
+        membership: Vec<NodeId>,
+        seed: u64,
+    ) -> Self {
         let mut node = GossipNode::new(id, config, membership, seed);
         node.is_source = true;
         node
@@ -282,7 +287,8 @@ impl<E: Event> GossipNode<E> {
         if !ids.is_empty() {
             for p in partners {
                 self.stats.proposes_sent += 1;
-                self.outputs.push_back(Output::Send { to: p, msg: Message::Propose { ids: ids.clone() } });
+                self.outputs
+                    .push_back(Output::Send { to: p, msg: Message::Propose { ids: ids.clone() } });
             }
         }
 
@@ -319,8 +325,10 @@ impl<E: Event> GossipNode<E> {
         }
         self.stats.retransmit_requests += 1;
         self.stats.requests_sent += 1;
-        self.outputs
-            .push_back(Output::Send { to: entry.peer, msg: Message::Request { ids: missing.clone() } });
+        self.outputs.push_back(Output::Send {
+            to: entry.peer,
+            msg: Message::Request { ids: missing.clone() },
+        });
         // Re-arm with exponential backoff while the budget lasts (checked
         // again on expiry).
         let can_retry_more = missing.iter().any(|id| {
@@ -388,8 +396,10 @@ impl<E: Event> GossipNode<E> {
         }
         for chunk in events.chunks(self.config.max_serve_events_per_message) {
             self.stats.serves_sent += 1;
-            self.outputs
-                .push_back(Output::Send { to: from, msg: Message::Serve { events: chunk.to_vec() } });
+            self.outputs.push_back(Output::Send {
+                to: from,
+                msg: Message::Serve { events: chunk.to_vec() },
+            });
         }
     }
 
@@ -521,8 +531,7 @@ mod tests {
 
     #[test]
     fn publish_delivers_locally_and_proposes_next_round() {
-        let mut node =
-            GossipNode::new_source(NodeId::new(0), GossipConfig::new(3), members(10), 1);
+        let mut node = GossipNode::new_source(NodeId::new(0), GossipConfig::new(3), members(10), 1);
         node.publish(Time::ZERO, TestEvent::new(42, 100));
         let out = drain(&mut node);
         assert!(matches!(out[0], Output::Deliver { event } if event.id() == 42));
@@ -653,7 +662,11 @@ mod tests {
         assert_eq!(timer.1, Time::ZERO + Duration::from_millis(8000), "initial RTO");
 
         // Event 1 arrives; event 2 does not.
-        node.on_message(Time::from_millis(100), peer, Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        node.on_message(
+            Time::from_millis(100),
+            peer,
+            Message::Serve { events: vec![TestEvent::new(1, 10)] },
+        );
         drain(&mut node);
 
         // Timer fires: only id 2 is re-requested, and a new timer is armed.
@@ -697,7 +710,11 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        node.on_message(Time::from_millis(50), peer, Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        node.on_message(
+            Time::from_millis(50),
+            peer,
+            Message::Serve { events: vec![TestEvent::new(1, 10)] },
+        );
         drain(&mut node);
         node.on_timer(at, token);
         let out = drain(&mut node);
@@ -737,7 +754,10 @@ mod tests {
         let mut node = GossipNode::new(NodeId::new(1), config, members(20), 1);
         node.on_round(Time::ZERO);
         let r1 = drain(&mut node);
-        assert_eq!(r1.iter().filter(|o| matches!(o, Output::Send { msg: Message::FeedMe, .. })).count(), 0);
+        assert_eq!(
+            r1.iter().filter(|o| matches!(o, Output::Send { msg: Message::FeedMe, .. })).count(),
+            0
+        );
         node.on_round(Time::from_millis(200));
         let r2 = drain(&mut node);
         assert_eq!(
@@ -754,10 +774,8 @@ mod tests {
         node.on_round(Time::ZERO); // initialise the view
         drain(&mut node);
         let before = node.partners().to_vec();
-        let newcomer = (0..30)
-            .map(NodeId::new)
-            .find(|id| !before.contains(id) && *id != node.id())
-            .unwrap();
+        let newcomer =
+            (0..30).map(NodeId::new).find(|id| !before.contains(id) && *id != node.id()).unwrap();
         node.on_message(Time::ZERO, newcomer, Message::FeedMe);
         assert!(node.partners().contains(&newcomer));
         assert_eq!(node.stats().feedmes_adopted, 1);
@@ -767,7 +785,11 @@ mod tests {
     fn store_pruning_forgets_old_payloads_but_not_requests() {
         let config = GossipConfig::new(2).with_retention(Duration::from_secs(10));
         let mut node = GossipNode::new(NodeId::new(1), config, members(5), 1);
-        node.on_message(Time::ZERO, NodeId::new(2), Message::Serve { events: vec![TestEvent::new(1, 10)] });
+        node.on_message(
+            Time::ZERO,
+            NodeId::new(2),
+            Message::Serve { events: vec![TestEvent::new(1, 10)] },
+        );
         drain(&mut node);
         assert_eq!(node.stored_events(), 1);
 
@@ -793,7 +815,11 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed: u64| {
             let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(5), members(50), seed);
-            node.on_message(Time::ZERO, NodeId::new(2), Message::Serve { events: vec![TestEvent::new(1, 10)] });
+            node.on_message(
+                Time::ZERO,
+                NodeId::new(2),
+                Message::Serve { events: vec![TestEvent::new(1, 10)] },
+            );
             drain(&mut node);
             node.on_round(Time::from_millis(200));
             sends(&drain(&mut node)).iter().map(|(to, _)| *to).collect::<Vec<_>>()

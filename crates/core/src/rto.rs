@@ -113,7 +113,11 @@ mod tests {
     use super::*;
 
     fn est() -> RttEstimator {
-        RttEstimator::new(Duration::from_millis(1000), Duration::from_millis(200), Duration::from_secs(20))
+        RttEstimator::new(
+            Duration::from_millis(1000),
+            Duration::from_millis(200),
+            Duration::from_secs(20),
+        )
     }
 
     #[test]

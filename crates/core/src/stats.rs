@@ -1,14 +1,12 @@
 //! Per-node protocol counters.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters of the protocol's activity on one node.
 ///
 /// These are diagnostics — none of the paper's metrics depend on them — but
 /// they make congestion collapse legible: at high fanouts
 /// [`ProtocolStats::proposes_sent`] explodes while
 /// [`ProtocolStats::serves_received`] stalls.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
     /// Gossip rounds executed.
     pub rounds: u64,
@@ -71,7 +69,8 @@ mod tests {
     #[test]
     fn merge_adds_everything() {
         let mut a = ProtocolStats { rounds: 1, proposes_sent: 2, ..Default::default() };
-        let b = ProtocolStats { rounds: 10, serves_sent: 5, feedmes_adopted: 1, ..Default::default() };
+        let b =
+            ProtocolStats { rounds: 10, serves_sent: 5, feedmes_adopted: 1, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.rounds, 11);
         assert_eq!(a.proposes_sent, 2);

@@ -220,10 +220,7 @@ mod tests {
         let m = members(60);
         let me = NodeId::new(0);
         view.select(5, &m, me, &mut rng);
-        let newcomer = (1..60)
-            .map(NodeId::new)
-            .find(|id| !view.current().contains(id))
-            .unwrap();
+        let newcomer = (1..60).map(NodeId::new).find(|id| !view.current().contains(id)).unwrap();
         view.adopt(newcomer, &mut rng);
         // Round 2 and 3 keep the adopted partner (X=3: refresh on round 4).
         assert!(view.select(5, &m, me, &mut rng).contains(&newcomer));

@@ -190,15 +190,14 @@ mod tests {
     fn round_trips_every_variant() {
         round_trip(Message::Propose { ids: vec![1, 2, u64::MAX] });
         round_trip(Message::Request { ids: vec![] });
-        round_trip(Message::Serve {
-            events: vec![TestEvent::new(9, 1000), TestEvent::new(10, 0)],
-        });
+        round_trip(Message::Serve { events: vec![TestEvent::new(9, 1000), TestEvent::new(10, 0)] });
         round_trip(Message::FeedMe);
     }
 
     #[test]
     fn truncated_datagrams_are_rejected() {
-        let bytes = encode_message(NodeId::new(1), &Message::Propose::<TestEvent> { ids: vec![1, 2, 3] });
+        let bytes =
+            encode_message(NodeId::new(1), &Message::Propose::<TestEvent> { ids: vec![1, 2, 3] });
         for cut in 0..bytes.len() {
             assert!(
                 decode_message::<TestEvent>(&bytes[..cut]).is_none(),

@@ -44,7 +44,7 @@ proptest! {
         let mut now = Time::ZERO;
         let mut timers = Vec::new();
         for input in inputs {
-            now = now + gossip_types::Duration::from_millis(10);
+            now += gossip_types::Duration::from_millis(10);
             match input {
                 Input::Propose { from, ids } => {
                     node.on_message(now, NodeId::new(from), Message::Propose { ids });

@@ -40,41 +40,44 @@ pub struct Cell {
     pub avg_complete_windows: f64,
 }
 
-/// Runs the full churn sweep (both figures' data).
+/// Runs the full churn sweep (both figures' data). Every `(X, churn %)`
+/// cell is an independent run, fanned across threads.
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Cell> {
-    let fanout = experiment_fanout(scale);
-    let mut cells = Vec::new();
+    let mut params: Vec<(Option<u32>, u32)> = Vec::new();
     for x in x_values() {
         for pct in churn_percentages() {
-            let mut churn_rng = DetRng::seed_from(seed).split(0xC0FFEE + pct as u64);
-            let crash_at = Time::ZERO + scale.stream_duration() / 2;
-            let churn = if pct == 0 {
-                ChurnPlan::none()
-            } else {
-                ChurnPlan::catastrophic(
-                    crash_at,
-                    scale.nodes(),
-                    pct as f64 / 100.0,
-                    &[NodeId::new(0)],
-                    &mut churn_rng,
-                )
-            };
-            let gossip = GossipConfig::new(fanout).with_refresh_rounds(x);
-            let result = Scenario::at_scale(scale, fanout)
-                .with_seed(seed)
-                .with_gossip(gossip)
-                .with_churn(churn)
-                .run();
-            cells.push(Cell {
-                churn_pct: pct,
-                x,
-                pct_unaffected_lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
-                pct_unaffected_offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                avg_complete_windows: result.quality.average_quality_percent(LAG_20S),
-            });
+            params.push((x, pct));
         }
     }
-    cells
+    crate::harness::SweepRunner::new().run(params, |&(x, pct)| {
+        let fanout = experiment_fanout(scale);
+        let mut churn_rng = DetRng::seed_from(seed).split(0xC0FFEE + pct as u64);
+        let crash_at = Time::ZERO + scale.stream_duration() / 2;
+        let churn = if pct == 0 {
+            ChurnPlan::none()
+        } else {
+            ChurnPlan::catastrophic(
+                crash_at,
+                scale.nodes(),
+                pct as f64 / 100.0,
+                &[NodeId::new(0)],
+                &mut churn_rng,
+            )
+        };
+        let gossip = GossipConfig::new(fanout).with_refresh_rounds(x);
+        let result = Scenario::at_scale(scale, fanout)
+            .with_seed(seed)
+            .with_gossip(gossip)
+            .with_churn(churn)
+            .run();
+        Cell {
+            churn_pct: pct,
+            x,
+            pct_unaffected_lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+            pct_unaffected_offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+            avg_complete_windows: result.quality.average_quality_percent(LAG_20S),
+        }
+    })
 }
 
 /// Runs the churn sweep `trials` times with derived seeds and averages
@@ -150,9 +153,7 @@ pub fn fig8_output(cells: &[Cell]) -> FigureOutput {
         id: "fig8",
         title: "average % of complete windows for surviving nodes (20 s lag)".to_string(),
         table,
-        notes: vec![
-            "expected: X=1 stays >90% for churn below 80%".to_string(),
-        ],
+        notes: vec!["expected: X=1 stays >90% for churn below 80%".to_string()],
     }
 }
 

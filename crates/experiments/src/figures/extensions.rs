@@ -27,38 +27,40 @@ use gossip_types::{Duration, NodeId, Time};
 
 use crate::figures::fig5_refresh::experiment_fanout;
 use crate::figures::{FigureOutput, LAG_10S, LAG_20S, MAX_JITTER, OFFLINE};
+use crate::harness::SweepRunner;
 use crate::scenario::{MembershipMode, Scale, Scenario};
 
 /// Full membership vs Cyclon partial views of several sizes.
 pub fn run_membership(scale: Scale, seed: u64) -> FigureOutput {
     let fanout = experiment_fanout(scale);
-    let mut table = Table::new(vec!["membership", "offline", "20s_lag", "10s_lag"]);
-    let mut run = |label: String, mode: MembershipMode| {
-        let result = Scenario::at_scale(scale, fanout)
-            .with_seed(seed)
-            .with_membership(mode)
-            .run();
-        table.row_f64(
-            label,
-            &[
-                result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                result.quality.percent_viewing(MAX_JITTER, LAG_20S),
-                result.quality.percent_viewing(MAX_JITTER, LAG_10S),
-            ],
-        );
-    };
-    run("full".to_string(), MembershipMode::Full);
+    let mut params: Vec<(String, MembershipMode)> =
+        vec![("full".to_string(), MembershipMode::Full)];
     for view_size in [8usize, 16, 32] {
-        let config =
-            CyclonConfig { view_size, shuffle_size: (view_size / 2).max(1) };
-        run(
+        let config = CyclonConfig { view_size, shuffle_size: (view_size / 2).max(1) };
+        params.push((
             format!("cyclon_{view_size}"),
             MembershipMode::Cyclon {
                 config,
                 shuffle_period: Duration::from_secs(1),
                 bootstrap_degree: (view_size / 2).max(2),
             },
-        );
+        ));
+    }
+    let rows = SweepRunner::new().run(params, |(label, mode)| {
+        let result =
+            Scenario::at_scale(scale, fanout).with_seed(seed).with_membership(mode.clone()).run();
+        (
+            label.clone(),
+            [
+                result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+                result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+                result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+            ],
+        )
+    });
+    let mut table = Table::new(vec!["membership", "offline", "20s_lag", "10s_lag"]);
+    for (label, values) in rows {
+        table.row_f64(label, &values);
     }
     FigureOutput {
         id: "ext_membership",
@@ -79,33 +81,30 @@ pub fn run_heterogeneous(scale: Scale, seed: u64) -> FigureOutput {
     let base = if scale == Scale::Tiny { 600u64 } else { 700 };
     let spreads: Vec<(String, Vec<(f64, u64)>)> = vec![
         ("uniform".to_string(), vec![(1.0, base * 1000)]),
-        (
-            "mild_split".to_string(),
-            vec![(0.5, (base - 100) * 1000), (0.5, (base + 100) * 1000)],
-        ),
-        (
-            "strong_split".to_string(),
-            vec![(0.5, (base - 200) * 1000), (0.5, (base + 200) * 1000)],
-        ),
+        ("mild_split".to_string(), vec![(0.5, (base - 100) * 1000), (0.5, (base + 100) * 1000)]),
+        ("strong_split".to_string(), vec![(0.5, (base - 200) * 1000), (0.5, (base + 200) * 1000)]),
         (
             "one_third_weak".to_string(),
             vec![(0.34, (base / 2) * 1000), (0.66, (base + base / 4) * 1000)],
         ),
     ];
-    let mut table = Table::new(vec!["caps", "offline", "20s_lag", "10s_lag"]);
-    for (label, classes) in spreads {
+    let rows = SweepRunner::new().run(spreads, |(label, classes)| {
         let result = Scenario::at_scale(scale, fanout)
             .with_seed(seed)
-            .with_cap_classes(classes)
+            .with_cap_classes(classes.clone())
             .run();
-        table.row_f64(
-            label,
-            &[
+        (
+            label.clone(),
+            [
                 result.quality.percent_viewing(MAX_JITTER, OFFLINE),
                 result.quality.percent_viewing(MAX_JITTER, LAG_20S),
                 result.quality.percent_viewing(MAX_JITTER, LAG_10S),
             ],
-        );
+        )
+    });
+    let mut table = Table::new(vec!["caps", "offline", "20s_lag", "10s_lag"]);
+    for (label, values) in rows {
+        table.row_f64(label, &values);
     }
     FigureOutput {
         id: "ext_heterogeneous",
@@ -120,8 +119,7 @@ pub fn run_heterogeneous(scale: Scale, seed: u64) -> FigureOutput {
 
 /// Fanout `ln n + c` across system sizes.
 pub fn run_scaling(seed: u64) -> FigureOutput {
-    let mut table = Table::new(vec!["n", "fanout", "offline", "20s_lag"]);
-    for n in [30usize, 60, 120, 230] {
+    let rows = SweepRunner::new().run(vec![30usize, 60, 120, 230], |&n| {
         let fanout = GossipConfig::theoretical_fanout(n, 2.0);
         let mut scenario = Scenario::at_scale(Scale::Quick, fanout).with_seed(seed);
         scenario.n = n;
@@ -129,44 +127,52 @@ pub fn run_scaling(seed: u64) -> FigureOutput {
         scenario.stream_duration = Duration::from_secs(45);
         scenario.drain_duration = Duration::from_secs(25);
         let result = scenario.run();
-        let mut cells = vec![n.to_string()];
-        cells.push(fanout.to_string());
-        cells.push(format!("{:.1}", result.quality.percent_viewing(MAX_JITTER, OFFLINE)));
-        cells.push(format!("{:.1}", result.quality.percent_viewing(MAX_JITTER, LAG_20S)));
+        vec![
+            n.to_string(),
+            fanout.to_string(),
+            format!("{:.1}", result.quality.percent_viewing(MAX_JITTER, OFFLINE)),
+            format!("{:.1}", result.quality.percent_viewing(MAX_JITTER, LAG_20S)),
+        ]
+    });
+    let mut table = Table::new(vec!["n", "fanout", "offline", "20s_lag"]);
+    for cells in rows {
         table.row(cells);
     }
     FigureOutput {
         id: "ext_scaling",
         title: "ln(n)+2 fanout across system sizes (600 kbps stream, 700 kbps caps)".to_string(),
         table,
-        notes: vec!["expected: the theoretical fanout stays in the good region at every n".to_string()],
+        notes: vec![
+            "expected: the theoretical fanout stays in the good region at every n".to_string()
+        ],
     }
 }
 
 /// Gossip period sensitivity at the optimal fanout.
 pub fn run_period(scale: Scale, seed: u64) -> FigureOutput {
     let fanout = experiment_fanout(scale);
-    let mut table = Table::new(vec!["period_ms", "offline", "20s_lag", "10s_lag"]);
-    for ms in [100u64, 200, 400, 800] {
-        let gossip =
-            GossipConfig::new(fanout).with_gossip_period(Duration::from_millis(ms));
-        let result =
-            Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
-        table.row_f64(
-            ms.to_string(),
-            &[
+    let rows = SweepRunner::new().run(vec![100u64, 200, 400, 800], |&ms| {
+        let gossip = GossipConfig::new(fanout).with_gossip_period(Duration::from_millis(ms));
+        let result = Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
+        (
+            ms,
+            [
                 result.quality.percent_viewing(MAX_JITTER, OFFLINE),
                 result.quality.percent_viewing(MAX_JITTER, LAG_20S),
                 result.quality.percent_viewing(MAX_JITTER, LAG_10S),
             ],
-        );
+        )
+    });
+    let mut table = Table::new(vec!["period_ms", "offline", "20s_lag", "10s_lag"]);
+    for (ms, values) in rows {
+        table.row_f64(ms.to_string(), &values);
     }
     FigureOutput {
         id: "ext_period",
         title: "gossip period sensitivity (paper fixes 200 ms)".to_string(),
         table,
         notes: vec![
-            "shorter periods cut dissemination latency but raise header overhead".to_string(),
+            "shorter periods cut dissemination latency but raise header overhead".to_string()
         ],
     }
 }
@@ -177,31 +183,21 @@ pub fn run_churn_timeline(scale: Scale, seed: u64) -> FigureOutput {
     let scenario = Scenario::at_scale(scale, fanout).with_seed(seed);
     let crash_at = Time::ZERO + scenario.stream_duration / 2;
     let mut rng = DetRng::seed_from(seed).split(0xC0FFEE);
-    let churn = ChurnPlan::catastrophic(
-        crash_at,
-        scenario.n,
-        0.2,
-        &[NodeId::new(0)],
-        &mut rng,
-    );
+    let churn = ChurnPlan::catastrophic(crash_at, scenario.n, 0.2, &[NodeId::new(0)], &mut rng);
     let result = scenario.with_churn(churn).run();
 
     // Average completeness per window index across survivors, at 20 s lag.
     let nodes = result.quality.nodes();
     let windows = nodes.first().map_or(0, |n| n.window_count());
     let wd = Scenario::at_scale(scale, fanout).stream.window_duration();
-    let crash_window =
-        (crash_at.as_micros() / wd.as_micros()) as usize;
+    let crash_window = (crash_at.as_micros() / wd.as_micros()) as usize;
     let mut table = Table::new(vec!["window", "t_rel_crash_s", "avg_complete_pct"]);
     for w in 0..windows {
-        let complete = nodes
-            .iter()
-            .filter(|n| n.window_lags()[w].is_some_and(|l| l <= LAG_20S))
-            .count();
+        let complete =
+            nodes.iter().filter(|n| n.window_lags()[w].is_some_and(|l| l <= LAG_20S)).count();
         let pct = 100.0 * complete as f64 / nodes.len() as f64;
         let first_window = 2i64; // measure_from_window default
-        let t_rel = (w as i64 + first_window - crash_window as i64) as f64
-            * wd.as_secs_f64();
+        let t_rel = (w as i64 + first_window - crash_window as i64) as f64 * wd.as_secs_f64();
         table.row(vec![w.to_string(), format!("{t_rel:.1}"), format!("{pct:.1}")]);
     }
     FigureOutput {
@@ -209,7 +205,7 @@ pub fn run_churn_timeline(scale: Scale, seed: u64) -> FigureOutput {
         title: "per-window completeness around a 20% catastrophic failure".to_string(),
         table,
         notes: vec![
-            "paper (section 4.3): losses concentrate within 5-10 s around the crash".to_string(),
+            "paper (section 4.3): losses concentrate within 5-10 s around the crash".to_string()
         ],
     }
 }

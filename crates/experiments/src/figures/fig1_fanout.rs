@@ -8,7 +8,10 @@
 
 use gossip_metrics::Table;
 
-use crate::figures::{fanout_sweep, series_table, FigureOutput, LAG_10S, LAG_20S, MAX_JITTER, OFFLINE};
+use crate::figures::{
+    fanout_sweep, series_table, FigureOutput, LAG_10S, LAG_20S, MAX_JITTER, OFFLINE,
+};
+use crate::harness::SweepRunner;
 use crate::scenario::{Scale, Scenario};
 
 /// One row of the figure.
@@ -24,20 +27,17 @@ pub struct Row {
     pub lag10: f64,
 }
 
-/// Runs the sweep and returns the raw rows.
+/// Runs the sweep (fanned across threads) and returns the raw rows.
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
-    fanout_sweep(scale)
-        .into_iter()
-        .map(|fanout| {
-            let result = Scenario::at_scale(scale, fanout).with_seed(seed).run();
-            Row {
-                fanout,
-                offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
-                lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
-            }
-        })
-        .collect()
+    SweepRunner::new().run(fanout_sweep(scale), |&fanout| {
+        let result = Scenario::at_scale(scale, fanout).with_seed(seed).run();
+        Row {
+            fanout,
+            offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+            lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+            lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+        }
+    })
 }
 
 /// Runs the figure and renders it.

@@ -11,6 +11,7 @@ use gossip_metrics::Table;
 use gossip_types::Duration;
 
 use crate::figures::FigureOutput;
+use crate::harness::SweepRunner;
 use crate::scenario::{Scale, Scenario};
 
 /// Fanouts plotted by the paper at full scale, adapted per scale.
@@ -37,21 +38,14 @@ pub struct Series {
     pub points: Vec<(Duration, f64)>,
 }
 
-/// Runs all series.
+/// Runs all series (fanned across threads).
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Series> {
     let probes = probe_lags();
-    fanouts(scale)
-        .into_iter()
-        .map(|fanout| {
-            let result = Scenario::at_scale(scale, fanout).with_seed(seed).run();
-            let points = result
-                .quality
-                .lag_cdf(0.99, &probes)
-                .into_iter()
-                .collect();
-            Series { fanout, points }
-        })
-        .collect()
+    SweepRunner::new().run(fanouts(scale), |&fanout| {
+        let result = Scenario::at_scale(scale, fanout).with_seed(seed).run();
+        let points = result.quality.lag_cdf(0.99, &probes).into_iter().collect();
+        Series { fanout, points }
+    })
 }
 
 /// Runs the figure and renders it (rows = probe lags, columns = fanouts).

@@ -8,6 +8,7 @@
 use gossip_metrics::Table;
 
 use crate::figures::{FigureOutput, LAG_10S, MAX_JITTER, OFFLINE};
+use crate::harness::SweepRunner;
 use crate::scenario::{Scale, Scenario};
 
 /// The fanout sweep (the paper plots 10–150 at n = 230).
@@ -34,23 +35,30 @@ pub struct Row {
     pub lag10_2000: f64,
 }
 
-/// Runs the sweep for both caps.
+/// Runs the sweep for both caps. Every `(fanout, cap)` pair is its own
+/// parallel run; rows are reassembled per fanout afterwards.
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
-    fanouts(scale)
+    let fanouts = fanouts(scale);
+    let mut params: Vec<(usize, u64)> = Vec::new();
+    for &fanout in &fanouts {
+        params.push((fanout, 1000));
+        params.push((fanout, 2000));
+    }
+    let measured = SweepRunner::new().run(params, |&(fanout, kbps)| {
+        let result = Scenario::at_scale(scale, fanout)
+            .with_seed(seed)
+            .with_upload_cap_kbps(Some(kbps))
+            .run();
+        (
+            result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+            result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+        )
+    });
+    fanouts
         .into_iter()
-        .map(|fanout| {
-            let run_cap = |kbps: u64| {
-                let result = Scenario::at_scale(scale, fanout)
-                    .with_seed(seed)
-                    .with_upload_cap_kbps(Some(kbps))
-                    .run();
-                (
-                    result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                    result.quality.percent_viewing(MAX_JITTER, LAG_10S),
-                )
-            };
-            let (offline_1000, lag10_1000) = run_cap(1000);
-            let (offline_2000, lag10_2000) = run_cap(2000);
+        .zip(measured.chunks_exact(2))
+        .map(|(fanout, pair)| {
+            let ((offline_1000, lag10_1000), (offline_2000, lag10_2000)) = (pair[0], pair[1]);
             Row { fanout, offline_1000, lag10_1000, offline_2000, lag10_2000 }
         })
         .collect()
@@ -59,8 +67,7 @@ pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
 /// Runs the figure and renders it.
 pub fn run(scale: Scale, seed: u64) -> FigureOutput {
     let rows = sweep(scale, seed);
-    let mut table =
-        Table::new(vec!["fanout", "off_1000k", "10s_1000k", "off_2000k", "10s_2000k"]);
+    let mut table = Table::new(vec!["fanout", "off_1000k", "10s_1000k", "off_2000k", "10s_2000k"]);
     for r in &rows {
         table.row_f64(
             r.fanout.to_string(),
@@ -72,7 +79,7 @@ pub fn run(scale: Scale, seed: u64) -> FigureOutput {
         title: "% nodes viewing with <1% jitter, 1000/2000 kbps caps".to_string(),
         table,
         notes: vec![
-            "expected: the good-fanout region widens and moves right as headroom grows".to_string(),
+            "expected: the good-fanout region widens and moves right as headroom grows".to_string()
         ],
     }
 }

@@ -46,18 +46,15 @@ impl Series {
     }
 }
 
-/// Runs all combinations.
+/// Runs all combinations (fanned across threads).
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Series> {
-    combos(scale)
-        .into_iter()
-        .map(|(fanout, cap_kbps)| {
-            let result = Scenario::at_scale(scale, fanout)
-                .with_seed(seed)
-                .with_upload_cap_kbps(Some(cap_kbps))
-                .run();
-            Series { fanout, cap_kbps, sorted_kbps: result.sorted_upload_kbps() }
-        })
-        .collect()
+    crate::harness::SweepRunner::new().run(combos(scale), |&(fanout, cap_kbps)| {
+        let result = Scenario::at_scale(scale, fanout)
+            .with_seed(seed)
+            .with_upload_cap_kbps(Some(cap_kbps))
+            .run();
+        Series { fanout, cap_kbps, sorted_kbps: result.sorted_upload_kbps() }
+    })
 }
 
 /// Runs the figure and renders it: rows are node-rank percentiles, columns

@@ -37,23 +37,19 @@ pub fn experiment_fanout(scale: Scale) -> usize {
     }
 }
 
-/// Runs the sweep over `X`.
+/// Runs the sweep over `X` (fanned across threads).
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
     let fanout = experiment_fanout(scale);
-    proactiveness_sweep()
-        .into_iter()
-        .map(|x| {
-            let gossip = GossipConfig::new(fanout).with_refresh_rounds(x);
-            let result =
-                Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
-            Row {
-                x,
-                offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
-                lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
-            }
-        })
-        .collect()
+    crate::harness::SweepRunner::new().run(proactiveness_sweep(), |&x| {
+        let gossip = GossipConfig::new(fanout).with_refresh_rounds(x);
+        let result = Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
+        Row {
+            x,
+            offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+            lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+            lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+        }
+    })
 }
 
 /// Runs the figure and renders it.

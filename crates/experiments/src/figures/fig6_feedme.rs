@@ -9,11 +9,11 @@
 use gossip_core::GossipConfig;
 use gossip_metrics::Table;
 
+use crate::figures::fig5_refresh::experiment_fanout;
 use crate::figures::{
     knob_label, proactiveness_sweep, series_table, FigureOutput, LAG_10S, LAG_20S, MAX_JITTER,
     OFFLINE,
 };
-use crate::figures::fig5_refresh::experiment_fanout;
 use crate::scenario::{Scale, Scenario};
 
 /// One row of the figure.
@@ -30,24 +30,20 @@ pub struct Row {
 }
 
 /// Runs the sweep over `Y` (with `X = ∞`, so feed-me is the only source of
-/// view dynamism — the paper's setup for this experiment).
+/// view dynamism — the paper's setup for this experiment), fanned across
+/// threads.
 pub fn sweep(scale: Scale, seed: u64) -> Vec<Row> {
     let fanout = experiment_fanout(scale);
-    proactiveness_sweep()
-        .into_iter()
-        .map(|y| {
-            let gossip =
-                GossipConfig::new(fanout).with_refresh_rounds(None).with_feedme_rounds(y);
-            let result =
-                Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
-            Row {
-                y,
-                offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
-                lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
-                lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
-            }
-        })
-        .collect()
+    crate::harness::SweepRunner::new().run(proactiveness_sweep(), |&y| {
+        let gossip = GossipConfig::new(fanout).with_refresh_rounds(None).with_feedme_rounds(y);
+        let result = Scenario::at_scale(scale, fanout).with_seed(seed).with_gossip(gossip).run();
+        Row {
+            y,
+            offline: result.quality.percent_viewing(MAX_JITTER, OFFLINE),
+            lag20: result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+            lag10: result.quality.percent_viewing(MAX_JITTER, LAG_10S),
+        }
+    })
 }
 
 /// Runs the figure and renders it.

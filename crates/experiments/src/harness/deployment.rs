@@ -1,0 +1,254 @@
+//! Deployment construction: from a [`Scenario`] description to live
+//! simulation state.
+//!
+//! Everything here is derived deterministically from the scenario seed, in a
+//! fixed order (nodes, capacity classes, links, players, latency, loss,
+//! membership bootstrap, initial schedule) so that a seed uniquely determines
+//! the whole run.
+
+use gossip_core::{GossipNode, Message};
+use gossip_membership::{CyclonView, ShuffleMessage};
+use gossip_net::{LatencySampler, LossProcess, NetStats, UploadLink};
+use gossip_sim::{DetRng, Engine};
+use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
+use gossip_types::{Duration, NodeId, Time};
+
+use crate::harness::driver::Ev;
+use crate::scenario::{MembershipMode, Scenario};
+
+/// What travels through the simulated network: protocol messages plus, in
+/// Cyclon mode, membership shuffles.
+pub(crate) enum Envelope {
+    /// A gossip protocol message.
+    Gossip(Message<StreamPacket>),
+    /// A Cyclon shuffle request/reply.
+    Shuffle(ShuffleMessage),
+}
+
+impl Envelope {
+    /// Application bytes charged against the sender's upload budget.
+    pub(crate) fn wire_size(&self) -> usize {
+        match self {
+            Envelope::Gossip(msg) => msg.wire_size(),
+            // tag + sender + count + 8 bytes per (node, age) entry
+            Envelope::Shuffle(
+                ShuffleMessage::Request(entries) | ShuffleMessage::Reply(entries),
+            ) => 7 + entries.len() * 8,
+        }
+    }
+}
+
+/// The constructed deployment: every stateful component of one simulated
+/// run, before and during execution.
+pub(crate) struct Deployment<'a> {
+    pub(crate) cfg: &'a Scenario,
+    pub(crate) nodes: Vec<GossipNode<StreamPacket>>,
+    pub(crate) players: Vec<StreamPlayer>,
+    pub(crate) links: Vec<UploadLink<(NodeId, Envelope)>>,
+    pub(crate) alive: Vec<bool>,
+    /// Cyclon views, one per node (empty in full-membership mode).
+    pub(crate) cyclon: Vec<CyclonView>,
+    /// RNG stream for membership shuffling.
+    pub(crate) membership_rng: DetRng,
+    /// Per-node receive-side accounting.
+    pub(crate) rx_stats: Vec<NetStats>,
+    pub(crate) latency: LatencySampler,
+    pub(crate) loss: LossProcess,
+    /// RNG stream for network effects (latency jitter, loss draws).
+    pub(crate) net_rng: DetRng,
+    pub(crate) source: StreamSource,
+}
+
+impl<'a> Deployment<'a> {
+    /// Builds the deployment and seeds the engine's initial schedule
+    /// (staggered gossip rounds, shuffle rounds, source emission, churn
+    /// events and the timeline probe).
+    pub(crate) fn new(cfg: &'a Scenario) -> (Self, Engine<Ev>) {
+        let mut setup_rng = DetRng::seed_from(cfg.seed).split(0xA11CE);
+        let membership: Vec<NodeId> = (0..cfg.n as u32).map(NodeId::new).collect();
+        let source_id = NodeId::new(0);
+
+        let mut nodes = Vec::with_capacity(cfg.n);
+        for &id in &membership {
+            let node = if id == source_id {
+                GossipNode::new_source(id, cfg.gossip.clone(), membership.clone(), cfg.seed)
+            } else {
+                GossipNode::new(id, cfg.gossip.clone(), membership.clone(), cfg.seed)
+            };
+            nodes.push(node);
+        }
+
+        // Per-node caps: uniform, or deterministic class assignment (the
+        // class order is shuffled so classes do not correlate with ids).
+        let class_caps: Option<Vec<u64>> = cfg.cap_classes.as_ref().map(|classes| {
+            let mut caps: Vec<u64> = Vec::with_capacity(cfg.n);
+            for &(fraction, bps) in classes {
+                let count = (fraction * cfg.n as f64).round() as usize;
+                caps.extend(std::iter::repeat_n(bps, count));
+            }
+            caps.resize(cfg.n, classes.last().map_or(0, |&(_, bps)| bps));
+            setup_rng.shuffle(&mut caps);
+            caps
+        });
+        let links = (0..cfg.n)
+            .map(|i| {
+                let cap = if i == 0 && cfg.source_uncapped {
+                    None
+                } else {
+                    match &class_caps {
+                        Some(caps) => Some(caps[i]),
+                        None => cfg.upload_cap_bps,
+                    }
+                };
+                UploadLink::new(cap, cfg.max_queue_delay)
+            })
+            .collect();
+        let players = (0..cfg.n).map(|_| StreamPlayer::new(cfg.stream)).collect();
+        let latency = LatencySampler::new(cfg.latency.clone(), cfg.n, &mut setup_rng);
+        let loss = LossProcess::new(cfg.loss, cfg.n);
+
+        // Cyclon mode: bootstrap each node with random peers.
+        let mut cyclon: Vec<CyclonView> = Vec::new();
+        if let MembershipMode::Cyclon { config, bootstrap_degree, .. } = &cfg.membership {
+            for &id in &membership {
+                let candidates: Vec<NodeId> =
+                    membership.iter().copied().filter(|&m| m != id).collect();
+                let picked = setup_rng.sample_indices(candidates.len(), *bootstrap_degree);
+                let bootstrap: Vec<NodeId> = picked.into_iter().map(|i| candidates[i]).collect();
+                cyclon.push(CyclonView::new(id, *config, &bootstrap));
+            }
+        }
+
+        let mut engine = Engine::new();
+        // Stagger gossip rounds uniformly across the period: synchronized
+        // rounds would be an artefact no real deployment exhibits.
+        let period = cfg.gossip.gossip_period;
+        for &id in &membership {
+            let phase = Duration::from_micros(setup_rng.next_below(period.as_micros()));
+            engine.schedule(Time::ZERO + phase, Ev::Round(id));
+        }
+        if let MembershipMode::Cyclon { shuffle_period, .. } = &cfg.membership {
+            for &id in &membership {
+                let phase = Duration::from_micros(setup_rng.next_below(shuffle_period.as_micros()));
+                engine.schedule(Time::ZERO + phase, Ev::ShuffleRound(id));
+            }
+        }
+        engine.schedule(Time::ZERO, Ev::SourceEmit);
+        for (k, event) in cfg.churn.events().iter().enumerate() {
+            engine.schedule(event.at, Ev::Crash(k));
+        }
+        engine.schedule(Time::from_secs(1), Ev::Probe);
+
+        let deployment = Deployment {
+            cfg,
+            nodes,
+            players,
+            links,
+            alive: vec![true; cfg.n],
+            cyclon,
+            membership_rng: DetRng::seed_from(cfg.seed).split(0x5AFF1E),
+            rx_stats: vec![NetStats::default(); cfg.n],
+            latency,
+            loss,
+            net_rng: DetRng::seed_from(cfg.seed).split(0xBEEF),
+            source: StreamSource::new(cfg.stream, Time::ZERO),
+        };
+        (deployment, engine)
+    }
+
+    /// Marks the given nodes as crashed and discards their link state.
+    pub(crate) fn crash(&mut self, victims: &[NodeId]) {
+        for v in victims {
+            if v.index() < self.alive.len() {
+                self.alive[v.index()] = false;
+                self.links[v.index()].crash();
+            }
+        }
+    }
+
+    /// In Cyclon mode, points a node's `selectNodes` at its live partial
+    /// view before a gossip round.
+    pub(crate) fn refresh_membership(&mut self, id: NodeId) {
+        if !self.cyclon.is_empty() {
+            let mut view = self.cyclon[id.index()].view();
+            view.push(id); // set_membership expects self present or absent alike
+            self.nodes[id.index()].set_membership(view);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_membership::CyclonConfig;
+    use gossip_net::Enqueued;
+
+    #[test]
+    fn construction_matches_the_scenario() {
+        let cfg = crate::Scenario::tiny(5).with_seed(3);
+        let (dep, mut engine) = Deployment::new(&cfg);
+        assert_eq!(dep.nodes.len(), cfg.n);
+        assert_eq!(dep.players.len(), cfg.n);
+        assert_eq!(dep.links.len(), cfg.n);
+        assert!(dep.alive.iter().all(|&a| a));
+        assert!(dep.cyclon.is_empty(), "full membership by default");
+        // Initial schedule: one round per node, the source emission and the
+        // probe are all pending.
+        assert!(engine.peek_time().is_some());
+    }
+
+    #[test]
+    fn source_link_is_uncapped_by_default() {
+        let cfg = crate::Scenario::tiny(5).with_seed(1);
+        let (mut dep, _) = Deployment::new(&cfg);
+        // An uncapped link transmits instantaneously: enqueueing completes
+        // at the same instant.
+        let huge = 100_000_000;
+        match dep.links[0].enqueue(
+            Time::ZERO,
+            huge,
+            (NodeId::new(1), Envelope::Gossip(Message::FeedMe)),
+        ) {
+            Enqueued::Started { completes_at } => assert_eq!(completes_at, Time::ZERO),
+            other => panic!("idle link must start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclon_mode_bootstraps_every_node() {
+        let degree = 4;
+        let cfg = crate::Scenario::tiny(5).with_seed(2).with_membership(MembershipMode::Cyclon {
+            config: CyclonConfig { view_size: 8, shuffle_size: 4 },
+            shuffle_period: Duration::from_secs(1),
+            bootstrap_degree: degree,
+        });
+        let (dep, _) = Deployment::new(&cfg);
+        assert_eq!(dep.cyclon.len(), cfg.n);
+        for (i, view) in dep.cyclon.iter().enumerate() {
+            let peers = view.view();
+            assert_eq!(peers.len(), degree, "node {i} bootstrapped with {degree} peers");
+            assert!(!peers.contains(&NodeId::new(i as u32)), "no self-loops");
+        }
+    }
+
+    #[test]
+    fn crash_discards_state() {
+        let cfg = crate::Scenario::tiny(5).with_seed(2);
+        let (mut dep, _) = Deployment::new(&cfg);
+        dep.crash(&[NodeId::new(3), NodeId::new(7)]);
+        assert!(!dep.alive[3]);
+        assert!(!dep.alive[7]);
+        assert!(dep.alive[1]);
+        // Out-of-range victims are ignored rather than panicking.
+        dep.crash(&[NodeId::new(10_000)]);
+    }
+
+    #[test]
+    fn construction_is_deterministic_per_seed() {
+        let cfg = crate::Scenario::tiny(6).with_seed(9);
+        let (dep_a, _) = Deployment::new(&cfg);
+        let (dep_b, _) = Deployment::new(&cfg);
+        let (mut rng_a, mut rng_b) = (dep_a.net_rng, dep_b.net_rng);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+}

@@ -1,0 +1,249 @@
+//! The event loop: dispatches engine events to nodes, links, players and
+//! membership views until the scenario's time horizon.
+
+use gossip_core::{Output, TimerToken};
+use gossip_net::Enqueued;
+use gossip_sim::Engine;
+use gossip_types::{Duration, NodeId, Time};
+
+use crate::harness::deployment::{Deployment, Envelope};
+use crate::harness::result::{self, DepthTracker, RunResult, RunTimeline};
+use crate::scenario::{MembershipMode, Scenario};
+
+/// Events flowing through the simulation engine.
+pub(crate) enum Ev {
+    /// A node's gossip timer fired.
+    Round(NodeId),
+    /// The source's next packet(s) are due.
+    SourceEmit,
+    /// A protocol (retransmission) timer fired.
+    NodeTimer(NodeId, TimerToken),
+    /// A node's upload link finished transmitting its head message.
+    LinkDone(NodeId),
+    /// A message arrives at a node.
+    Receive { to: NodeId, from: NodeId, envelope: Envelope },
+    /// A node's membership shuffle timer fired (Cyclon mode).
+    ShuffleRound(NodeId),
+    /// The per-second timeline probe.
+    Probe,
+    /// The k-th churn event triggers.
+    Crash(usize),
+}
+
+/// Executes one scenario to completion and assembles its result.
+pub(crate) fn execute(cfg: &Scenario) -> RunResult {
+    Driver::new(cfg).run()
+}
+
+/// The running simulation: deployment state plus the engine and the per-run
+/// observers.
+pub(crate) struct Driver<'a> {
+    pub(crate) dep: Deployment<'a>,
+    pub(crate) engine: Engine<Ev>,
+    pub(crate) timeline: RunTimeline,
+    pub(crate) depth: DepthTracker,
+}
+
+impl<'a> Driver<'a> {
+    pub(crate) fn new(cfg: &'a Scenario) -> Self {
+        let (dep, engine) = Deployment::new(cfg);
+        let depth = DepthTracker::new(cfg);
+        Driver { dep, engine, timeline: RunTimeline::new(), depth }
+    }
+
+    /// Runs the event loop until the horizon, then collects the result.
+    pub(crate) fn run(mut self) -> RunResult {
+        let end = Time::ZERO + self.dep.cfg.total_duration();
+        while let Some(next) = self.engine.peek_time() {
+            if next > end {
+                break;
+            }
+            let (now, ev) = self.engine.pop().expect("peeked event pops");
+            self.dispatch(now, ev);
+        }
+        result::collect(self)
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Ev) {
+        match ev {
+            Ev::Round(id) => {
+                if self.dep.alive[id.index()] {
+                    // Peer sampling mode: selectNodes draws from the live
+                    // partial view.
+                    self.dep.refresh_membership(id);
+                    self.dep.nodes[id.index()].on_round(now);
+                    self.drain_outputs(now, id);
+                    self.engine.schedule(now + self.dep.cfg.gossip.gossip_period, Ev::Round(id));
+                }
+            }
+            Ev::ShuffleRound(id) => {
+                if self.dep.alive[id.index()] && !self.dep.cyclon.is_empty() {
+                    if let Some((target, request)) =
+                        self.dep.cyclon[id.index()].on_shuffle_round(&mut self.dep.membership_rng)
+                    {
+                        self.send_envelope(now, id, target, Envelope::Shuffle(request));
+                    }
+                    if let MembershipMode::Cyclon { shuffle_period, .. } = &self.dep.cfg.membership
+                    {
+                        self.engine.schedule(now + *shuffle_period, Ev::ShuffleRound(id));
+                    }
+                }
+            }
+            Ev::SourceEmit => {
+                let source = NodeId::new(0);
+                for packet in self.dep.source.poll(now) {
+                    self.dep.nodes[source.index()].publish(now, packet);
+                }
+                self.drain_outputs(now, source);
+                let next = self.dep.source.next_packet_at();
+                if next <= Time::ZERO + self.dep.cfg.stream_duration {
+                    self.engine.schedule(next, Ev::SourceEmit);
+                }
+            }
+            Ev::NodeTimer(id, token) => {
+                if self.dep.alive[id.index()] {
+                    self.dep.nodes[id.index()].on_timer(now, token);
+                    self.drain_outputs(now, id);
+                }
+            }
+            Ev::LinkDone(from) => {
+                if !self.dep.alive[from.index()] {
+                    return; // the crash already discarded the link state
+                }
+                let (queued, next_at) = self.dep.links[from.index()].complete_head(now);
+                self.dispatch_transmitted(now, from, queued);
+                if let Some(at) = next_at {
+                    self.engine.schedule(at, Ev::LinkDone(from));
+                }
+            }
+            Ev::Receive { to, from, envelope } => {
+                if self.dep.alive[to.index()] {
+                    let stats = &mut self.dep.rx_stats[to.index()];
+                    stats.msgs_received += 1;
+                    stats.bytes_received += envelope.wire_size() as u64;
+                    match envelope {
+                        Envelope::Gossip(msg) => {
+                            self.depth.enter_serve(from);
+                            self.dep.nodes[to.index()].on_message(now, from, msg);
+                            self.drain_outputs(now, to);
+                            self.depth.exit_serve();
+                        }
+                        Envelope::Shuffle(shuffle) => {
+                            let reply = self.dep.cyclon[to.index()].on_message(
+                                from,
+                                shuffle,
+                                &mut self.dep.membership_rng,
+                            );
+                            if let Some(reply) = reply {
+                                self.send_envelope(now, to, from, Envelope::Shuffle(reply));
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Probe => {
+                self.timeline.sample(now, &self.dep);
+                self.engine.schedule(now + Duration::from_secs(1), Ev::Probe);
+            }
+            Ev::Crash(k) => {
+                let victims = self.dep.cfg.churn.events()[k].victims.clone();
+                self.dep.crash(&victims);
+            }
+        }
+    }
+
+    /// A message finished transmitting: apply in-network loss, then latency,
+    /// then deliver (unless the destination died meanwhile).
+    fn dispatch_transmitted(
+        &mut self,
+        now: Time,
+        from: NodeId,
+        (to, envelope): (NodeId, Envelope),
+    ) {
+        if self.dep.loss.is_lost(to, &mut self.dep.net_rng) {
+            self.dep.rx_stats[from.index()].msgs_lost_in_network += 1;
+            return;
+        }
+        if !self.dep.alive[to.index()] {
+            return; // messages to dead nodes evaporate
+        }
+        let delay = self.dep.latency.sample(from, to, &mut self.dep.net_rng);
+        self.engine.schedule(now + delay, Ev::Receive { to, from, envelope });
+    }
+
+    /// Offers an envelope to the sender's upload link, scheduling the
+    /// completion event if the link was idle.
+    fn send_envelope(&mut self, now: Time, from: NodeId, to: NodeId, envelope: Envelope) {
+        let wire = envelope.wire_size();
+        match self.dep.links[from.index()].enqueue(now, wire, (to, envelope)) {
+            Enqueued::Started { completes_at } => {
+                self.engine.schedule(completes_at, Ev::LinkDone(from));
+            }
+            Enqueued::Queued | Enqueued::Dropped => {}
+        }
+    }
+
+    /// Routes a node's pending protocol outputs into the network/engine.
+    fn drain_outputs(&mut self, now: Time, id: NodeId) {
+        while let Some(out) = self.dep.nodes[id.index()].poll_output() {
+            match out {
+                Output::Send { to, msg } => {
+                    // The paper's limiter is an application-level shaper: it
+                    // charges the bytes the application sends (message
+                    // payloads and headers), not the kernel's IP/UDP
+                    // overhead. Charging app bytes is also what its Figure 4
+                    // reports.
+                    self.send_envelope(now, id, to, Envelope::Gossip(msg));
+                }
+                Output::Deliver { event } => {
+                    let packet_id = event.packet_id();
+                    self.dep.players[id.index()].on_packet(now, packet_id);
+                    self.depth.record(id, packet_id);
+                }
+                Output::ScheduleTimer { token, at } => {
+                    self.engine.schedule(at, Ev::NodeTimer(id, token));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_runs_to_the_horizon() {
+        let cfg = crate::Scenario::tiny(6).with_seed(8);
+        let result = Driver::new(&cfg).run();
+        assert!(result.events_processed > 1_000, "a run dispatches many events");
+        // The probe fires once per simulated second until the horizon.
+        let total_secs = cfg.total_duration().as_secs_f64() as usize;
+        assert!(result.timeline.delivered.len() >= total_secs - 1);
+    }
+
+    #[test]
+    fn execute_equals_driver_run() {
+        let cfg = crate::Scenario::tiny(5).with_seed(4);
+        let a = execute(&cfg);
+        let b = Driver::new(&cfg).run();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.upload_kbps, b.upload_kbps);
+    }
+
+    #[test]
+    fn crashed_nodes_stop_participating() {
+        use gossip_net::ChurnPlan;
+        use gossip_sim::DetRng;
+
+        let mut rng = DetRng::seed_from(5);
+        let churn =
+            ChurnPlan::catastrophic(Time::from_secs(5), 20, 0.3, &[NodeId::new(0)], &mut rng);
+        let victims = churn.all_victims().len();
+        assert!(victims > 0);
+        let cfg = crate::Scenario::tiny(6).with_seed(5).with_churn(churn);
+        let result = Driver::new(&cfg).run();
+        // Victims are excluded from the survivor reports.
+        assert_eq!(result.quality.nodes().len(), cfg.n - victims - 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Parallel parameter sweeps.
+//!
+//! Every figure of the paper is a sweep: run the same deployment for a list
+//! of parameter points (fanouts, refresh rates, churn percentages…) and plot
+//! one number per point. Each run derives all randomness from its own
+//! `(parameter, seed)` pair and shares no state with any other run, so the
+//! sweep is embarrassingly parallel *and* its results are independent of the
+//! execution order — [`SweepRunner`] exploits that by fanning runs out
+//! across OS threads while returning results in input order.
+//!
+//! Determinism contract: for any thread count, `runner.run(params, f)`
+//! returns exactly `[f(&params[0]), f(&params[1]), …]`. The
+//! `serial_matches_parallel` test and the figure-level equality tests hold
+//! the harness to it.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::harness::result::RunResult;
+use crate::scenario::Scenario;
+
+/// Fans independent runs across OS threads.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_experiments::{Scenario, SweepRunner};
+///
+/// let fanouts = vec![2usize, 4, 6];
+/// let results = SweepRunner::new()
+///     .run(fanouts, |&f| Scenario::tiny(f).with_seed(1).run().events_processed);
+/// assert_eq!(results.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using all available cores (or the `GOSSIP_SWEEP_THREADS`
+    /// environment override, when set and positive).
+    pub fn new() -> Self {
+        let available = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let threads = std::env::var("GOSSIP_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(available);
+        SweepRunner { threads }
+    }
+
+    /// A runner that executes everything on the calling thread.
+    pub fn serial() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// A runner with an explicit thread count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` once per parameter, in parallel, returning results in input
+    /// order.
+    ///
+    /// `f` must be a pure function of its parameter (every figure run is:
+    /// all randomness comes from the run's own seed), which makes the output
+    /// independent of the thread count.
+    pub fn run<P, R, F>(&self, params: Vec<P>, f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        let n = params.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return params.iter().map(&f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let params = &params;
+        let f = &f;
+        let next = &next;
+        let slots = &slots;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&params[i]);
+                    *slots[i].lock().expect("no panics hold the slot lock") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("workers finished")
+                    .take()
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Convenience: runs a list of scenarios (each with its own seed) and
+    /// returns their results in input order.
+    pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> Vec<RunResult> {
+        self.run(scenarios, |scenario| scenario.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_params_yield_empty_results() {
+        let out: Vec<u32> = SweepRunner::new().run(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let params: Vec<usize> = (0..64).collect();
+        let out = SweepRunner::with_threads(8).run(params, |&i| i * 10);
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_matches_parallel() {
+        // The harness's core determinism contract: same (parameter, seed)
+        // list → byte-identical results at any thread count.
+        let params: Vec<(usize, u64)> = vec![(2, 7), (4, 7), (6, 7), (6, 8)];
+        let run = |&(fanout, seed): &(usize, u64)| {
+            let r = crate::Scenario::tiny(fanout).with_seed(seed).run();
+            (
+                r.events_processed,
+                r.upload_kbps,
+                r.quality.percent_viewing(0.01, gossip_types::Duration::MAX),
+            )
+        };
+        let serial = SweepRunner::serial().run(params.clone(), run);
+        let parallel = SweepRunner::with_threads(4).run(params, run);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_scenarios_matches_direct_runs() {
+        let scenarios =
+            vec![crate::Scenario::tiny(4).with_seed(1), crate::Scenario::tiny(6).with_seed(2)];
+        let direct: Vec<u64> = scenarios.iter().map(|s| s.run().events_processed).collect();
+        let swept = SweepRunner::new().run_scenarios(scenarios);
+        let swept: Vec<u64> = swept.iter().map(|r| r.events_processed).collect();
+        assert_eq!(direct, swept);
+    }
+
+    #[test]
+    fn thread_counts_are_sane() {
+        assert_eq!(SweepRunner::serial().threads(), 1);
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+        assert!(SweepRunner::new().threads() >= 1);
+    }
+}

@@ -1,9 +1,12 @@
 //! The reproduction harness: every figure of *Stretching Gossip with Live
 //! Streaming* (DSN 2009), regenerated from the simulated deployment.
 //!
-//! * [`scenario`] — binds the protocol core, the streaming layer and the
-//!   network substrate into one deterministic simulated deployment
-//!   ([`Scenario`] → [`RunResult`]);
+//! * [`scenario`] — the declarative experiment description ([`Scenario`]
+//!   and its builder API);
+//! * [`harness`] — the layered execution machinery behind
+//!   [`Scenario::run`]: deployment construction, the event-loop driver,
+//!   result assembly, and the multi-threaded [`SweepRunner`] the figures
+//!   fan their parameter sweeps through;
 //! * [`figures`] — one module per figure of the paper (workload, parameter
 //!   sweep and series extraction);
 //! * the `repro` binary — `repro fig1 … fig8 | all [--scale full|quick|tiny]
@@ -18,6 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod scenario;
 
-pub use scenario::{RunResult, Scale, Scenario};
+pub use harness::{DepthStats, RunResult, RunTimeline, SweepRunner};
+pub use scenario::{MembershipMode, Scale, Scenario};

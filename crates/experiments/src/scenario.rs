@@ -1,10 +1,12 @@
-//! The simulated deployment: N gossip nodes, one stream source, a
+//! The experiment description: N gossip nodes, one stream source, a
 //! bandwidth-capped heterogeneous network, optional churn.
 //!
-//! A [`Scenario`] is a complete experiment description; [`Scenario::run`]
-//! executes it on the deterministic event engine and returns a
-//! [`RunResult`] with everything the figures need: per-node stream quality,
-//! per-node bandwidth usage and aggregate protocol/network counters.
+//! A [`Scenario`] is a complete, declarative experiment description;
+//! [`Scenario::run`] hands it to the layered harness
+//! ([`crate::harness`]) — deployment construction, event-loop execution,
+//! result assembly — and returns a [`RunResult`] with everything the
+//! figures need: per-node stream quality, per-node bandwidth usage and
+//! aggregate protocol/network counters.
 //!
 //! # Examples
 //!
@@ -17,16 +19,15 @@
 //! assert!(result.quality.percent_viewing(0.01, Duration::MAX) > 50.0);
 //! ```
 
+use gossip_core::GossipConfig;
+use gossip_membership::CyclonConfig;
+use gossip_net::{ChurnPlan, LatencyModel, LossModel};
+use gossip_stream::StreamConfig;
+use gossip_types::Duration;
 
-use gossip_core::{GossipConfig, GossipNode, Message, Output, TimerToken};
-use gossip_membership::{CyclonConfig, CyclonView, ShuffleMessage};
-use gossip_net::{
-    ChurnPlan, Enqueued, LatencyModel, LatencySampler, LossModel, LossProcess, NetStats,
-    UploadLink,
-};
-use gossip_sim::{DetRng, Engine};
-use gossip_stream::{NodeQuality, QualityReport, StreamConfig, StreamPacket, StreamPlayer, StreamSource};
-use gossip_types::{Duration, NodeId, Time};
+// Re-exported here so pre-refactor paths (`scenario::RunResult` et al.)
+// keep working; the types now live with the harness's result layer.
+pub use crate::harness::result::{DepthStats, RunResult, RunTimeline};
 
 /// Preset experiment sizes.
 ///
@@ -249,14 +250,14 @@ impl Scenario {
         self
     }
 
-    /// Runs the scenario to completion.
+    /// Runs the scenario to completion on the layered harness.
     ///
     /// # Panics
     ///
     /// Panics if the scenario is degenerate (fewer than 2 nodes).
     pub fn run(&self) -> RunResult {
         assert!(self.n >= 2, "a deployment needs a source and at least one receiver");
-        Sim::new(self).run()
+        crate::harness::driver::execute(self)
     }
 
     /// The total simulated time of the run.
@@ -270,556 +271,11 @@ impl Scenario {
     }
 }
 
-/// Everything measured during one run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Per-node stream quality for every *surviving, non-source* node.
-    pub quality: QualityReport,
-    /// Average upload rate (kbit/s) per surviving *receiving* node (the
-    /// source is reported separately, matching the paper's Figure 4 which
-    /// plots the peers); see [`RunResult::sorted_upload_kbps`].
-    pub upload_kbps: Vec<f64>,
-    /// The source's average upload rate in kbit/s.
-    pub source_upload_kbps: f64,
-    /// Aggregate protocol counters across all nodes.
-    pub protocol: gossip_core::ProtocolStats,
-    /// Aggregate network counters across all nodes.
-    pub net: NetStats,
-    /// Number of windows included in the quality metrics.
-    pub windows_measured: u32,
-    /// Simulation events processed (for performance reporting).
-    pub events_processed: u64,
-    /// Per-second timeline of the run: cumulative packets delivered across
-    /// all receivers, total queued upload bytes, and cumulative drops.
-    pub timeline: RunTimeline,
-    /// Dissemination-depth statistics (hops from the source per delivered
-    /// packet), when [`Scenario::track_depth`] was enabled.
-    pub depth: Option<DepthStats>,
-}
-
-/// Hop-count statistics of packet dissemination.
-///
-/// The theory the paper builds on predicts epidemic dissemination reaches
-/// everyone in `O(log n / log f)` hops; these numbers let the experiments
-/// check that directly (see the `depth_tracking` integration test).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DepthStats {
-    /// Mean hops from the source across all deliveries.
-    pub mean: f64,
-    /// Maximum hops observed.
-    pub max: u16,
-    /// Number of deliveries measured.
-    pub deliveries: u64,
-}
-
-/// Per-second system-state samples of one run.
-#[derive(Debug, Clone, Default)]
-pub struct RunTimeline {
-    /// Cumulative packets delivered to all surviving receivers.
-    pub delivered: gossip_metrics::TimeSeries,
-    /// Total bytes queued in all upload links at the sample instant.
-    pub queued_bytes: gossip_metrics::TimeSeries,
-    /// Cumulative messages dropped by all upload queues.
-    pub dropped: gossip_metrics::TimeSeries,
-}
-
-impl RunTimeline {
-    fn new() -> Self {
-        RunTimeline {
-            delivered: gossip_metrics::TimeSeries::new("delivered_packets"),
-            queued_bytes: gossip_metrics::TimeSeries::new("queued_bytes"),
-            dropped: gossip_metrics::TimeSeries::new("dropped_msgs"),
-        }
-    }
-}
-
-impl RunResult {
-    /// Upload rates sorted from the most to the least contributing node —
-    /// the x-axis convention of Figure 4.
-    pub fn sorted_upload_kbps(&self) -> Vec<f64> {
-        let mut v = self.upload_kbps.clone();
-        v.sort_by(|a, b| b.partial_cmp(a).expect("rates are finite"));
-        v
-    }
-}
-
-/// What travels through the simulated network: protocol messages plus, in
-/// Cyclon mode, membership shuffles.
-enum Envelope {
-    Gossip(Message<StreamPacket>),
-    Shuffle(ShuffleMessage),
-}
-
-impl Envelope {
-    /// Application bytes charged against the sender's upload budget.
-    fn wire_size(&self) -> usize {
-        match self {
-            Envelope::Gossip(msg) => msg.wire_size(),
-            // tag + sender + count + 8 bytes per (node, age) entry
-            Envelope::Shuffle(ShuffleMessage::Request(entries) | ShuffleMessage::Reply(entries)) => {
-                7 + entries.len() * 8
-            }
-        }
-    }
-}
-
-/// Events flowing through the simulation engine.
-enum Ev {
-    /// A node's gossip timer fired.
-    Round(NodeId),
-    /// The source's next packet(s) are due.
-    SourceEmit,
-    /// A protocol (retransmission) timer fired.
-    NodeTimer(NodeId, TimerToken),
-    /// A node's upload link finished transmitting its head message.
-    LinkDone(NodeId),
-    /// A message arrives at a node.
-    Receive { to: NodeId, from: NodeId, envelope: Envelope },
-    /// A node's membership shuffle timer fired (Cyclon mode).
-    ShuffleRound(NodeId),
-    /// The per-second timeline probe.
-    Probe,
-    /// The k-th churn event triggers.
-    Crash(usize),
-}
-
-/// The running simulation state.
-struct Sim<'a> {
-    cfg: &'a Scenario,
-    engine: Engine<Ev>,
-    nodes: Vec<GossipNode<StreamPacket>>,
-    players: Vec<StreamPlayer>,
-    links: Vec<UploadLink<(NodeId, Envelope)>>,
-    alive: Vec<bool>,
-    /// Cyclon views, one per node (empty in full-membership mode).
-    cyclon: Vec<CyclonView>,
-    /// RNG stream for membership shuffling.
-    membership_rng: DetRng,
-    timeline: RunTimeline,
-    /// depth[node][global packet index] = hops from the source (u16::MAX =
-    /// not delivered). Empty unless depth tracking is on.
-    depth: Vec<Vec<u16>>,
-    /// Sender whose serve is currently being processed (depth provenance).
-    depth_context: Option<NodeId>,
-    rx_stats: Vec<NetStats>,
-    latency: LatencySampler,
-    loss: LossProcess,
-    /// RNG stream for network effects (latency jitter, loss draws).
-    net_rng: DetRng,
-    source: StreamSource,
-}
-
-impl<'a> Sim<'a> {
-    fn new(cfg: &'a Scenario) -> Self {
-        let mut setup_rng = DetRng::seed_from(cfg.seed).split(0xA11CE);
-        let membership: Vec<NodeId> = (0..cfg.n as u32).map(NodeId::new).collect();
-        let source_id = NodeId::new(0);
-
-        let mut nodes = Vec::with_capacity(cfg.n);
-        for &id in &membership {
-            let node = if id == source_id {
-                GossipNode::new_source(id, cfg.gossip.clone(), membership.clone(), cfg.seed)
-            } else {
-                GossipNode::new(id, cfg.gossip.clone(), membership.clone(), cfg.seed)
-            };
-            nodes.push(node);
-        }
-
-        // Per-node caps: uniform, or deterministic class assignment (the
-        // class order is shuffled so classes do not correlate with ids).
-        let class_caps: Option<Vec<u64>> = cfg.cap_classes.as_ref().map(|classes| {
-            let mut caps: Vec<u64> = Vec::with_capacity(cfg.n);
-            for &(fraction, bps) in classes {
-                let count = (fraction * cfg.n as f64).round() as usize;
-                caps.extend(std::iter::repeat_n(bps, count));
-            }
-            caps.resize(cfg.n, classes.last().map_or(0, |&(_, bps)| bps));
-            setup_rng.shuffle(&mut caps);
-            caps
-        });
-        let links = (0..cfg.n)
-            .map(|i| {
-                let cap = if i == 0 && cfg.source_uncapped {
-                    None
-                } else {
-                    match &class_caps {
-                        Some(caps) => Some(caps[i]),
-                        None => cfg.upload_cap_bps,
-                    }
-                };
-                UploadLink::new(cap, cfg.max_queue_delay)
-            })
-            .collect();
-        let players = (0..cfg.n).map(|_| StreamPlayer::new(cfg.stream)).collect();
-        let latency = LatencySampler::new(cfg.latency.clone(), cfg.n, &mut setup_rng);
-        let loss = LossProcess::new(cfg.loss, cfg.n);
-
-        // Cyclon mode: bootstrap each node with random peers and schedule
-        // the shuffle timers.
-        let mut cyclon: Vec<CyclonView> = Vec::new();
-        if let MembershipMode::Cyclon { config, bootstrap_degree, .. } = &cfg.membership {
-            for &id in &membership {
-                let candidates: Vec<NodeId> =
-                    membership.iter().copied().filter(|&m| m != id).collect();
-                let picked = setup_rng.sample_indices(candidates.len(), *bootstrap_degree);
-                let bootstrap: Vec<NodeId> = picked.into_iter().map(|i| candidates[i]).collect();
-                cyclon.push(CyclonView::new(id, *config, &bootstrap));
-            }
-        }
-
-        let mut engine = Engine::new();
-        // Stagger gossip rounds uniformly across the period: synchronized
-        // rounds would be an artefact no real deployment exhibits.
-        let period = cfg.gossip.gossip_period;
-        for &id in &membership {
-            let phase = Duration::from_micros(setup_rng.next_below(period.as_micros()));
-            engine.schedule(Time::ZERO + phase, Ev::Round(id));
-        }
-        if let MembershipMode::Cyclon { shuffle_period, .. } = &cfg.membership {
-            for &id in &membership {
-                let phase = Duration::from_micros(setup_rng.next_below(shuffle_period.as_micros()));
-                engine.schedule(Time::ZERO + phase, Ev::ShuffleRound(id));
-            }
-        }
-        engine.schedule(Time::ZERO, Ev::SourceEmit);
-        for (k, event) in cfg.churn.events().iter().enumerate() {
-            engine.schedule(event.at, Ev::Crash(k));
-        }
-        engine.schedule(Time::from_secs(1), Ev::Probe);
-
-        Sim {
-            cfg,
-            engine,
-            nodes,
-            players,
-            links,
-            alive: vec![true; cfg.n],
-            cyclon,
-            membership_rng: DetRng::seed_from(cfg.seed).split(0x5AFF1E),
-            timeline: RunTimeline::new(),
-            depth: if cfg.track_depth {
-                let packets = (cfg.stream.windows_published(cfg.stream_duration) as usize + 2)
-                    * cfg.stream.window.total_packets();
-                vec![vec![u16::MAX; packets]; cfg.n]
-            } else {
-                Vec::new()
-            },
-            depth_context: None,
-            rx_stats: vec![NetStats::default(); cfg.n],
-            latency,
-            loss,
-            net_rng: DetRng::seed_from(cfg.seed).split(0xBEEF),
-            source: StreamSource::new(cfg.stream, Time::ZERO),
-        }
-    }
-
-    fn run(mut self) -> RunResult {
-        let end = Time::ZERO + self.cfg.total_duration();
-        while let Some(next) = self.engine.peek_time() {
-            if next > end {
-                break;
-            }
-            let (now, ev) = self.engine.pop().expect("peeked event pops");
-            self.dispatch(now, ev);
-        }
-        self.collect()
-    }
-
-    fn dispatch(&mut self, now: Time, ev: Ev) {
-        match ev {
-            Ev::Round(id) => {
-                if self.alive[id.index()] {
-                    if !self.cyclon.is_empty() {
-                        // Peer sampling mode: selectNodes draws from the
-                        // live partial view.
-                        let mut view = self.cyclon[id.index()].view();
-                        view.push(id); // set_membership expects self present or absent alike
-                        self.nodes[id.index()].set_membership(view);
-                    }
-                    self.nodes[id.index()].on_round(now);
-                    self.drain_outputs(now, id);
-                    self.engine.schedule(now + self.cfg.gossip.gossip_period, Ev::Round(id));
-                }
-            }
-            Ev::ShuffleRound(id) => {
-                if self.alive[id.index()] && !self.cyclon.is_empty() {
-                    if let Some((target, request)) =
-                        self.cyclon[id.index()].on_shuffle_round(&mut self.membership_rng)
-                    {
-                        self.send_envelope(now, id, target, Envelope::Shuffle(request));
-                    }
-                    if let MembershipMode::Cyclon { shuffle_period, .. } = &self.cfg.membership {
-                        self.engine.schedule(now + *shuffle_period, Ev::ShuffleRound(id));
-                    }
-                }
-            }
-            Ev::SourceEmit => {
-                let source = NodeId::new(0);
-                for packet in self.source.poll(now) {
-                    self.nodes[source.index()].publish(now, packet);
-                }
-                self.drain_outputs(now, source);
-                let next = self.source.next_packet_at();
-                if next <= Time::ZERO + self.cfg.stream_duration {
-                    self.engine.schedule(next, Ev::SourceEmit);
-                }
-            }
-            Ev::NodeTimer(id, token) => {
-                if self.alive[id.index()] {
-                    self.nodes[id.index()].on_timer(now, token);
-                    self.drain_outputs(now, id);
-                }
-            }
-            Ev::LinkDone(from) => {
-                if !self.alive[from.index()] {
-                    return; // the crash already discarded the link state
-                }
-                let (queued, next_at) = self.links[from.index()].complete_head(now);
-                self.dispatch_transmitted(now, from, queued);
-                if let Some(at) = next_at {
-                    self.engine.schedule(at, Ev::LinkDone(from));
-                }
-            }
-            Ev::Receive { to, from, envelope } => {
-                if self.alive[to.index()] {
-                    let stats = &mut self.rx_stats[to.index()];
-                    stats.msgs_received += 1;
-                    stats.bytes_received += envelope.wire_size() as u64;
-                    match envelope {
-                        Envelope::Gossip(msg) => {
-                            self.depth_context = Some(from);
-                            self.nodes[to.index()].on_message(now, from, msg);
-                            self.drain_outputs(now, to);
-                            self.depth_context = None;
-                        }
-                        Envelope::Shuffle(shuffle) => {
-                            let reply = self.cyclon[to.index()].on_message(
-                                from,
-                                shuffle,
-                                &mut self.membership_rng,
-                            );
-                            if let Some(reply) = reply {
-                                self.send_envelope(now, to, from, Envelope::Shuffle(reply));
-                            }
-                        }
-                    }
-                }
-            }
-            Ev::Probe => {
-                self.sample_timeline(now);
-                self.engine.schedule(now + Duration::from_secs(1), Ev::Probe);
-            }
-            Ev::Crash(k) => {
-                let victims = self.cfg.churn.events()[k].victims.clone();
-                for v in victims {
-                    if v.index() < self.alive.len() {
-                        self.alive[v.index()] = false;
-                        self.links[v.index()].crash();
-                    }
-                }
-            }
-        }
-    }
-
-    /// Records the dissemination depth of a delivery: source deliveries are
-    /// depth 0; anything served by node `s` is `depth(s) + 1`.
-    fn record_depth(&mut self, to: NodeId, packet: gossip_stream::PacketId) {
-        let total = self.cfg.stream.window.total_packets();
-        let idx = packet.window as usize * total + packet.index as usize;
-        if idx >= self.depth[0].len() {
-            return; // beyond the tracked horizon
-        }
-        let depth = match self.depth_context {
-            None => 0, // published locally at the source
-            Some(from) => {
-                let upstream = self.depth[from.index()][idx];
-                if upstream == u16::MAX {
-                    // The server itself no longer tracks it (pruned horizon);
-                    // treat as unknown.
-                    return;
-                }
-                upstream.saturating_add(1)
-            }
-        };
-        let slot = &mut self.depth[to.index()][idx];
-        if *slot == u16::MAX {
-            *slot = depth;
-        }
-    }
-
-    /// Records one per-second timeline sample.
-    fn sample_timeline(&mut self, now: Time) {
-        let delivered: u64 =
-            (1..self.cfg.n).map(|i| self.players[i].packets_received()).sum();
-        let queued: usize = self.links.iter().map(|l| l.queued_bytes()).sum();
-        let dropped: u64 = self.links.iter().map(|l| l.stats().msgs_dropped).sum();
-        self.timeline.delivered.push(now, delivered as f64);
-        self.timeline.queued_bytes.push(now, queued as f64);
-        self.timeline.dropped.push(now, dropped as f64);
-    }
-
-    /// Prints, for every surviving node, each measured window that never
-    /// became decodable, with the request state of its missing packets.
-    fn report_holes(&self, first: u32, last: u32) {
-        let total = self.cfg.stream.window.total_packets() as u16;
-        for i in 1..self.cfg.n {
-            if !self.alive[i] {
-                continue;
-            }
-            for w in first..=last {
-                if self.players[i].window_decodable_at(w).is_some() {
-                    continue;
-                }
-                let have = self.players[i].packets_in_window(w);
-                let mut missing = Vec::new();
-                for idx in 0..total {
-                    let id = gossip_stream::PacketId::new(w, idx);
-                    if !self.nodes[i].has_delivered(&id) {
-                        missing.push((idx, self.nodes[i].request_info(&id)));
-                    }
-                }
-                eprintln!(
-                    "hole: node {} window {} has {}/{} — missing {:?}",
-                    i,
-                    w,
-                    have,
-                    total,
-                    &missing[..missing.len().min(12)]
-                );
-            }
-        }
-    }
-
-    /// A message finished transmitting: apply in-network loss, then latency,
-    /// then deliver (unless the destination died meanwhile).
-    fn dispatch_transmitted(
-        &mut self,
-        now: Time,
-        from: NodeId,
-        (to, envelope): (NodeId, Envelope),
-    ) {
-        if self.loss.is_lost(to, &mut self.net_rng) {
-            self.rx_stats[from.index()].msgs_lost_in_network += 1;
-            return;
-        }
-        if !self.alive[to.index()] {
-            return; // messages to dead nodes evaporate
-        }
-        let delay = self.latency.sample(from, to, &mut self.net_rng);
-        self.engine.schedule(now + delay, Ev::Receive { to, from, envelope });
-    }
-
-    /// Offers an envelope to the sender's upload link, scheduling the
-    /// completion event if the link was idle.
-    fn send_envelope(&mut self, now: Time, from: NodeId, to: NodeId, envelope: Envelope) {
-        let wire = envelope.wire_size();
-        match self.links[from.index()].enqueue(now, wire, (to, envelope)) {
-            Enqueued::Started { completes_at } => {
-                self.engine.schedule(completes_at, Ev::LinkDone(from));
-            }
-            Enqueued::Queued | Enqueued::Dropped => {}
-        }
-    }
-
-    /// Routes a node's pending protocol outputs into the network/engine.
-    fn drain_outputs(&mut self, now: Time, id: NodeId) {
-        while let Some(out) = self.nodes[id.index()].poll_output() {
-            match out {
-                Output::Send { to, msg } => {
-                    // The paper's limiter is an application-level shaper: it
-                    // charges the bytes the application sends (message
-                    // payloads and headers), not the kernel's IP/UDP
-                    // overhead. Charging app bytes is also what its Figure 4
-                    // reports.
-                    self.send_envelope(now, id, to, Envelope::Gossip(msg));
-                }
-                Output::Deliver { event } => {
-                    let packet_id = event.packet_id();
-                    self.players[id.index()].on_packet(now, packet_id);
-                    if !self.depth.is_empty() {
-                        self.record_depth(id, packet_id);
-                    }
-                }
-                Output::ScheduleTimer { token, at } => {
-                    self.engine.schedule(at, Ev::NodeTimer(id, token));
-                }
-            }
-        }
-    }
-
-    fn collect(self) -> RunResult {
-        let cfg = self.cfg;
-        let first = cfg.measure_from_window;
-        let last = cfg.last_measured_window();
-        assert!(last >= first, "stream too short to measure any window");
-
-        // Deep-dive diagnostics for never-decodable windows, enabled with
-        // GOSSIP_DIAG_HOLES=1 (used while calibrating; costs nothing when
-        // off).
-        if std::env::var_os("GOSSIP_DIAG_HOLES").is_some() {
-            self.report_holes(first, last);
-        }
-
-        let mut qualities = Vec::new();
-        let mut upload_kbps = Vec::new();
-        let mut protocol = gossip_core::ProtocolStats::default();
-        let mut net = NetStats::default();
-        let elapsed = cfg.total_duration();
-
-        for i in 0..cfg.n {
-            protocol.merge(self.nodes[i].stats());
-            net.merge(self.links[i].stats());
-            net.merge(&self.rx_stats[i]);
-            if !self.alive[i] || i == 0 {
-                continue;
-            }
-            upload_kbps.push(self.links[i].stats().upload_kbps(elapsed));
-            qualities.push(NodeQuality::from_player(
-                &self.players[i],
-                &cfg.stream,
-                Time::ZERO,
-                first,
-                last,
-            ));
-        }
-
-        RunResult {
-            quality: QualityReport::new(qualities),
-            upload_kbps,
-            source_upload_kbps: self.links[0].stats().upload_kbps(elapsed),
-            protocol,
-            net,
-            windows_measured: last - first + 1,
-            events_processed: self.engine.processed(),
-            timeline: self.timeline,
-            depth: if self.depth.is_empty() {
-                None
-            } else {
-                let mut sum = 0u64;
-                let mut count = 0u64;
-                let mut max = 0u16;
-                for row in self.depth.iter().skip(1) {
-                    for &d in row {
-                        if d != u16::MAX {
-                            sum += u64::from(d);
-                            count += 1;
-                            max = max.max(d);
-                        }
-                    }
-                }
-                Some(DepthStats {
-                    mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-                    max,
-                    deliveries: count,
-                })
-            },
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gossip_sim::DetRng;
+    use gossip_types::{NodeId, Time};
 
     #[test]
     fn tiny_run_disseminates_the_stream() {
@@ -862,13 +318,8 @@ mod tests {
     #[test]
     fn churn_kills_upload_accounting_for_victims() {
         let mut rng = DetRng::seed_from(9);
-        let churn = ChurnPlan::catastrophic(
-            Time::from_secs(8),
-            20,
-            0.4,
-            &[NodeId::new(0)],
-            &mut rng,
-        );
+        let churn =
+            ChurnPlan::catastrophic(Time::from_secs(8), 20, 0.4, &[NodeId::new(0)], &mut rng);
         let victims = churn.all_victims().len();
         let result = Scenario::tiny(6).with_seed(9).with_churn(churn).run();
         assert_eq!(result.upload_kbps.len(), 20 - victims - 1, "source reported separately");
@@ -897,14 +348,6 @@ mod tests {
         assert!(drops.windows(2).all(|w| w[0] <= w[1]));
         // Something was actually delivered during the stream.
         assert!(t.delivered.last().expect("samples").1 > 0.0);
-    }
-
-    #[test]
-    fn sorted_upload_is_descending() {
-        let result = Scenario::tiny(5).with_seed(2).run();
-        let sorted = result.sorted_upload_kbps();
-        assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
-        assert_eq!(sorted.len(), result.upload_kbps.len());
     }
 
     #[test]

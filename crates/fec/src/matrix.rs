@@ -65,7 +65,10 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<u8>]) -> Self {
         assert!(!rows.is_empty(), "matrix must have rows");
         let cols = rows[0].len();
-        assert!(cols > 0 && rows.iter().all(|r| r.len() == cols), "rows must have equal positive length");
+        assert!(
+            cols > 0 && rows.iter().all(|r| r.len() == cols),
+            "rows must have equal positive length"
+        );
         Matrix { rows: rows.len(), cols, data: rows.concat() }
     }
 

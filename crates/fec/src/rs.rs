@@ -42,7 +42,10 @@ impl fmt::Display for FecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FecError::InvalidParams { data_shards, parity_shards } => {
-                write!(f, "invalid code parameters: {data_shards} data + {parity_shards} parity shards")
+                write!(
+                    f,
+                    "invalid code parameters: {data_shards} data + {parity_shards} parity shards"
+                )
             }
             FecError::WrongShardCount { got, expected } => {
                 write!(f, "wrong shard count: got {got}, expected {expected}")
@@ -265,14 +268,17 @@ mod tests {
         for a in 0..total {
             for b in (a + 1)..total {
                 for c in (b + 1)..total {
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     shards[a] = None;
                     shards[b] = None;
                     shards[c] = None;
                     rs.reconstruct(&mut shards).unwrap();
                     for (i, shard) in shards.iter().enumerate() {
-                        assert_eq!(shard.as_ref().unwrap(), &full[i], "erasure {a},{b},{c} shard {i}");
+                        assert_eq!(
+                            shard.as_ref().unwrap(),
+                            &full[i],
+                            "erasure {a},{b},{c} shard {i}"
+                        );
                     }
                 }
             }
@@ -324,7 +330,10 @@ mod tests {
     fn shard_geometry_errors() {
         let rs = ReedSolomon::new(3, 2).unwrap();
         let wrong_count = sample_data(2, 4);
-        assert!(matches!(rs.encode(&wrong_count), Err(FecError::WrongShardCount { got: 2, expected: 3 })));
+        assert!(matches!(
+            rs.encode(&wrong_count),
+            Err(FecError::WrongShardCount { got: 2, expected: 3 })
+        ));
 
         let ragged = vec![vec![0u8; 4], vec![0u8; 5], vec![0u8; 4]];
         assert_eq!(rs.encode(&ragged), Err(FecError::ShardSizeMismatch));

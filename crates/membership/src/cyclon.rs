@@ -115,8 +115,7 @@ impl CyclonView {
         for e in &mut self.entries {
             e.age += 1;
         }
-        let (oldest_idx, _) =
-            self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)?;
+        let (oldest_idx, _) = self.entries.iter().enumerate().max_by_key(|(_, e)| e.age)?;
         let target = self.entries[oldest_idx].node;
         // The target is removed: if it is alive the reply replenishes the
         // view; if it is dead its entry is gone — self-healing.
@@ -217,14 +216,12 @@ mod tests {
     /// Drives a fully connected shuffle simulation for `rounds` rounds.
     fn simulate(n: u32, rounds: u32, seed: u64) -> Vec<CyclonView> {
         let config = CyclonConfig { view_size: 8, shuffle_size: 4 };
-        let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
         let mut rng = DetRng::seed_from(seed);
         // Bootstrap: ring-ish neighbourhoods so the initial graph is poorly
         // mixed (the shuffle has work to do).
         let mut views: Vec<CyclonView> = (0..n)
             .map(|i| {
-                let bootstrap: Vec<NodeId> =
-                    (1..=4).map(|d| NodeId::new((i + d) % n)).collect();
+                let bootstrap: Vec<NodeId> = (1..=4).map(|d| NodeId::new((i + d) % n)).collect();
                 CyclonView::new(NodeId::new(i), config, &bootstrap)
             })
             .collect();

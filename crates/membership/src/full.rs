@@ -78,7 +78,7 @@ mod tests {
         let all: Vec<NodeId> = (0..50).map(NodeId::new).collect();
         let mut m = FullMembership::new(all, NodeId::new(0));
         let mut rng = DetRng::seed_from(3);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..10_000 {
             for n in m.sample(5, &mut rng) {
                 counts[n.index()] += 1;

@@ -124,20 +124,22 @@ impl TimeSeries {
                 / (span.as_micros() as u128 + 1)) as usize;
             values[idx.min(buckets - 1)] = v;
         }
-        let (lo, hi) = values.iter().filter(|v| !v.is_nan()).fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        );
+        let (lo, hi) = values
+            .iter()
+            .filter(|v| !v.is_nan())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let range = (hi - lo).max(1e-12);
         values
             .iter()
-            .map(|&v| {
-                if v.is_nan() {
-                    ' '
-                } else {
-                    BARS[(((v - lo) / range) * 7.0).round() as usize]
-                }
-            })
+            .map(
+                |&v| {
+                    if v.is_nan() {
+                        ' '
+                    } else {
+                        BARS[(((v - lo) / range) * 7.0).round() as usize]
+                    }
+                },
+            )
             .collect()
     }
 }

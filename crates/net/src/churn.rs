@@ -90,7 +90,8 @@ impl ChurnPlan {
 
     /// Returns every node that crashes at any point in the plan.
     pub fn all_victims(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.events.iter().flat_map(|e| e.victims.iter().copied()).collect();
+        let mut v: Vec<NodeId> =
+            self.events.iter().flat_map(|e| e.victims.iter().copied()).collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -172,7 +172,10 @@ mod tests {
         let mut rng = DetRng::seed_from(1);
         let s = LatencySampler::new(LatencyModel::Constant(Duration::from_millis(50)), 4, &mut rng);
         for _ in 0..10 {
-            assert_eq!(s.sample(NodeId::new(0), NodeId::new(1), &mut rng), Duration::from_millis(50));
+            assert_eq!(
+                s.sample(NodeId::new(0), NodeId::new(1), &mut rng),
+                Duration::from_millis(50)
+            );
         }
     }
 
@@ -242,14 +245,8 @@ mod tests {
             .collect();
         let model = LatencyModel::Matrix(std::sync::Arc::new(matrix));
         let s = LatencySampler::new(model, n, &mut rng);
-        assert_eq!(
-            s.sample(NodeId::new(1), NodeId::new(2), &mut rng),
-            Duration::from_millis(12)
-        );
-        assert_eq!(
-            s.sample(NodeId::new(2), NodeId::new(0), &mut rng),
-            Duration::from_millis(20)
-        );
+        assert_eq!(s.sample(NodeId::new(1), NodeId::new(2), &mut rng), Duration::from_millis(12));
+        assert_eq!(s.sample(NodeId::new(2), NodeId::new(0), &mut rng), Duration::from_millis(20));
     }
 
     #[test]

@@ -117,7 +117,8 @@ mod tests {
             loss_bad: 0.9,
         };
         let mut p = LossProcess::new(model, 1);
-        let outcomes: Vec<bool> = (0..200_000).map(|_| p.is_lost(NodeId::new(0), &mut rng)).collect();
+        let outcomes: Vec<bool> =
+            (0..200_000).map(|_| p.is_lost(NodeId::new(0), &mut rng)).collect();
         let losses = outcomes.iter().filter(|&&l| l).count();
         assert!(losses > 0, "bursty model should lose something");
         // Burstiness: probability that the message following a loss is also

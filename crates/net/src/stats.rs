@@ -1,7 +1,5 @@
 //! Per-node network accounting.
 
-use serde::{Deserialize, Serialize};
-
 use gossip_types::Duration;
 
 /// Byte and message counters for one node's network activity.
@@ -20,7 +18,7 @@ use gossip_types::Duration;
 /// let stats = NetStats { bytes_sent: 8_750_000, ..NetStats::default() };
 /// assert_eq!(stats.upload_kbps(Duration::from_secs(100)), 700.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Bytes fully transmitted (wire bytes, including header overhead).
     pub bytes_sent: u64,
@@ -90,7 +88,12 @@ mod tests {
     #[test]
     fn merge_adds_fields() {
         let mut a = NetStats { bytes_sent: 1, msgs_sent: 2, ..Default::default() };
-        let b = NetStats { bytes_sent: 10, msgs_dropped: 3, msgs_lost_in_network: 4, ..Default::default() };
+        let b = NetStats {
+            bytes_sent: 10,
+            msgs_dropped: 3,
+            msgs_lost_in_network: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.bytes_sent, 11);
         assert_eq!(a.msgs_sent, 2);

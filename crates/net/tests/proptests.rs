@@ -55,7 +55,7 @@ proptest! {
         for (i, &size) in sizes.iter().enumerate().skip(1) {
             prop_assert_eq!(link.enqueue(Time::ZERO, size, i), Enqueued::Queued);
         }
-        let mut last = completion;
+        let mut last;
         loop {
             let (_, next) = link.complete_head(completion);
             last = completion;

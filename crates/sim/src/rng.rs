@@ -54,7 +54,8 @@ impl DetRng {
     /// seeds `0`, `1`, `2`, … are fine.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         DetRng { state }
     }
 
@@ -64,7 +65,8 @@ impl DetRng {
     /// statistically independent; the parent is unaffected.
     pub fn split(&self, stream: u64) -> Self {
         let mut sm = self.state[0] ^ self.state[3] ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
-        let state = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         DetRng { state }
     }
 

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use gossip_core::wire::{take_u64, WireEvent};
 use gossip_core::Event;
@@ -25,7 +24,7 @@ use gossip_types::Time;
 /// let b = PacketId::new(1, 0);
 /// assert!(a < b, "ids order by window first");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId {
     /// Window number (0-based, consecutive).
     pub window: u32,
@@ -158,12 +157,21 @@ mod tests {
 
     #[test]
     fn id_ordering_is_stream_order() {
-        let mut ids =
-            vec![PacketId::new(1, 0), PacketId::new(0, 109), PacketId::new(0, 0), PacketId::new(1, 5)];
+        let mut ids = vec![
+            PacketId::new(1, 0),
+            PacketId::new(0, 109),
+            PacketId::new(0, 0),
+            PacketId::new(1, 5),
+        ];
         ids.sort();
         assert_eq!(
             ids,
-            vec![PacketId::new(0, 0), PacketId::new(0, 109), PacketId::new(1, 0), PacketId::new(1, 5)]
+            vec![
+                PacketId::new(0, 0),
+                PacketId::new(0, 109),
+                PacketId::new(1, 0),
+                PacketId::new(1, 5)
+            ]
         );
     }
 
@@ -207,16 +215,14 @@ mod tests {
     fn encoded_size_matches_declared_wire_size() {
         // The simulator charges Message::wire_size(); the UDP runtime sends
         // encode_message() bytes. They must agree.
-        let packet = StreamPacket::new(
-            PacketId::new(1, 2),
-            Time::from_secs(3),
-            Bytes::from(vec![7u8; 321]),
-        );
+        let packet =
+            StreamPacket::new(PacketId::new(1, 2), Time::from_secs(3), Bytes::from(vec![7u8; 321]));
         let msg = Message::Serve { events: vec![packet] };
         let encoded = encode_message(NodeId::new(0), &msg);
         assert_eq!(encoded.len(), msg.wire_size());
 
-        let propose: Message<StreamPacket> = Message::Propose { ids: vec![PacketId::new(0, 1); 15] };
+        let propose: Message<StreamPacket> =
+            Message::Propose { ids: vec![PacketId::new(0, 1); 15] };
         assert_eq!(encode_message(NodeId::new(0), &propose).len(), propose.wire_size());
     }
 

@@ -85,8 +85,7 @@ impl StreamPlayer {
     pub fn on_packet(&mut self, now: Time, id: PacketId) -> bool {
         let total = self.config.window.total_packets();
         assert!((id.index as usize) < total, "packet index {id} outside window geometry");
-        let record =
-            self.windows.entry(id.window).or_insert_with(|| WindowRecord::new(total));
+        let record = self.windows.entry(id.window).or_insert_with(|| WindowRecord::new(total));
         if !record.mark(id.index as usize) {
             self.duplicate_packets += 1;
             return false;

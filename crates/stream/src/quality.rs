@@ -93,8 +93,7 @@ impl NodeQuality {
         if self.window_lags.is_empty() {
             return 1.0;
         }
-        let complete =
-            self.window_lags.iter().filter(|l| l.is_some_and(|l| l <= lag)).count();
+        let complete = self.window_lags.iter().filter(|l| l.is_some_and(|l| l <= lag)).count();
         complete as f64 / self.window_lags.len() as f64
     }
 
@@ -180,8 +179,7 @@ impl QualityReport {
         probes
             .iter()
             .map(|&probe| {
-                let within =
-                    lags.iter().filter(|l| l.is_some_and(|l| l <= probe)).count();
+                let within = lags.iter().filter(|l| l.is_some_and(|l| l <= probe)).count();
                 let pct = if self.nodes.is_empty() {
                     0.0
                 } else {
@@ -304,7 +302,8 @@ mod tests {
             NodeQuality::from_lags(vec![None; 4]),
         ];
         let report = QualityReport::new(nodes);
-        let probes: Vec<Duration> = [0u64, 1, 5, 10, 100].iter().map(|&s| Duration::from_secs(s)).collect();
+        let probes: Vec<Duration> =
+            [0u64, 1, 5, 10, 100].iter().map(|&s| Duration::from_secs(s)).collect();
         let cdf = report.lag_cdf(0.99, &probes);
         let values: Vec<f64> = cdf.iter().map(|&(_, p)| p).collect();
         assert!(values.windows(2).all(|w| w[0] <= w[1]), "CDF must be monotone: {values:?}");

@@ -210,7 +210,9 @@ mod tests {
 
         // Lose 4 data packets; reconstruct from the rest.
         let mut dec = WindowDecoder::new(WindowParams::new(20, 4)).unwrap();
-        for p in window0.iter().filter(|p| ![1usize, 5, 9, 13].contains(&(p.packet_id().index as usize))) {
+        for p in
+            window0.iter().filter(|p| ![1usize, 5, 9, 13].contains(&(p.packet_id().index as usize)))
+        {
             dec.receive(p.packet_id().index as usize, p.payload().to_vec());
         }
         assert!(dec.is_decodable());

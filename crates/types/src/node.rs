@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The identity of a participant in the dissemination.
 ///
 /// Nodes are numbered densely from zero, which lets every component index
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ids[2].index(), 2);
 /// assert_eq!(ids[1].to_string(), "n1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {

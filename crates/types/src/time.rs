@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant of virtual time, counted in microseconds from the start of an
 /// experiment.
 ///
@@ -28,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 1_500_000);
 /// assert_eq!(t + Duration::from_millis(500), Time::from_secs(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 /// A span of virtual time, counted in microseconds.
@@ -46,7 +44,7 @@ pub struct Time(u64);
 /// assert_eq!(gossip_period * 5, Duration::from_secs(1));
 /// assert_eq!(Duration::from_secs(1) / gossip_period, 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(u64);
 
 impl Time {
@@ -382,7 +380,10 @@ mod tests {
         assert_eq!(t + d - d, t);
         assert_eq!(d * 4, Duration::from_secs(1));
         assert_eq!(Duration::from_secs(1) / d, 4);
-        assert_eq!(Duration::from_millis(450) % Duration::from_millis(200), Duration::from_millis(50));
+        assert_eq!(
+            Duration::from_millis(450) % Duration::from_millis(200),
+            Duration::from_millis(50)
+        );
     }
 
     #[test]

@@ -89,11 +89,7 @@ impl ClusterReport {
 
     /// Receivers for which every measured window became decodable.
     pub fn nodes_all_windows_ok(&self) -> usize {
-        self.quality
-            .nodes()
-            .iter()
-            .filter(|q| q.complete_fraction() >= 1.0 - 1e-9)
-            .count()
+        self.quality.nodes().iter().filter(|q| q.complete_fraction() >= 1.0 - 1e-9).count()
     }
 }
 
@@ -166,11 +162,7 @@ impl UdpCluster {
                 seed: config.seed,
                 stream_for: (i == 0).then_some(config.stream_duration),
                 inject_loss: config.inject_loss,
-                crash_at: config
-                    .crashes
-                    .iter()
-                    .find(|&&(node, _)| node == i)
-                    .map(|&(_, at)| at),
+                crash_at: config.crashes.iter().find(|&&(node, _)| node == i).map(|&(_, at)| at),
             };
             let addresses = Arc::clone(&addresses);
             let stop = Arc::clone(&stop);
@@ -227,7 +219,10 @@ fn verify_windows(config: &ClusterConfig, nodes: &[NodeReport], first: u32, last
     // Regenerate each window's shards once.
     for w in first..=last {
         let data: Vec<Vec<u8>> = (0..params.data_packets)
-            .map(|i| synth_payload(PacketId::new(w, i as u16), config.stream.packet_payload_bytes).to_vec())
+            .map(|i| {
+                synth_payload(PacketId::new(w, i as u16), config.stream.packet_payload_bytes)
+                    .to_vec()
+            })
             .collect();
         let encoder = gossip_fec::WindowEncoder::new(params).expect("valid params");
         let parity = encoder.encode(&data).expect("encodes");

@@ -23,10 +23,7 @@ fn main() {
         &[NodeId::new(0)],
         &mut rng,
     );
-    println!(
-        "{} nodes, {pct}% crash at {crash_at}; one sparkline bucket ≈ 1 s\n",
-        scenario.n
-    );
+    println!("{} nodes, {pct}% crash at {crash_at}; one sparkline bucket ≈ 1 s\n", scenario.n);
     let result = scenario.with_churn(churn).run();
     let t = &result.timeline;
 

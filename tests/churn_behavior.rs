@@ -17,10 +17,7 @@ fn churned(fanout: usize, x: Option<u32>, pct: f64, seed: u64) -> gossip_experim
         &[NodeId::new(0)],
         &mut rng,
     );
-    scenario
-        .with_gossip(GossipConfig::new(fanout).with_refresh_rounds(x))
-        .with_churn(churn)
-        .run()
+    scenario.with_gossip(GossipConfig::new(fanout).with_refresh_rounds(x)).with_churn(churn).run()
 }
 
 /// A fully dynamic view keeps delivering most of the stream through heavy
@@ -43,7 +40,9 @@ fn x1_beats_static_mesh_on_average() {
     let mean = |x: Option<u32>| {
         seeds
             .iter()
-            .map(|&s| churned(6, x, 0.35, s).quality.average_quality_percent(Duration::from_secs(20)))
+            .map(|&s| {
+                churned(6, x, 0.35, s).quality.average_quality_percent(Duration::from_secs(20))
+            })
             .sum::<f64>()
             / seeds.len() as f64
     };
@@ -76,8 +75,13 @@ fn victims_disappear_from_reports() {
 fn early_churn_is_survivable() {
     let scenario = Scenario::tiny(6).with_seed(17);
     let mut rng = DetRng::seed_from(17);
-    let churn =
-        ChurnPlan::catastrophic(Time::from_millis(100), scenario.n, 0.25, &[NodeId::new(0)], &mut rng);
+    let churn = ChurnPlan::catastrophic(
+        Time::from_millis(100),
+        scenario.n,
+        0.25,
+        &[NodeId::new(0)],
+        &mut rng,
+    );
     let result = scenario.with_churn(churn).run();
     let avg = result.quality.average_quality_percent(Duration::MAX);
     assert!(avg > 80.0, "early churn should not doom the survivors: {avg}%");

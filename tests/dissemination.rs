@@ -87,10 +87,7 @@ fn retransmission_repairs_losses() {
         .run();
     let q_without = without.quality.average_quality_percent(Duration::MAX);
     let q_with = with.quality.average_quality_percent(Duration::MAX);
-    assert!(
-        q_with >= q_without,
-        "retransmission must not hurt: K=3 {q_with}% vs K=1 {q_without}%"
-    );
+    assert!(q_with >= q_without, "retransmission must not hurt: K=3 {q_with}% vs K=1 {q_without}%");
     assert!(with.protocol.retransmit_requests > 0, "retransmissions must fire under loss");
 }
 

@@ -95,8 +95,5 @@ fn fec_margin_under_loss() {
 
     let q_none = no_fec.run().quality.average_quality_percent(Duration::MAX);
     let q_fec = with_fec.run().quality.average_quality_percent(Duration::MAX);
-    assert!(
-        q_fec + 1e-9 >= q_none,
-        "parity must not hurt: with {q_fec}% vs without {q_none}%"
-    );
+    assert!(q_fec + 1e-9 >= q_none, "parity must not hurt: with {q_fec}% vs without {q_none}%");
 }

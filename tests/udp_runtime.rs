@@ -81,10 +81,8 @@ fn sim_and_udp_agree_qualitatively() {
     let udp_q = udp.quality.average_quality_percent(Duration::MAX);
 
     // Simulated side: same scale regime (light load, ample caps).
-    let sim = gossip_experiments::Scenario::tiny(6)
-        .with_seed(7)
-        .with_upload_cap_kbps(Some(2_000))
-        .run();
+    let sim =
+        gossip_experiments::Scenario::tiny(6).with_seed(7).with_upload_cap_kbps(Some(2_000)).run();
     let sim_q = sim.quality.average_quality_percent(Duration::MAX);
 
     assert!(udp_q >= 80.0, "udp quality {udp_q}%");
