@@ -18,6 +18,14 @@ fn bench_gf_mul_acc(c: &mut Criterion) {
     g.bench_function("mul_acc_slice_1000B", |b| {
         b.iter(|| gossip_fec::gf::mul_acc_slice(black_box(&mut dst), black_box(&src), 0x1D));
     });
+    let short_src = vec![0xA5u8; 64];
+    let mut short_dst = vec![0x5Au8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("mul_acc_slice_64B", |b| {
+        b.iter(|| {
+            gossip_fec::gf::mul_acc_slice(black_box(&mut short_dst), black_box(&short_src), 0x1D)
+        });
+    });
     g.finish();
 }
 

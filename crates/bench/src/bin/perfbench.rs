@@ -1,0 +1,158 @@
+//! `perfbench` — the tracked hot-path performance benchmark.
+//!
+//! Runs one *pinned* mid-size scenario (230 nodes, fanout 7, 60 s stream,
+//! 20 s drain, seeds 1–3 — the paper's deployment geometry at a shortened
+//! stream) and writes a small JSON report so the simulator's performance
+//! trajectory can be compared PR-over-PR. The scenario parameters are fixed
+//! on purpose: the numbers are only meaningful against earlier runs of the
+//! exact same workload.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! ```
+//!
+//! * `--smoke` — a ~10× reduced scenario (60 nodes, 30 s stream, 1 seed)
+//!   for CI smoke runs;
+//! * `--out PATH` — where to write the JSON (default `BENCH_hotpath.json`
+//!   in the current directory);
+//! * `--baseline X` — a previously recorded `events_per_sec` to compute the
+//!   `speedup` field against (typically the number committed by the last
+//!   PR that touched the hot path).
+//!
+//! Report fields: `wall_secs` (wall-clock time of the simulation proper,
+//! excluding setup), `events` / `events_per_sec` (simulation events
+//! dispatched through the engine), `peak_queue` (high-water mark of the
+//! pending-event queue).
+
+use std::time::Instant;
+
+use gossip_experiments::{Scale, Scenario};
+use gossip_types::Duration;
+
+struct RunSample {
+    seed: u64,
+    wall_secs: f64,
+    events: u64,
+    peak_queue: usize,
+}
+
+fn pinned_scenario(smoke: bool, seed: u64) -> Scenario {
+    let scale = if smoke { Scale::Quick } else { Scale::Full };
+    let mut s = Scenario::at_scale(scale, 7).with_seed(seed);
+    if smoke {
+        s.stream_duration = Duration::from_secs(30);
+        s.drain_duration = Duration::from_secs(10);
+    } else {
+        s.stream_duration = Duration::from_secs(60);
+        s.drain_duration = Duration::from_secs(20);
+    }
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut baseline: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--baseline" => {
+                let v = args.next().expect("--baseline requires a number");
+                baseline = Some(v.parse().expect("--baseline must be a number"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
+    let label = if smoke { "smoke" } else { "full" };
+    eprintln!("perfbench: pinned {label} scenario, seeds {seeds:?}");
+
+    // Untimed warm-up (CPU frequency ramp, page faults, branch predictors):
+    // without it the first timed seed reads systematically slow.
+    let mut warmup = pinned_scenario(true, 1);
+    warmup.stream_duration = Duration::from_secs(10);
+    let _ = warmup.run();
+
+    let mut samples = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let scenario = pinned_scenario(smoke, seed);
+        let start = Instant::now();
+        let result = scenario.run();
+        let wall_secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  seed {seed}: {:.3} s wall, {} events ({:.0} events/s), peak queue {}",
+            wall_secs,
+            result.events_processed,
+            result.events_processed as f64 / wall_secs,
+            result.peak_queue,
+        );
+        samples.push(RunSample {
+            seed,
+            wall_secs,
+            events: result.events_processed,
+            peak_queue: result.peak_queue,
+        });
+    }
+
+    let total_wall: f64 = samples.iter().map(|s| s.wall_secs).sum();
+    let total_events: u64 = samples.iter().map(|s| s.events).sum();
+    let peak_queue = samples.iter().map(|s| s.peak_queue).max().unwrap_or(0);
+    let events_per_sec = total_events as f64 / total_wall;
+    eprintln!(
+        "perfbench: total {:.3} s wall, {} events, {:.0} events/s",
+        total_wall, total_events, events_per_sec
+    );
+
+    let scenario = pinned_scenario(smoke, seeds[0]);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": {{ \"n\": {}, \"fanout\": {}, \"stream_secs\": {}, \"drain_secs\": {}, \"smoke\": {} }},\n",
+        scenario.n,
+        scenario.gossip.fanout,
+        scenario.stream_duration.as_secs_f64() as u64,
+        scenario.drain_duration.as_secs_f64() as u64,
+        smoke,
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"seed\": {}, \"wall_secs\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {} }}{}\n",
+            s.seed,
+            s.wall_secs,
+            s.events,
+            s.events as f64 / s.wall_secs,
+            s.peak_queue,
+            comma,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{ \"wall_secs\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {} }}",
+        total_wall, total_events, events_per_sec, peak_queue,
+    ));
+    if let Some(base) = baseline {
+        json.push_str(&format!(
+            ",\n  \"baseline_events_per_sec\": {:.0},\n  \"speedup\": {:.3}\n",
+            base,
+            events_per_sec / base,
+        ));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&out, json).expect("write benchmark report");
+    eprintln!("perfbench: wrote {out}");
+}

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::hash::Hash;
 
+use crate::index::EventIndex;
+
 /// An application event carried by the gossip protocol.
 ///
 /// The protocol only needs three things from an event: a unique, copyable
@@ -10,9 +12,12 @@ use std::hash::Hash;
 /// size of the id, and the wire size of the full event (what `[SERVE]`
 /// messages carry). The streaming layer implements this trait for its
 /// packets; tests use [`TestEvent`].
+///
+/// Ids additionally implement [`EventIndex`], which lets the node keep its
+/// per-event bookkeeping in dense per-window slabs instead of hash maps.
 pub trait Event: Clone + fmt::Debug {
     /// The event identifier type.
-    type Id: Copy + Eq + Ord + Hash + fmt::Debug;
+    type Id: Copy + Eq + Ord + Hash + fmt::Debug + EventIndex;
 
     /// Returns the unique id of this event.
     fn id(&self) -> Self::Id;

@@ -71,6 +71,7 @@
 
 pub mod config;
 pub mod event;
+pub mod index;
 pub mod message;
 pub mod node;
 pub mod rto;
@@ -80,6 +81,7 @@ pub mod wire;
 
 pub use config::GossipConfig;
 pub use event::{Event, TestEvent};
+pub use index::EventIndex;
 pub use message::Message;
 pub use node::{GossipNode, Output, TimerToken};
 pub use stats::ProtocolStats;

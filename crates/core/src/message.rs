@@ -1,5 +1,7 @@
 //! Protocol messages and their wire sizes.
 
+use std::sync::Arc;
+
 use crate::event::Event;
 
 /// Fixed per-message header budget: 1 byte message type + 4 bytes sender id
@@ -8,17 +10,22 @@ use crate::event::Event;
 pub const MESSAGE_HEADER_BYTES: usize = 7;
 
 /// A message of the three-phase protocol (plus the feed-me extension).
+///
+/// Id-carrying messages hold a shared, immutable `Arc<[Id]>` buffer: a
+/// round's `[PROPOSE]` to `f` partners is *one* id allocation cloned `f`
+/// times by reference count, and a `[REQUEST]` shares its buffer with the
+/// retransmission timer armed for it. Cloning a message never copies ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message<E: Event> {
     /// Phase 1: push event ids to the selected partners.
     Propose {
         /// Ids of the events the sender can serve.
-        ids: Vec<E::Id>,
+        ids: Arc<[E::Id]>,
     },
     /// Phase 2: pull the ids we still miss from the proposing peer.
     Request {
         /// Ids the sender wants served.
-        ids: Vec<E::Id>,
+        ids: Arc<[E::Id]>,
     },
     /// Phase 3: push the actual events to the requesting peer.
     Serve {
@@ -76,10 +83,10 @@ mod tests {
 
     #[test]
     fn wire_sizes() {
-        let propose: Message<TestEvent> = Message::Propose { ids: vec![1, 2, 3] };
+        let propose: Message<TestEvent> = Message::Propose { ids: vec![1, 2, 3].into() };
         assert_eq!(propose.wire_size(), 7 + 3 * 8);
 
-        let request: Message<TestEvent> = Message::Request { ids: vec![1] };
+        let request: Message<TestEvent> = Message::Request { ids: vec![1].into() };
         assert_eq!(request.wire_size(), 7 + 8);
 
         let serve: Message<TestEvent> =
@@ -92,7 +99,7 @@ mod tests {
 
     #[test]
     fn kinds_and_emptiness() {
-        let m: Message<TestEvent> = Message::Propose { ids: vec![] };
+        let m: Message<TestEvent> = Message::Propose { ids: Vec::new().into() };
         assert_eq!(m.kind(), "propose");
         assert!(m.is_empty_payload());
         let m: Message<TestEvent> = Message::Serve { events: vec![TestEvent::new(1, 1)] };

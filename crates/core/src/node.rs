@@ -27,14 +27,15 @@
 //!   have been requested fewer than `K` times are re-requested from the same
 //!   proposer.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use gossip_sim::DetRng;
 use gossip_types::{NodeId, Time};
 
 use crate::config::GossipConfig;
 use crate::event::Event;
+use crate::index::{DenseMap, TokenSlab};
 use crate::message::Message;
 use crate::rto::RttEstimator;
 use crate::stats::ProtocolStats;
@@ -85,10 +86,13 @@ struct RequestState {
 
 /// A pending retransmission timer: re-request the still-missing ids of a
 /// proposal from the peer that proposed them.
+///
+/// The id buffer is shared with the `[REQUEST]` message that was sent when
+/// the timer was armed — arming a timer allocates nothing.
 #[derive(Debug, Clone)]
 struct RetransmitEntry<Id> {
     peer: NodeId,
-    ids: Vec<Id>,
+    ids: Arc<[Id]>,
     /// How many requests have been sent for this proposal (for backoff).
     attempt: u32,
 }
@@ -109,17 +113,25 @@ pub struct GossipNode<E: Event> {
     /// have left (1 under infect-and-die).
     propose_queue: Vec<(E::Id, u32)>,
     /// Payload store for serving, with delivery timestamps for pruning.
-    store: HashMap<E::Id, (E, Time)>,
+    /// Dense per-window slab: lookups are array indexings, not hashes.
+    store: DenseMap<E::Id, (E, Time)>,
     /// All-time request/delivery bookkeeping (never pruned; an id is
     /// requested from exactly one peer, ever, apart from retransmissions).
-    requested: HashMap<E::Id, RequestState>,
-    /// Armed retransmission timers by token.
-    retransmits: HashMap<TimerToken, RetransmitEntry<E::Id>>,
+    requested: DenseMap<E::Id, RequestState>,
+    /// Armed retransmission timers, addressed by their sequential token.
+    retransmits: TokenSlab<RetransmitEntry<E::Id>>,
     rtt: RttEstimator,
     next_token: u64,
     rounds: u64,
     outputs: VecDeque<Output<E>>,
     stats: ProtocolStats,
+    /// Reusable id buffer for `on_round` / `handle_propose` / `on_timer`:
+    /// the steady state builds id lists without allocating.
+    scratch_ids: Vec<E::Id>,
+    /// Reusable partner buffer for `on_round`.
+    scratch_partners: Vec<NodeId>,
+    /// Reusable event buffer for `handle_request`.
+    scratch_events: Vec<E>,
 }
 
 impl<E: Event> std::fmt::Debug for GossipNode<E> {
@@ -151,14 +163,17 @@ impl<E: Event> GossipNode<E> {
             rng: DetRng::seed_from(seed).split(id.as_u32() as u64),
             is_source: false,
             propose_queue: Vec::new(),
-            store: HashMap::new(),
-            requested: HashMap::new(),
-            retransmits: HashMap::new(),
+            store: DenseMap::new(),
+            requested: DenseMap::new(),
+            retransmits: TokenSlab::new(),
             rtt,
             next_token: 0,
             rounds: 0,
             outputs: VecDeque::new(),
             stats: ProtocolStats::default(),
+            scratch_ids: Vec::new(),
+            scratch_partners: Vec::new(),
+            scratch_events: Vec::new(),
         }
     }
 
@@ -272,7 +287,9 @@ impl<E: Event> GossipNode<E> {
         }
 
         // Phase 1: propose the ids gathered since the last round.
-        let ids: Vec<E::Id> = self.propose_queue.iter().map(|(id, _)| *id).collect();
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.propose_queue.iter().map(|(id, _)| *id));
         // Infect-and-die: decrement lifetimes, drop the dead.
         for entry in &mut self.propose_queue {
             entry.1 -= 1;
@@ -282,15 +299,28 @@ impl<E: Event> GossipNode<E> {
         let fanout = if self.is_source { self.config.source_fanout } else { self.config.fanout };
         // selectNodes is invoked every round so the X counter advances even
         // when there is nothing to send.
-        let partners: Vec<NodeId> =
-            self.view.select(fanout, &self.membership, self.id, &mut self.rng).to_vec();
+        let mut partners = std::mem::take(&mut self.scratch_partners);
+        partners.clear();
+        partners.extend_from_slice(self.view.select(
+            fanout,
+            &self.membership,
+            self.id,
+            &mut self.rng,
+        ));
         if !ids.is_empty() {
-            for p in partners {
+            // One allocation for the whole round: every partner's PROPOSE
+            // shares the same id buffer by reference count.
+            let shared: Arc<[E::Id]> = ids.as_slice().into();
+            for &p in &partners {
                 self.stats.proposes_sent += 1;
-                self.outputs
-                    .push_back(Output::Send { to: p, msg: Message::Propose { ids: ids.clone() } });
+                self.outputs.push_back(Output::Send {
+                    to: p,
+                    msg: Message::Propose { ids: shared.clone() },
+                });
             }
         }
+        self.scratch_ids = ids;
+        self.scratch_partners = partners;
 
         self.prune_store(now);
     }
@@ -308,11 +338,12 @@ impl<E: Event> GossipNode<E> {
     /// Handles a retransmission timer expiry (line 25). Stale tokens are
     /// ignored.
     pub fn on_timer(&mut self, now: Time, token: TimerToken) {
-        let Some(entry) = self.retransmits.remove(&token) else {
+        let Some(entry) = self.retransmits.remove(token.0) else {
             return; // stale timer: its proposal was fully served
         };
-        let mut missing: Vec<E::Id> = Vec::new();
-        for id in entry.ids {
+        let mut missing = std::mem::take(&mut self.scratch_ids);
+        missing.clear();
+        for &id in entry.ids.iter() {
             if let Some(state) = self.requested.get_mut(&id) {
                 if !state.delivered && state.times_requested < self.config.max_requests_per_event {
                     state.times_requested += 1;
@@ -321,13 +352,16 @@ impl<E: Event> GossipNode<E> {
             }
         }
         if missing.is_empty() {
+            self.scratch_ids = missing;
             return;
         }
         self.stats.retransmit_requests += 1;
         self.stats.requests_sent += 1;
+        // The re-request and the re-armed timer share one id buffer.
+        let shared: Arc<[E::Id]> = missing.as_slice().into();
         self.outputs.push_back(Output::Send {
             to: entry.peer,
-            msg: Message::Request { ids: missing.clone() },
+            msg: Message::Request { ids: shared.clone() },
         });
         // Re-arm with exponential backoff while the budget lasts (checked
         // again on expiry).
@@ -337,8 +371,9 @@ impl<E: Event> GossipNode<E> {
                 .is_some_and(|s| s.times_requested < self.config.max_requests_per_event)
         });
         if can_retry_more {
-            self.arm_retransmit(now, entry.peer, missing, entry.attempt + 1);
+            self.arm_retransmit(now, entry.peer, shared, entry.attempt + 1);
         }
+        self.scratch_ids = missing;
     }
 
     // ------------------------------------------------------------------
@@ -347,49 +382,51 @@ impl<E: Event> GossipNode<E> {
 
     /// Phase 2 (lines 8–15): request the proposed ids we have not requested
     /// from anyone yet, and arm a retransmission timer for them.
-    fn handle_propose(&mut self, now: Time, from: NodeId, ids: Vec<E::Id>) {
+    fn handle_propose(&mut self, now: Time, from: NodeId, ids: Arc<[E::Id]>) {
         self.stats.proposes_received += 1;
         if self.is_source {
             return; // the source never pulls
         }
-        let mut wanted: Vec<E::Id> = Vec::new();
-        for id in ids {
-            match self.requested.entry(id) {
-                Entry::Occupied(_) => {
-                    // Already requested (from whoever proposed first) or
-                    // already delivered: line 10 filters it out.
-                    self.stats.duplicate_ids_proposed += 1;
-                }
-                Entry::Vacant(slot) => {
-                    slot.insert(RequestState {
-                        times_requested: 1,
-                        delivered: false,
-                        first_requested_at: now,
-                    });
-                    wanted.push(id);
-                }
+        let mut wanted = std::mem::take(&mut self.scratch_ids);
+        wanted.clear();
+        for &id in ids.iter() {
+            // Already requested (from whoever proposed first) or already
+            // delivered: line 10 filters it out.
+            let fresh = self.requested.insert_if_vacant(
+                id,
+                RequestState { times_requested: 1, delivered: false, first_requested_at: now },
+            );
+            if fresh {
+                wanted.push(id);
+            } else {
+                self.stats.duplicate_ids_proposed += 1;
             }
         }
         if wanted.is_empty() {
+            self.scratch_ids = wanted;
             return;
         }
         self.stats.requests_sent += 1;
+        // The REQUEST and its retransmission timer share one id buffer.
+        let shared: Arc<[E::Id]> = wanted.as_slice().into();
         self.outputs
-            .push_back(Output::Send { to: from, msg: Message::Request { ids: wanted.clone() } });
+            .push_back(Output::Send { to: from, msg: Message::Request { ids: shared.clone() } });
         // Line 14: arm the retransmission timer if the budget allows a
         // second request.
         if self.config.max_requests_per_event > 1 {
-            self.arm_retransmit(now, from, wanted, 1);
+            self.arm_retransmit(now, from, shared, 1);
         }
+        self.scratch_ids = wanted;
     }
 
     /// Phase 3, serving side (lines 16–19): push the requested events we
     /// still hold, split into MTU-sized serve datagrams.
-    fn handle_request(&mut self, from: NodeId, ids: Vec<E::Id>) {
+    fn handle_request(&mut self, from: NodeId, ids: Arc<[E::Id]>) {
         self.stats.requests_received += 1;
-        let mut events: Vec<E> = Vec::with_capacity(ids.len());
-        for id in ids {
-            match self.store.get(&id) {
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
+        for id in ids.iter() {
+            match self.store.get(id) {
                 Some((event, _)) => events.push(event.clone()),
                 None => self.stats.unservable_ids += 1,
             }
@@ -401,6 +438,8 @@ impl<E: Event> GossipNode<E> {
                 msg: Message::Serve { events: chunk.to_vec() },
             });
         }
+        events.clear();
+        self.scratch_events = events;
     }
 
     /// Phase 3, receiving side (lines 20–24): deliver fresh events, queue
@@ -409,7 +448,7 @@ impl<E: Event> GossipNode<E> {
         self.stats.serves_received += 1;
         for event in events {
             let id = event.id();
-            let state = self.requested.entry(id).or_insert(RequestState {
+            let state = self.requested.get_or_insert_with(id, || RequestState {
                 times_requested: 0,
                 delivered: false,
                 first_requested_at: now,
@@ -460,10 +499,10 @@ impl<E: Event> GossipNode<E> {
 
     /// Arms a retransmission timer for the `attempt`-th request (1-based)
     /// of a proposal, using the adaptive RTO with exponential backoff.
-    fn arm_retransmit(&mut self, now: Time, peer: NodeId, ids: Vec<E::Id>, attempt: u32) {
+    fn arm_retransmit(&mut self, now: Time, peer: NodeId, ids: Arc<[E::Id]>, attempt: u32) {
         let token = TimerToken(self.next_token);
         self.next_token += 1;
-        self.retransmits.insert(token, RetransmitEntry { peer, ids, attempt });
+        self.retransmits.insert(token.0, RetransmitEntry { peer, ids, attempt });
         let at = now + self.rtt.rto_backoff(attempt);
         self.outputs.push_back(Output::ScheduleTimer { token, at });
     }
@@ -542,7 +581,7 @@ mod tests {
         let proposals = sends(&out);
         assert_eq!(proposals.len(), 7, "source proposes with source_fanout = 7");
         for (_, msg) in &proposals {
-            assert_eq!(**msg, Message::Propose { ids: vec![42] });
+            assert_eq!(**msg, Message::Propose { ids: vec![42].into() });
         }
     }
 
@@ -587,26 +626,26 @@ mod tests {
         let peer_a = NodeId::new(2);
         let peer_b = NodeId::new(3);
 
-        node.on_message(Time::ZERO, peer_a, Message::Propose { ids: vec![1, 2] });
+        node.on_message(Time::ZERO, peer_a, Message::Propose { ids: vec![1, 2].into() });
         let out = drain(&mut node);
         let s = sends(&out);
         assert_eq!(s.len(), 1);
-        assert_eq!(s[0], (peer_a, &Message::Request { ids: vec![1, 2] }));
+        assert_eq!(s[0], (peer_a, &Message::Request { ids: vec![1, 2].into() }));
 
         // A second proposal overlapping the first only pulls the new id.
-        node.on_message(Time::ZERO, peer_b, Message::Propose { ids: vec![2, 3] });
+        node.on_message(Time::ZERO, peer_b, Message::Propose { ids: vec![2, 3].into() });
         let out = drain(&mut node);
         let s = sends(&out);
-        assert_eq!(s[0], (peer_b, &Message::Request { ids: vec![3] }));
+        assert_eq!(s[0], (peer_b, &Message::Request { ids: vec![3].into() }));
         assert_eq!(node.stats().duplicate_ids_proposed, 1);
     }
 
     #[test]
     fn fully_duplicate_proposal_sends_nothing() {
         let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
-        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![5] });
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![5].into() });
         drain(&mut node);
-        node.on_message(Time::ZERO, NodeId::new(3), Message::Propose { ids: vec![5] });
+        node.on_message(Time::ZERO, NodeId::new(3), Message::Propose { ids: vec![5].into() });
         let out = drain(&mut node);
         assert!(sends(&out).is_empty(), "no request for an already-requested id");
     }
@@ -616,7 +655,7 @@ mod tests {
         let mut node = GossipNode::new(NodeId::new(0), GossipConfig::new(3), members(10), 1);
         node.publish(Time::ZERO, TestEvent::new(9, 50));
         drain(&mut node);
-        node.on_message(Time::ZERO, NodeId::new(4), Message::Request { ids: vec![9, 10] });
+        node.on_message(Time::ZERO, NodeId::new(4), Message::Request { ids: vec![9, 10].into() });
         let out = drain(&mut node);
         let s = sends(&out);
         assert_eq!(s.len(), 1);
@@ -649,7 +688,7 @@ mod tests {
         let config = GossipConfig::new(3).with_max_requests(3);
         let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
         let peer = NodeId::new(2);
-        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1, 2] });
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1, 2].into() });
         let out = drain(&mut node);
         // Initial request + a scheduled retransmission timer.
         let timer = out
@@ -673,7 +712,7 @@ mod tests {
         node.on_timer(timer.1, timer.0);
         let out = drain(&mut node);
         let s = sends(&out);
-        assert_eq!(s[0], (peer, &Message::Request { ids: vec![2] }));
+        assert_eq!(s[0], (peer, &Message::Request { ids: vec![2].into() }));
         assert_eq!(node.stats().retransmit_requests, 1);
         let timer2 = out.iter().find_map(|o| match o {
             Output::ScheduleTimer { token, at } => Some((*token, *at)),
@@ -701,7 +740,7 @@ mod tests {
     fn retransmit_timer_is_noop_when_everything_arrived() {
         let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
         let peer = NodeId::new(2);
-        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1] });
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![1].into() });
         let out = drain(&mut node);
         let (token, at) = out
             .iter()
@@ -732,7 +771,7 @@ mod tests {
     fn k_equals_one_arms_no_timer() {
         let config = GossipConfig::new(3).with_max_requests(1);
         let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
-        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![1] });
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![1].into() });
         let out = drain(&mut node);
         assert!(
             out.iter().all(|o| !matches!(o, Output::ScheduleTimer { .. })),
@@ -744,7 +783,11 @@ mod tests {
     fn source_ignores_proposals() {
         let mut source =
             GossipNode::new_source(NodeId::new(0), GossipConfig::new(3), members(10), 1);
-        source.on_message(Time::ZERO, NodeId::new(1), Message::Propose { ids: vec![1, 2, 3] });
+        source.on_message(
+            Time::ZERO,
+            NodeId::new(1),
+            Message::Propose { ids: vec![1, 2, 3].into() },
+        );
         assert!(drain(&mut source).is_empty(), "the source never requests");
     }
 
@@ -799,7 +842,11 @@ mod tests {
         assert!(node.has_delivered(&1), "delivery bookkeeping survives pruning");
 
         // A late proposal for the pruned id is *not* re-requested.
-        node.on_message(Time::from_secs(31), NodeId::new(3), Message::Propose { ids: vec![1] });
+        node.on_message(
+            Time::from_secs(31),
+            NodeId::new(3),
+            Message::Propose { ids: vec![1].into() },
+        );
         assert!(sends(&drain(&mut node)).is_empty());
     }
 

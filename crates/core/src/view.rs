@@ -28,6 +28,10 @@ pub struct PartnerView {
     calls_since_refresh: u32,
     /// Whether a first draw has happened.
     initialised: bool,
+    /// Reusable buffers for `refresh` (with `X = 1` a refresh happens every
+    /// round on every node; it must not allocate).
+    scratch_candidates: Vec<NodeId>,
+    scratch_indices: Vec<usize>,
 }
 
 impl PartnerView {
@@ -38,6 +42,8 @@ impl PartnerView {
             refresh_rounds,
             calls_since_refresh: 0,
             initialised: false,
+            scratch_candidates: Vec::new(),
+            scratch_indices: Vec::new(),
         }
     }
 
@@ -73,10 +79,11 @@ impl PartnerView {
         // Draw from membership excluding self. Dead nodes are *not*
         // excluded: the paper's protocol has no failure detector, which is
         // precisely why proactiveness matters under churn.
-        let candidates: Vec<NodeId> =
-            membership.iter().copied().filter(|&m| m != self_id).collect();
-        let picked = rng.sample_indices(candidates.len(), fanout);
-        self.partners = picked.into_iter().map(|i| candidates[i]).collect();
+        self.scratch_candidates.clear();
+        self.scratch_candidates.extend(membership.iter().copied().filter(|&m| m != self_id));
+        rng.sample_indices_into(self.scratch_candidates.len(), fanout, &mut self.scratch_indices);
+        self.partners.clear();
+        self.partners.extend(self.scratch_indices.iter().map(|&i| self.scratch_candidates[i]));
         self.initialised = true;
     }
 

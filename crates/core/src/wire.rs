@@ -55,7 +55,7 @@ pub fn encode_message<E: WireEvent>(sender: NodeId, msg: &Message<E>) -> Vec<u8>
     buf.extend_from_slice(&(count as u16).to_le_bytes());
     match msg {
         Message::Propose { ids } | Message::Request { ids } => {
-            for id in ids {
+            for id in ids.iter() {
                 E::encode_id(id, &mut buf);
             }
         }
@@ -84,9 +84,9 @@ pub fn decode_message<E: WireEvent>(datagram: &[u8]) -> Option<(NodeId, Message<
                 ids.push(E::decode_id(&mut input)?);
             }
             if tag == TAG_PROPOSE {
-                Message::Propose { ids }
+                Message::Propose { ids: ids.into() }
             } else {
-                Message::Request { ids }
+                Message::Request { ids: ids.into() }
             }
         }
         TAG_SERVE => {
@@ -188,16 +188,18 @@ mod tests {
 
     #[test]
     fn round_trips_every_variant() {
-        round_trip(Message::Propose { ids: vec![1, 2, u64::MAX] });
-        round_trip(Message::Request { ids: vec![] });
+        round_trip(Message::Propose { ids: vec![1, 2, u64::MAX].into() });
+        round_trip(Message::Request { ids: Vec::new().into() });
         round_trip(Message::Serve { events: vec![TestEvent::new(9, 1000), TestEvent::new(10, 0)] });
         round_trip(Message::FeedMe);
     }
 
     #[test]
     fn truncated_datagrams_are_rejected() {
-        let bytes =
-            encode_message(NodeId::new(1), &Message::Propose::<TestEvent> { ids: vec![1, 2, 3] });
+        let bytes = encode_message(
+            NodeId::new(1),
+            &Message::Propose::<TestEvent> { ids: vec![1, 2, 3].into() },
+        );
         for cut in 0..bytes.len() {
             assert!(
                 decode_message::<TestEvent>(&bytes[..cut]).is_none(),

@@ -47,10 +47,10 @@ proptest! {
             now += gossip_types::Duration::from_millis(10);
             match input {
                 Input::Propose { from, ids } => {
-                    node.on_message(now, NodeId::new(from), Message::Propose { ids });
+                    node.on_message(now, NodeId::new(from), Message::Propose { ids: ids.into() });
                 }
                 Input::Request { from, ids } => {
-                    node.on_message(now, NodeId::new(from), Message::Request { ids });
+                    node.on_message(now, NodeId::new(from), Message::Request { ids: ids.into() });
                 }
                 Input::Serve { from, ids } => {
                     let events = ids.into_iter().map(|i| TestEvent::new(i, 16)).collect();
@@ -96,10 +96,10 @@ proptest! {
         let mut requested = std::collections::HashSet::new();
         for (i, (from, ids)) in proposals.into_iter().enumerate() {
             let now = Time::from_millis(i as u64);
-            node.on_message(now, NodeId::new(from), Message::Propose { ids });
+            node.on_message(now, NodeId::new(from), Message::Propose { ids: ids.into() });
             while let Some(out) = node.poll_output() {
                 if let Output::Send { msg: Message::Request { ids }, .. } = out {
-                    for id in ids {
+                    for &id in ids.iter() {
                         prop_assert!(requested.insert(id), "id {id} requested twice");
                     }
                 }
@@ -117,8 +117,8 @@ proptest! {
         kind in 0u8..4,
     ) {
         let msg: Message<TestEvent> = match kind {
-            0 => Message::Propose { ids },
-            1 => Message::Request { ids },
+            0 => Message::Propose { ids: ids.into() },
+            1 => Message::Request { ids: ids.into() },
             2 => Message::Serve {
                 events: sizes.iter().enumerate().map(|(i, &s)| TestEvent::new(i as u64, s)).collect(),
             },
@@ -145,7 +145,7 @@ proptest! {
         ids in vec(any::<u64>(), 1..20),
         cut_fraction in 0.0f64..1.0,
     ) {
-        let msg: Message<TestEvent> = Message::Propose { ids };
+        let msg: Message<TestEvent> = Message::Propose { ids: ids.into() };
         let bytes = encode_message(NodeId::new(1), &msg);
         let cut = (bytes.len() as f64 * cut_fraction) as usize;
         if cut < bytes.len() {

@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn construction_matches_the_scenario() {
         let cfg = crate::Scenario::tiny(5).with_seed(3);
-        let (dep, mut engine) = Deployment::new(&cfg);
+        let (dep, engine) = Deployment::new(&cfg);
         assert_eq!(dep.nodes.len(), cfg.n);
         assert_eq!(dep.players.len(), cfg.n);
         assert_eq!(dep.links.len(), cfg.n);

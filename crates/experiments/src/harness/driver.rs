@@ -54,11 +54,7 @@ impl<'a> Driver<'a> {
     /// Runs the event loop until the horizon, then collects the result.
     pub(crate) fn run(mut self) -> RunResult {
         let end = Time::ZERO + self.dep.cfg.total_duration();
-        while let Some(next) = self.engine.peek_time() {
-            if next > end {
-                break;
-            }
-            let (now, ev) = self.engine.pop().expect("peeked event pops");
+        while let Some((now, ev)) = self.engine.pop_before(end) {
             self.dispatch(now, ev);
         }
         result::collect(self)

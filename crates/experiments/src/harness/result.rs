@@ -28,6 +28,9 @@ pub struct RunResult {
     pub windows_measured: u32,
     /// Simulation events processed (for performance reporting).
     pub events_processed: u64,
+    /// High-water mark of the engine's pending-event queue (for performance
+    /// reporting; see the `perfbench` binary in `gossip-bench`).
+    pub peak_queue: usize,
     /// Per-second timeline of the run: cumulative packets delivered across
     /// all receivers, total queued upload bytes, and cumulative drops.
     pub timeline: RunTimeline,
@@ -225,6 +228,7 @@ pub(crate) fn collect(driver: Driver<'_>) -> RunResult {
         net,
         windows_measured: last - first + 1,
         events_processed: engine.processed(),
+        peak_queue: engine.peak_pending(),
         timeline,
         depth: depth.stats(),
     }

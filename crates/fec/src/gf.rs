@@ -108,8 +108,32 @@ pub fn exp(i: u8) -> u8 {
     EXP[i as usize]
 }
 
+/// Length at or above which [`mul_acc_slice`] amortises a 256-byte
+/// multiplication table instead of doing two log/exp lookups per byte.
+const MUL_TABLE_THRESHOLD: usize = 128;
+
+/// Builds the 256-byte row of the multiplication table for `c`:
+/// `table[s] = c * s` (`c != 0`).
+#[inline]
+fn mul_table(c: u8) -> [u8; 256] {
+    let log_c = LOG[c as usize] as usize;
+    let mut table = [0u8; 256];
+    let mut s = 1usize;
+    while s <= 255 {
+        table[s] = EXP[log_c + LOG[s] as usize];
+        s += 1;
+    }
+    table
+}
+
 /// Multiplies every byte of `src` by `c` and XORs the products into `dst`
 /// (`dst[i] ^= c * src[i]`) — the inner loop of Reed–Solomon encoding.
+///
+/// For shard-sized slices the `LOG[c]` row is hoisted into a 256-byte
+/// per-call multiplication table: one table build per shard operation, then
+/// a single lookup+xor per byte instead of two lookups and a zero-check
+/// branch. Short slices keep the direct log/exp path, where the table would
+/// cost more than it saves.
 ///
 /// # Panics
 ///
@@ -119,10 +143,17 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
     if c == 0 {
         return;
     }
-    let log_c = LOG[c as usize] as usize;
-    for (d, &s) in dst.iter_mut().zip(src) {
-        if s != 0 {
-            *d ^= EXP[log_c + LOG[s as usize] as usize];
+    if dst.len() >= MUL_TABLE_THRESHOLD {
+        let table = mul_table(c);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= table[s as usize];
+        }
+    } else {
+        let log_c = LOG[c as usize] as usize;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s != 0 {
+                *d ^= EXP[log_c + LOG[s as usize] as usize];
+            }
         }
     }
 }
@@ -252,6 +283,19 @@ mod tests {
         let expected: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| add(d, mul(s, 0x1D))).collect();
         mul_acc_slice(&mut dst, &src, 0x1D);
         assert_eq!(dst.to_vec(), expected);
+    }
+
+    #[test]
+    fn mul_acc_slice_table_path_matches_scalar() {
+        // Long enough to take the table path; covers every byte value.
+        let src: Vec<u8> = (0..=255u8).chain(0..=255u8).collect();
+        for c in [1u8, 2, 0x1D, 76, 255] {
+            let mut dst = vec![0xAAu8; src.len()];
+            let expected: Vec<u8> =
+                dst.iter().zip(&src).map(|(&d, &s)| add(d, mul(s, c))).collect();
+            mul_acc_slice(&mut dst, &src, c);
+            assert_eq!(dst, expected, "table path diverges for c={c}");
+        }
     }
 
     #[test]

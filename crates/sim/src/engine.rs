@@ -35,6 +35,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: Time,
     processed: u64,
+    peak_pending: usize,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -56,7 +57,7 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine with the clock at [`Time::ZERO`].
     pub fn new() -> Self {
-        Engine { queue: EventQueue::new(), now: Time::ZERO, processed: 0 }
+        Engine { queue: EventQueue::new(), now: Time::ZERO, processed: 0, peak_pending: 0 }
     }
 
     /// Returns the current virtual time (the timestamp of the last event
@@ -77,16 +78,26 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Returns the largest number of simultaneously pending events observed
+    /// so far (the high-water mark of the queue).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in a causal simulation;
     /// `at` is clamped to `now` (the event fires "immediately") so that
     /// zero-latency models behave rather than panic.
     pub fn schedule(&mut self, at: Time, event: E) -> EventHandle {
-        self.queue.push(at.max(self.now), event)
+        let handle = self.queue.push(at.max(self.now), event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+        handle
     }
 
-    /// Cancels a scheduled event. Returns whether a tombstone was planted.
+    /// Cancels a scheduled event, removing it from the queue immediately.
+    /// Returns whether a pending event was actually removed (stale handles
+    /// are a no-op).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         self.queue.cancel(handle)
     }
@@ -100,8 +111,21 @@ impl<E> Engine<E> {
         Some((at, ev))
     }
 
+    /// Pops the next event if it is due at or before `deadline` (inclusive),
+    /// advancing the clock to its timestamp; leaves later events pending.
+    ///
+    /// This is the driver-loop primitive: one heap traversal per dispatched
+    /// event instead of a `peek_time` followed by a `pop`.
+    pub fn pop_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        let (at, ev) = self.queue.pop_before(deadline)?;
+        debug_assert!(at >= self.now, "time ran backwards");
+        self.now = at;
+        self.processed += 1;
+        Some((at, ev))
+    }
+
     /// Returns the timestamp of the next pending event.
-    pub fn peek_time(&mut self) -> Option<Time> {
+    pub fn peek_time(&self) -> Option<Time> {
         self.queue.peek_time()
     }
 
@@ -116,11 +140,7 @@ impl<E> Engine<E> {
         F: FnMut(&mut Engine<E>, Time, E),
     {
         let start = self.processed;
-        while let Some(next) = self.peek_time() {
-            if next > deadline {
-                break;
-            }
-            let (at, ev) = self.pop().expect("peeked event must pop");
+        while let Some((at, ev)) = self.pop_before(deadline) {
             handler(self, at, ev);
         }
         // The clock reflects the deadline even if the queue drained early, so

@@ -2,9 +2,9 @@
 //!
 //! This crate is the substrate every simulated experiment runs on. It offers:
 //!
-//! * [`EventQueue`] — a binary-heap priority queue of timestamped events with
-//!   a stable total order (ties broken by insertion sequence) and O(1)
-//!   cancellation via tombstones;
+//! * [`EventQueue`] — a slab-backed, indexed d-ary min-heap of timestamped
+//!   events with a stable total order (ties broken by insertion sequence)
+//!   and tombstone-free cancellation via slot+generation handles;
 //! * [`Engine`] — a virtual clock plus queue with a `run`-style driver;
 //! * [`DetRng`] — a fast, splittable, fully deterministic random number
 //!   generator (xoshiro256++ seeded via SplitMix64) with the distribution

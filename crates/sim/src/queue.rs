@@ -1,52 +1,55 @@
 //! The timestamped event queue.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] that provides the
-//! two things a deterministic simulator needs beyond a plain heap:
+//! A slab-backed, indexed d-ary min-heap that provides the two things a
+//! deterministic simulator needs beyond a plain priority queue:
 //!
 //! 1. **a stable total order** — events at equal times pop in insertion
 //!    order, so the simulation schedule does not depend on heap internals;
-//! 2. **cancellation** — scheduling returns an [`EventHandle`] that can later
-//!    cancel the event in O(1) (tombstoning; the entry is skipped on pop).
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+//! 2. **true cancellation** — scheduling returns an [`EventHandle`] (a
+//!    slot + generation pair) that removes the entry from the heap
+//!    immediately. There are no tombstones: cancelled entries never linger,
+//!    [`EventQueue::len`] is always exact, and stale handles (already
+//!    popped or already cancelled) are rejected by the generation check.
+//!
+//! Internally the heap orders `u32` slot indices, so sift operations move
+//! 4-byte integers instead of whole events; event payloads stay put in
+//! their slots. The 4-ary layout halves the tree depth of a binary heap,
+//! which matters on the simulator's hot path where every dispatched event
+//! is one pop and most dispatches schedule a follow-up push.
 
 use gossip_types::Time;
 
+/// Heap arity. Four children per node: shallower trees (fewer cache misses
+/// per sift) at the cost of more comparisons per level — the classic win
+/// for pop-heavy workloads.
+const ARITY: usize = 4;
+
 /// A handle to a scheduled event, usable to cancel it.
 ///
-/// Handles are unique per queue for the lifetime of the queue (a `u64`
-/// sequence number), so a handle never aliases a different event.
+/// A handle names a slot plus the generation the slot had when the event
+/// was pushed. Slots are recycled, generations only grow: a handle whose
+/// event already popped (or was already cancelled) fails the generation
+/// check and is rejected, so a handle never aliases a different event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    generation: u32,
+}
 
-struct Entry<E> {
+struct Slot<E> {
+    /// Bumped every time the slot is freed; handles carry the generation
+    /// they were issued under.
+    generation: u32,
+    /// Position of this slot's entry in `heap` (only meaningful while the
+    /// slot is occupied).
+    pos: u32,
     at: Time,
+    /// Insertion sequence number: the tie-break making the order total.
     seq: u64,
-    event: E,
+    event: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to get earliest-first, with the
-        // insertion sequence breaking ties so ordering is total and stable.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A priority queue of timestamped events with stable ordering and
+/// A priority queue of timestamped events with stable ordering and indexed
 /// cancellation.
 ///
 /// # Examples
@@ -63,8 +66,11 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None); // "late" was cancelled
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// The d-ary min-heap of slot indices, ordered by `(at, seq)`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<E>>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -72,7 +78,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("len", &self.heap.len())
-            .field("cancelled", &self.cancelled.len())
+            .field("slots", &self.slots.len())
             .field("next_seq", &self.next_seq)
             .finish()
     }
@@ -87,65 +93,194 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0 }
+        EventQueue { heap: Vec::new(), slots: Vec::new(), free: Vec::new(), next_seq: 0 }
     }
 
     /// Schedules `event` at time `at` and returns a cancellation handle.
     pub fn push(&mut self, at: Time, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.at = at;
+                s.seq = seq;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Slot { generation: 0, pos: 0, at, seq, event: Some(event) });
+                slot
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        EventHandle { slot, generation: self.slots[slot as usize].generation }
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event, removing it from the heap
+    /// immediately.
     ///
-    /// Cancelling an event that already fired (or was already cancelled) is a
-    /// no-op; the method returns whether the tombstone was newly planted
-    /// against a *possibly* pending event.
+    /// Returns whether a pending event was actually removed. Handles whose
+    /// event already popped — or was already cancelled — fail the
+    /// generation check and are a no-op, so `len()` stays exact no matter
+    /// how callers misuse stale handles.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        let Some(slot) = self.slots.get(handle.slot as usize) else {
+            return false;
+        };
+        if slot.generation != handle.generation || slot.event.is_none() {
             return false;
         }
-        self.cancelled.insert(handle.0)
+        let pos = slot.pos as usize;
+        self.remove_heap_entry(pos);
+        self.release(handle.slot);
+        true
     }
 
-    /// Removes and returns the earliest pending event, skipping cancelled
-    /// entries.
+    /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            return Some((entry.at, entry.event));
-        }
-        None
+        let slot = *self.heap.first()?;
+        self.remove_heap_entry(0);
+        let (at, event) = self.release(slot);
+        Some((at, event.expect("occupied slot holds an event")))
     }
 
-    /// Returns the timestamp of the earliest pending (non-cancelled) event
-    /// without removing it.
-    pub fn peek_time(&mut self) -> Option<Time> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.at);
+    /// Removes and returns the earliest pending event if it is due at or
+    /// before `horizon`; leaves the queue untouched otherwise.
+    ///
+    /// This is the driver-loop primitive: one heap traversal per dispatched
+    /// event instead of a `peek_time` followed by a `pop`.
+    pub fn pop_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        let slot = *self.heap.first()?;
+        if self.slots[slot as usize].at > horizon {
+            return None;
         }
-        None
+        self.remove_heap_entry(0);
+        let (at, event) = self.release(slot);
+        Some((at, event.expect("occupied slot holds an event")))
     }
 
-    /// Returns the number of entries in the heap, *including* cancelled
-    /// entries that have not been reaped yet.
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.first().map(|&slot| self.slots[slot as usize].at)
+    }
+
+    /// Returns the exact number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len()
     }
 
-    /// Returns `true` if no live events are pending.
+    /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Frees a slot (bumping its generation so outstanding handles die) and
+    /// returns its timestamp and event.
+    fn release(&mut self, slot: u32) -> (Time, Option<E>) {
+        let s = &mut self.slots[slot as usize];
+        s.generation = s.generation.wrapping_add(1);
+        let event = s.event.take();
+        let at = s.at;
+        self.free.push(slot);
+        (at, event)
+    }
+
+    /// `(at, seq)` sort key of the slot behind heap position `i`.
+    #[inline]
+    fn key(&self, i: usize) -> (Time, u64) {
+        let s = &self.slots[self.heap[i] as usize];
+        (s.at, s.seq)
+    }
+
+    /// Writes `slot` into heap position `i`, keeping the back-pointer in
+    /// sync.
+    #[inline]
+    fn place(&mut self, i: usize, slot: u32) {
+        self.heap[i] = slot;
+        self.slots[slot as usize].pos = i as u32;
+    }
+
+    /// Removes the heap entry at position `pos` (swap with the last entry,
+    /// then restore the heap property for the moved entry).
+    fn remove_heap_entry(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos == last {
+            self.heap.pop();
+            return;
+        }
+        let moved = self.heap[last];
+        self.heap.pop();
+        self.place(pos, moved);
+        // The moved entry came from the bottom; it can only need to go
+        // down, unless the removal point was below its correct position
+        // (possible when removing from the middle of the heap).
+        if pos > 0 && self.key(pos) < self.key((pos - 1) / ARITY) {
+            self.sift_up(pos);
+        } else {
+            self.sift_down(pos);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let slot = self.heap[i];
+        let key = {
+            let s = &self.slots[slot as usize];
+            (s.at, s.seq)
+        };
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if key < self.key(parent) {
+                let p = self.heap[parent];
+                self.place(i, p);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.place(i, slot);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let slot = self.heap[i];
+        let key = {
+            let s = &self.slots[slot as usize];
+            (s.at, s.seq)
+        };
+        let len = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min_child = first_child;
+            let mut min_key = self.key(first_child);
+            let end = (first_child + ARITY).min(len);
+            for c in first_child + 1..end {
+                let k = self.key(c);
+                if k < min_key {
+                    min_key = k;
+                    min_child = c;
+                }
+            }
+            if min_key < key {
+                let m = self.heap[min_child];
+                self.place(i, m);
+                i = min_child;
+            } else {
+                break;
+            }
+        }
+        self.place(i, slot);
     }
 }
 
@@ -191,17 +326,61 @@ mod tests {
     #[test]
     fn cancel_unknown_handle_is_rejected() {
         let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(99)));
+        assert!(!q.cancel(EventHandle { slot: 99, generation: 0 }));
     }
 
     #[test]
-    fn peek_time_skips_cancelled() {
+    fn cancel_after_pop_is_rejected_and_len_stays_exact() {
+        // Regression test: with the old tombstone design, cancelling an
+        // already-popped handle planted a tombstone that was never reaped,
+        // so `len()` (`heap.len() - cancelled.len()`) underflowed once the
+        // heap drained.
+        let mut q = EventQueue::new();
+        let h = q.push(Time::from_secs(1), 'x');
+        assert_eq!(q.pop(), Some((Time::from_secs(1), 'x')));
+        assert!(!q.cancel(h), "handle of a popped event must be stale");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // The queue remains fully usable.
+        q.push(Time::from_secs(2), 'y');
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_secs(2), 'y')));
+    }
+
+    #[test]
+    fn recycled_slot_does_not_honour_old_handles() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(Time::from_secs(1), 1);
+        assert!(q.cancel(h1));
+        // The slot is recycled for a new event; the old handle must not be
+        // able to cancel it.
+        let h2 = q.push(Time::from_secs(2), 2);
+        assert!(!q.cancel(h1), "stale handle must not cancel the recycled slot");
+        assert_eq!(q.pop(), Some((Time::from_secs(2), 2)));
+        assert!(!q.cancel(h2));
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
         let mut q = EventQueue::new();
         let h = q.push(Time::from_secs(1), 'x');
         q.push(Time::from_secs(2), 'y');
         q.cancel(h);
         assert_eq!(q.peek_time(), Some(Time::from_secs(2)));
         assert_eq!(q.pop(), Some((Time::from_secs(2), 'y')));
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(1), 'a');
+        q.push(Time::from_secs(2), 'b');
+        q.push(Time::from_secs(3), 'c');
+        assert_eq!(q.pop_before(Time::from_secs(2)), Some((Time::from_secs(1), 'a')));
+        assert_eq!(q.pop_before(Time::from_secs(2)), Some((Time::from_secs(2), 'b')), "inclusive");
+        assert_eq!(q.pop_before(Time::from_secs(2)), None, "later events stay queued");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_secs(3), 'c')));
     }
 
     #[test]
@@ -227,5 +406,31 @@ mod tests {
         q.push(base + Duration::from_millis(20), 20);
         assert_eq!(q.pop().unwrap().1, 20);
         assert_eq!(q.pop().unwrap().1, 30);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_heap_consistent() {
+        // Cancel from the middle of a large heap repeatedly; every survivor
+        // must still pop in exact (time, insertion) order.
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..500u64 {
+            handles.push((i, q.push(Time::from_micros(i * 37 % 1000), i)));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for &(i, h) in handles.iter().step_by(3) {
+            assert!(q.cancel(h));
+            cancelled.insert(i);
+        }
+        assert_eq!(q.len(), 500 - cancelled.len());
+        let mut popped = Vec::new();
+        while let Some((at, i)) = q.pop() {
+            assert!(!cancelled.contains(&i), "cancelled event {i} must not pop");
+            popped.push((at, i));
+        }
+        assert_eq!(popped.len(), 500 - cancelled.len());
+        for w in popped.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
     }
 }

@@ -212,14 +212,24 @@ impl DetRng {
     /// partial Fisher–Yates over an index vector: O(n) but `n` here is the
     /// membership size (hundreds), called a few times per gossip round.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx = Vec::new();
+        self.sample_indices_into(n, k, &mut idx);
+        idx
+    }
+
+    /// Allocation-free variant of [`DetRng::sample_indices`]: fills `out`
+    /// with the sample, reusing its capacity. The random draw sequence is
+    /// identical to `sample_indices`, so the two are interchangeable
+    /// without perturbing determinism.
+    pub fn sample_indices_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         let k = k.min(n);
-        let mut idx: Vec<usize> = (0..n).collect();
+        out.clear();
+        out.extend(0..n);
         for i in 0..k {
             let j = i + self.index(n - i);
-            idx.swap(i, j);
+            out.swap(i, j);
         }
-        idx.truncate(k);
-        idx
+        out.truncate(k);
     }
 }
 

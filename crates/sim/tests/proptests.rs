@@ -54,6 +54,91 @@ proptest! {
         }
     }
 
+    /// Model check: the slab-backed indexed queue agrees with a
+    /// `BinaryHeap`-based reference model on an arbitrary interleaving of
+    /// push / pop / cancel operations — including the stable tie-break at
+    /// equal timestamps.
+    #[test]
+    fn queue_matches_binary_heap_reference(
+        ops in vec((0u8..4, 0u64..50), 1..300),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// Reference model: a plain max-heap of `Reverse<(time, seq)>` plus
+        /// a tombstone set — the pre-rewrite design, kept as the oracle.
+        struct Model {
+            heap: BinaryHeap<Reverse<(Time, u64)>>,
+            cancelled: std::collections::HashSet<u64>,
+            payload: std::collections::HashMap<u64, u64>,
+        }
+
+        impl Model {
+            fn pop(&mut self) -> Option<(Time, u64)> {
+                while let Some(Reverse((at, seq))) = self.heap.pop() {
+                    if self.cancelled.remove(&seq) {
+                        continue;
+                    }
+                    return Some((at, self.payload.remove(&seq).expect("payload")));
+                }
+                None
+            }
+        }
+
+        let mut q = EventQueue::new();
+        let mut model =
+            Model { heap: BinaryHeap::new(), cancelled: Default::default(), payload: Default::default() };
+        // Live handles of both sides, kept in lockstep: (queue handle, model seq).
+        let mut live: Vec<(gossip_sim::EventHandle, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+
+        for &(op, arg) in &ops {
+            match op {
+                // Push (twice as likely as the other operations so the
+                // queue actually grows).
+                0 | 1 => {
+                    let at = Time::from_micros(arg);
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let handle = q.push(at, seq);
+                    model.heap.push(Reverse((at, seq)));
+                    model.payload.insert(seq, seq);
+                    live.push((handle, seq));
+                }
+                // Pop from both; results must agree exactly.
+                2 => {
+                    let got = q.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want, "pop order diverged from the reference model");
+                    if let Some((_, seq)) = got {
+                        live.retain(|&(_, s)| s != seq);
+                    }
+                }
+                // Cancel an arbitrary live handle on both sides.
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (handle, seq) = live.remove(arg as usize % live.len());
+                    prop_assert!(q.cancel(handle), "live handle must cancel");
+                    model.cancelled.insert(seq);
+                    model.payload.remove(&seq);
+                }
+            }
+            prop_assert_eq!(q.len(), model.payload.len(), "len must track the live set");
+        }
+
+        // Drain both completely: the tails must agree too.
+        loop {
+            let got = q.pop();
+            let want = model.pop();
+            prop_assert_eq!(got, want, "drain order diverged from the reference model");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The engine clock never runs backwards, no matter the schedule.
     #[test]
     fn engine_clock_is_monotone(times in vec(0u64..10_000, 1..200)) {

@@ -5,7 +5,7 @@ use std::fmt;
 use bytes::Bytes;
 
 use gossip_core::wire::{take_u64, WireEvent};
-use gossip_core::Event;
+use gossip_core::{Event, EventIndex};
 use gossip_types::Time;
 
 /// Identity of one packet of the stream: window number plus index within
@@ -45,6 +45,16 @@ impl PacketId {
 impl fmt::Display for PacketId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "w{}p{}", self.window, self.index)
+    }
+}
+
+/// Packet ids are exactly the dense coordinates the protocol's per-window
+/// slabs want: `window * total_packets + index`, expressed as a
+/// `(window, index)` pair so no stride needs to be known up front.
+impl EventIndex for PacketId {
+    #[inline]
+    fn dense_key(&self) -> (u64, u32) {
+        (u64::from(self.window), u32::from(self.index))
     }
 }
 
@@ -205,7 +215,7 @@ mod tests {
         assert_eq!(got_msg, msg);
 
         let propose: Message<StreamPacket> =
-            Message::Propose { ids: vec![PacketId::new(0, 1), PacketId::new(2, 3)] };
+            Message::Propose { ids: vec![PacketId::new(0, 1), PacketId::new(2, 3)].into() };
         let bytes = encode_message(sender, &propose);
         let (_, got) = decode_message::<StreamPacket>(&bytes).unwrap();
         assert_eq!(got, propose);
@@ -222,7 +232,7 @@ mod tests {
         assert_eq!(encoded.len(), msg.wire_size());
 
         let propose: Message<StreamPacket> =
-            Message::Propose { ids: vec![PacketId::new(0, 1); 15] };
+            Message::Propose { ids: vec![PacketId::new(0, 1); 15].into() };
         assert_eq!(encode_message(NodeId::new(0), &propose).len(), propose.wire_size());
     }
 

@@ -1,13 +1,12 @@
 //! The per-node event loop around the sans-io protocol core.
 
-use std::collections::BinaryHeap;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use gossip_core::wire::{decode_message, encode_message};
 use gossip_core::{GossipNode, Output, TimerToken};
-use gossip_sim::DetRng;
+use gossip_sim::{DetRng, EventQueue};
 use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
 use gossip_types::{Duration, NodeId, Time};
 
@@ -91,8 +90,8 @@ pub fn run_node(
     let mut source = config.stream_for.map(|_| StreamSource::new(config.stream, Time::ZERO));
     let stream_end = config.stream_for.map(|d| Time::ZERO + d);
 
-    // Min-heap of armed protocol timers.
-    let mut timers: BinaryHeap<std::cmp::Reverse<(Time, TimerToken)>> = BinaryHeap::new();
+    // Armed protocol timers, on the same indexed queue the simulator uses.
+    let mut timers: EventQueue<TimerToken> = EventQueue::new();
     let mut next_round = clock.now();
     let mut recv_buf = vec![0u8; 65_536];
     let mut recv_msgs = 0u64;
@@ -128,8 +127,7 @@ pub fn run_node(
         }
 
         // 3. Protocol timers.
-        while timers.peek().is_some_and(|std::cmp::Reverse((at, _))| *at <= now) {
-            let std::cmp::Reverse((_, token)) = timers.pop().expect("peeked");
+        while let Some((_, token)) = timers.pop_before(now) {
             node.on_timer(now, token);
         }
 
@@ -145,7 +143,7 @@ pub fn run_node(
                     player.on_packet(now, event.packet_id());
                 }
                 Output::ScheduleTimer { token, at } => {
-                    timers.push(std::cmp::Reverse((at, token)));
+                    timers.push(at, token);
                 }
             }
         }
@@ -157,8 +155,8 @@ pub fn run_node(
 
         // 6. Sleep until the next deadline, receiving datagrams meanwhile.
         let mut deadline = next_round;
-        if let Some(std::cmp::Reverse((at, _))) = timers.peek() {
-            deadline = deadline.min(*at);
+        if let Some(at) = timers.peek_time() {
+            deadline = deadline.min(at);
         }
         if let Some(at) = shaper.next_release() {
             deadline = deadline.min(at);

@@ -1,0 +1,85 @@
+//! Pins a digest of a fig1-style run so hot-path rewrites (event queue,
+//! node state, message representation) can prove they leave the simulation
+//! schedule — and therefore every measured number — byte-identical.
+//!
+//! The digest folds every observable field of two `RunResult`s (two fanouts
+//! of the fig1 sweep at a fixed seed) through FNV-1a. If this test fails
+//! after a refactor, the refactor changed simulation *behavior*, not just
+//! performance — find out why before updating the constant.
+
+use gossip_experiments::{RunResult, Scenario};
+use gossip_types::Duration;
+
+/// FNV-1a over a byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+}
+
+/// Folds every observable field of a run into the digest. Floats are hashed
+/// by their exact bit patterns, so any drift — however small — is caught.
+fn fold_result(h: &mut Fnv, r: &RunResult) {
+    h.write(&r.events_processed.to_le_bytes());
+    h.write(&u64::from(r.windows_measured).to_le_bytes());
+    h.write(&r.source_upload_kbps.to_bits().to_le_bytes());
+    for &kbps in &r.upload_kbps {
+        h.write(&kbps.to_bits().to_le_bytes());
+    }
+    for lag_secs in [0u64, 5, 10, 20] {
+        let pct = r.quality.percent_viewing(0.01, Duration::from_secs(lag_secs));
+        h.write(&pct.to_bits().to_le_bytes());
+    }
+    let offline = r.quality.percent_viewing(0.01, Duration::MAX);
+    h.write(&offline.to_bits().to_le_bytes());
+    h.write_str(&format!("{:?}", r.protocol));
+    h.write_str(&format!("{:?}", r.net));
+    for series in [&r.timeline.delivered, &r.timeline.queued_bytes, &r.timeline.dropped] {
+        for &(at, v) in series.samples() {
+            h.write_str(&format!("{at:?}"));
+            h.write(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn digest() -> u64 {
+    let mut h = Fnv::new();
+    for fanout in [5usize, 7] {
+        let result = Scenario::tiny(fanout).with_seed(42).run();
+        fold_result(&mut h, &result);
+    }
+    h.0
+}
+
+/// The digest of the seed implementation (BinaryHeap queue, HashMap node
+/// state, per-partner id vectors), captured before the indexed-queue /
+/// dense-state rewrite. The rewrite must reproduce it exactly.
+const PINNED_DIGEST: u64 = 0xc5dc_40e4_1659_a64b;
+
+#[test]
+fn fig1_style_digest_is_pinned() {
+    let got = digest();
+    assert_eq!(
+        got, PINNED_DIGEST,
+        "RunResult digest changed: got {got:#018x}, pinned {PINNED_DIGEST:#018x} — \
+         the simulation schedule is no longer byte-identical"
+    );
+}
+
+#[test]
+fn digest_is_reproducible_within_a_process() {
+    assert_eq!(digest(), digest());
+}
