@@ -82,6 +82,80 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state queue operations at a fixed resident population, the shape
+/// of the simulator's hot loop: every pop schedules a follow-up a random
+/// span ahead, events cluster around a round cadence, and a fraction of
+/// the scheduled work is cancelled before it fires.
+///
+/// Runs identically against the calendar queue (the default) and the
+/// reference heap, so a queue change is measurable in isolation from the
+/// full scenario.
+fn bench_event_queue_resident(c: &mut Criterion) {
+    use gossip_sim::EventSchedule;
+
+    fn steady_state<Q: EventSchedule<u64> + Default>(
+        g: &mut criterion::BenchmarkGroup<'_>,
+        name: &str,
+        resident: usize,
+    ) {
+        const OPS: u64 = 100_000;
+        g.throughput(Throughput::Elements(OPS));
+        g.bench_function(format!("{name}_{}k_resident", resident / 1000), |b| {
+            // Build the resident population once per iteration batch: times
+            // cluster around a 200 ms cadence with ~jittered offsets, like
+            // gossip rounds.
+            let mut rng = DetRng::seed_from(7);
+            b.iter(|| {
+                let mut q = Q::default();
+                let mut cancellable = Vec::with_capacity(resident / 8);
+                for i in 0..resident as u64 {
+                    let at = Time::from_micros(rng.next_below(1_000_000));
+                    let h = q.push(at, i);
+                    if i % 8 == 0 {
+                        cancellable.push(h);
+                    }
+                }
+                // pop → push steady state with interleaved cancels and
+                // horizon-bounded pops.
+                let mut sum = 0u64;
+                for step in 0..OPS {
+                    let (at, v) = q.pop().expect("queue stays populated");
+                    sum = sum.wrapping_add(v);
+                    // Schedule the follow-up 200 ms ± jitter ahead.
+                    let jitter = rng.next_below(40_000);
+                    let h = q.push(at + Duration::from_micros(180_000 + jitter), v);
+                    if step % 8 == 0 {
+                        cancellable.push(h);
+                    }
+                    if step % 16 == 0 {
+                        if let Some(h) = cancellable.pop() {
+                            q.cancel(h);
+                            let at2 = at + Duration::from_micros(rng.next_below(400_000));
+                            q.push(at2, step);
+                        }
+                    }
+                    if step % 64 == 0 {
+                        while let Some((_, v)) = q.pop_before(at) {
+                            sum = sum.wrapping_add(v);
+                            let at2 = at + Duration::from_micros(200_000 + rng.next_below(1000));
+                            q.push(at2, v);
+                        }
+                    }
+                }
+                black_box(sum)
+            });
+        });
+    }
+
+    let mut g = c.benchmark_group("event_queue_resident");
+    g.sample_size(10);
+    for resident in [10_000usize, 100_000] {
+        steady_state::<gossip_sim::CalendarQueue<u64>>(&mut g, "calendar", resident);
+        steady_state::<gossip_sim::HeapQueue<u64>>(&mut g, "heap", resident);
+    }
+    g.finish();
+}
+
 fn bench_rng(c: &mut Criterion) {
     let mut g = c.benchmark_group("det_rng");
     g.throughput(Throughput::Elements(1000));
@@ -144,6 +218,7 @@ criterion_group!(
     bench_rs_paper_window,
     bench_window_params,
     bench_event_queue,
+    bench_event_queue_resident,
     bench_rng,
     bench_upload_link,
     bench_wire_codec

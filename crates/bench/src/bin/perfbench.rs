@@ -1,11 +1,17 @@
 //! `perfbench` — the tracked hot-path performance benchmark.
 //!
-//! Runs one *pinned* mid-size scenario (230 nodes, fanout 7, 60 s stream,
+//! Runs the *pinned* mid-size scenario (230 nodes, fanout 7, 60 s stream,
 //! 20 s drain, seeds 1–3 — the paper's deployment geometry at a shortened
-//! stream) and writes a small JSON report so the simulator's performance
-//! trajectory can be compared PR-over-PR. The scenario parameters are fixed
+//! stream) whose events/s is the PR-over-PR trajectory number, plus a
+//! scenario *matrix* across scales (n ∈ {230, 1000, 4000}, fanout scaled
+//! as ⌈ln n⌉ + 2, full and Cyclon membership) so the report also records
+//! how throughput holds up at thousands of nodes. All parameters are fixed
 //! on purpose: the numbers are only meaningful against earlier runs of the
-//! exact same workload.
+//! exact same workloads.
+//!
+//! When the output file already exists, the previous per-scenario numbers
+//! are read back and a delta is printed for every scenario; a regression
+//! beyond 10 % warns loudly (but does not fail — CI boxes are noisy).
 //!
 //! Usage:
 //!
@@ -13,29 +19,52 @@
 //! perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
-//! * `--smoke` — a ~10× reduced scenario (60 nodes, 30 s stream, 1 seed)
-//!   for CI smoke runs;
+//! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
+//!   scenario (60 nodes, 30 s stream, 1 seed) plus one shortened large-n
+//!   scenario (n = 1000);
 //! * `--out PATH` — where to write the JSON (default `BENCH_hotpath.json`
 //!   in the current directory);
-//! * `--baseline X` — a previously recorded `events_per_sec` to compute the
-//!   `speedup` field against (typically the number committed by the last
-//!   PR that touched the hot path).
+//! * `--baseline X` — a previously recorded pinned `events_per_sec` to
+//!   compute the `speedup` field against (typically the number committed
+//!   by the last PR that touched the hot path);
+//! * `--repeat N` — run each measurement N times and keep the fastest
+//!   (default 1). Shared/noisy boxes can stall a run by tens of percent;
+//!   the minimum over a few repeats is the standard way (cf. hyperfine's
+//!   `min`) to estimate what the code can actually do. The value used is
+//!   recorded in the report.
 //!
 //! Report fields: `wall_secs` (wall-clock time of the simulation proper,
 //! excluding setup), `events` / `events_per_sec` (simulation events
 //! dispatched through the engine), `peak_queue` (high-water mark of the
 //! pending-event queue).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use gossip_experiments::{Scale, Scenario};
+use gossip_experiments::{MembershipMode, Scale, Scenario};
+use gossip_membership::CyclonConfig;
 use gossip_types::Duration;
+
+/// Regression threshold for the warn-only delta guard.
+const REGRESSION_WARN_PCT: f64 = 10.0;
 
 struct RunSample {
     seed: u64,
     wall_secs: f64,
     events: u64,
     peak_queue: usize,
+}
+
+/// One matrix entry: a labelled scenario plus its measurement.
+struct MatrixResult {
+    label: String,
+    n: usize,
+    fanout: usize,
+    membership: &'static str,
+    stream_secs: u64,
+    drain_secs: u64,
+    seed: u64,
+    sample: RunSample,
 }
 
 fn pinned_scenario(smoke: bool, seed: u64) -> Scenario {
@@ -51,10 +80,102 @@ fn pinned_scenario(smoke: bool, seed: u64) -> Scenario {
     s
 }
 
+/// The matrix fanout rule: ⌈ln n⌉ + 2, just above the epidemic threshold.
+fn scaled_fanout(n: usize) -> usize {
+    (n as f64).ln().ceil() as usize + 2
+}
+
+/// A Cyclon configuration big enough to feed the scaled fanout.
+fn cyclon_mode() -> MembershipMode {
+    MembershipMode::Cyclon {
+        config: CyclonConfig { view_size: 32, shuffle_size: 16 },
+        shuffle_period: Duration::from_secs(1),
+        bootstrap_degree: 16,
+    }
+}
+
+/// The large-n scenario matrix as `(label, n, membership, stream_secs,
+/// drain_secs)`. Stream lengths shrink with n so the whole matrix stays
+/// under a minute; what matters is the events/s at each scale, not the
+/// stream length.
+fn matrix_entries(smoke: bool) -> Vec<(String, usize, &'static str, u64, u64)> {
+    if smoke {
+        // The `_smoke` suffix keeps the delta guard like-for-like: a smoke
+        // run never compares its shortened workloads against a full
+        // report's numbers under the same label.
+        return vec![("n1000_f9_full_smoke".into(), 1000, "full", 5, 5)];
+    }
+    let mut entries = Vec::new();
+    for &(n, stream, drain) in &[(230usize, 30u64, 10u64), (1000, 20, 10), (4000, 10, 10)] {
+        for membership in ["full", "cyclon"] {
+            let f = scaled_fanout(n);
+            entries.push((format!("n{n}_f{f}_{membership}"), n, membership, stream, drain));
+        }
+    }
+    entries
+}
+
+fn run_scenario(s: &Scenario, seed: u64, repeat: u32) -> RunSample {
+    let mut best: Option<RunSample> = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let result = s.run();
+        let wall_secs = start.elapsed().as_secs_f64();
+        let sample = RunSample {
+            seed,
+            wall_secs,
+            events: result.events_processed,
+            peak_queue: result.peak_queue,
+        };
+        if best.as_ref().is_none_or(|b| sample.wall_secs < b.wall_secs) {
+            best = Some(sample);
+        }
+    }
+    best.expect("repeat >= 1 produced a sample")
+}
+
+/// Pulls labelled `"events_per_sec"` values out of a previous report: every
+/// JSON object that carries a `"label"` has its events/s recorded under
+/// that label (the pinned total is labelled `pinned`). A real JSON parser
+/// would be overkill for a file this binary itself wrote.
+fn parse_previous(report: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in report.lines() {
+        let line = line.trim();
+        let Some(rest) = line.split("\"label\": \"").nth(1) else {
+            continue;
+        };
+        let Some(label) = rest.split('"').next() else {
+            continue;
+        };
+        let Some(tail) = line.split("\"events_per_sec\": ").nth(1) else {
+            continue;
+        };
+        let num: String = tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((label.to_string(), v));
+        }
+    }
+    out
+}
+
+fn delta_line(label: &str, now: f64, previous: &[(String, f64)]) -> String {
+    let Some((_, prev)) = previous.iter().find(|(l, _)| l == label) else {
+        return format!("  {label}: {now:.0} events/s (no previous record)");
+    };
+    let delta_pct = (now / prev - 1.0) * 100.0;
+    let mut line = format!("  {label}: {now:.0} events/s ({delta_pct:+.1}% vs {prev:.0})");
+    if delta_pct < -REGRESSION_WARN_PCT {
+        write!(line, "  ** WARNING: regression beyond {REGRESSION_WARN_PCT}% **").unwrap();
+    }
+    line
+}
+
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_hotpath.json");
     let mut baseline: Option<f64> = None;
+    let mut repeat: u32 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,43 +185,48 @@ fn main() {
                 let v = args.next().expect("--baseline requires a number");
                 baseline = Some(v.parse().expect("--baseline must be a number"));
             }
+            "--repeat" => {
+                let v = args.next().expect("--repeat requires a count");
+                repeat = v.parse().expect("--repeat must be a positive integer");
+                assert!(repeat >= 1, "--repeat must be a positive integer");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC]");
+                eprintln!(
+                    "usage: perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
+    let previous = std::fs::read_to_string(&out).map(|s| parse_previous(&s)).unwrap_or_default();
+
     let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
     let label = if smoke { "smoke" } else { "full" };
     eprintln!("perfbench: pinned {label} scenario, seeds {seeds:?}");
 
-    // Untimed warm-up (CPU frequency ramp, page faults, branch predictors):
-    // without it the first timed seed reads systematically slow.
-    let mut warmup = pinned_scenario(true, 1);
-    warmup.stream_duration = Duration::from_secs(10);
+    // Untimed warm-up at the *measured* geometry (CPU frequency ramp,
+    // allocator arena growth, page faults, branch predictors): with a
+    // smaller warm-up scenario the first timed seed pays the full-size
+    // allocations inside its timed region and reads systematically slow.
+    let mut warmup = pinned_scenario(smoke, 1);
+    warmup.stream_duration = Duration::from_secs(if smoke { 5 } else { 15 });
+    warmup.drain_duration = Duration::from_secs(5);
     let _ = warmup.run();
 
     let mut samples = Vec::with_capacity(seeds.len());
     for &seed in seeds {
         let scenario = pinned_scenario(smoke, seed);
-        let start = Instant::now();
-        let result = scenario.run();
-        let wall_secs = start.elapsed().as_secs_f64();
+        let sample = run_scenario(&scenario, seed, repeat);
         eprintln!(
             "  seed {seed}: {:.3} s wall, {} events ({:.0} events/s), peak queue {}",
-            wall_secs,
-            result.events_processed,
-            result.events_processed as f64 / wall_secs,
-            result.peak_queue,
+            sample.wall_secs,
+            sample.events,
+            sample.events as f64 / sample.wall_secs,
+            sample.peak_queue,
         );
-        samples.push(RunSample {
-            seed,
-            wall_secs,
-            events: result.events_processed,
-            peak_queue: result.peak_queue,
-        });
+        samples.push(sample);
     }
 
     let total_wall: f64 = samples.iter().map(|s| s.wall_secs).sum();
@@ -108,9 +234,54 @@ fn main() {
     let peak_queue = samples.iter().map(|s| s.peak_queue).max().unwrap_or(0);
     let events_per_sec = total_events as f64 / total_wall;
     eprintln!(
-        "perfbench: total {:.3} s wall, {} events, {:.0} events/s",
+        "perfbench: pinned total {:.3} s wall, {} events, {:.0} events/s",
         total_wall, total_events, events_per_sec
     );
+
+    // The scale matrix: one seed per cell.
+    let mut matrix: Vec<MatrixResult> = Vec::new();
+    for (mlabel, n, membership, stream_secs, drain_secs) in matrix_entries(smoke) {
+        let fanout = scaled_fanout(n);
+        let mut scenario = Scenario::at_scale(Scale::Full, fanout).with_seed(1);
+        scenario.n = n;
+        scenario.stream_duration = Duration::from_secs(stream_secs);
+        scenario.drain_duration = Duration::from_secs(drain_secs);
+        if membership == "cyclon" {
+            scenario = scenario.with_membership(cyclon_mode());
+        }
+        eprintln!("perfbench: matrix {mlabel} (n={n}, fanout={fanout}, {membership})");
+        let sample = run_scenario(&scenario, 1, repeat);
+        eprintln!(
+            "  {:.3} s wall, {} events ({:.0} events/s), peak queue {}",
+            sample.wall_secs,
+            sample.events,
+            sample.events as f64 / sample.wall_secs,
+            sample.peak_queue,
+        );
+        matrix.push(MatrixResult {
+            label: mlabel,
+            n,
+            fanout,
+            membership,
+            stream_secs,
+            drain_secs,
+            seed: 1,
+            sample,
+        });
+    }
+
+    // Trajectory guard: per-scenario delta against the previous report.
+    let pinned_label = if smoke { "pinned_smoke" } else { "pinned" };
+    if previous.is_empty() {
+        eprintln!("perfbench: no previous {out} — recording first trajectory point");
+    } else {
+        eprintln!("perfbench: delta vs previous {out}:");
+        eprintln!("{}", delta_line(pinned_label, events_per_sec, &previous));
+        for m in &matrix {
+            let now = m.sample.events as f64 / m.sample.wall_secs;
+            eprintln!("{}", delta_line(&m.label, now, &previous));
+        }
+    }
 
     let scenario = pinned_scenario(smoke, seeds[0]);
     let mut json = String::new();
@@ -124,6 +295,8 @@ fn main() {
         scenario.drain_duration.as_secs_f64() as u64,
         smoke,
     ));
+    json.push_str(&format!("  \"simd\": {},\n", cfg!(feature = "simd")));
+    json.push_str(&format!("  \"repeat\": {repeat},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
@@ -139,9 +312,29 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"total\": {{ \"wall_secs\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {} }}",
+        "  \"total\": {{ \"label\": \"{pinned_label}\", \"wall_secs\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {} }},\n",
         total_wall, total_events, events_per_sec, peak_queue,
     ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, m) in matrix.iter().enumerate() {
+        let comma = if i + 1 < matrix.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"n\": {}, \"fanout\": {}, \"membership\": \"{}\", \"stream_secs\": {}, \"drain_secs\": {}, \"seed\": {}, \"wall_secs\": {:.4}, \"events\": {}, \"events_per_sec\": {:.0}, \"peak_queue\": {} }}{}\n",
+            m.label,
+            m.n,
+            m.fanout,
+            m.membership,
+            m.stream_secs,
+            m.drain_secs,
+            m.seed,
+            m.sample.wall_secs,
+            m.sample.events,
+            m.sample.events as f64 / m.sample.wall_secs,
+            m.sample.peak_queue,
+            comma,
+        ));
+    }
+    json.push_str("  ]");
     if let Some(base) = baseline {
         json.push_str(&format!(
             ",\n  \"baseline_events_per_sec\": {:.0},\n  \"speedup\": {:.3}\n",

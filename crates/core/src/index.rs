@@ -61,6 +61,11 @@ pub struct DenseMap<K, V> {
     /// interior mutability keeps the read API `&self`).
     cursor: Cell<usize>,
     len: usize,
+    /// Longest row length observed so far. New rows pre-allocate this much
+    /// capacity: windows have a fixed geometry in practice, so after the
+    /// first window has grown organically every later row allocates exactly
+    /// once instead of reallocating its way up.
+    max_row: usize,
 }
 
 impl<K, V> std::fmt::Debug for DenseMap<K, V> {
@@ -81,7 +86,7 @@ impl<K: EventIndex, V> Default for DenseMap<K, V> {
 impl<K: EventIndex, V> DenseMap<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        DenseMap { rows: Vec::new(), cursor: Cell::new(0), len: 0 }
+        DenseMap { rows: Vec::new(), cursor: Cell::new(0), len: 0, max_row: 0 }
     }
 
     /// Returns the number of entries.
@@ -121,7 +126,7 @@ impl<K: EventIndex, V> DenseMap<K, V> {
         match self.locate_row(window) {
             Ok(i) => i,
             Err(i) => {
-                self.rows.insert(i, (window, Vec::new()));
+                self.rows.insert(i, (window, Vec::with_capacity(self.max_row)));
                 self.cursor.set(i);
                 i
             }
@@ -148,20 +153,32 @@ impl<K: EventIndex, V> DenseMap<K, V> {
         }
     }
 
-    /// Inserts `value` under `key`, returning the previous value if any.
-    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+    /// Finds — creating the row and growing it as needed — the slot of
+    /// `key`, and keeps the `max_row` pre-allocation hint current. All
+    /// inserting entry points go through here. Returns the entry counter
+    /// alongside the slot (disjoint borrows) so callers filling a vacancy
+    /// can bump it while still holding the slot.
+    fn slot_mut(&mut self, key: &K) -> (&mut usize, &mut Option<(K, V)>) {
         let (window, offset) = key.dense_key();
         let i = self.find_or_create_row(window);
-        let row = &mut self.rows[i].1;
         let offset = offset as usize;
+        if offset >= self.max_row {
+            self.max_row = offset + 1;
+        }
+        let row = &mut self.rows[i].1;
         if offset >= row.len() {
             row.resize_with(offset + 1, || None);
         }
-        let old = row[offset].replace((key, value));
-        match old {
+        (&mut self.len, &mut row[offset])
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (len, slot) = self.slot_mut(&key);
+        match slot.replace((key, value)) {
             Some((_, v)) => Some(v),
             None => {
-                self.len += 1;
+                *len += 1;
                 None
             }
         }
@@ -171,35 +188,22 @@ impl<K: EventIndex, V> DenseMap<K, V> {
     /// `true` if the insert happened (the hot-path equivalent of a vacant
     /// `HashMap` entry).
     pub fn insert_if_vacant(&mut self, key: K, value: V) -> bool {
-        let (window, offset) = key.dense_key();
-        let i = self.find_or_create_row(window);
-        let row = &mut self.rows[i].1;
-        let offset = offset as usize;
-        if offset >= row.len() {
-            row.resize_with(offset + 1, || None);
-        }
-        if row[offset].is_some() {
+        let (len, slot) = self.slot_mut(&key);
+        if slot.is_some() {
             return false;
         }
-        row[offset] = Some((key, value));
-        self.len += 1;
+        *slot = Some((key, value));
+        *len += 1;
         true
     }
 
     /// Returns a mutable reference to the value of `key`, inserting
     /// `default()` first if absent.
     pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
-        let (window, offset) = key.dense_key();
-        let i = self.find_or_create_row(window);
-        let row = &mut self.rows[i].1;
-        let offset = offset as usize;
-        if offset >= row.len() {
-            row.resize_with(offset + 1, || None);
-        }
-        let slot = &mut row[offset];
+        let (len, slot) = self.slot_mut(&key);
         if slot.is_none() {
             *slot = Some((key, default()));
-            self.len += 1;
+            *len += 1;
         }
         match slot {
             Some((_, v)) => v,

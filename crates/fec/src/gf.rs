@@ -129,11 +129,14 @@ fn mul_table(c: u8) -> [u8; 256] {
 /// Multiplies every byte of `src` by `c` and XORs the products into `dst`
 /// (`dst[i] ^= c * src[i]`) — the inner loop of Reed–Solomon encoding.
 ///
-/// For shard-sized slices the `LOG[c]` row is hoisted into a 256-byte
-/// per-call multiplication table: one table build per shard operation, then
-/// a single lookup+xor per byte instead of two lookups and a zero-check
-/// branch. Short slices keep the direct log/exp path, where the table would
-/// cost more than it saves.
+/// With the `simd` feature enabled (and a capable CPU) slices of at least
+/// 16 bytes go through the nibble-shuffle vector kernels in
+/// [`simd`](crate::simd), 16 lanes per instruction. Otherwise, for
+/// shard-sized slices the `LOG[c]` row is hoisted into a 256-byte per-call
+/// multiplication table: one table build per shard operation, then a
+/// single lookup+xor per byte instead of two lookups and a zero-check
+/// branch. Short slices keep the direct log/exp path, where the table
+/// would cost more than it saves. All paths produce identical bytes.
 ///
 /// # Panics
 ///
@@ -141,6 +144,11 @@ fn mul_table(c: u8) -> [u8; 256] {
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
     assert_eq!(dst.len(), src.len(), "slice length mismatch");
     if c == 0 {
+        return;
+    }
+    #[cfg(feature = "simd")]
+    if dst.len() >= 16 && crate::simd::available() {
+        crate::simd::mul_acc_slice(dst, src, c);
         return;
     }
     if dst.len() >= MUL_TABLE_THRESHOLD {

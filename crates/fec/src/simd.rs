@@ -1,0 +1,231 @@
+//! Vectorised GF(256) kernels (the `simd` feature).
+//!
+//! The classic nibble-shuffle technique: a multiplication by a fixed
+//! coefficient `c` is a byte-wise table lookup, and a 256-entry lookup
+//! splits into two 16-entry lookups by nibble —
+//! `c·x = c·(x_hi·16) ⊕ c·x_lo` — because multiplication distributes over
+//! the field's carry-less addition. 16-entry lookups are exactly what the
+//! SSSE3 `PSHUFB` / NEON `TBL` byte-shuffle instructions compute, 16 lanes
+//! at a time.
+//!
+//! The per-coefficient low/high nibble product tables are precomputed at
+//! compile time for all 256 coefficients (8 KiB total), so a kernel
+//! invocation is: load the two 16-byte tables, then per 16-byte block two
+//! shuffles, two masks and two XORs.
+//!
+//! The scalar path in [`gf`](crate::gf) remains the reference; the unit
+//! and property tests assert byte-identical results for every coefficient
+//! and slice geometry. x86-64 detects SSSE3 at runtime (first call) and
+//! falls back to scalar if unavailable; NEON is baseline on AArch64.
+
+#![allow(unsafe_code)]
+
+/// Carry-less ("Russian peasant") GF(256) multiply, usable in const
+/// context; only used at compile time to build the shuffle tables.
+const fn gf_mul_const(mut a: u8, mut b: u8) -> u8 {
+    let mut product = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            product ^= a;
+        }
+        let carry = a & 0x80;
+        a <<= 1;
+        if carry != 0 {
+            a ^= (super::gf::PRIMITIVE_POLY & 0xFF) as u8;
+        }
+        b >>= 1;
+    }
+    product
+}
+
+/// `MUL_LO[c][x] = c · x` for `x` in `0..16` (low-nibble products).
+static MUL_LO: [[u8; 16]; 256] = build_tables(false);
+/// `MUL_HI[c][x] = c · (x << 4)` for `x` in `0..16` (high-nibble products).
+static MUL_HI: [[u8; 16]; 256] = build_tables(true);
+
+const fn build_tables(high: bool) -> [[u8; 16]; 256] {
+    let mut tables = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            let operand = if high { (x << 4) as u8 } else { x as u8 };
+            tables[c][x] = gf_mul_const(c as u8, operand);
+            x += 1;
+        }
+        c += 1;
+    }
+    tables
+}
+
+/// Returns `true` if the vector kernels can run on this CPU.
+///
+/// AArch64 always can (NEON is baseline); x86-64 requires SSSE3, probed
+/// once and cached by the standard library's feature-detection macro.
+#[inline]
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("ssse3")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Vectorised `dst[i] ^= c * src[i]`.
+///
+/// Both slices must have the same length; any `c` works (the `c = 0`
+/// tables are all zeros, making the call a no-op, though the dispatcher in
+/// [`gf`](crate::gf) short-circuits that case earlier). On CPUs without
+/// the required vector extension — checked here, so the function is sound
+/// to call directly; the detection macro caches — and for the sub-16-byte
+/// tail of any slice, the same split tables are applied byte by byte.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if !available() {
+        mul_acc_tail(dst, src, c);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `available()` confirmed SSSE3 support just above.
+        unsafe { mul_acc_ssse3(dst, src, c) }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: NEON is part of the AArch64 baseline.
+        unsafe { mul_acc_neon(dst, src, c) }
+    }
+}
+
+/// Scalar fallback for the sub-16-byte tail of a vectorised call: one
+/// lookup per byte through the same compile-time split tables.
+#[inline]
+fn mul_acc_tail(dst: &mut [u8], src: &[u8], c: u8) {
+    let lo = &MUL_LO[c as usize];
+    let hi = &MUL_HI[c as usize];
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8, _mm_srli_epi64,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    // SAFETY (whole function): loads/stores are unaligned-tolerant
+    // (`loadu`/`storeu`) and every pointer stays within the chunk bounds
+    // established by `chunks_exact`.
+    unsafe {
+        let table_lo = _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast::<__m128i>());
+        let table_hi = _mm_loadu_si128(MUL_HI[c as usize].as_ptr().cast::<__m128i>());
+        let nibble_mask = _mm_set1_epi8(0x0F);
+
+        let mut dst_chunks = dst.chunks_exact_mut(16);
+        let mut src_chunks = src.chunks_exact(16);
+        for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+            let x = _mm_loadu_si128(s.as_ptr().cast::<__m128i>());
+            let lo = _mm_and_si128(x, nibble_mask);
+            let hi = _mm_and_si128(_mm_srli_epi64::<4>(x), nibble_mask);
+            let product =
+                _mm_xor_si128(_mm_shuffle_epi8(table_lo, lo), _mm_shuffle_epi8(table_hi, hi));
+            let acc = _mm_loadu_si128(d.as_ptr().cast::<__m128i>());
+            _mm_storeu_si128(d.as_mut_ptr().cast::<__m128i>(), _mm_xor_si128(acc, product));
+        }
+        mul_acc_tail(dst_chunks.into_remainder(), src_chunks.remainder(), c);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn mul_acc_neon(dst: &mut [u8], src: &[u8], c: u8) {
+    use std::arch::aarch64::{
+        vandq_u8, vdupq_n_u8, veorq_u8, vld1q_u8, vqtbl1q_u8, vshrq_n_u8, vst1q_u8,
+    };
+
+    // SAFETY (whole function): `vld1q_u8`/`vst1q_u8` have no alignment
+    // requirement and every pointer stays within the chunk bounds
+    // established by `chunks_exact`.
+    unsafe {
+        let table_lo = vld1q_u8(MUL_LO[c as usize].as_ptr());
+        let table_hi = vld1q_u8(MUL_HI[c as usize].as_ptr());
+        let nibble_mask = vdupq_n_u8(0x0F);
+
+        let mut dst_chunks = dst.chunks_exact_mut(16);
+        let mut src_chunks = src.chunks_exact(16);
+        for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+            let x = vld1q_u8(s.as_ptr());
+            let lo = vandq_u8(x, nibble_mask);
+            let hi = vshrq_n_u8::<4>(x);
+            let product = veorq_u8(vqtbl1q_u8(table_lo, lo), vqtbl1q_u8(table_hi, hi));
+            let acc = vld1q_u8(d.as_ptr());
+            vst1q_u8(d.as_mut_ptr(), veorq_u8(acc, product));
+        }
+        mul_acc_tail(dst_chunks.into_remainder(), src_chunks.remainder(), c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf;
+
+    #[test]
+    fn const_tables_match_log_exp_multiplication() {
+        for c in 0..=255u8 {
+            for x in 0..16u8 {
+                assert_eq!(MUL_LO[c as usize][x as usize], gf::mul(c, x), "lo c={c} x={x}");
+                assert_eq!(MUL_HI[c as usize][x as usize], gf::mul(c, x << 4), "hi c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_path_matches_scalar_for_all_coefficients_and_odd_lengths() {
+        if !available() {
+            eprintln!("skipping: no SSSE3/NEON on this CPU");
+            return;
+        }
+        // Odd lengths exercise the head (full 16-byte blocks) and the
+        // remainder tail; every byte value appears in the source.
+        for &len in &[1usize, 7, 15, 16, 17, 31, 32, 33, 63, 100, 255, 256, 257, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            for c in 1..=255u8 {
+                let mut vec_dst: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+                let mut ref_dst = vec_dst.clone();
+                mul_acc_slice(&mut vec_dst, &src, c);
+                for (d, &s) in ref_dst.iter_mut().zip(&src) {
+                    *d = gf::add(*d, gf::mul(s, c));
+                }
+                assert_eq!(vec_dst, ref_dst, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_only_slices_use_the_split_tables() {
+        let src = [0xABu8, 0x01, 0xF0];
+        let mut dst = [0x11u8, 0x22, 0x33];
+        let mut expected = dst;
+        for (d, &s) in expected.iter_mut().zip(&src) {
+            *d = gf::add(*d, gf::mul(s, 0x1D));
+        }
+        mul_acc_tail(&mut dst, &src, 0x1D);
+        assert_eq!(dst, expected);
+    }
+}

@@ -67,6 +67,10 @@ struct Pending<T> {
 pub struct UploadLink<T> {
     /// Upload cap in bits per second; `None` = unconstrained.
     rate_bps: Option<u64>,
+    /// `ceil(2^64 / rate_bps)`: the fixed-point reciprocal turning the
+    /// per-message wire-time division into a high-half multiply (0 when
+    /// unconstrained).
+    rate_reciprocal: u64,
     /// Maximum queued backlog expressed as wire time (depth ≈ rate ×
     /// max_queue_delay).
     max_queue_bytes: usize,
@@ -99,8 +103,15 @@ impl<T> UploadLink<T> {
             Some(bps) => ((bps as u128 * max_queue_delay.as_micros() as u128) / 8_000_000) as usize,
             None => usize::MAX,
         };
+        // ceil(2^64 / bps): `u64::MAX / bps` is floor((2^64 - 1) / bps),
+        // which is floor(2^64 / bps) whenever bps does not divide 2^64, and
+        // one less when it does — so +1 lands on the ceiling either way.
+        // For bps = 1 the ceiling (2^64) wraps to 0, which simply disables
+        // the fast path below (`bits < 0` is never true).
+        let rate_reciprocal = rate_bps.map_or(0, |bps| (u64::MAX / bps).wrapping_add(1));
         UploadLink {
             rate_bps,
+            rate_reciprocal,
             max_queue_bytes,
             queue: VecDeque::new(),
             queued_bytes: 0,
@@ -119,7 +130,22 @@ impl<T> UploadLink<T> {
         match self.rate_bps {
             None => Duration::ZERO,
             Some(bps) => {
-                Duration::from_micros(((wire_bytes as u128 * 8_000_000) / bps as u128) as u64)
+                // Strength-reduced exact division (Granlund–Montgomery):
+                // with m = ceil(2^64 / d) and e = m·d - 2^64 < d, the error
+                // term n·e/2^64 stays below 1 for n < 2^64 / d, so
+                // floor(n·m / 2^64) = floor(n / d) on that whole range —
+                // and n ≥ 2^64 / d is exactly when n·m overflows 128 bits,
+                // which real wire sizes never approach. Fall back to real
+                // division there so the result is bit-identical on any
+                // input.
+                let micros = match (wire_bytes as u64).checked_mul(8_000_000) {
+                    Some(bits) if bits < self.rate_reciprocal => {
+                        ((bits as u128 * self.rate_reciprocal as u128) >> 64) as u64
+                    }
+                    Some(bits) => bits / bps,
+                    None => ((wire_bytes as u128 * 8_000_000) / bps as u128) as u64,
+                };
+                Duration::from_micros(micros)
             }
         }
     }
@@ -205,6 +231,25 @@ impl<T> UploadLink<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tx_time_reciprocal_matches_plain_division() {
+        // The strength-reduced wire-time computation must agree with plain
+        // integer division for every rate — including the degenerate
+        // 1 bit/s link whose reciprocal wraps (and disables the fast path)
+        // and power-of-two rates whose error term is zero.
+        for &bps in &[1u64, 2, 3, 1024, 56_000, 700_000, 1_000_000, u64::MAX / 8_000_000] {
+            let link: UploadLink<()> = UploadLink::new(Some(bps), Duration::from_secs(1));
+            for &bytes in &[0usize, 1, 7, 100, 1000, 65_536, 10_000_000] {
+                let expected = (bytes as u128 * 8_000_000 / bps as u128) as u64;
+                assert_eq!(
+                    link.tx_time(bytes),
+                    Duration::from_micros(expected),
+                    "bps={bps} bytes={bytes}"
+                );
+            }
+        }
+    }
 
     fn capped(kbps: u64, max_delay_ms: u64) -> UploadLink<u32> {
         UploadLink::new(Some(kbps * 1000), Duration::from_millis(max_delay_ms))

@@ -2,9 +2,12 @@
 //!
 //! This crate is the substrate every simulated experiment runs on. It offers:
 //!
-//! * [`EventQueue`] — a slab-backed, indexed d-ary min-heap of timestamped
-//!   events with a stable total order (ties broken by insertion sequence)
-//!   and tombstone-free cancellation via slot+generation handles;
+//! * [`EventQueue`] — a timestamped event queue with a stable total order
+//!   (ties broken by insertion sequence) and tombstone-free cancellation via
+//!   slot+generation handles. The default implementation is a bucketed
+//!   [`CalendarQueue`] (O(1) push/pop on time-clustered workloads); the
+//!   indexed 4-ary [`HeapQueue`] it replaced remains available as the
+//!   reference implementation, and both speak the [`EventSchedule`] trait;
 //! * [`Engine`] — a virtual clock plus queue with a `run`-style driver;
 //! * [`DetRng`] — a fast, splittable, fully deterministic random number
 //!   generator (xoshiro256++ seeded via SplitMix64) with the distribution
@@ -47,5 +50,5 @@ mod queue;
 mod rng;
 
 pub use engine::Engine;
-pub use queue::{EventHandle, EventQueue};
+pub use queue::{CalendarQueue, EventHandle, EventQueue, EventSchedule, HeapQueue};
 pub use rng::DetRng;

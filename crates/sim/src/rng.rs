@@ -221,9 +221,53 @@ impl DetRng {
     /// with the sample, reusing its capacity. The random draw sequence is
     /// identical to `sample_indices`, so the two are interchangeable
     /// without perturbing determinism.
+    ///
+    /// For small samples out of large populations (`k² ≤ n`, the every-round
+    /// partner selection) the partial Fisher–Yates runs over a *virtual*
+    /// identity array: the handful of displaced positions is tracked in a
+    /// scratch list instead of materialising all `n` indices, making the
+    /// call O(k²) instead of O(n). Both paths draw the same randomness and
+    /// produce the same sample.
     pub fn sample_indices_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         let k = k.min(n);
         out.clear();
+        if k <= 64 && k * k <= n {
+            // Virtual Fisher–Yates. `displaced` holds the positions whose
+            // value differs from the identity array the classic loop would
+            // operate on — at most one entry per iteration, scanned
+            // linearly (k ≤ 64 keeps the scan in cache and the array on the
+            // stack).
+            let mut displaced: [(usize, usize); 64] = [(0, 0); 64];
+            let mut displaced_len = 0usize;
+            for i in 0..k {
+                let j = i + self.index(n - i);
+                // Values currently at positions i and j (identity unless an
+                // earlier swap displaced them).
+                let mut vi = i;
+                let mut vj = j;
+                let mut j_entry = None;
+                for (e, &(pos, val)) in displaced[..displaced_len].iter().enumerate() {
+                    if pos == j {
+                        vj = val;
+                        j_entry = Some(e);
+                    } else if pos == i {
+                        vi = val;
+                    }
+                }
+                // The classic loop swaps out[i] and out[j]. Position i is
+                // never examined again, so only position j's new value needs
+                // recording.
+                match j_entry {
+                    Some(e) => displaced[e].1 = vi,
+                    None => {
+                        displaced[displaced_len] = (j, vi);
+                        displaced_len += 1;
+                    }
+                }
+                out.push(vj);
+            }
+            return;
+        }
         out.extend(0..n);
         for i in 0..k {
             let j = i + self.index(n - i);

@@ -1,6 +1,6 @@
 //! Receiver-side window tracking.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use gossip_types::Time;
 
@@ -60,7 +60,13 @@ impl WindowRecord {
 #[derive(Debug)]
 pub struct StreamPlayer {
     config: StreamConfig,
-    windows: BTreeMap<u32, WindowRecord>,
+    /// `(window, record)` pairs sorted by window number. Packet arrivals
+    /// cluster by window, so a one-entry cursor cache makes the per-packet
+    /// lookup two array indexings (binary-search fallback for jumps) —
+    /// this runs once per delivered packet, millions of times per run.
+    windows: Vec<(u32, WindowRecord)>,
+    /// Index into `windows` of the most recently accessed window.
+    cursor: Cell<usize>,
     packets_received: u64,
     duplicate_packets: u64,
 }
@@ -68,7 +74,29 @@ pub struct StreamPlayer {
 impl StreamPlayer {
     /// Creates an empty player for the given stream.
     pub fn new(config: StreamConfig) -> Self {
-        StreamPlayer { config, windows: BTreeMap::new(), packets_received: 0, duplicate_packets: 0 }
+        StreamPlayer {
+            config,
+            windows: Vec::new(),
+            cursor: Cell::new(0),
+            packets_received: 0,
+            duplicate_packets: 0,
+        }
+    }
+
+    /// Locates `window`'s record: `Ok(position)` if present, `Err(insertion
+    /// point)` otherwise.
+    #[inline]
+    fn locate(&self, window: u32) -> Result<usize, usize> {
+        if let Some(&(w, _)) = self.windows.get(self.cursor.get()) {
+            if w == window {
+                return Ok(self.cursor.get());
+            }
+        }
+        let found = self.windows.binary_search_by_key(&window, |&(w, _)| w);
+        if let Ok(i) = found {
+            self.cursor.set(i);
+        }
+        found
     }
 
     /// Returns the stream configuration.
@@ -85,7 +113,15 @@ impl StreamPlayer {
     pub fn on_packet(&mut self, now: Time, id: PacketId) -> bool {
         let total = self.config.window.total_packets();
         assert!((id.index as usize) < total, "packet index {id} outside window geometry");
-        let record = self.windows.entry(id.window).or_insert_with(|| WindowRecord::new(total));
+        let i = match self.locate(id.window) {
+            Ok(i) => i,
+            Err(i) => {
+                self.windows.insert(i, (id.window, WindowRecord::new(total)));
+                self.cursor.set(i);
+                i
+            }
+        };
+        let record = &mut self.windows[i].1;
         if !record.mark(id.index as usize) {
             self.duplicate_packets += 1;
             return false;
@@ -99,12 +135,12 @@ impl StreamPlayer {
 
     /// Returns when `window` became decodable, or `None` if it has not.
     pub fn window_decodable_at(&self, window: u32) -> Option<Time> {
-        self.windows.get(&window).and_then(|r| r.decodable_at)
+        self.locate(window).ok().and_then(|i| self.windows[i].1.decodable_at)
     }
 
     /// Returns how many distinct packets of `window` arrived.
     pub fn packets_in_window(&self, window: u32) -> usize {
-        self.windows.get(&window).map_or(0, |r| r.count as usize)
+        self.locate(window).map_or(0, |i| self.windows[i].1.count as usize)
     }
 
     /// Returns the total number of distinct packets received.
@@ -119,7 +155,7 @@ impl StreamPlayer {
 
     /// Returns the highest window number with any reception.
     pub fn highest_window(&self) -> Option<u32> {
-        self.windows.keys().next_back().copied()
+        self.windows.last().map(|&(w, _)| w)
     }
 }
 

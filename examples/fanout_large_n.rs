@@ -1,0 +1,97 @@
+//! Does the paper's narrow optimal-fanout window survive beyond its own
+//! scale? A fig1-style sweep at n ∈ {500, 1000} (vs the paper's n = 230).
+//!
+//! ```text
+//! cargo run --release --example fanout_large_n [n ...]
+//! ```
+//!
+//! The epidemic threshold argument says the optimum should track `ln n`:
+//! below it dissemination stalls, a couple above it the stream is complete,
+//! far above it the 700 kbps upload caps saturate under PROPOSE/REQUEST
+//! overhead and quality collapses again. Each n sweeps fanouts around
+//! `ln n` on a shortened stream (30 s — enough for ~20 windows) and checks
+//! the trend:
+//!
+//! 1. deep sub-threshold (fanout 2) must stall — most nodes never see a
+//!    complete stream;
+//! 2. fanout `⌈ln n⌉ + 2` must deliver a near-perfect stream (≥ 99 %);
+//! 3. the *threshold fanout* — the smallest reaching ≥ 99 % — must sit
+//!    within ±2 of `⌈ln n⌉`, i.e. the optimum keeps tracking `ln n` as n
+//!    grows past the paper's scale.
+
+use gossip_experiments::harness::SweepRunner;
+use gossip_experiments::{Scale, Scenario};
+use gossip_types::Duration;
+
+/// One sweep row: fanout and offline-viewing quality.
+struct Row {
+    fanout: usize,
+    offline: f64,
+    lag20: f64,
+}
+
+fn sweep(n: usize, seed: u64) -> Vec<Row> {
+    let ln_n = (n as f64).ln().ceil() as usize;
+    // 2 … ln n + 4: deep sub-threshold through the plateau, without
+    // burning hours of wall clock.
+    let fanouts: Vec<usize> = (2..=ln_n + 4).collect();
+    SweepRunner::new().run(fanouts, |&fanout| {
+        let mut scenario = Scenario::at_scale(Scale::Full, fanout).with_seed(seed);
+        scenario.n = n;
+        scenario.stream_duration = Duration::from_secs(30);
+        scenario.drain_duration = Duration::from_secs(15);
+        let result = scenario.run();
+        Row {
+            fanout,
+            offline: result.quality.percent_viewing(0.01, Duration::MAX),
+            lag20: result.quality.percent_viewing(0.01, Duration::from_secs(20)),
+        }
+    })
+}
+
+fn main() {
+    let ns: Vec<usize> = {
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![500, 1000]
+        } else {
+            args
+        }
+    };
+
+    for n in ns {
+        let ln_n = (n as f64).ln().ceil() as usize;
+        println!("n = {n} (⌈ln n⌉ = {ln_n}), 700 kbps caps, 30 s stream:");
+        println!("  fanout  offline%  lag20s%");
+        let rows = sweep(n, 42);
+        for row in &rows {
+            println!("  {:>6}  {:>7.1}  {:>7.1}", row.fanout, row.offline, row.lag20);
+        }
+
+        let at = |f: usize| rows.iter().find(|r| r.fanout == f).map(|r| r.offline);
+        let stalled = at(2).unwrap_or(0.0);
+        let above = at(ln_n + 2).unwrap_or(0.0);
+        let threshold = rows
+            .iter()
+            .find(|r| r.offline >= 99.0)
+            .map(|r| r.fanout)
+            .expect("some fanout in the sweep must reach 99%");
+
+        println!("  → threshold fanout (first ≥ 99%): {threshold}");
+        assert!(
+            stalled < 50.0,
+            "n={n}: fanout 2 reached {stalled:.1}% — sub-threshold gossip should stall"
+        );
+        assert!(
+            above >= 99.0,
+            "n={n}: fanout ln n + 2 only reached {above:.1}% — \
+             dissemination is failing at this scale"
+        );
+        assert!(
+            threshold.abs_diff(ln_n) <= 2,
+            "n={n}: threshold fanout {threshold} strayed from ln n = {ln_n} — \
+             the optimal-fanout trend broke at this scale"
+        );
+        println!("  ✓ optimal-fanout trend holds at n = {n} (threshold ≈ ln n)\n");
+    }
+}
