@@ -16,14 +16,20 @@
 //! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! perfbench [--smoke] [--reactor-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
 //! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
 //!   scenario (60 nodes, 30 s stream, 1 seed) plus one shortened large-n
-//!   scenario (n = 1000);
+//!   scenario (n = 1000), and a smaller reactor cell (n = 256);
+//! * `--reactor-smoke` — run *only* a gating reactor cell (n = 64 on
+//!   loopback, short stream), write its report and exit non-zero if the
+//!   run is unhealthy (low quality, malformed datagrams). This is the CI
+//!   `reactor-smoke` job;
 //! * `--out PATH` — where to write the JSON (default `BENCH_hotpath.json`
-//!   in the current directory);
+//!   in the current directory; `--reactor-smoke` defaults to
+//!   `REACTOR_smoke.json` instead so the gate never clobbers the
+//!   trajectory report);
 //! * `--baseline X` — a previously recorded pinned `events_per_sec` to
 //!   compute the `speedup` field against (typically the number committed
 //!   by the last PR that touched the hot path);
@@ -36,14 +42,22 @@
 //! Report fields: `wall_secs` (wall-clock time of the simulation proper,
 //! excluding setup), `events` / `events_per_sec` (simulation events
 //! dispatched through the engine), `peak_queue` (high-water mark of the
-//! pending-event queue).
+//! pending-event queue). The `reactor` section records the live runtime's
+//! numbers — real datagrams through real shared sockets per wall-clock
+//! second — next to the simulator's events/s, so one file tracks both the
+//! simulated and the deployed hot path.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gossip_core::GossipConfig;
 use gossip_experiments::{MembershipMode, Scale, Scenario};
+use gossip_fec::WindowParams;
 use gossip_membership::CyclonConfig;
+use gossip_reactor::ReactorCluster;
+use gossip_stream::StreamConfig;
 use gossip_types::Duration;
+use gossip_udp::cluster::ClusterConfig;
 
 /// Regression threshold for the warn-only delta guard.
 const REGRESSION_WARN_PCT: f64 = 10.0;
@@ -115,6 +129,87 @@ fn matrix_entries(smoke: bool) -> Vec<(String, usize, &'static str, u64, u64)> {
     entries
 }
 
+/// One reactor (live shared-socket runtime) measurement.
+struct ReactorResult {
+    label: String,
+    n: usize,
+    stream_secs: u64,
+    drain_secs: u64,
+    datagrams_sent: u64,
+    datagrams_recv: u64,
+    decode_errors: u64,
+    /// Wall-clock of the whole run including setup and verification.
+    wall_secs: f64,
+    /// Datagrams received per second of the *live* window (stream +
+    /// drain) — the runtime's throughput trajectory number.
+    datagrams_per_sec: f64,
+    avg_quality_percent: f64,
+}
+
+/// The pinned reactor workload: the `live_udp` example's geometry (300
+/// kbps, 20+4 windows, fanout 5), sized by the caller.
+fn reactor_config(n: usize, stream_secs: u64, drain_secs: u64) -> ClusterConfig {
+    ClusterConfig {
+        n,
+        gossip: GossipConfig::new(5).with_gossip_period(Duration::from_millis(100)),
+        stream: StreamConfig {
+            rate_bps: 300_000,
+            packet_payload_bytes: 1000,
+            window: WindowParams::new(20, 4),
+        },
+        upload_cap_bps: Some(2_000_000),
+        source_uncapped: true,
+        max_backlog: Duration::from_secs(5),
+        stream_duration: Duration::from_secs(stream_secs),
+        drain_duration: Duration::from_secs(drain_secs),
+        seed: 42,
+        inject_loss: 0.0,
+        crashes: Vec::new(),
+    }
+}
+
+/// Runs one reactor cell. Unlike the simulator cells this runs in real
+/// time: wall-clock ≈ stream + drain regardless of load, and the number
+/// that tracks the runtime is datagrams moved per live second.
+fn run_reactor(label: &str, n: usize, stream_secs: u64, drain_secs: u64) -> ReactorResult {
+    let config = reactor_config(n, stream_secs, drain_secs);
+    let start = Instant::now();
+    let report = ReactorCluster::run(config).expect("reactor cluster runs");
+    let wall_secs = start.elapsed().as_secs_f64();
+    let datagrams_sent: u64 = report.nodes.iter().map(|r| r.sent_msgs).sum();
+    let datagrams_recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
+    let decode_errors: u64 = report.nodes.iter().map(|r| r.decode_errors).sum();
+    let live_secs = (stream_secs + drain_secs) as f64;
+    ReactorResult {
+        label: label.to_string(),
+        n,
+        stream_secs,
+        drain_secs,
+        datagrams_sent,
+        datagrams_recv,
+        decode_errors,
+        wall_secs,
+        datagrams_per_sec: datagrams_recv as f64 / live_secs,
+        avg_quality_percent: report.quality.average_quality_percent(Duration::MAX),
+    }
+}
+
+fn reactor_json(r: &ReactorResult) -> String {
+    format!(
+        "{{ \"label\": \"{}\", \"n\": {}, \"stream_secs\": {}, \"drain_secs\": {}, \"datagrams_sent\": {}, \"datagrams_recv\": {}, \"decode_errors\": {}, \"wall_secs\": {:.4}, \"datagrams_per_sec\": {:.0}, \"avg_quality_percent\": {:.1} }}",
+        r.label,
+        r.n,
+        r.stream_secs,
+        r.drain_secs,
+        r.datagrams_sent,
+        r.datagrams_recv,
+        r.decode_errors,
+        r.wall_secs,
+        r.datagrams_per_sec,
+        r.avg_quality_percent,
+    )
+}
+
 fn run_scenario(s: &Scenario, seed: u64, repeat: u32) -> RunSample {
     let mut best: Option<RunSample> = None;
     for _ in 0..repeat {
@@ -134,10 +229,11 @@ fn run_scenario(s: &Scenario, seed: u64, repeat: u32) -> RunSample {
     best.expect("repeat >= 1 produced a sample")
 }
 
-/// Pulls labelled `"events_per_sec"` values out of a previous report: every
-/// JSON object that carries a `"label"` has its events/s recorded under
-/// that label (the pinned total is labelled `pinned`). A real JSON parser
-/// would be overkill for a file this binary itself wrote.
+/// Pulls labelled per-second rates out of a previous report: every JSON
+/// object that carries a `"label"` has its rate recorded under that label
+/// (`events_per_sec` for simulator cells — the pinned total is labelled
+/// `pinned` — and `datagrams_per_sec` for reactor cells). A real JSON
+/// parser would be overkill for a file this binary itself wrote.
 fn parse_previous(report: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for line in report.lines() {
@@ -148,7 +244,11 @@ fn parse_previous(report: &str) -> Vec<(String, f64)> {
         let Some(label) = rest.split('"').next() else {
             continue;
         };
-        let Some(tail) = line.split("\"events_per_sec\": ").nth(1) else {
+        let Some(tail) = line
+            .split("\"events_per_sec\": ")
+            .nth(1)
+            .or_else(|| line.split("\"datagrams_per_sec\": ").nth(1))
+        else {
             continue;
         };
         let num: String = tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
@@ -171,16 +271,61 @@ fn delta_line(label: &str, now: f64, previous: &[(String, f64)]) -> String {
     line
 }
 
+/// The gating CI mode: one small reactor cell, health-checked.
+///
+/// Exits non-zero when the run looks broken — a loopback n = 64 cluster
+/// that cannot stream, or malformed datagrams on its shared sockets,
+/// means the runtime (not the box) is at fault. Thresholds are deliberately
+/// lenient: this gates on "alive and sane", not on throughput.
+fn reactor_smoke(out: &str) -> ! {
+    eprintln!("perfbench: gating reactor smoke (n=64, loopback)");
+    let result = run_reactor("reactor_n64_gate", 64, 3, 2);
+    eprintln!(
+        "  {:.3} s wall, {} datagrams received ({:.0}/s live), quality {:.1}%, {} malformed",
+        result.wall_secs,
+        result.datagrams_recv,
+        result.datagrams_per_sec,
+        result.avg_quality_percent,
+        result.decode_errors,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"reactor_smoke\",\n  \"reactor\": {}\n}}\n",
+        reactor_json(&result)
+    );
+    std::fs::write(out, json).expect("write reactor smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    let mut failures = Vec::new();
+    if result.datagrams_recv == 0 {
+        failures.push("no datagrams were received".to_string());
+    }
+    if result.decode_errors > 0 {
+        failures.push(format!("{} malformed datagrams on loopback", result.decode_errors));
+    }
+    if result.avg_quality_percent < 50.0 {
+        failures.push(format!("average quality {:.1}% below 50%", result.avg_quality_percent));
+    }
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: reactor smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out = String::from("BENCH_hotpath.json");
+    let mut gate_reactor = false;
+    let mut out: Option<String> = None;
     let mut baseline: Option<f64> = None;
     let mut repeat: u32 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out = args.next().expect("--out requires a path"),
+            "--reactor-smoke" => gate_reactor = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
             "--baseline" => {
                 let v = args.next().expect("--baseline requires a number");
                 baseline = Some(v.parse().expect("--baseline must be a number"));
@@ -193,12 +338,19 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
         }
     }
+
+    // The gating smoke gets its own default path: it must never clobber
+    // the tracked trajectory report with a smoke-only file.
+    if gate_reactor {
+        reactor_smoke(out.as_deref().unwrap_or("REACTOR_smoke.json"));
+    }
+    let out = out.unwrap_or_else(|| String::from("BENCH_hotpath.json"));
 
     let previous = std::fs::read_to_string(&out).map(|s| parse_previous(&s)).unwrap_or_default();
 
@@ -270,6 +422,23 @@ fn main() {
         });
     }
 
+    // The live runtime: real datagrams through shared sockets. One cell —
+    // the run is wall-clock bound (stream + drain), so size is the only
+    // lever, and n = 1000 is the scale the reactor exists for.
+    let (rlabel, rn, rstream, rdrain) =
+        if smoke { ("reactor_n256_smoke", 256, 3u64, 2u64) } else { ("reactor_n1000", 1000, 6, 2) };
+    eprintln!(
+        "perfbench: reactor {rlabel} (n={rn}, {rstream}s stream + {rdrain}s drain, real time)"
+    );
+    let reactor = run_reactor(rlabel, rn, rstream, rdrain);
+    eprintln!(
+        "  {:.3} s wall, {} datagrams received ({:.0}/s live), quality {:.1}%",
+        reactor.wall_secs,
+        reactor.datagrams_recv,
+        reactor.datagrams_per_sec,
+        reactor.avg_quality_percent,
+    );
+
     // Trajectory guard: per-scenario delta against the previous report.
     let pinned_label = if smoke { "pinned_smoke" } else { "pinned" };
     if previous.is_empty() {
@@ -281,6 +450,7 @@ fn main() {
             let now = m.sample.events as f64 / m.sample.wall_secs;
             eprintln!("{}", delta_line(&m.label, now, &previous));
         }
+        eprintln!("{}", delta_line(&reactor.label, reactor.datagrams_per_sec, &previous));
     }
 
     let scenario = pinned_scenario(smoke, seeds[0]);
@@ -334,7 +504,8 @@ fn main() {
             comma,
         ));
     }
-    json.push_str("  ]");
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"reactor\": {}", reactor_json(&reactor)));
     if let Some(base) = baseline {
         json.push_str(&format!(
             ",\n  \"baseline_events_per_sec\": {:.0},\n  \"speedup\": {:.3}\n",

@@ -75,13 +75,68 @@ pub enum Output<E: Event> {
 }
 
 /// Per-event request bookkeeping (the paper's `requestedEvents` set, plus
-/// the request counter that bounds retransmissions).
+/// the request counter that bounds retransmissions), packed into one
+/// 8-byte word.
+///
+/// The `requested` map holds one of these per event id *forever* (ids are
+/// never re-requested), so at large n this map dominates the node's
+/// resident state. Packing the three fields — request counter, delivered
+/// flag, first-request timestamp — into a `NonZeroU64` shrinks a
+/// `DenseMap` row entry from 24 to 16 bytes (the niche keeps
+/// `Option<(id, state)>` free of a separate discriminant):
+///
+/// ```text
+/// bit  63      — marker, always set (the non-zero niche)
+/// bit  62      — delivered
+/// bits 48..=61 — times_requested (14 bits, saturating)
+/// bits 0..=47  — first_requested_at in µs (saturating; 2⁴⁸ µs ≈ 9 years)
+/// ```
+///
+/// Saturation is harmless: `max_requests_per_event` is single-digit in
+/// every configuration, and no run approaches the timestamp horizon.
 #[derive(Debug, Clone, Copy)]
-struct RequestState {
-    times_requested: u32,
-    delivered: bool,
-    /// When the first request went out (RTT sampling; Karn's rule applies).
-    first_requested_at: Time,
+struct RequestState(std::num::NonZeroU64);
+
+impl RequestState {
+    const MARKER: u64 = 1 << 63;
+    const DELIVERED: u64 = 1 << 62;
+    const TIMES_SHIFT: u32 = 48;
+    const TIMES_MAX: u64 = (1 << 14) - 1;
+    const TIME_MASK: u64 = (1 << 48) - 1;
+
+    fn new(times_requested: u32, delivered: bool, first_requested_at: Time) -> Self {
+        let times = (u64::from(times_requested)).min(Self::TIMES_MAX) << Self::TIMES_SHIFT;
+        let at = first_requested_at.as_micros().min(Self::TIME_MASK);
+        let delivered = if delivered { Self::DELIVERED } else { 0 };
+        RequestState(
+            std::num::NonZeroU64::new(Self::MARKER | delivered | times | at)
+                .expect("marker bit keeps the word non-zero"),
+        )
+    }
+
+    fn times_requested(self) -> u32 {
+        ((self.0.get() >> Self::TIMES_SHIFT) & Self::TIMES_MAX) as u32
+    }
+
+    fn delivered(self) -> bool {
+        self.0.get() & Self::DELIVERED != 0
+    }
+
+    fn first_requested_at(self) -> Time {
+        Time::from_micros(self.0.get() & Self::TIME_MASK)
+    }
+
+    fn mark_delivered(&mut self) {
+        self.0 |= Self::DELIVERED;
+    }
+
+    fn bump_requested(&mut self) {
+        *self = RequestState::new(
+            self.times_requested().saturating_add(1),
+            self.delivered(),
+            self.first_requested_at(),
+        );
+    }
 }
 
 /// A pending retransmission timer: re-request the still-missing ids of a
@@ -259,14 +314,7 @@ impl<E: Event> GossipNode<E> {
         let id = event.id();
         // The publisher has, by definition, "requested and received" its own
         // event: mark it so proposals from other nodes are ignored.
-        self.requested.insert(
-            id,
-            RequestState {
-                times_requested: self.config.max_requests_per_event,
-                delivered: true,
-                first_requested_at: now,
-            },
-        );
+        self.requested.insert(id, RequestState::new(self.config.max_requests_per_event, true, now));
         self.store.insert(id, (event.clone(), now));
         self.stats.events_delivered += 1;
         self.outputs.push_back(Output::Deliver { event });
@@ -341,12 +389,13 @@ impl<E: Event> GossipNode<E> {
         let Some(entry) = self.retransmits.remove(token.0) else {
             return; // stale timer: its proposal was fully served
         };
+        let cap = self.max_requests_cap();
         let mut missing = std::mem::take(&mut self.scratch_ids);
         missing.clear();
         for &id in entry.ids.iter() {
             if let Some(state) = self.requested.get_mut(&id) {
-                if !state.delivered && state.times_requested < self.config.max_requests_per_event {
-                    state.times_requested += 1;
+                if !state.delivered() && state.times_requested() < cap {
+                    state.bump_requested();
                     missing.push(id);
                 }
             }
@@ -365,11 +414,9 @@ impl<E: Event> GossipNode<E> {
         });
         // Re-arm with exponential backoff while the budget lasts (checked
         // again on expiry).
-        let can_retry_more = missing.iter().any(|id| {
-            self.requested
-                .get(id)
-                .is_some_and(|s| s.times_requested < self.config.max_requests_per_event)
-        });
+        let can_retry_more = missing
+            .iter()
+            .any(|id| self.requested.get(id).is_some_and(|s| s.times_requested() < cap));
         if can_retry_more {
             self.arm_retransmit(now, entry.peer, shared, entry.attempt + 1);
         }
@@ -392,10 +439,7 @@ impl<E: Event> GossipNode<E> {
         for &id in ids.iter() {
             // Already requested (from whoever proposed first) or already
             // delivered: line 10 filters it out.
-            let fresh = self.requested.insert_if_vacant(
-                id,
-                RequestState { times_requested: 1, delivered: false, first_requested_at: now },
-            );
+            let fresh = self.requested.insert_if_vacant(id, RequestState::new(1, false, now));
             if fresh {
                 wanted.push(id);
             } else {
@@ -448,20 +492,17 @@ impl<E: Event> GossipNode<E> {
         self.stats.serves_received += 1;
         for event in events {
             let id = event.id();
-            let state = self.requested.get_or_insert_with(id, || RequestState {
-                times_requested: 0,
-                delivered: false,
-                first_requested_at: now,
-            });
-            if state.delivered {
+            let state = self.requested.get_or_insert_with(id, || RequestState::new(0, false, now));
+            if state.delivered() {
                 self.stats.duplicate_events_received += 1;
                 continue;
             }
-            state.delivered = true;
+            state.mark_delivered();
             // Karn's rule: only first-request serves give unambiguous
             // request->serve delay samples.
-            if state.times_requested == 1 {
-                self.rtt.sample(now.saturating_since(state.first_requested_at));
+            if state.times_requested() == 1 {
+                let first = state.first_requested_at();
+                self.rtt.sample(now.saturating_since(first));
             }
             self.store.insert(id, (event.clone(), now));
             self.propose_queue.push((id, self.config.propose_lifetime_rounds));
@@ -486,6 +527,15 @@ impl<E: Event> GossipNode<E> {
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
+
+    /// The effective retransmission budget: the configured bound clamped
+    /// to what the packed request counter can represent (2¹⁴ − 1). No sane
+    /// configuration approaches the clamp (the paper's K is single-digit),
+    /// but the bound must stay a bound: comparing an absurd configured
+    /// budget against a saturated counter would otherwise retry forever.
+    fn max_requests_cap(&self) -> u32 {
+        self.config.max_requests_per_event.min(RequestState::TIMES_MAX as u32)
+    }
 
     fn send_feedmes(&mut self) {
         let candidates: Vec<NodeId> =
@@ -534,13 +584,13 @@ impl<E: Event> GossipNode<E> {
 
     /// Returns whether the given event id has been delivered here.
     pub fn has_delivered(&self, id: &E::Id) -> bool {
-        self.requested.get(id).is_some_and(|s| s.delivered)
+        self.requested.get(id).is_some_and(|s| s.delivered())
     }
 
     /// Returns `(times_requested, delivered)` for an id, if it was ever
     /// requested or delivered (diagnostics).
     pub fn request_info(&self, id: &E::Id) -> Option<(u32, bool)> {
-        self.requested.get(id).map(|s| (s.times_requested, s.delivered))
+        self.requested.get(id).map(|s| (s.times_requested(), s.delivered()))
     }
 }
 
@@ -856,6 +906,50 @@ mod tests {
         node.on_round(Time::ZERO);
         assert!(drain(&mut node).is_empty(), "nothing to propose");
         assert_eq!(node.rounds(), 1);
+    }
+
+    #[test]
+    fn absurd_retransmission_budget_is_clamped_to_the_counter_width() {
+        let config = GossipConfig::new(2).with_max_requests(u32::MAX);
+        let node: GossipNode<TestEvent> = GossipNode::new(NodeId::new(1), config, members(5), 1);
+        assert_eq!(node.max_requests_cap(), (1 << 14) - 1);
+        // A saturated counter never compares below the clamped cap, so the
+        // retry loop terminates even under an unrepresentable budget.
+        let mut s = RequestState::new(u32::MAX, false, Time::ZERO);
+        s.bump_requested();
+        assert!(s.times_requested() >= node.max_requests_cap());
+    }
+
+    #[test]
+    fn request_state_packs_into_eight_bytes_with_a_niche() {
+        assert_eq!(std::mem::size_of::<RequestState>(), 8);
+        // The marker bit is the whole point: the DenseMap row entry needs
+        // no discriminant beyond the NonZeroU64 niche.
+        assert_eq!(std::mem::size_of::<Option<(u64, RequestState)>>(), 16);
+    }
+
+    #[test]
+    fn request_state_roundtrips_and_saturates() {
+        let t = Time::from_micros(123_456_789);
+        let mut s = RequestState::new(3, false, t);
+        assert_eq!(s.times_requested(), 3);
+        assert!(!s.delivered());
+        assert_eq!(s.first_requested_at(), t);
+
+        s.mark_delivered();
+        assert!(s.delivered());
+        assert_eq!(s.times_requested(), 3, "delivery leaves the counter alone");
+
+        s.bump_requested();
+        assert_eq!(s.times_requested(), 4);
+        assert!(s.delivered());
+        assert_eq!(s.first_requested_at(), t, "bumping keeps the first-request time");
+
+        // Out-of-range inputs clamp instead of corrupting neighbours.
+        let extreme = RequestState::new(u32::MAX, true, Time::MAX);
+        assert_eq!(extreme.times_requested(), (1 << 14) - 1);
+        assert!(extreme.delivered());
+        assert_eq!(extreme.first_requested_at(), Time::from_micros((1 << 48) - 1));
     }
 
     #[test]

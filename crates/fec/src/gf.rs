@@ -166,13 +166,25 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
-/// Multiplies every byte of `data` by `c` in place.
+/// Multiplies every byte of `data` by `c` in place — the row-scaling step
+/// of Gauss–Jordan elimination (matrix inversion and Reed–Solomon
+/// reconstruction).
+///
+/// With the `simd` feature enabled (and a capable CPU) slices of at least
+/// 16 bytes go through the same nibble-shuffle vector kernels as
+/// [`mul_acc_slice`]; otherwise the scalar log/exp path runs. All paths
+/// produce identical bytes.
 pub fn mul_slice(data: &mut [u8], c: u8) {
     if c == 0 {
         data.fill(0);
         return;
     }
     if c == 1 {
+        return;
+    }
+    #[cfg(feature = "simd")]
+    if data.len() >= 16 && crate::simd::available() {
+        crate::simd::mul_slice(data, c);
         return;
     }
     let log_c = LOG[c as usize] as usize;

@@ -109,6 +109,32 @@ pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
+/// Vectorised in-place scaling `data[i] = c * data[i]` — the decode-side
+/// counterpart of [`mul_acc_slice`], used by Gauss–Jordan row scaling in
+/// [`matrix`](crate::matrix) (inversion and reconstruction).
+///
+/// Same nibble-shuffle scheme as the accumulate kernel, minus the XOR with
+/// the destination: the product simply overwrites. Any `c` works (the
+/// `c = 0` tables zero the slice), though the dispatcher in
+/// [`gf`](crate::gf) short-circuits `c ∈ {0, 1}` earlier.
+#[inline]
+pub fn mul_slice(data: &mut [u8], c: u8) {
+    if !available() {
+        mul_tail(data, c);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `available()` confirmed SSSE3 support just above.
+        unsafe { mul_ssse3(data, c) }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // SAFETY: NEON is part of the AArch64 baseline.
+        unsafe { mul_neon(data, c) }
+    }
+}
+
 /// Scalar fallback for the sub-16-byte tail of a vectorised call: one
 /// lookup per byte through the same compile-time split tables.
 #[inline]
@@ -117,6 +143,16 @@ fn mul_acc_tail(dst: &mut [u8], src: &[u8], c: u8) {
     let hi = &MUL_HI[c as usize];
     for (d, &s) in dst.iter_mut().zip(src) {
         *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+/// Scalar tail of the in-place scaling kernel.
+#[inline]
+fn mul_tail(data: &mut [u8], c: u8) {
+    let lo = &MUL_LO[c as usize];
+    let hi = &MUL_HI[c as usize];
+    for d in data.iter_mut() {
+        *d = lo[(*d & 0x0F) as usize] ^ hi[(*d >> 4) as usize];
     }
 }
 
@@ -148,6 +184,62 @@ unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
             _mm_storeu_si128(d.as_mut_ptr().cast::<__m128i>(), _mm_xor_si128(acc, product));
         }
         mul_acc_tail(dst_chunks.into_remainder(), src_chunks.remainder(), c);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_ssse3(data: &mut [u8], c: u8) {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8, _mm_srli_epi64,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    // SAFETY (whole function): loads/stores are unaligned-tolerant
+    // (`loadu`/`storeu`) and every pointer stays within the chunk bounds
+    // established by `chunks_exact`.
+    unsafe {
+        let table_lo = _mm_loadu_si128(MUL_LO[c as usize].as_ptr().cast::<__m128i>());
+        let table_hi = _mm_loadu_si128(MUL_HI[c as usize].as_ptr().cast::<__m128i>());
+        let nibble_mask = _mm_set1_epi8(0x0F);
+
+        let mut chunks = data.chunks_exact_mut(16);
+        for d in chunks.by_ref() {
+            let x = _mm_loadu_si128(d.as_ptr().cast::<__m128i>());
+            let lo = _mm_and_si128(x, nibble_mask);
+            let hi = _mm_and_si128(_mm_srli_epi64::<4>(x), nibble_mask);
+            let product =
+                _mm_xor_si128(_mm_shuffle_epi8(table_lo, lo), _mm_shuffle_epi8(table_hi, hi));
+            _mm_storeu_si128(d.as_mut_ptr().cast::<__m128i>(), product);
+        }
+        mul_tail(chunks.into_remainder(), c);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn mul_neon(data: &mut [u8], c: u8) {
+    use std::arch::aarch64::{
+        vandq_u8, vdupq_n_u8, veorq_u8, vld1q_u8, vqtbl1q_u8, vshrq_n_u8, vst1q_u8,
+    };
+
+    // SAFETY (whole function): `vld1q_u8`/`vst1q_u8` have no alignment
+    // requirement and every pointer stays within the chunk bounds
+    // established by `chunks_exact`.
+    unsafe {
+        let table_lo = vld1q_u8(MUL_LO[c as usize].as_ptr());
+        let table_hi = vld1q_u8(MUL_HI[c as usize].as_ptr());
+        let nibble_mask = vdupq_n_u8(0x0F);
+
+        let mut chunks = data.chunks_exact_mut(16);
+        for d in chunks.by_ref() {
+            let x = vld1q_u8(d.as_ptr());
+            let lo = vandq_u8(x, nibble_mask);
+            let hi = vshrq_n_u8::<4>(x);
+            let product = veorq_u8(vqtbl1q_u8(table_lo, lo), vqtbl1q_u8(table_hi, hi));
+            vst1q_u8(d.as_mut_ptr(), product);
+        }
+        mul_tail(chunks.into_remainder(), c);
     }
 }
 
@@ -215,6 +307,36 @@ mod tests {
                 assert_eq!(vec_dst, ref_dst, "c={c} len={len}");
             }
         }
+    }
+
+    #[test]
+    fn scaling_path_matches_scalar_for_all_coefficients_and_odd_lengths() {
+        if !available() {
+            eprintln!("skipping: no SSSE3/NEON on this CPU");
+            return;
+        }
+        for &len in &[1usize, 7, 15, 16, 17, 31, 32, 33, 63, 100, 255, 256, 257, 1000] {
+            for c in 0..=255u8 {
+                let mut vec_data: Vec<u8> = (0..len).map(|i| (i * 29 + 11) as u8).collect();
+                let mut ref_data = vec_data.clone();
+                mul_slice(&mut vec_data, c);
+                for d in ref_data.iter_mut() {
+                    *d = gf::mul(*d, c);
+                }
+                assert_eq!(vec_data, ref_data, "c={c} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_tail_uses_the_split_tables() {
+        let mut data = [0xABu8, 0x01, 0xF0];
+        let mut expected = data;
+        for d in expected.iter_mut() {
+            *d = gf::mul(*d, 0x1D);
+        }
+        mul_tail(&mut data, 0x1D);
+        assert_eq!(data, expected);
     }
 
     #[test]

@@ -149,5 +149,18 @@ mod simd_equivalence {
             gf::mul_acc_slice(&mut dst, &src, c);
             prop_assert_eq!(dst, expected);
         }
+
+        #[test]
+        fn mul_slice_simd_matches_scalar(
+            data in vec(any::<u8>(), 0..600),
+            c in any::<u8>(),
+        ) {
+            let mut scaled = data.clone();
+            // Scalar reference, byte by byte through the log/exp tables.
+            let expected: Vec<u8> = data.iter().map(|&d| gf::mul(d, c)).collect();
+            // The dispatching entry point (vector kernels when available).
+            gf::mul_slice(&mut scaled, c);
+            prop_assert_eq!(scaled, expected);
+        }
     }
 }

@@ -1,0 +1,97 @@
+//! Datagram framing and node placement for shared sockets.
+//!
+//! A reactor socket carries traffic for many virtual nodes, so every
+//! datagram is prefixed with its destination node id:
+//!
+//! ```text
+//! [ dest: u32 LE ][ standard gossip_core::wire datagram ]
+//! ```
+//!
+//! The placement scheme is striped: node `g` lives on shard `g % shards`
+//! at local index `g / shards`, and within a shard's socket pool its home
+//! socket is `local % pool`. Striping spreads both the source's neighbours
+//! and the aggregate load uniformly, and lets a shard map an incoming
+//! destination id to its local slot with two integer divisions — no table.
+
+use gossip_types::NodeId;
+
+/// Byte length of the destination prefix.
+pub const PREFIX_LEN: usize = 4;
+
+/// Appends the framed datagram (prefix + wire bytes) onto `buf`, which is
+/// cleared first; callers reuse one buffer for every send.
+pub fn frame_into(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) {
+    buf.clear();
+    buf.extend_from_slice(&dest.as_u32().to_le_bytes());
+    buf.extend_from_slice(wire);
+}
+
+/// Splits a received datagram into the destination id and the inner wire
+/// bytes. Returns `None` for runt datagrams shorter than the prefix.
+pub fn split(datagram: &[u8]) -> Option<(NodeId, &[u8])> {
+    if datagram.len() < PREFIX_LEN {
+        return None;
+    }
+    let (prefix, rest) = datagram.split_at(PREFIX_LEN);
+    let dest = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
+    Some((NodeId::new(dest), rest))
+}
+
+/// Returns the shard hosting global node `g`.
+pub fn shard_of(g: u32, shards: usize) -> usize {
+    g as usize % shards
+}
+
+/// Returns the local slot of global node `g` within its shard.
+pub fn local_of(g: u32, shards: usize) -> usize {
+    g as usize / shards
+}
+
+/// Returns the global id of a shard's `local`-th node.
+pub fn global_of(shard: usize, local: usize, shards: usize) -> u32 {
+    (local * shards + shard) as u32
+}
+
+/// Returns the index of a local node's home socket within its shard's pool.
+pub fn home_socket(local: usize, pool: usize) -> usize {
+    local % pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_split_roundtrip() {
+        let mut buf = vec![0xFF; 3]; // stale content must be cleared
+        frame_into(&mut buf, NodeId::new(0xAABBCCDD), b"hello");
+        let (dest, rest) = split(&buf).expect("well-formed");
+        assert_eq!(dest, NodeId::new(0xAABBCCDD));
+        assert_eq!(rest, b"hello");
+    }
+
+    #[test]
+    fn runt_datagrams_are_rejected() {
+        assert!(split(&[1, 2, 3]).is_none());
+        assert!(split(&[]).is_none());
+        // Exactly a prefix is fine: the inner codec rejects the empty rest.
+        assert!(split(&[0, 0, 0, 0]).is_some());
+    }
+
+    #[test]
+    fn placement_is_a_bijection() {
+        let (shards, n) = (3usize, 1000u32);
+        for g in 0..n {
+            let s = shard_of(g, shards);
+            let l = local_of(g, shards);
+            assert_eq!(global_of(s, l, shards), g);
+        }
+        // Shard loads differ by at most one node.
+        let mut counts = vec![0usize; shards];
+        for g in 0..n {
+            counts[shard_of(g, shards)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "striping must balance shards: {counts:?}");
+    }
+}

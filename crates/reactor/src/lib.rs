@@ -1,0 +1,65 @@
+//! Sharded shared-socket runtime: thousands of live UDP nodes in one
+//! process.
+//!
+//! The thread-per-node runtime in `gossip-udp` proves the protocol is
+//! deployable, but one OS thread plus one blocking socket per node caps
+//! real-socket experiments at a few hundred nodes. This crate hosts the
+//! same sans-io [`gossip_core::GossipNode`] state machines behind a
+//! *reactor*: a small number of worker **shards**, each an event loop that
+//! owns
+//!
+//! * a slice of the cluster's **virtual nodes** (protocol state machine,
+//!   stream player, upload shaper, optionally the stream source),
+//! * a small pool of non-blocking [`std::net::UdpSocket`]s shared by those
+//!   nodes, and
+//! * one **timer wheel** — the calendar queue from `gossip-sim`, reused
+//!   through its [`gossip_sim::EventSchedule`] abstraction — holding every
+//!   deadline of every hosted node (gossip rounds, retransmission timers,
+//!   source emissions, shaper releases).
+//!
+//! # Demultiplexing
+//!
+//! With sockets shared between nodes, the destination can no longer be
+//! identified by the receiving socket. Every datagram on a reactor socket
+//! therefore carries a 4-byte **destination prefix** (the target's
+//! [`gossip_types::NodeId`], little endian) ahead of the standard
+//! [`gossip_core::wire`] encoding; the receiving shard routes on the prefix
+//! and strips it before handing the bytes to the protocol codec (see
+//! [`demux`]). The prefix is runtime framing, not protocol bytes: the
+//! upload shaper charges only the inner wire size, so pacing matches the
+//! thread-per-node runtime exactly.
+//!
+//! Nodes are striped across shards (`shard = id % shards`) and across each
+//! shard's socket pool, so consecutive node ids — and with them the
+//! cluster's traffic — spread evenly.
+//!
+//! # One configuration, two runtimes
+//!
+//! [`ReactorCluster::run`] takes the same
+//! [`gossip_udp::cluster::ClusterConfig`] as the thread runtime and
+//! produces the same [`gossip_udp::cluster::ClusterReport`] (assembled by
+//! the shared [`gossip_udp::cluster::assemble_report`]), so results are
+//! directly comparable and experiments switch runtimes with one line.
+//!
+//! # Examples
+//!
+//! Run a loopback cluster on the reactor (see `examples/live_udp.rs` for
+//! the CLI version with `--runtime reactor`):
+//!
+//! ```no_run
+//! use gossip_reactor::ReactorCluster;
+//! use gossip_udp::cluster::ClusterConfig;
+//!
+//! let report = ReactorCluster::run(ClusterConfig::smoke_test()).expect("cluster runs");
+//! println!("nodes fully decoding: {}/{}", report.nodes_all_windows_ok(), report.receivers());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demux;
+pub mod runtime;
+mod shard;
+mod vnode;
+
+pub use runtime::{ReactorCluster, ReactorOptions};

@@ -1,0 +1,170 @@
+//! The cluster runtime: binds the socket pools, spawns the shards, stops
+//! the run and assembles the report.
+
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use gossip_udp::clock::ClusterClock;
+use gossip_udp::cluster::{assemble_report, ClusterConfig, ClusterError, ClusterReport};
+
+use crate::demux;
+use crate::shard::{run_shard, ShardConfig};
+
+/// Tuning knobs of the reactor runtime (the workload itself comes from
+/// [`ClusterConfig`]).
+///
+/// The defaults host a 1000-node cluster comfortably on a typical
+/// multi-core box; all three knobs only trade CPU against latency, never
+/// correctness.
+#[derive(Debug, Clone)]
+pub struct ReactorOptions {
+    /// Number of worker shards (`None` = one per available core, capped so
+    /// every shard hosts at least a handful of nodes).
+    pub shards: Option<usize>,
+    /// Non-blocking sockets per shard; nodes stripe across the pool.
+    pub sockets_per_shard: usize,
+    /// Maximum datagrams drained per socket per loop iteration.
+    pub recv_batch: usize,
+}
+
+impl Default for ReactorOptions {
+    fn default() -> Self {
+        ReactorOptions { shards: None, sockets_per_shard: 4, recv_batch: 64 }
+    }
+}
+
+impl ReactorOptions {
+    /// Resolves the shard count for a cluster of `n` nodes.
+    fn resolve_shards(&self, n: usize) -> usize {
+        if let Some(s) = self.shards {
+            return s.max(1).min(n);
+        }
+        let cores = thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        // No point spinning up a shard for fewer than ~16 nodes.
+        cores.min(n.div_ceil(16)).max(1)
+    }
+}
+
+/// The sharded shared-socket cluster runner: same configuration and report
+/// as [`gossip_udp::cluster::UdpCluster`], different hosting model.
+#[derive(Debug)]
+pub struct ReactorCluster;
+
+impl ReactorCluster {
+    /// Runs a cluster to completion with default [`ReactorOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Io`] if sockets cannot be bound or a
+    /// shard's socket fails mid-run, and [`ClusterError::NodePanic`] (with
+    /// the shard index) if a shard thread dies.
+    pub fn run(config: ClusterConfig) -> Result<ClusterReport, ClusterError> {
+        Self::run_with(config, ReactorOptions::default())
+    }
+
+    /// Runs a cluster to completion with explicit runtime options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReactorCluster::run`].
+    pub fn run_with(
+        config: ClusterConfig,
+        options: ReactorOptions,
+    ) -> Result<ClusterReport, ClusterError> {
+        assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
+        assert!(options.sockets_per_shard >= 1, "each shard needs at least one socket");
+        assert!(options.recv_batch >= 1, "the receive batch must be positive");
+        let shards = options.resolve_shards(config.n);
+
+        // Bind every shard's pool up front so the full address book exists
+        // before any shard starts.
+        let mut pools: Vec<Vec<UdpSocket>> = Vec::with_capacity(shards);
+        let mut pool_addrs: Vec<Vec<SocketAddr>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut pool = Vec::with_capacity(options.sockets_per_shard);
+            let mut addrs = Vec::with_capacity(options.sockets_per_shard);
+            for _ in 0..options.sockets_per_shard {
+                let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+                addrs.push(socket.local_addr()?);
+                pool.push(socket);
+            }
+            pools.push(pool);
+            pool_addrs.push(addrs);
+        }
+
+        // Global node id → its home socket's address.
+        let addresses: Arc<Vec<SocketAddr>> = Arc::new(
+            (0..config.n as u32)
+                .map(|g| {
+                    let shard = demux::shard_of(g, shards);
+                    let local = demux::local_of(g, shards);
+                    pool_addrs[shard][demux::home_socket(local, options.sockets_per_shard)]
+                })
+                .collect(),
+        );
+
+        let clock = ClusterClock::start();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::with_capacity(shards);
+        for (index, sockets) in pools.into_iter().enumerate() {
+            let shard_config = ShardConfig {
+                index,
+                shards,
+                recv_batch: options.recv_batch,
+                cluster: config.clone(),
+                sockets,
+                addresses: Arc::clone(&addresses),
+                clock,
+                stop: Arc::clone(&stop),
+            };
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("gossip-shard-{index}"))
+                    .spawn(move || run_shard(shard_config))
+                    .expect("spawning a shard thread"),
+            );
+        }
+
+        // Let the cluster run, then stop every shard.
+        thread::sleep(ClusterClock::to_std(config.stream_duration + config.drain_duration));
+        stop.store(true, Ordering::Relaxed);
+
+        let mut nodes = Vec::with_capacity(config.n);
+        for (index, handle) in handles.into_iter().enumerate() {
+            let reports = handle.join().map_err(|_| ClusterError::NodePanic(index))??;
+            nodes.extend(reports);
+        }
+
+        Ok(assemble_report(&config, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_resolve_sane_shard_counts() {
+        let opts = ReactorOptions::default();
+        assert_eq!(opts.resolve_shards(2), 1, "tiny clusters get one shard");
+        assert!(opts.resolve_shards(10_000) >= 1);
+        let pinned = ReactorOptions { shards: Some(3), ..ReactorOptions::default() };
+        assert_eq!(pinned.resolve_shards(1000), 3);
+        assert_eq!(pinned.resolve_shards(2), 2, "never more shards than nodes");
+    }
+
+    #[test]
+    fn smoke_reactor_disseminates() {
+        let report = ReactorCluster::run(ClusterConfig::smoke_test()).expect("cluster runs");
+        assert_eq!(report.receivers(), 7);
+        assert!(report.windows_measured >= 3);
+        let avg = report.quality.average_quality_percent(gossip_types::Duration::MAX);
+        assert!(avg >= 80.0, "average offline quality {avg}% too low");
+        assert!(report.windows_verified > 0, "some windows must be byte-verified");
+        let decode_errors: u64 = report.nodes.iter().map(|n| n.decode_errors).sum();
+        assert_eq!(decode_errors, 0, "no malformed datagrams on loopback");
+    }
+}

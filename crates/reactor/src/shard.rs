@@ -1,0 +1,339 @@
+//! The shard event loop: one thread hosting many virtual nodes.
+//!
+//! A shard multiplexes every deadline of its nodes — gossip rounds,
+//! retransmission timers, source emissions, shaper releases — through one
+//! timer wheel (the calendar queue from `gossip-sim`, the same
+//! `EventSchedule` implementation the simulator runs on), and all their
+//! traffic through a small pool of
+//! non-blocking sockets with batched receives into one reusable buffer.
+//! Between deadlines the shard parks on its first socket with a bounded
+//! read timeout, so an arriving datagram wakes it early but a raised stop
+//! flag is still noticed promptly.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gossip_core::wire::{decode_message, encode_message};
+use gossip_core::{Output, TimerToken};
+use gossip_sim::EventQueue;
+use gossip_stream::StreamPacket;
+use gossip_types::{Duration, Time};
+use gossip_udp::clock::ClusterClock;
+use gossip_udp::cluster::ClusterConfig;
+use gossip_udp::report::NodeReport;
+
+use crate::demux;
+use crate::vnode::VirtualNode;
+
+/// Upper bound on one park interval: short enough that the stop flag and
+/// freshly queued kernel datagrams are looked at regularly, long enough
+/// that an idle shard does not spin.
+const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Below this the next deadline is effectively due: parking would cost
+/// more in syscalls than it saves.
+const MIN_PARK: std::time::Duration = std::time::Duration::from_micros(200);
+
+/// A deadline in the shard's timer wheel, tagged with the local slot of
+/// the node it belongs to.
+enum Fire {
+    /// The node's next gossip round.
+    Round(u32),
+    /// A protocol retransmission timer.
+    Timer(u32, TimerToken),
+    /// The source's next packet emission.
+    Source(u32),
+    /// The node's upload shaper has a datagram coming due.
+    Shaper(u32),
+}
+
+/// Everything a shard needs to run, prepared by the runtime.
+pub(crate) struct ShardConfig {
+    /// This shard's index.
+    pub index: usize,
+    /// Total number of shards (the stripe modulus).
+    pub shards: usize,
+    /// Maximum datagrams drained per socket per loop iteration.
+    pub recv_batch: usize,
+    pub cluster: ClusterConfig,
+    /// This shard's socket pool, already bound.
+    pub sockets: Vec<UdpSocket>,
+    /// Global node id → home socket address.
+    pub addresses: Arc<Vec<SocketAddr>>,
+    pub clock: ClusterClock,
+    pub stop: Arc<AtomicBool>,
+}
+
+/// Runs a shard to completion (until `stop` is raised) and returns the
+/// reports of its nodes.
+pub(crate) fn run_shard(config: ShardConfig) -> std::io::Result<Vec<NodeReport>> {
+    Shard::new(config)?.run()
+}
+
+struct Shard {
+    index: usize,
+    shards: usize,
+    recv_batch: usize,
+    cluster: ClusterConfig,
+    sockets: Vec<UdpSocket>,
+    addresses: Arc<Vec<SocketAddr>>,
+    clock: ClusterClock,
+    stop: Arc<AtomicBool>,
+    nodes: Vec<VirtualNode>,
+    wheel: EventQueue<Fire>,
+    /// Reusable receive buffer (max UDP datagram).
+    recv_buf: Vec<u8>,
+    /// Reusable send buffer for prefix framing.
+    frame_buf: Vec<u8>,
+}
+
+impl Shard {
+    fn new(config: ShardConfig) -> std::io::Result<Self> {
+        let ShardConfig { index, shards, recv_batch, cluster, sockets, addresses, clock, stop } =
+            config;
+        for socket in &sockets {
+            socket.set_nonblocking(true)?;
+        }
+        let pool = sockets.len();
+        let nodes: Vec<VirtualNode> = (0..)
+            .map(|local| demux::global_of(index, local, shards))
+            .take_while(|&g| (g as usize) < cluster.n)
+            .map(|g| {
+                VirtualNode::new(&cluster, g, demux::home_socket(demux::local_of(g, shards), pool))
+            })
+            .collect();
+
+        let mut wheel: EventQueue<Fire> = EventQueue::new();
+        let period = cluster.gossip.gossip_period;
+        for (local, vn) in nodes.iter().enumerate() {
+            // Stagger first rounds across one gossip period (thread-per-node
+            // deployments stagger naturally through thread start-up) so the
+            // cluster's round traffic does not arrive as one synchronised
+            // burst on every socket.
+            let phase = Duration::from_micros(
+                u64::from(vn.id.as_u32()) * period.as_micros() / cluster.n as u64,
+            );
+            wheel.push(Time::ZERO + phase, Fire::Round(local as u32));
+            if vn.source.is_some() {
+                wheel.push(Time::ZERO, Fire::Source(local as u32));
+            }
+        }
+
+        Ok(Shard {
+            index,
+            shards,
+            recv_batch,
+            cluster,
+            sockets,
+            addresses,
+            clock,
+            stop,
+            nodes,
+            wheel,
+            recv_buf: vec![0u8; 65_536],
+            frame_buf: Vec::with_capacity(2048),
+        })
+    }
+
+    fn run(mut self) -> std::io::Result<Vec<NodeReport>> {
+        while !self.stop.load(Ordering::Relaxed) {
+            let now = self.clock.now();
+
+            // 1. Fire every due deadline.
+            while let Some((at, fire)) = self.wheel.pop_before(now) {
+                self.dispatch(fire, at, now);
+            }
+
+            // 2. Batched receive across the socket pool.
+            self.drain_sockets(now)?;
+
+            // 3. Park until the next deadline, waking early for traffic.
+            self.park()?;
+        }
+        Ok(self.nodes.into_iter().map(VirtualNode::into_report).collect())
+    }
+
+    /// Blocks on the first pool socket for up to the time until the next
+    /// wheel deadline (bounded by [`MAX_PARK`]); a datagram arriving on
+    /// that socket is handled immediately.
+    fn park(&mut self) -> std::io::Result<()> {
+        let now = self.clock.now();
+        let deadline = self.wheel.peek_time().unwrap_or(now + Duration::from_millis(50));
+        let wait = self.clock.until(deadline).min(MAX_PARK);
+        if wait < MIN_PARK {
+            return Ok(());
+        }
+        let waiter = &self.sockets[0];
+        waiter.set_nonblocking(false)?;
+        waiter.set_read_timeout(Some(wait))?;
+        match waiter.recv_from(&mut self.recv_buf) {
+            Ok((len, _)) => {
+                let now = self.clock.now();
+                self.on_datagram(len, now);
+            }
+            Err(e) if transient_recv_error(&e) => {}
+            Err(e) => return Err(e),
+        }
+        self.sockets[0].set_nonblocking(true)
+    }
+
+    /// Receives up to `recv_batch` datagrams from each pool socket.
+    fn drain_sockets(&mut self, now: Time) -> std::io::Result<()> {
+        for si in 0..self.sockets.len() {
+            for _ in 0..self.recv_batch {
+                match self.sockets[si].recv_from(&mut self.recv_buf) {
+                    Ok((len, _)) => self.on_datagram(len, now),
+                    Err(e) if transient_recv_error(&e) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one received datagram: split the destination prefix, find
+    /// the local node, apply impairment, decode, drive the state machine.
+    fn on_datagram(&mut self, len: usize, now: Time) {
+        let Some((dest, wire)) = demux::split(&self.recv_buf[..len]) else {
+            return; // runt frame: nothing on loopback sends these
+        };
+        let g = dest.as_u32();
+        if demux::shard_of(g, self.shards) != self.index {
+            return; // stray datagram for another shard's socket
+        }
+        let local = demux::local_of(g, self.shards);
+        if local >= self.nodes.len() {
+            return;
+        }
+        let vn = &mut self.nodes[local];
+        if vn.check_crash(now) {
+            return; // crashed nodes drop everything
+        }
+        if self.cluster.inject_loss > 0.0 && vn.loss_rng.chance(self.cluster.inject_loss) {
+            return; // injected network loss: the datagram evaporates
+        }
+        vn.recv_msgs += 1;
+        // The borrow of `wire` (into recv_buf) ends before drains mutate
+        // the buffer-free parts of self; decode copies what it keeps.
+        match decode_message::<StreamPacket>(wire) {
+            Some((from, msg)) => {
+                vn.node.on_message(now, from, msg);
+                self.drain_outputs(local, now);
+            }
+            None => vn.decode_errors += 1,
+        }
+    }
+
+    /// Fires one wheel deadline.
+    fn dispatch(&mut self, fire: Fire, at: Time, now: Time) {
+        match fire {
+            Fire::Round(l) => {
+                let local = l as usize;
+                let vn = &mut self.nodes[local];
+                if vn.check_crash(now) {
+                    return; // a crashed node's round chain ends here
+                }
+                vn.node.on_round(now);
+                self.drain_outputs(local, now);
+                // Re-arm from the scheduled time, not `now`: rounds must
+                // not drift under load.
+                self.wheel.push(at + self.cluster.gossip.gossip_period, Fire::Round(l));
+            }
+            Fire::Timer(l, token) => {
+                let local = l as usize;
+                let vn = &mut self.nodes[local];
+                if vn.check_crash(now) {
+                    return;
+                }
+                vn.node.on_timer(now, token);
+                self.drain_outputs(local, now);
+            }
+            Fire::Source(l) => {
+                let local = l as usize;
+                let vn = &mut self.nodes[local];
+                if vn.check_crash(now) {
+                    return;
+                }
+                let (Some(source), Some(end)) = (vn.source.as_mut(), vn.stream_end) else {
+                    return;
+                };
+                if now <= end {
+                    for packet in source.poll(now) {
+                        vn.node.publish(now, packet);
+                    }
+                    let next = vn.source.as_ref().expect("still the source").next_packet_at();
+                    if next <= end {
+                        self.wheel.push(next, Fire::Source(l));
+                    }
+                }
+                self.drain_outputs(local, now);
+            }
+            Fire::Shaper(l) => {
+                let local = l as usize;
+                self.nodes[local].shaper_armed = false;
+                if self.nodes[local].check_crash(now) {
+                    return; // a crashed node's backlog never reaches the wire
+                }
+                self.flush_shaper(local, now);
+            }
+        }
+    }
+
+    /// Drains the protocol outputs of one node into its shaper, player and
+    /// the timer wheel, then puts released datagrams on the wire.
+    fn drain_outputs(&mut self, local: usize, now: Time) {
+        let vn = &mut self.nodes[local];
+        while let Some(out) = vn.node.poll_output() {
+            match out {
+                Output::Send { to, msg } => {
+                    let bytes = encode_message(vn.id, &msg);
+                    let len = bytes.len();
+                    // The shaper charges the unframed wire size, so pacing
+                    // matches the thread runtime byte for byte.
+                    vn.shaper.offer(now, len, (to, bytes));
+                }
+                Output::Deliver { event } => {
+                    vn.player.on_packet(now, event.packet_id());
+                }
+                Output::ScheduleTimer { token, at } => {
+                    self.wheel.push(at, Fire::Timer(local as u32, token));
+                }
+            }
+        }
+        self.flush_shaper(local, now);
+    }
+
+    /// Sends everything the node's shaper has released and arms one wheel
+    /// deadline for the earliest datagram still held back.
+    fn flush_shaper(&mut self, local: usize, now: Time) {
+        let vn = &mut self.nodes[local];
+        let socket = &self.sockets[vn.home_socket];
+        while let Some((to, bytes)) = vn.shaper.pop_due(now) {
+            demux::frame_into(&mut self.frame_buf, to, &bytes);
+            // UDP semantics: a full kernel buffer drops the datagram, like
+            // any congested link; the protocol's FEC + retransmission
+            // absorb it.
+            let _ = socket.send_to(&self.frame_buf, self.addresses[to.index()]);
+        }
+        if !vn.shaper_armed {
+            if let Some(at) = vn.shaper.next_release() {
+                self.wheel.push(at, Fire::Shaper(local as u32));
+                vn.shaper_armed = true;
+            }
+        }
+    }
+}
+
+/// Receive errors that mean "no datagram right now", not "the socket is
+/// broken": empty queue (`WouldBlock`/`TimedOut`) and the ICMP
+/// port-unreachable echo Linux surfaces when a peer socket has already
+/// closed at shutdown (`ConnectionRefused`).
+fn transient_recv_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::ConnectionRefused
+    )
+}

@@ -1,0 +1,98 @@
+//! The per-virtual-node state hosted by a shard.
+//!
+//! A [`VirtualNode`] bundles exactly what one thread owns in the
+//! thread-per-node runtime — protocol state machine, stream player, upload
+//! shaper, optional stream source, impairment state — minus the thread and
+//! the socket: scheduling and I/O belong to the shard.
+
+use gossip_core::GossipNode;
+use gossip_sim::DetRng;
+use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
+use gossip_types::{NodeId, Time};
+use gossip_udp::cluster::ClusterConfig;
+use gossip_udp::report::NodeReport;
+use gossip_udp::shaper::UploadShaper;
+
+/// One hosted node: the same per-node state as `gossip_udp::driver`, owned
+/// by a shard instead of a thread.
+pub(crate) struct VirtualNode {
+    pub id: NodeId,
+    pub node: GossipNode<StreamPacket>,
+    pub player: StreamPlayer,
+    /// Shaped outbound datagrams: `(destination, unframed wire bytes)`.
+    pub shaper: UploadShaper<(NodeId, Vec<u8>)>,
+    pub source: Option<StreamSource>,
+    pub stream_end: Option<Time>,
+    pub crash_at: Option<Time>,
+    pub crashed: bool,
+    /// Whether a shaper-release event for this node is pending in the
+    /// shard's timer wheel (at most one at a time).
+    pub shaper_armed: bool,
+    /// Index of this node's home socket in the shard's pool.
+    pub home_socket: usize,
+    /// Deterministic per-node stream for injected datagram loss (same
+    /// split constant as the thread runtime, so impairment draws match).
+    pub loss_rng: DetRng,
+    pub recv_msgs: u64,
+    pub decode_errors: u64,
+}
+
+impl VirtualNode {
+    /// Builds the virtual node with global id `id` for `config`.
+    pub fn new(config: &ClusterConfig, id: u32, home_socket: usize) -> Self {
+        let node_id = NodeId::new(id);
+        let membership: Vec<NodeId> = (0..config.n as u32).map(NodeId::new).collect();
+        let is_source = id == 0;
+        let node = if is_source {
+            GossipNode::new_source(node_id, config.gossip.clone(), membership, config.seed)
+        } else {
+            GossipNode::new(node_id, config.gossip.clone(), membership, config.seed)
+        };
+        let upload_cap =
+            if is_source && config.source_uncapped { None } else { config.upload_cap_bps };
+        VirtualNode {
+            id: node_id,
+            node,
+            player: StreamPlayer::new(config.stream),
+            shaper: UploadShaper::new(upload_cap, config.max_backlog),
+            source: is_source.then(|| StreamSource::new(config.stream, Time::ZERO)),
+            stream_end: is_source.then(|| Time::ZERO + config.stream_duration),
+            crash_at: config
+                .crashes
+                .iter()
+                .find(|&&(node, _)| node == id as usize)
+                .map(|&(_, at)| Time::ZERO + at),
+            crashed: false,
+            shaper_armed: false,
+            home_socket,
+            loss_rng: DetRng::seed_from(config.seed).split(0xD409 + u64::from(id)),
+            recv_msgs: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// Latches the crash flag once `now` passes the configured crash time.
+    /// A crashed node fires no timers, sends nothing and drops everything
+    /// addressed to it — churn injection, same semantics as the thread
+    /// runtime.
+    pub fn check_crash(&mut self, now: Time) -> bool {
+        if !self.crashed && self.crash_at.is_some_and(|at| now >= at) {
+            self.crashed = true;
+        }
+        self.crashed
+    }
+
+    /// Consumes the node into its end-of-run report.
+    pub fn into_report(self) -> NodeReport {
+        NodeReport {
+            id: self.id,
+            protocol: *self.node.stats(),
+            player: self.player,
+            sent_bytes: self.shaper.sent_bytes(),
+            sent_msgs: self.shaper.sent_msgs(),
+            shaper_drops: self.shaper.dropped_msgs(),
+            recv_msgs: self.recv_msgs,
+            decode_errors: self.decode_errors,
+        }
+    }
+}

@@ -196,7 +196,7 @@ impl<E> CalendarQueue<E> {
         }
         let lap = self.buckets.len() as u64;
         for day in self.cur_day..self.cur_day.saturating_add(lap) {
-            let day_end = day.saturating_mul(self.width).saturating_add(self.width);
+            let day_end = day.saturating_mul(self.width).checked_add(self.width);
             let bucket = (day & self.mask) as usize;
             if let Some(i) = self.min_in_day(bucket, day_end) {
                 return Some(Time::from_micros(self.buckets[bucket][i].at));
@@ -232,7 +232,7 @@ impl<E> CalendarQueue<E> {
             if day_start > horizon {
                 return None;
             }
-            let day_end = day_start.saturating_add(self.width);
+            let day_end = day_start.checked_add(self.width);
             let bucket = (self.cur_day & self.mask) as usize;
             if let Some(i) = self.min_in_day(bucket, day_end) {
                 if self.buckets[bucket][i].at > horizon {
@@ -240,7 +240,11 @@ impl<E> CalendarQueue<E> {
                 }
                 return Some(self.take(bucket, i));
             }
-            self.cur_day += 1;
+            // Saturating: once the scan stands on the last representable
+            // day (Time::MAX sentinels with a 1 µs width), there is no
+            // later day to advance to — the lap bound and the direct-search
+            // fallback terminate the loop instead.
+            self.cur_day = self.cur_day.saturating_add(1);
         }
         // A fruitless lap: every pending event is at least a year ahead of
         // the scan position (sparse queue or far-future sentinels). Find the
@@ -274,14 +278,17 @@ impl<E> CalendarQueue<E> {
 
     /// Index of the minimum `(at, seq)` entry in bucket `bucket` belonging
     /// to the current day (i.e. strictly before `day_end`), if any. Entries
-    /// of later "years" share the bucket and are skipped. The insertion
-    /// sequence is only fetched from the slab on an actual time tie.
+    /// of later "years" share the bucket and are skipped. `day_end` is
+    /// `None` for the last calendar day of the time axis, whose true end
+    /// (2⁶⁴ µs) is unrepresentable: every entry in the bucket belongs to it
+    /// — `Time::MAX` sentinels included. The insertion sequence is only
+    /// fetched from the slab on an actual time tie.
     #[inline]
-    fn min_in_day(&self, bucket: usize, day_end: u64) -> Option<usize> {
+    fn min_in_day(&self, bucket: usize, day_end: Option<u64>) -> Option<usize> {
         let entries = &self.buckets[bucket];
         let mut best: Option<(u64, usize)> = None;
         for (i, e) in entries.iter().enumerate() {
-            if e.at >= day_end {
+            if day_end.is_some_and(|end| e.at >= end) {
                 continue;
             }
             best = match best {
@@ -480,6 +487,40 @@ mod tests {
             dense.width,
             sparse.width
         );
+    }
+
+    /// Regression test: `Time::MAX` sentinels must drain cleanly when the
+    /// day width is 1 µs. A heavily tied population tunes the width to
+    /// 1 µs on the grow rebuild; the first sentinel pop then jumps
+    /// `cur_day` to the last representable day, whose true end (2⁶⁴ µs)
+    /// saturated in the old code — the remaining sentinels became
+    /// invisible to the day scan and `cur_day += 1` overflowed (debug
+    /// panic; silent wrap + O(n) pops in release).
+    #[test]
+    fn max_sentinels_drain_cleanly_at_one_micro_width() {
+        let mut q = CalendarQueue::new();
+        // 33 tied events cross the grow threshold; the rebuild samples an
+        // all-tied population and picks a 1 µs day width.
+        for i in 0..33u64 {
+            q.push(Time::from_micros(500), i);
+        }
+        assert_eq!(q.width, 1, "tied sample must tune the width to 1 µs");
+        for i in 0..20u64 {
+            q.push(Time::MAX, 100 + i);
+        }
+        // The ties drain in insertion order, then every sentinel — also in
+        // insertion order, with no panic and an exact len throughout.
+        for i in 0..33u64 {
+            assert_eq!(q.pop(), Some((Time::from_micros(500), i)));
+        }
+        for i in 0..20u64 {
+            assert_eq!(q.pop(), Some((Time::MAX, 100 + i)));
+            assert_eq!(q.len(), 19 - i as usize);
+        }
+        assert_eq!(q.pop(), None);
+        // The queue stays usable after standing on the last day.
+        q.push(Time::from_secs(1), 999);
+        assert_eq!(q.pop(), Some((Time::from_secs(1), 999)));
     }
 
     /// A far-future outlier must not break the scan (it is skipped each lap

@@ -16,6 +16,12 @@ use crate::clock::ClusterClock;
 use crate::driver::{run_node, DriverConfig, NodeReport};
 
 /// Configuration of a loopback deployment.
+///
+/// This is the runtime-independent description of a run: the thread-per-node
+/// runtime ([`UdpCluster`]) and the sharded reactor runtime (the
+/// `gossip-reactor` crate) both take a `ClusterConfig` and produce a
+/// [`ClusterReport`], so experiments can switch runtimes without touching
+/// their workload definition.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Total nodes including the source.
@@ -183,25 +189,49 @@ impl UdpCluster {
             let report = handle.join().map_err(|_| ClusterError::NodePanic(i))??;
             nodes.push(report);
         }
-        nodes.sort_by_key(|r| r.id);
 
-        // Quality over all fully-published windows except the first.
-        let published = config.stream.windows_published(config.stream_duration) as u32;
-        let (first, last) = (1u32, published.saturating_sub(1));
-        let qualities: Vec<NodeQuality> = nodes
-            .iter()
-            .skip(1)
-            .map(|r| NodeQuality::from_player(&r.player, &config.stream, Time::ZERO, first, last))
-            .collect();
+        Ok(assemble_report(&config, nodes))
+    }
+}
 
-        let windows_verified = verify_windows(&config, &nodes, first, last);
+/// Turns the per-node reports of a finished run into a [`ClusterReport`]:
+/// sorts by node id, computes the quality of every receiver over all
+/// fully-published windows except the first, and byte-verifies the
+/// decodable windows through the real Reed–Solomon code.
+///
+/// Shared by every runtime that hosts a cluster (threads here, shards in
+/// `gossip-reactor`), so their reports are directly comparable.
+pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> ClusterReport {
+    nodes.sort_by_key(|r| r.id);
 
-        Ok(ClusterReport {
+    // Quality over all fully-published windows except the first. A stream
+    // too short to fully publish two windows measures nothing (empty
+    // per-node lag vectors; quality is vacuously perfect) instead of
+    // underflowing the window range.
+    let published = config.stream.windows_published(config.stream_duration) as u32;
+    let (first, last) = (1u32, published.saturating_sub(1));
+    if last < first {
+        let qualities = nodes.iter().skip(1).map(|_| NodeQuality::from_lags(Vec::new())).collect();
+        return ClusterReport {
             nodes,
             quality: QualityReport::new(qualities),
-            windows_measured: last - first + 1,
-            windows_verified,
-        })
+            windows_measured: 0,
+            windows_verified: 0,
+        };
+    }
+    let qualities: Vec<NodeQuality> = nodes
+        .iter()
+        .skip(1)
+        .map(|r| NodeQuality::from_player(&r.player, &config.stream, Time::ZERO, first, last))
+        .collect();
+
+    let windows_verified = verify_windows(config, &nodes, first, last);
+
+    ClusterReport {
+        nodes,
+        quality: QualityReport::new(qualities),
+        windows_measured: last - first + 1,
+        windows_verified,
     }
 }
 
@@ -259,6 +289,32 @@ fn verify_windows(config: &ClusterConfig, nodes: &[NodeReport], first: u32, last
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gossip_stream::StreamPlayer;
+
+    #[test]
+    fn short_stream_measures_no_windows_instead_of_underflowing() {
+        let mut config = ClusterConfig::smoke_test();
+        // Far too short to fully publish two windows.
+        config.stream_duration = Duration::from_millis(100);
+        let nodes = (0..2)
+            .map(|i| NodeReport {
+                id: NodeId::new(i),
+                protocol: gossip_core::ProtocolStats::default(),
+                player: StreamPlayer::new(config.stream),
+                sent_bytes: 0,
+                sent_msgs: 0,
+                shaper_drops: 0,
+                recv_msgs: 0,
+                decode_errors: 0,
+            })
+            .collect();
+        let report = assemble_report(&config, nodes);
+        assert_eq!(report.windows_measured, 0);
+        assert_eq!(report.windows_verified, 0);
+        assert_eq!(report.receivers(), 1);
+        // Vacuous quality: no windows measured means nothing failed.
+        assert!(report.quality.average_quality_percent(Duration::MAX) >= 100.0 - 1e-9);
+    }
 
     #[test]
     fn smoke_cluster_disseminates() {

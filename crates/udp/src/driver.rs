@@ -13,26 +13,7 @@ use gossip_types::{Duration, NodeId, Time};
 use crate::clock::ClusterClock;
 use crate::shaper::UploadShaper;
 
-/// Everything a node thread reports back when it finishes.
-#[derive(Debug)]
-pub struct NodeReport {
-    /// The node's identity.
-    pub id: NodeId,
-    /// Protocol counters.
-    pub protocol: gossip_core::ProtocolStats,
-    /// The playout state (window completeness and timing).
-    pub player: StreamPlayer,
-    /// Bytes handed to the kernel.
-    pub sent_bytes: u64,
-    /// Datagrams handed to the kernel.
-    pub sent_msgs: u64,
-    /// Datagrams dropped by the local shaper.
-    pub shaper_drops: u64,
-    /// Datagrams received.
-    pub recv_msgs: u64,
-    /// Datagrams that failed to decode.
-    pub decode_errors: u64,
-}
+pub use crate::report::NodeReport;
 
 /// Configuration of one node driver.
 #[derive(Debug, Clone)]

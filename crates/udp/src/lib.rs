@@ -14,8 +14,15 @@
 //! * [`shaper`] — real-time upload rate limiting (the deployed counterpart
 //!   of the simulator's queueing link);
 //! * [`driver`] — the per-node event loop around [`gossip_core::GossipNode`];
+//! * [`report`] — the per-node run report shared by every runtime;
 //! * [`cluster`] — spawns a source plus N receivers on loopback and collects
 //!   a [`cluster::ClusterReport`].
+//!
+//! The clock, the shaper, [`report::NodeReport`], [`cluster::ClusterConfig`]
+//! and [`cluster::assemble_report`] are the runtime-independent substrate:
+//! the sharded shared-socket runtime in the `gossip-reactor` crate reuses
+//! all of them, so the two runtimes take the same configuration and produce
+//! directly comparable reports.
 //!
 //! # Examples
 //!
@@ -35,4 +42,5 @@
 pub mod clock;
 pub mod cluster;
 pub mod driver;
+pub mod report;
 pub mod shaper;

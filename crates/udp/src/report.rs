@@ -1,0 +1,31 @@
+//! Per-node run reports, shared by every real-socket runtime.
+//!
+//! Both the thread-per-node runtime ([`crate::driver`]) and the sharded
+//! reactor runtime (the `gossip-reactor` crate) finish a run by producing
+//! one [`NodeReport`] per node; [`crate::cluster::assemble_report`] turns
+//! the collection into a [`crate::cluster::ClusterReport`] regardless of
+//! which runtime hosted the nodes.
+
+use gossip_stream::StreamPlayer;
+use gossip_types::NodeId;
+
+/// Everything a node reports back when its run finishes.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Protocol counters.
+    pub protocol: gossip_core::ProtocolStats,
+    /// The playout state (window completeness and timing).
+    pub player: StreamPlayer,
+    /// Bytes handed to the kernel.
+    pub sent_bytes: u64,
+    /// Datagrams handed to the kernel.
+    pub sent_msgs: u64,
+    /// Datagrams dropped by the local shaper.
+    pub shaper_drops: u64,
+    /// Datagrams received.
+    pub recv_msgs: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+}

@@ -1,21 +1,41 @@
 //! Live deployment on real UDP sockets: the same protocol core that runs in
-//! the simulator, running as one thread-per-node loopback cluster with
-//! real wire encoding, real upload shaping and real Reed–Solomon
+//! the simulator, hosted by either real-socket runtime —
+//!
+//! * `threads` — one thread + one blocking socket per node (hundreds of
+//!   nodes);
+//! * `reactor` — a few event-loop shards with shared sockets (thousands of
+//!   nodes in one process).
+//!
+//! Both use real wire encoding, real upload shaping and real Reed–Solomon
 //! verification of the received windows.
 //!
 //! ```text
-//! cargo run --release --example live_udp [nodes] [seconds]
+//! cargo run --release --example live_udp [nodes] [seconds] [--runtime threads|reactor]
 //! ```
 
 use gossip_core::GossipConfig;
 use gossip_fec::WindowParams;
+use gossip_reactor::ReactorCluster;
 use gossip_stream::StreamConfig;
 use gossip_types::Duration;
 use gossip_udp::cluster::{ClusterConfig, UdpCluster};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let secs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let mut positional: Vec<u64> = Vec::new();
+    let mut runtime = String::from("threads");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runtime" => {
+                runtime = args.next().expect("--runtime requires `threads` or `reactor`");
+            }
+            other => positional.push(other.parse().unwrap_or_else(|_| {
+                panic!("unexpected argument {other:?} (usage: live_udp [nodes] [seconds] [--runtime threads|reactor])")
+            })),
+        }
+    }
+    let n = positional.first().map_or(12, |&v| v as usize);
+    let secs = positional.get(1).copied().unwrap_or(6);
     assert!(n >= 2, "need a source and at least one receiver");
 
     let config = ClusterConfig {
@@ -37,11 +57,15 @@ fn main() {
     };
 
     println!(
-        "streaming {} kbps to {} receivers over loopback UDP for {secs} s...",
+        "streaming {} kbps to {} receivers over loopback UDP for {secs} s ({runtime} runtime)...",
         config.stream.rate_bps / 1000,
         n - 1
     );
-    let report = UdpCluster::run(config).expect("cluster runs");
+    let report = match runtime.as_str() {
+        "threads" => UdpCluster::run(config).expect("cluster runs"),
+        "reactor" => ReactorCluster::run(config).expect("cluster runs"),
+        other => panic!("unknown runtime {other:?} (expected `threads` or `reactor`)"),
+    };
 
     println!("\nresults:");
     println!("  windows measured per node: {}", report.windows_measured);

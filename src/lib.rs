@@ -9,7 +9,9 @@
 //! * [`gossip_fec`] — systematic Reed–Solomon erasure coding;
 //! * [`gossip_sim`] / [`gossip_net`] — the deterministic simulation substrate;
 //! * [`gossip_experiments`] — the figure-by-figure reproduction harness;
-//! * [`gossip_udp`] — the real-socket runtime.
+//! * [`gossip_udp`] — the real-socket runtime (thread per node);
+//! * [`gossip_reactor`] — the sharded shared-socket runtime (thousands of
+//!   live UDP nodes in one process).
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +21,7 @@ pub use gossip_fec as fec;
 pub use gossip_membership as membership;
 pub use gossip_metrics as metrics;
 pub use gossip_net as net;
+pub use gossip_reactor as reactor;
 pub use gossip_sim as sim;
 pub use gossip_stream as stream;
 pub use gossip_types as types;

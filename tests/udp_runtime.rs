@@ -1,8 +1,10 @@
-//! Integration tests of the real-socket runtime, and agreement between the
-//! simulator and the UDP deployment on the same workload class.
+//! Integration tests of the real-socket runtimes: the thread-per-node
+//! deployment, its agreement with the simulator, and its agreement with
+//! the sharded reactor runtime on the same workload.
 
 use gossip_core::GossipConfig;
 use gossip_fec::WindowParams;
+use gossip_reactor::{ReactorCluster, ReactorOptions};
 use gossip_stream::StreamConfig;
 use gossip_types::Duration;
 use gossip_udp::cluster::{ClusterConfig, UdpCluster};
@@ -87,6 +89,29 @@ fn sim_and_udp_agree_qualitatively() {
 
     assert!(udp_q >= 80.0, "udp quality {udp_q}%");
     assert!(sim_q >= 90.0, "sim quality {sim_q}%");
+}
+
+/// Both real-socket runtimes — thread-per-node and the sharded reactor —
+/// drive the same state machine under the same configuration and must
+/// deliver comparable stream quality: high on both, within a generous
+/// noise band of each other (wall-clock scheduling differs, so agreement
+/// is statistical, not event-exact).
+#[test]
+fn threads_and_reactor_agree_on_delivery_quality() {
+    let config = small_cluster(8, 4);
+    let threads = UdpCluster::run(config.clone()).expect("thread cluster runs");
+    let opts = ReactorOptions { shards: Some(2), ..ReactorOptions::default() };
+    let reactor = ReactorCluster::run_with(config, opts).expect("reactor cluster runs");
+
+    let threads_q = threads.quality.average_quality_percent(Duration::MAX);
+    let reactor_q = reactor.quality.average_quality_percent(Duration::MAX);
+    assert!(threads_q >= 80.0, "threads quality {threads_q:.1}%");
+    assert!(reactor_q >= 80.0, "reactor quality {reactor_q:.1}%");
+    assert!(
+        (threads_q - reactor_q).abs() <= 20.0,
+        "runtimes disagree: threads {threads_q:.1}% vs reactor {reactor_q:.1}%"
+    );
+    assert!(reactor.windows_verified > 0, "reactor windows must byte-verify too");
 }
 
 /// Shapers actually limit throughput: with a tight cap, a node cannot send
