@@ -1,0 +1,506 @@
+//! The declarative adversity description and its deterministic compiler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gossip_sim::DetRng;
+use gossip_types::{Duration, NodeId, Time};
+
+use crate::timeline::{CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile};
+
+/// RNG stream tag for spec compilation: independent of every stream the
+/// runtimes draw from, so adding adversity never perturbs a run's other
+/// randomness (and an empty spec draws nothing at all).
+const COMPILE_STREAM: u64 = 0xADF0_17ED;
+
+/// The paper's Figure 7/8 scenario: a random fraction of the nodes crash
+/// simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Catastrophic {
+    /// When the crash happens (offset from the start of the run).
+    pub at: Duration,
+    /// Fraction of the base population that fails (`0..=1`); the source
+    /// (node 0) is always protected.
+    pub fraction: f64,
+}
+
+/// Continuous Poisson leave/rejoin churn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonChurn {
+    /// Churn window start.
+    pub start: Duration,
+    /// Churn window end (arrivals after this are not generated).
+    pub end: Duration,
+    /// Mean leave rate over the whole population, in departures per second.
+    pub leaves_per_sec: f64,
+    /// Mean time a departed node stays away before rejoining with fresh
+    /// state (exponentially distributed); `None` = departures are final.
+    pub mean_downtime: Option<Duration>,
+}
+
+/// A wave of brand-new nodes bootstrapping mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// When the first newcomer arrives.
+    pub at: Duration,
+    /// How many new nodes join (ids `n..n+count`).
+    pub count: usize,
+    /// The joins are spread evenly across this window (a literal
+    /// same-instant stampede is `Duration::ZERO`).
+    pub spread: Duration,
+}
+
+/// One upload-capacity class of the heterogeneity extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthClass {
+    /// Fraction of the population in this class (fractions should sum
+    /// to ~1; the last class absorbs rounding).
+    pub fraction: f64,
+    /// The class upload cap in bits/s (`None` = uncapped).
+    pub cap_bps: Option<u64>,
+}
+
+/// A declarative, composable fault & workload description.
+///
+/// Build one with the `with_*` methods (or load it from TOML), then
+/// [`AdversitySpec::compile`] it for a concrete deployment size and seed.
+/// All sampling happens at compile time on a dedicated RNG stream, so the
+/// same `(spec, n, seed)` always yields the identical timeline and an
+/// empty spec perturbs nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdversitySpec {
+    /// One-shot catastrophic crash (Figures 7–8).
+    pub catastrophic: Option<Catastrophic>,
+    /// Continuous Poisson leave/rejoin churn.
+    pub churn: Option<PoissonChurn>,
+    /// Flash-crowd join wave of new nodes.
+    pub flash_crowd: Option<FlashCrowd>,
+    /// Fraction of base receivers that free-ride (request but never
+    /// propose or serve).
+    pub free_rider_fraction: Option<f64>,
+    /// Upload-capacity classes (empty = the scenario's uniform cap).
+    pub bandwidth_classes: Vec<BandwidthClass>,
+    /// Explicitly scheduled crashes `(at, victims)` — the compatibility
+    /// form of the old `ChurnPlan`, and an escape hatch for scripted
+    /// scenarios with hand-picked victims. Unlike the random fault
+    /// processes (which always protect the source), hand-picked victims
+    /// are honoured verbatim — naming node 0 here deliberately kills the
+    /// source.
+    pub explicit_crashes: Vec<(Duration, Vec<NodeId>)>,
+}
+
+impl AdversitySpec {
+    /// The empty spec: compiling it is a no-op.
+    pub fn none() -> Self {
+        AdversitySpec::default()
+    }
+
+    /// Whether this spec describes any adversity at all.
+    pub fn is_none(&self) -> bool {
+        *self == AdversitySpec::default()
+    }
+
+    /// Adds the paper's catastrophic crash (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    pub fn with_catastrophic(mut self, at: Duration, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        self.catastrophic = Some(Catastrophic { at, fraction });
+        self
+    }
+
+    /// Adds Poisson leave/rejoin churn (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is inverted or the rate is not positive and
+    /// finite.
+    pub fn with_poisson_churn(
+        mut self,
+        start: Duration,
+        end: Duration,
+        leaves_per_sec: f64,
+        mean_downtime: Option<Duration>,
+    ) -> Self {
+        assert!(start <= end, "churn window must not be inverted");
+        assert!(
+            leaves_per_sec > 0.0 && leaves_per_sec.is_finite(),
+            "leave rate must be positive and finite"
+        );
+        self.churn = Some(PoissonChurn { start, end, leaves_per_sec, mean_downtime });
+        self
+    }
+
+    /// Adds a flash-crowd join wave (builder-style).
+    pub fn with_flash_crowd(mut self, at: Duration, count: usize, spread: Duration) -> Self {
+        self.flash_crowd = Some(FlashCrowd { at, count, spread });
+        self
+    }
+
+    /// Sets the free-rider fraction (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    pub fn with_free_riders(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        self.free_rider_fraction = Some(fraction);
+        self
+    }
+
+    /// Sets the upload-capacity classes (builder-style).
+    pub fn with_bandwidth_classes(mut self, classes: Vec<BandwidthClass>) -> Self {
+        self.bandwidth_classes = classes;
+        self
+    }
+
+    /// Schedules an explicit crash of hand-picked victims (builder-style).
+    pub fn with_explicit_crash(mut self, at: Duration, victims: Vec<NodeId>) -> Self {
+        self.explicit_crashes.push((at, victims));
+        self
+    }
+
+    /// Compiles the spec for a base population of `n` nodes under the
+    /// given seed.
+    ///
+    /// Compilation walks every fault process in one chronological pass
+    /// (a time-ordered worklist), resolving victims against the population
+    /// state *at that instant* — which is what makes the output
+    /// order-sound by construction: only currently-alive nodes can crash,
+    /// only crashed nodes rejoin, joiners exist only after their join.
+    /// Everything derives from `DetRng::seed_from(seed)` on a dedicated
+    /// stream, so the result is a pure function of `(spec, n, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a deployment needs a source and a receiver).
+    pub fn compile(&self, n: usize, seed: u64) -> CompiledAdversity {
+        assert!(n >= 2, "a deployment needs a source and at least one receiver");
+        if self.is_none() {
+            return CompiledAdversity::inert(n);
+        }
+        let mut rng = DetRng::seed_from(seed).split(COMPILE_STREAM);
+        let joiners = self.flash_crowd.map_or(0, |fc| fc.count);
+        let total_n = n + joiners;
+        let mut profiles = vec![NodeProfile::default(); total_n];
+
+        // --- static profiles ------------------------------------------------
+        // Bandwidth classes: counts per class over the whole population,
+        // shuffled so class membership does not correlate with node ids.
+        // Node 0 keeps the scenario default (the provisioned source).
+        if !self.bandwidth_classes.is_empty() {
+            let mut caps: Vec<Option<u64>> = Vec::with_capacity(total_n);
+            for class in &self.bandwidth_classes {
+                let count = (class.fraction * total_n as f64).round() as usize;
+                caps.extend(std::iter::repeat_n(class.cap_bps, count));
+            }
+            let last = self.bandwidth_classes.last().expect("non-empty").cap_bps;
+            caps.resize(total_n, last);
+            rng.shuffle(&mut caps);
+            for (i, cap) in caps.into_iter().enumerate().skip(1) {
+                profiles[i].cap_bps = Some(cap);
+            }
+        }
+        // Free-riders: a fraction of the base receivers (never the source,
+        // never the joiners — newcomers that contribute nothing would
+        // conflate two effects in every experiment).
+        if let Some(fraction) = self.free_rider_fraction {
+            let receivers = n - 1;
+            let count = ((fraction * receivers as f64).round() as usize).min(receivers);
+            for i in rng.sample_indices(receivers, count) {
+                profiles[i + 1].free_rider = true;
+            }
+        }
+
+        // --- the chronological worklist -------------------------------------
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        enum Work {
+            Explicit(usize),
+            Catastrophic,
+            ChurnArrival,
+            Rejoin(NodeId),
+            Join(NodeId),
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut payloads: Vec<Work> = Vec::new();
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    payloads: &mut Vec<Work>,
+                    at: Time,
+                    work: Work| {
+            let seq = payloads.len() as u64;
+            payloads.push(work);
+            heap.push(Reverse((at.as_micros(), seq)));
+        };
+
+        for (k, &(at, _)) in self.explicit_crashes.iter().enumerate() {
+            push(&mut heap, &mut payloads, Time::ZERO + at, Work::Explicit(k));
+        }
+        if let Some(cat) = self.catastrophic {
+            push(&mut heap, &mut payloads, Time::ZERO + cat.at, Work::Catastrophic);
+        }
+        if let Some(churn) = self.churn {
+            // Pre-draw the Poisson arrival instants (victims are resolved
+            // chronologically below, against the then-alive population).
+            let mean_gap = 1.0 / churn.leaves_per_sec;
+            let mut t = Time::ZERO + churn.start;
+            let end = Time::ZERO + churn.end;
+            loop {
+                t += Duration::from_secs_f64(rng.exponential(mean_gap));
+                if t > end {
+                    break;
+                }
+                push(&mut heap, &mut payloads, t, Work::ChurnArrival);
+            }
+        }
+        if let Some(fc) = self.flash_crowd {
+            for j in 0..fc.count {
+                let offset = if fc.count > 1 {
+                    Duration::from_micros(fc.spread.as_micros() * j as u64 / (fc.count as u64 - 1))
+                } else {
+                    Duration::ZERO
+                };
+                push(
+                    &mut heap,
+                    &mut payloads,
+                    Time::ZERO + fc.at + offset,
+                    Work::Join(NodeId::new((n + j) as u32)),
+                );
+            }
+        }
+
+        // Walk the worklist in (time, seq) order, tracking liveness so
+        // every emitted event is sound at its instant.
+        let mut alive = vec![true; total_n];
+        for p in &mut alive[n..] {
+            *p = false; // joiners do not exist yet
+        }
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let mean_downtime = self.churn.and_then(|c| c.mean_downtime);
+        let alive_receivers = |alive: &[bool]| -> Vec<NodeId> {
+            (1..total_n).filter(|&i| alive[i]).map(|i| NodeId::new(i as u32)).collect()
+        };
+        while let Some(Reverse((at_us, seq))) = heap.pop() {
+            let at = Time::from_micros(at_us);
+            match payloads[seq as usize].clone() {
+                Work::Explicit(k) => {
+                    for &v in &self.explicit_crashes[k].1 {
+                        if v.index() < total_n && alive[v.index()] {
+                            alive[v.index()] = false;
+                            events.push(FaultEvent { at, action: FaultAction::Crash(v) });
+                        }
+                    }
+                }
+                Work::Catastrophic => {
+                    let candidates = alive_receivers(&alive);
+                    let target = (self.catastrophic.expect("scheduled").fraction * n as f64).round()
+                        as usize;
+                    let count = target.min(candidates.len());
+                    let mut victims: Vec<NodeId> = rng
+                        .sample_indices(candidates.len(), count)
+                        .into_iter()
+                        .map(|i| candidates[i])
+                        .collect();
+                    victims.sort_unstable();
+                    for v in victims {
+                        alive[v.index()] = false;
+                        events.push(FaultEvent { at, action: FaultAction::Crash(v) });
+                    }
+                }
+                Work::ChurnArrival => {
+                    let candidates = alive_receivers(&alive);
+                    if candidates.is_empty() {
+                        continue; // everyone is already down: the departure fizzles
+                    }
+                    let v = candidates[rng.index(candidates.len())];
+                    alive[v.index()] = false;
+                    events.push(FaultEvent { at, action: FaultAction::Crash(v) });
+                    if let Some(mean) = mean_downtime {
+                        let back = at
+                            + Duration::from_secs_f64(
+                                rng.exponential(mean.as_secs_f64().max(1e-6)),
+                            );
+                        push(&mut heap, &mut payloads, back, Work::Rejoin(v));
+                    }
+                }
+                Work::Rejoin(v) => {
+                    if !alive[v.index()] {
+                        alive[v.index()] = true;
+                        events.push(FaultEvent { at, action: FaultAction::Rejoin(v) });
+                    }
+                }
+                Work::Join(v) => {
+                    alive[v.index()] = true;
+                    profiles[v.index()].join_at = Some(at);
+                    events.push(FaultEvent { at, action: FaultAction::Join(v) });
+                }
+            }
+        }
+
+        CompiledAdversity { base_n: n, total_n, timeline: FaultTimeline::new(events), profiles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_compiles_inert_without_drawing() {
+        let spec = AdversitySpec::none();
+        assert!(spec.is_none());
+        let c = spec.compile(50, 7);
+        assert!(c.is_inert());
+    }
+
+    #[test]
+    fn catastrophic_spares_the_source_and_hits_the_fraction() {
+        for pct in [10u32, 20, 35, 50, 80] {
+            let spec = AdversitySpec::none()
+                .with_catastrophic(Duration::from_secs(30), f64::from(pct) / 100.0);
+            let c = spec.compile(230, 1);
+            let dead = c.timeline.dead_at(Time::MAX);
+            assert_eq!(dead.len(), (230 * pct as usize + 50) / 100, "fraction {pct}%");
+            assert!(!dead.contains(&NodeId::new(0)), "source must survive");
+            assert!(c.timeline.is_order_sound(c.total_n));
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let spec = AdversitySpec::none()
+            .with_catastrophic(Duration::from_secs(10), 0.5)
+            .with_poisson_churn(
+                Duration::from_secs(1),
+                Duration::from_secs(40),
+                0.8,
+                Some(Duration::from_secs(5)),
+            )
+            .with_flash_crowd(Duration::from_secs(8), 7, Duration::from_secs(2))
+            .with_free_riders(0.25)
+            .with_bandwidth_classes(vec![
+                BandwidthClass { fraction: 0.5, cap_bps: Some(700_000) },
+                BandwidthClass { fraction: 0.5, cap_bps: Some(300_000) },
+            ]);
+        assert_eq!(spec.compile(64, 9), spec.compile(64, 9));
+        assert_ne!(spec.compile(64, 9), spec.compile(64, 10));
+    }
+
+    #[test]
+    fn poisson_churn_interleaves_crash_and_rejoin_soundly() {
+        let spec = AdversitySpec::none().with_poisson_churn(
+            Duration::ZERO,
+            Duration::from_secs(120),
+            2.0,
+            Some(Duration::from_secs(3)),
+        );
+        let c = spec.compile(40, 3);
+        assert!(c.timeline.len() > 50, "2/s over 120 s should generate many events");
+        assert!(c.timeline.is_order_sound(c.total_n));
+        assert!(c.timeline.events().iter().any(|e| matches!(e.action, FaultAction::Rejoin(_))));
+    }
+
+    #[test]
+    fn permanent_churn_never_rejoins() {
+        let spec = AdversitySpec::none().with_poisson_churn(
+            Duration::ZERO,
+            Duration::from_secs(60),
+            0.5,
+            None,
+        );
+        let c = spec.compile(30, 4);
+        assert!(c.timeline.events().iter().all(|e| matches!(e.action, FaultAction::Crash(_))));
+        assert!(c.timeline.is_order_sound(c.total_n));
+    }
+
+    #[test]
+    fn flash_crowd_allocates_fresh_ids_and_profiles() {
+        let spec = AdversitySpec::none().with_flash_crowd(
+            Duration::from_secs(5),
+            4,
+            Duration::from_secs(3),
+        );
+        let c = spec.compile(10, 1);
+        assert_eq!(c.total_n, 14);
+        let joins: Vec<&FaultEvent> = c
+            .timeline
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Join(_)))
+            .collect();
+        assert_eq!(joins.len(), 4);
+        assert_eq!(joins[0].at, Time::from_secs(5));
+        assert_eq!(joins[3].at, Time::from_secs(8), "spread covers the window");
+        for j in 10..14 {
+            assert!(c.profiles[j].join_at.is_some());
+        }
+        assert!(c.timeline.is_order_sound(c.total_n));
+    }
+
+    #[test]
+    fn joiners_can_crash_after_joining_but_not_before() {
+        let spec = AdversitySpec::none()
+            .with_flash_crowd(Duration::from_secs(2), 6, Duration::ZERO)
+            .with_poisson_churn(Duration::ZERO, Duration::from_secs(200), 1.0, None);
+        let c = spec.compile(8, 11);
+        assert!(c.timeline.is_order_sound(c.total_n));
+        // A joiner crash, if any, must come after its join.
+        for (i, e) in c.timeline.events().iter().enumerate() {
+            if let FaultAction::Crash(v) = e.action {
+                if v.index() >= 8 {
+                    let join_pos = c.timeline.events()[..i]
+                        .iter()
+                        .position(|p| p.action == FaultAction::Join(v));
+                    assert!(join_pos.is_some(), "joiner {v} crashed before joining");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_riders_and_classes_fill_profiles() {
+        let spec = AdversitySpec::none().with_free_riders(0.5).with_bandwidth_classes(vec![
+            BandwidthClass { fraction: 0.25, cap_bps: Some(100_000) },
+            BandwidthClass { fraction: 0.75, cap_bps: None },
+        ]);
+        let c = spec.compile(20, 5);
+        let riders = c.profiles.iter().filter(|p| p.free_rider).count();
+        assert_eq!(riders, 10, "round(0.5 * 19 receivers) free riders");
+        assert!(!c.profiles[0].free_rider, "the source never free-rides");
+        assert!(c.profiles[0].cap_bps.is_none(), "the source keeps its provisioning");
+        let capped = c.profiles.iter().filter(|p| p.cap_bps == Some(Some(100_000))).count();
+        // 5 of 20 ids carry the low cap; node 0 may have absorbed one slot.
+        assert!((4..=5).contains(&capped), "got {capped}");
+    }
+
+    #[test]
+    fn explicit_crashes_keep_hand_picked_victims_and_drop_duplicates() {
+        let spec = AdversitySpec::none()
+            .with_explicit_crash(Duration::from_secs(5), vec![NodeId::new(3), NodeId::new(4)])
+            .with_explicit_crash(Duration::from_secs(9), vec![NodeId::new(4), NodeId::new(6)]);
+        let c = spec.compile(10, 1);
+        let crashed: Vec<NodeId> = c.timeline.events().iter().map(|e| e.action.node()).collect();
+        assert_eq!(crashed, vec![NodeId::new(3), NodeId::new(4), NodeId::new(6)]);
+        assert!(c.timeline.is_order_sound(c.total_n));
+    }
+
+    #[test]
+    fn explicit_crash_of_the_source_is_honoured() {
+        // Random processes protect node 0; hand-picked victims do not —
+        // deliberately killing the source is a legitimate experiment (and
+        // what the legacy ChurnPlan allowed).
+        let spec = AdversitySpec::none()
+            .with_explicit_crash(Duration::from_secs(3), vec![NodeId::new(0), NodeId::new(2)]);
+        let c = spec.compile(10, 1);
+        let crashed: Vec<NodeId> = c.timeline.events().iter().map(|e| e.action.node()).collect();
+        assert_eq!(crashed, vec![NodeId::new(0), NodeId::new(2)]);
+        assert!(c.timeline.is_order_sound(c.total_n));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn absurd_fraction_is_rejected() {
+        let _ = AdversitySpec::none().with_catastrophic(Duration::ZERO, 1.5);
+    }
+}

@@ -1,0 +1,248 @@
+//! The compiled form of an adversity spec: typed fault events on a shared
+//! timeline, plus static per-node profiles.
+
+use gossip_types::{NodeId, Time};
+
+/// What happens to one node at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The node crashes: it loses all protocol state, stops sending and
+    /// drops everything addressed to it.
+    Crash(NodeId),
+    /// A previously crashed node comes back with *fresh* protocol state
+    /// (a crash loses state; only the stream player's history of what it
+    /// already watched survives, because the viewer did watch it).
+    Rejoin(NodeId),
+    /// A brand-new node (id ≥ the base population) boots mid-run and
+    /// starts participating from nothing.
+    Join(NodeId),
+}
+
+impl FaultAction {
+    /// The node the action applies to.
+    pub fn node(self) -> NodeId {
+        match self {
+            FaultAction::Crash(n) | FaultAction::Rejoin(n) | FaultAction::Join(n) => n,
+        }
+    }
+}
+
+/// One timed fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires (offset from the run's start, `Time::ZERO`).
+    pub at: Time,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// The ordered fault schedule of one run.
+///
+/// Events are sorted by `(time, compilation order)`; ties at the same
+/// instant apply in list order. The compiler guarantees *order-soundness*
+/// (checked by [`FaultTimeline::is_order_sound`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// Wraps a pre-ordered event list (the compiler's output).
+    pub(crate) fn new(events: Vec<FaultEvent>) -> Self {
+        FaultTimeline { events }
+    }
+
+    /// The events, ordered by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Every node that is crashed at `horizon` (crashed without a later
+    /// rejoin before the horizon).
+    pub fn dead_at(&self, horizon: Time) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> = Vec::new();
+        for ev in &self.events {
+            if ev.at > horizon {
+                break;
+            }
+            match ev.action {
+                FaultAction::Crash(n) => dead.push(n),
+                FaultAction::Rejoin(n) => dead.retain(|&d| d != n),
+                FaultAction::Join(_) => {}
+            }
+        }
+        dead.sort_unstable();
+        dead
+    }
+
+    /// Checks the structural invariants given a total population of
+    /// `total_n` nodes (base plus joiners):
+    ///
+    /// * events are sorted by time;
+    /// * no node crashes twice without an intervening rejoin;
+    /// * no node rejoins unless currently crashed;
+    /// * no node joins twice, and joiners never crash before joining.
+    pub fn is_order_sound(&self, total_n: usize) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum S {
+            NeverJoined,
+            Alive,
+            Dead,
+        }
+        // Ids outside 0..total_n are unconditionally unsound.
+        if self.events.iter().any(|e| e.action.node().index() >= total_n) {
+            return false;
+        }
+        let mut state = vec![S::Alive; total_n];
+        for e in &self.events {
+            if let FaultAction::Join(n) = e.action {
+                state[n.index()] = S::NeverJoined;
+            }
+        }
+        let mut last = Time::ZERO;
+        for e in &self.events {
+            if e.at < last {
+                return false;
+            }
+            last = e.at;
+            let s = &mut state[e.action.node().index()];
+            match e.action {
+                FaultAction::Crash(_) if *s == S::Alive => *s = S::Dead,
+                FaultAction::Rejoin(_) if *s == S::Dead => *s = S::Alive,
+                FaultAction::Join(_) if *s == S::NeverJoined => *s = S::Alive,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Static, start-of-run attributes of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Upload-cap override from a bandwidth class (`None` = the scenario's
+    /// uniform default applies; `Some(cap)` replaces it, where the inner
+    /// `Option` distinguishes a finite cap from "explicitly uncapped").
+    pub cap_bps: Option<Option<u64>>,
+    /// Free-riders request and receive but never propose or serve.
+    pub free_rider: bool,
+    /// `Some(t)` for flash-crowd joiners: the node does not exist before
+    /// `t` (its [`FaultAction::Join`] event is also on the timeline).
+    pub join_at: Option<Time>,
+}
+
+impl NodeProfile {
+    /// Resolves this node's upload cap against the deployment's uniform
+    /// default: a bandwidth-class override wins, otherwise `uniform`
+    /// applies. Every runtime resolves caps through this one function so
+    /// the same spec can never yield different caps on different hosts.
+    /// (Source provisioning — `source_uncapped` — is the caller's
+    /// decision; it applies before the profile is consulted.)
+    pub fn resolve_cap(&self, uniform: Option<u64>) -> Option<u64> {
+        match self.cap_bps {
+            Some(class_cap) => class_cap,
+            None => uniform,
+        }
+    }
+}
+
+/// A fully compiled adversity plan for a concrete deployment size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledAdversity {
+    /// Nodes present from the start (the scenario's `n`).
+    pub base_n: usize,
+    /// Base nodes plus flash-crowd joiners; every runtime must size its
+    /// state for this many nodes.
+    pub total_n: usize,
+    /// The ordered fault schedule.
+    pub timeline: FaultTimeline,
+    /// Per-node static attributes, `total_n` entries.
+    pub profiles: Vec<NodeProfile>,
+}
+
+impl CompiledAdversity {
+    /// A no-adversity compilation: empty timeline, default profiles.
+    pub fn inert(n: usize) -> Self {
+        CompiledAdversity {
+            base_n: n,
+            total_n: n,
+            timeline: FaultTimeline::default(),
+            profiles: vec![NodeProfile::default(); n],
+        }
+    }
+
+    /// Whether this compilation changes nothing about a plain run.
+    pub fn is_inert(&self) -> bool {
+        self.total_n == self.base_n
+            && self.timeline.is_empty()
+            && self.profiles.iter().all(|p| *p == NodeProfile::default())
+    }
+
+    /// The earliest crash time of each node, for runtimes that only
+    /// support one-shot crashes (the thread-per-node deployment).
+    pub fn first_crash_of(&self, node: NodeId) -> Option<Time> {
+        self.timeline.events().iter().find(|e| e.action == FaultAction::Crash(node)).map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_s: u64, action: FaultAction) -> FaultEvent {
+        FaultEvent { at: Time::from_secs(at_s), action }
+    }
+
+    #[test]
+    fn order_soundness_accepts_crash_rejoin_cycles() {
+        let t = FaultTimeline::new(vec![
+            ev(1, FaultAction::Crash(NodeId::new(3))),
+            ev(2, FaultAction::Rejoin(NodeId::new(3))),
+            ev(4, FaultAction::Crash(NodeId::new(3))),
+            ev(5, FaultAction::Join(NodeId::new(9))),
+            ev(6, FaultAction::Crash(NodeId::new(9))),
+        ]);
+        assert!(t.is_order_sound(10));
+        assert_eq!(t.dead_at(Time::from_secs(3)), vec![]);
+        assert_eq!(t.dead_at(Time::from_secs(10)), vec![NodeId::new(3), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn order_soundness_rejects_double_crash_and_unsorted() {
+        let double = FaultTimeline::new(vec![
+            ev(1, FaultAction::Crash(NodeId::new(3))),
+            ev(2, FaultAction::Crash(NodeId::new(3))),
+        ]);
+        assert!(!double.is_order_sound(10));
+        let unsorted = FaultTimeline::new(vec![
+            ev(2, FaultAction::Crash(NodeId::new(3))),
+            ev(1, FaultAction::Crash(NodeId::new(4))),
+        ]);
+        assert!(!unsorted.is_order_sound(10));
+        let early_crash = FaultTimeline::new(vec![
+            ev(1, FaultAction::Crash(NodeId::new(9))),
+            ev(2, FaultAction::Join(NodeId::new(9))),
+        ]);
+        assert!(!early_crash.is_order_sound(10));
+        let out_of_range = FaultTimeline::new(vec![ev(1, FaultAction::Crash(NodeId::new(10)))]);
+        assert!(!out_of_range.is_order_sound(10));
+    }
+
+    #[test]
+    fn inert_compilation_is_inert() {
+        let c = CompiledAdversity::inert(20);
+        assert!(c.is_inert());
+        assert_eq!(c.total_n, 20);
+        assert_eq!(c.first_crash_of(NodeId::new(3)), None);
+    }
+}

@@ -1,0 +1,291 @@
+//! A TOML-subset loader for adversity specs.
+//!
+//! The build is fully offline (no registry crates), so this module parses
+//! exactly the subset an [`AdversitySpec`] needs — `[section]` and
+//! `[[array-of-tables]]` headers with `key = number` pairs, comments and
+//! blank lines — instead of pulling in a TOML crate. The grammar is small
+//! enough that the whole parser fits in a screen and rejects anything it
+//! does not understand loudly.
+//!
+//! # Spec format
+//!
+//! ```toml
+//! [catastrophic]
+//! at_secs = 60.0
+//! fraction = 0.8
+//!
+//! [churn]
+//! start_secs = 10.0
+//! end_secs = 120.0
+//! leaves_per_sec = 0.5
+//! mean_downtime_secs = 20.0   # omit for permanent departures
+//!
+//! [flash_crowd]
+//! at_secs = 30.0
+//! count = 50
+//! spread_secs = 2.0
+//!
+//! [free_riders]
+//! fraction = 0.2
+//!
+//! [[bandwidth_class]]
+//! fraction = 0.5
+//! cap_kbps = 700
+//!
+//! [[bandwidth_class]]
+//! fraction = 0.5
+//! cap_kbps = 300                # cap_kbps = 0 means "uncapped"
+//! ```
+
+use gossip_types::Duration;
+
+use crate::spec::{AdversitySpec, BandwidthClass};
+
+/// A parse or validation error, with the offending line when applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError(pub String);
+
+impl std::fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "adversity spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+/// One parsed `[section]` (or `[[section]]` instance) and its keys.
+struct Section {
+    name: String,
+    keys: Vec<(String, f64)>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.keys.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    fn require(&self, key: &str) -> Result<f64, SpecParseError> {
+        self.get(key).ok_or_else(|| SpecParseError(format!("[{}] is missing `{key}`", self.name)))
+    }
+}
+
+fn parse_sections(input: &str) -> Result<Vec<Section>, SpecParseError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            sections.push(Section { name: header.trim().to_string(), keys: Vec::new() });
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = header.trim().to_string();
+            if sections.iter().any(|s| s.name == name) {
+                return Err(SpecParseError(format!("duplicate section [{name}]")));
+            }
+            sections.push(Section { name, keys: Vec::new() });
+        } else if let Some((key, value)) = line.split_once('=') {
+            let section = sections.last_mut().ok_or_else(|| {
+                SpecParseError(format!("line {}: key outside any [section]", lineno + 1))
+            })?;
+            let value: f64 = value.trim().parse().map_err(|_| {
+                SpecParseError(format!("line {}: `{}` is not a number", lineno + 1, value.trim()))
+            })?;
+            section.keys.push((key.trim().to_string(), value));
+        } else {
+            return Err(SpecParseError(format!("line {}: cannot parse `{line}`", lineno + 1)));
+        }
+    }
+    Ok(sections)
+}
+
+fn secs(v: f64, what: &str) -> Result<Duration, SpecParseError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(Duration::from_secs_f64(v))
+    } else {
+        Err(SpecParseError(format!("{what} must be a non-negative number of seconds, got {v}")))
+    }
+}
+
+impl AdversitySpec {
+    /// Parses a spec from the TOML subset documented at the
+    /// [module level](crate::toml).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecParseError`] naming the offending line or missing
+    /// key for any input outside the subset.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecParseError> {
+        let mut spec = AdversitySpec::none();
+        for section in parse_sections(input)? {
+            match section.name.as_str() {
+                "catastrophic" => {
+                    spec.catastrophic = Some(crate::spec::Catastrophic {
+                        at: secs(section.require("at_secs")?, "at_secs")?,
+                        fraction: {
+                            let f = section.require("fraction")?;
+                            if !(0.0..=1.0).contains(&f) {
+                                return Err(SpecParseError(format!(
+                                    "[catastrophic] fraction must be within [0, 1], got {f}"
+                                )));
+                            }
+                            f
+                        },
+                    });
+                }
+                "churn" => {
+                    let start = secs(section.require("start_secs")?, "start_secs")?;
+                    let end = secs(section.require("end_secs")?, "end_secs")?;
+                    if start > end {
+                        return Err(SpecParseError("[churn] window is inverted".to_string()));
+                    }
+                    let rate = section.require("leaves_per_sec")?;
+                    if !(rate > 0.0 && rate.is_finite()) {
+                        return Err(SpecParseError(format!(
+                            "[churn] leaves_per_sec must be positive, got {rate}"
+                        )));
+                    }
+                    spec.churn = Some(crate::spec::PoissonChurn {
+                        start,
+                        end,
+                        leaves_per_sec: rate,
+                        mean_downtime: section
+                            .get("mean_downtime_secs")
+                            .map(|v| secs(v, "mean_downtime_secs"))
+                            .transpose()?,
+                    });
+                }
+                "flash_crowd" => {
+                    let count = section.require("count")?;
+                    if count < 0.0 || count.fract() != 0.0 {
+                        return Err(SpecParseError(format!(
+                            "[flash_crowd] count must be a non-negative integer, got {count}"
+                        )));
+                    }
+                    spec.flash_crowd = Some(crate::spec::FlashCrowd {
+                        at: secs(section.require("at_secs")?, "at_secs")?,
+                        count: count as usize,
+                        spread: section
+                            .get("spread_secs")
+                            .map_or(Ok(Duration::ZERO), |v| secs(v, "spread_secs"))?,
+                    });
+                }
+                "free_riders" => {
+                    let f = section.require("fraction")?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(SpecParseError(format!(
+                            "[free_riders] fraction must be within [0, 1], got {f}"
+                        )));
+                    }
+                    spec.free_rider_fraction = Some(f);
+                }
+                "bandwidth_class" => {
+                    let kbps = section.require("cap_kbps")?;
+                    if kbps < 0.0 {
+                        return Err(SpecParseError("cap_kbps must be non-negative".to_string()));
+                    }
+                    spec.bandwidth_classes.push(BandwidthClass {
+                        fraction: section.require("fraction")?,
+                        cap_bps: if kbps == 0.0 { None } else { Some((kbps * 1000.0) as u64) },
+                    });
+                }
+                other => {
+                    return Err(SpecParseError(format!("unknown section [{other}]")));
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r"
+# every process at once
+[catastrophic]
+at_secs = 60.0
+fraction = 0.8
+
+[churn]
+start_secs = 10
+end_secs = 120
+leaves_per_sec = 0.5
+mean_downtime_secs = 20
+
+[flash_crowd]
+at_secs = 30
+count = 50
+spread_secs = 2
+
+[free_riders]
+fraction = 0.2
+
+[[bandwidth_class]]
+fraction = 0.5
+cap_kbps = 700
+
+[[bandwidth_class]]
+fraction = 0.5
+cap_kbps = 0
+";
+
+    #[test]
+    fn full_spec_round_trips_every_field() {
+        let spec = AdversitySpec::from_toml_str(FULL).expect("parses");
+        let cat = spec.catastrophic.expect("catastrophic");
+        assert_eq!(cat.at, Duration::from_secs(60));
+        assert!((cat.fraction - 0.8).abs() < 1e-12);
+        let churn = spec.churn.expect("churn");
+        assert_eq!(churn.mean_downtime, Some(Duration::from_secs(20)));
+        let fc = spec.flash_crowd.expect("flash crowd");
+        assert_eq!(fc.count, 50);
+        assert_eq!(fc.spread, Duration::from_secs(2));
+        assert_eq!(spec.free_rider_fraction, Some(0.2));
+        assert_eq!(spec.bandwidth_classes.len(), 2);
+        assert_eq!(spec.bandwidth_classes[0].cap_bps, Some(700_000));
+        assert_eq!(spec.bandwidth_classes[1].cap_bps, None, "0 kbps means uncapped");
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_spec() {
+        let spec = AdversitySpec::from_toml_str("# nothing\n\n").expect("parses");
+        assert!(spec.is_none());
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(AdversitySpec::from_toml_str("[unknown]\nx = 1\n")
+            .unwrap_err()
+            .0
+            .contains("unknown section"));
+        assert!(AdversitySpec::from_toml_str("x = 1\n").unwrap_err().0.contains("outside any"));
+        assert!(AdversitySpec::from_toml_str("[catastrophic]\nat_secs = 1\n")
+            .unwrap_err()
+            .0
+            .contains("missing `fraction`"));
+        assert!(AdversitySpec::from_toml_str("[catastrophic]\nat_secs = 1\nfraction = 2\n")
+            .unwrap_err()
+            .0
+            .contains("within [0, 1]"));
+        assert!(AdversitySpec::from_toml_str(
+            "[churn]\nstart_secs = 9\nend_secs = 1\nleaves_per_sec = 1\n"
+        )
+        .unwrap_err()
+        .0
+        .contains("inverted"));
+        assert!(AdversitySpec::from_toml_str("[catastrophic]\nat_secs = oops\n")
+            .unwrap_err()
+            .0
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn parsed_spec_compiles() {
+        let spec = AdversitySpec::from_toml_str(FULL).expect("parses");
+        let c = spec.compile(100, 3);
+        assert_eq!(c.total_n, 150);
+        assert!(c.timeline.is_order_sound(c.total_n));
+    }
+}

@@ -16,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--reactor-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
 //! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
@@ -26,6 +26,10 @@
 //!   loopback, short stream), write its report and exit non-zero if the
 //!   run is unhealthy (low quality, malformed datagrams). This is the CI
 //!   `reactor-smoke` job;
+//! * `--adversity-smoke` — run *only* a gating adversity cell (n = 60
+//!   simulated, 50 % catastrophic crash plus a flash crowd under `X = 1`),
+//!   write its report and exit non-zero unless survivors keep streaming
+//!   and joiners catch up. This is the CI `adversity-smoke` job;
 //! * `--out PATH` — where to write the JSON (default `BENCH_hotpath.json`
 //!   in the current directory; `--reactor-smoke` defaults to
 //!   `REACTOR_smoke.json` instead so the gate never clobbers the
@@ -50,6 +54,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gossip_adversity::AdversitySpec;
 use gossip_core::GossipConfig;
 use gossip_experiments::{MembershipMode, Scale, Scenario};
 use gossip_fec::WindowParams;
@@ -109,24 +114,46 @@ fn cyclon_mode() -> MembershipMode {
 }
 
 /// The large-n scenario matrix as `(label, n, membership, stream_secs,
-/// drain_secs)`. Stream lengths shrink with n so the whole matrix stays
-/// under a minute; what matters is the events/s at each scale, not the
-/// stream length.
-fn matrix_entries(smoke: bool) -> Vec<(String, usize, &'static str, u64, u64)> {
+/// drain_secs, churn)`. Stream lengths shrink with n so the whole matrix
+/// stays under a minute; what matters is the events/s at each scale, not
+/// the stream length. The `churn` cells attach the pinned adversity spec
+/// (see [`matrix_churn_spec`]) so the trajectory also tracks the hot path
+/// *under fault processing* — mid-run crashes, rejoins and a flash crowd.
+fn matrix_entries(smoke: bool) -> Vec<(String, usize, &'static str, u64, u64, bool)> {
     if smoke {
         // The `_smoke` suffix keeps the delta guard like-for-like: a smoke
         // run never compares its shortened workloads against a full
         // report's numbers under the same label.
-        return vec![("n1000_f9_full_smoke".into(), 1000, "full", 5, 5)];
+        return vec![
+            ("n1000_f9_full_smoke".into(), 1000, "full", 5, 5, false),
+            ("n1000_f9_churn_smoke".into(), 1000, "full", 5, 5, true),
+        ];
     }
     let mut entries = Vec::new();
     for &(n, stream, drain) in &[(230usize, 30u64, 10u64), (1000, 20, 10), (4000, 10, 10)] {
         for membership in ["full", "cyclon"] {
             let f = scaled_fanout(n);
-            entries.push((format!("n{n}_f{f}_{membership}"), n, membership, stream, drain));
+            entries.push((format!("n{n}_f{f}_{membership}"), n, membership, stream, drain, false));
         }
     }
+    entries.push(("n1000_f9_churn".into(), 1000, "full", 20, 10, true));
     entries
+}
+
+/// The pinned churn workload of the matrix `churn` cells: a 30 %
+/// catastrophic crash at the stream midpoint, continuous Poisson
+/// leave/rejoin churn underneath, and a 10 % flash crowd — all fault
+/// processes exercised in one deterministic timeline.
+fn matrix_churn_spec(n: usize, stream_secs: u64) -> AdversitySpec {
+    AdversitySpec::none()
+        .with_catastrophic(Duration::from_secs(stream_secs / 2), 0.3)
+        .with_poisson_churn(
+            Duration::ZERO,
+            Duration::from_secs(stream_secs),
+            1.0,
+            Some(Duration::from_secs(5)),
+        )
+        .with_flash_crowd(Duration::from_secs(stream_secs / 4), n / 10, Duration::from_secs(2))
 }
 
 /// One reactor (live shared-socket runtime) measurement.
@@ -165,6 +192,7 @@ fn reactor_config(n: usize, stream_secs: u64, drain_secs: u64) -> ClusterConfig 
         seed: 42,
         inject_loss: 0.0,
         crashes: Vec::new(),
+        adversity: gossip_adversity::AdversitySpec::none(),
     }
 }
 
@@ -314,9 +342,70 @@ fn reactor_smoke(out: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The gating CI mode for the adversity subsystem: a small catastrophic +
+/// flash-crowd run on the (deterministic) simulator, health-checked.
+///
+/// n = 60, `X = 1`, half the nodes crash at the stream midpoint and a
+/// 15-node flash crowd boots shortly after: the gate asserts the paper's
+/// robustness shape — survivors keep streaming — and the new subsystem's
+/// headline behaviour — joiners reach non-trivial completeness. Being a
+/// simulation, the run is bit-reproducible: a failure means the code
+/// changed behaviour, never that the box was busy.
+fn adversity_smoke(out: &str) -> ! {
+    eprintln!("perfbench: gating adversity smoke (n=60, 50% crash + 15-node flash crowd, X=1)");
+    let fanout = 6; // ~ln(60) + 2
+    let spec = AdversitySpec::none()
+        .with_catastrophic(Duration::from_secs(20), 0.5)
+        .with_flash_crowd(Duration::from_secs(25), 15, Duration::from_secs(2));
+    let scenario = Scenario::at_scale(Scale::Quick, fanout)
+        .with_seed(7)
+        .with_gossip(GossipConfig::new(fanout).with_refresh_rounds(Some(1)))
+        .with_adversity(spec);
+    let start = Instant::now();
+    let result = scenario.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let survivor_quality = result.quality.average_quality_percent(Duration::MAX);
+    let survivors = result.quality.nodes().len();
+    let (joiner_quality, joiners) = result
+        .joiner_quality
+        .as_ref()
+        .map_or((0.0, 0), |j| (j.average_quality_percent(Duration::MAX), j.nodes().len()));
+    eprintln!(
+        "  {wall_secs:.3} s wall, {} events; {survivors} survivors at {survivor_quality:.1}% \
+         complete, {joiners} joiners at {joiner_quality:.1}% catch-up",
+        result.events_processed,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"adversity_smoke\",\n  \"scenario\": {{ \"n\": 60, \"fanout\": {fanout}, \"crash_fraction\": 0.5, \"flash_crowd\": 15, \"x\": 1 }},\n  \"wall_secs\": {wall_secs:.4},\n  \"events\": {},\n  \"survivors\": {survivors},\n  \"survivor_quality_percent\": {survivor_quality:.1},\n  \"joiners\": {joiners},\n  \"joiner_quality_percent\": {joiner_quality:.1}\n}}\n",
+        result.events_processed,
+    );
+    std::fs::write(out, json).expect("write adversity smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    let mut failures = Vec::new();
+    if survivor_quality < 60.0 {
+        failures.push(format!("survivor quality {survivor_quality:.1}% below 60%"));
+    }
+    if joiners != 15 {
+        failures.push(format!("{joiners} joiners measured, expected the whole 15-node wave"));
+    }
+    if joiner_quality < 40.0 {
+        failures.push(format!("joiner catch-up {joiner_quality:.1}% below 40%"));
+    }
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: adversity smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut smoke = false;
     let mut gate_reactor = false;
+    let mut gate_adversity = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<f64> = None;
     let mut repeat: u32 = 1;
@@ -325,6 +414,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--reactor-smoke" => gate_reactor = true,
+            "--adversity-smoke" => gate_adversity = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
             "--baseline" => {
                 let v = args.next().expect("--baseline requires a number");
@@ -338,17 +428,20 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--reactor-smoke] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    // The gating smoke gets its own default path: it must never clobber
-    // the tracked trajectory report with a smoke-only file.
+    // The gating smokes get their own default paths: they must never
+    // clobber the tracked trajectory report with a smoke-only file.
     if gate_reactor {
         reactor_smoke(out.as_deref().unwrap_or("REACTOR_smoke.json"));
+    }
+    if gate_adversity {
+        adversity_smoke(out.as_deref().unwrap_or("ADVERSITY_smoke.json"));
     }
     let out = out.unwrap_or_else(|| String::from("BENCH_hotpath.json"));
 
@@ -392,7 +485,7 @@ fn main() {
 
     // The scale matrix: one seed per cell.
     let mut matrix: Vec<MatrixResult> = Vec::new();
-    for (mlabel, n, membership, stream_secs, drain_secs) in matrix_entries(smoke) {
+    for (mlabel, n, membership, stream_secs, drain_secs, churn) in matrix_entries(smoke) {
         let fanout = scaled_fanout(n);
         let mut scenario = Scenario::at_scale(Scale::Full, fanout).with_seed(1);
         scenario.n = n;
@@ -400,6 +493,9 @@ fn main() {
         scenario.drain_duration = Duration::from_secs(drain_secs);
         if membership == "cyclon" {
             scenario = scenario.with_membership(cyclon_mode());
+        }
+        if churn {
+            scenario = scenario.with_adversity(matrix_churn_spec(n, stream_secs));
         }
         eprintln!("perfbench: matrix {mlabel} (n={n}, fanout={fanout}, {membership})");
         let sample = run_scenario(&scenario, 1, repeat);

@@ -163,6 +163,7 @@ pub struct GossipNode<E: Event> {
     view: PartnerView,
     rng: DetRng,
     is_source: bool,
+    free_rider: bool,
 
     /// Ids to include in upcoming proposals, with the number of rounds they
     /// have left (1 under infect-and-die).
@@ -217,6 +218,7 @@ impl<E: Event> GossipNode<E> {
             view,
             rng: DetRng::seed_from(seed).split(id.as_u32() as u64),
             is_source: false,
+            free_rider: false,
             propose_queue: Vec::new(),
             store: DenseMap::new(),
             requested: DenseMap::new(),
@@ -254,6 +256,19 @@ impl<E: Event> GossipNode<E> {
     /// Returns whether this node is the stream source.
     pub fn is_source(&self) -> bool {
         self.is_source
+    }
+
+    /// Marks this node as a free-rider: it keeps requesting and receiving
+    /// events, but never proposes and never serves (the selfish peer of
+    /// the adversity experiments). Rounds still advance the `X` refresh
+    /// counter, so its partner view behaves like everyone else's.
+    pub fn set_free_rider(&mut self, free_rider: bool) {
+        self.free_rider = free_rider;
+    }
+
+    /// Returns whether this node free-rides.
+    pub fn is_free_rider(&self) -> bool {
+        self.free_rider
     }
 
     /// Returns the protocol configuration.
@@ -355,7 +370,7 @@ impl<E: Event> GossipNode<E> {
             self.id,
             &mut self.rng,
         ));
-        if !ids.is_empty() {
+        if !ids.is_empty() && !self.free_rider {
             // One allocation for the whole round: every partner's PROPOSE
             // shares the same id buffer by reference count.
             let shared: Arc<[E::Id]> = ids.as_slice().into();
@@ -467,6 +482,9 @@ impl<E: Event> GossipNode<E> {
     /// still hold, split into MTU-sized serve datagrams.
     fn handle_request(&mut self, from: NodeId, ids: Arc<[E::Id]>) {
         self.stats.requests_received += 1;
+        if self.free_rider {
+            return; // free-riders take and never give
+        }
         let mut events = std::mem::take(&mut self.scratch_events);
         events.clear();
         for id in ids.iter() {
@@ -950,6 +968,39 @@ mod tests {
         assert_eq!(extreme.times_requested(), (1 << 14) - 1);
         assert!(extreme.delivered());
         assert_eq!(extreme.first_requested_at(), Time::from_micros((1 << 48) - 1));
+    }
+
+    #[test]
+    fn free_rider_requests_but_never_proposes_or_serves() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        node.set_free_rider(true);
+        assert!(node.is_free_rider());
+
+        // It still pulls: a proposal triggers a request.
+        node.on_message(Time::ZERO, NodeId::new(2), Message::Propose { ids: vec![7].into() });
+        let out = drain(&mut node);
+        assert_eq!(sends(&out).len(), 1, "free-riders still request");
+
+        // Delivery works, but the next round proposes nothing.
+        node.on_message(
+            Time::ZERO,
+            NodeId::new(2),
+            Message::Serve { events: vec![TestEvent::new(7, 10)] },
+        );
+        drain(&mut node);
+        assert!(node.has_delivered(&7));
+        node.on_round(Time::from_millis(200));
+        let out = drain(&mut node);
+        assert!(
+            !out.iter().any(|o| matches!(o, Output::Send { msg: Message::Propose { .. }, .. })),
+            "free-riders never propose"
+        );
+
+        // And a request for the stored event is ignored.
+        node.on_message(Time::ZERO, NodeId::new(3), Message::Request { ids: vec![7].into() });
+        let out = drain(&mut node);
+        assert!(sends(&out).is_empty(), "free-riders never serve");
+        assert_eq!(node.stats().serves_sent, 0);
     }
 
     #[test]

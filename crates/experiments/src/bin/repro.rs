@@ -13,14 +13,14 @@ use std::env;
 use std::process::ExitCode;
 
 use gossip_experiments::figures::{
-    churn, extensions, fig1_fanout, fig2_lag_cdf, fig3_caps, fig4_bandwidth, fig5_refresh,
-    fig6_feedme, FigureOutput,
+    adversity, churn, extensions, fig1_fanout, fig2_lag_cdf, fig3_caps, fig4_bandwidth,
+    fig5_refresh, fig6_feedme, FigureOutput,
 };
 use gossip_experiments::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig1|...|fig8|all|ext|ext-membership|ext-heterogeneous|ext-scaling|ext-period|ext-churn-timeline> [--scale full|quick|tiny] [--seed N] [--trials N]\n\
+        "usage: repro <fig1|...|fig8|all|adv|adv-catastrophic|adv-poisson|adv-flash-crowd|adv-free-riders|ext|ext-membership|ext-heterogeneous|ext-scaling|ext-period|ext-churn-timeline> [--scale full|quick|tiny] [--seed N] [--trials N]\n\
          regenerates the figures of 'Stretching Gossip with Live Streaming' (DSN 2009) plus extensions"
     );
     ExitCode::FAILURE
@@ -83,6 +83,15 @@ fn main() -> ExitCode {
         "fig6" => print(fig6_feedme::run(scale, seed)),
         "fig7" => print(churn::fig7_output(&churn::sweep_trials(scale, seed, trials))),
         "fig8" => print(churn::fig8_output(&churn::sweep_trials(scale, seed, trials))),
+        "adv" => {
+            for fig in adversity::run_all(scale, seed) {
+                print(fig);
+            }
+        }
+        "adv-catastrophic" => print(adversity::run_catastrophic(scale, seed)),
+        "adv-poisson" => print(adversity::run_poisson(scale, seed)),
+        "adv-flash-crowd" => print(adversity::run_flash_crowd(scale, seed)),
+        "adv-free-riders" => print(adversity::run_free_riders(scale, seed)),
         "ext-membership" => print(extensions::run_membership(scale, seed)),
         "ext-heterogeneous" => print(extensions::run_heterogeneous(scale, seed)),
         "ext-scaling" => print(extensions::run_scaling(seed)),

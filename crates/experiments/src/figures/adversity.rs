@@ -1,0 +1,321 @@
+//! The adversity matrix — stress scenarios beyond the paper's Figures 7–8,
+//! all driven by one declarative [`AdversitySpec`].
+//!
+//! Four sweeps, each an independent experiment family:
+//!
+//! * **catastrophic** — the paper's simultaneous-crash scenario (Figures
+//!   7/8) expressed as a spec: crash fraction × refresh rate `X ∈ {1, ∞}`;
+//! * **poisson** — continuous leave/rejoin churn at increasing departure
+//!   rates (the paper only tests one-shot crashes; real swarms bleed and
+//!   regrow constantly);
+//! * **flash crowd** — waves of brand-new nodes joining mid-stream and
+//!   catching up from nothing;
+//! * **free riders** — growing fractions of nodes that request but never
+//!   propose or serve, the classic selfishness question for gossip.
+//!
+//! Every `(knob, value)` cell is an independent simulation, fanned across
+//! threads by [`crate::harness::SweepRunner`]. The same specs run
+//! unchanged on the live runtimes (see `tests/reactor_runtime.rs` for the
+//! sim-vs-reactor parity check).
+
+use gossip_adversity::AdversitySpec;
+use gossip_core::GossipConfig;
+use gossip_metrics::Table;
+use gossip_types::Duration;
+
+use crate::figures::fig5_refresh::experiment_fanout;
+use crate::figures::{churn_percentages, knob_label, FigureOutput, LAG_20S, MAX_JITTER, OFFLINE};
+use crate::scenario::{Scale, Scenario};
+
+/// Builds the scenario every adversity cell starts from: the experiment
+/// fanout for the scale, `X = x` partner refresh, and the given spec.
+fn base_scenario(scale: Scale, seed: u64, x: Option<u32>, spec: AdversitySpec) -> Scenario {
+    let fanout = experiment_fanout(scale);
+    Scenario::at_scale(scale, fanout)
+        .with_seed(seed)
+        .with_gossip(GossipConfig::new(fanout).with_refresh_rounds(x))
+        .with_adversity(spec)
+}
+
+/// The paper's catastrophic scenario as a spec: `fraction` of the nodes
+/// crash at the stream midpoint.
+pub fn catastrophic_spec(scale: Scale, pct: u32) -> AdversitySpec {
+    if pct == 0 {
+        return AdversitySpec::none();
+    }
+    AdversitySpec::none().with_catastrophic(scale.stream_duration() / 2, f64::from(pct) / 100.0)
+}
+
+/// Catastrophic crash sweep (crash % × `X ∈ {1, ∞}`): Figure 7/8 driven by
+/// the spec compiler instead of the legacy `ChurnPlan`.
+pub fn run_catastrophic(scale: Scale, seed: u64) -> FigureOutput {
+    let x_values: Vec<Option<u32>> = vec![Some(1), None];
+    let mut params: Vec<(Option<u32>, u32)> = Vec::new();
+    for &x in &x_values {
+        for pct in churn_percentages() {
+            params.push((x, pct));
+        }
+    }
+    let cells = crate::harness::SweepRunner::new().run(params.clone(), |&(x, pct)| {
+        let result = base_scenario(scale, seed, x, catastrophic_spec(scale, pct)).run();
+        (
+            result.quality.percent_viewing(MAX_JITTER, LAG_20S),
+            result.quality.average_quality_percent(LAG_20S),
+        )
+    });
+
+    let mut header = vec!["fail_pct".to_string()];
+    for &x in &x_values {
+        header.push(format!("view_X{}", knob_label(x)));
+        header.push(format!("complete_X{}", knob_label(x)));
+    }
+    let mut table = Table::new(header);
+    for pct in churn_percentages() {
+        let mut values = Vec::new();
+        for &x in &x_values {
+            let i = params.iter().position(|&p| p == (x, pct)).expect("swept");
+            values.push(cells[i].0);
+            values.push(cells[i].1);
+        }
+        table.row_f64(pct.to_string(), &values);
+    }
+    FigureOutput {
+        id: "adv-catastrophic",
+        title: "survivor viewing % and complete windows vs crash fraction (AdversitySpec)"
+            .to_string(),
+        table,
+        notes: vec![
+            "one spec, compiled per seed; same spec runs on the live runtimes".to_string(),
+            "expected: matches fig7/fig8 (X=1 degrades gracefully to 80% churn)".to_string(),
+        ],
+    }
+}
+
+/// Departure rates swept by the Poisson-churn experiment, in mean
+/// departures per second over the whole population.
+pub fn poisson_rates() -> Vec<f64> {
+    vec![0.0, 0.2, 0.5, 1.0, 2.0]
+}
+
+/// The continuous-churn spec: departures at `leaves_per_sec` over the
+/// whole stream, each node returning (with fresh state) after ~10 s away.
+pub fn poisson_spec(scale: Scale, leaves_per_sec: f64) -> AdversitySpec {
+    if leaves_per_sec <= 0.0 {
+        return AdversitySpec::none();
+    }
+    AdversitySpec::none().with_poisson_churn(
+        Duration::ZERO,
+        scale.stream_duration(),
+        leaves_per_sec,
+        Some(Duration::from_secs(10)),
+    )
+}
+
+/// Poisson leave/rejoin churn sweep: quality of the nodes that are up at
+/// the end, as the departure rate grows.
+pub fn run_poisson(scale: Scale, seed: u64) -> FigureOutput {
+    let cells = crate::harness::SweepRunner::new().run(poisson_rates(), |&rate| {
+        let result = base_scenario(scale, seed, Some(1), poisson_spec(scale, rate)).run();
+        (
+            result.quality.average_quality_percent(OFFLINE),
+            result.quality.average_quality_percent(LAG_20S),
+            result.quality.nodes().len(),
+        )
+    });
+    let mut table = Table::new(vec!["leaves_per_sec", "complete_off", "complete_20s", "nodes_up"]);
+    for (rate, (off, lag, up)) in poisson_rates().into_iter().zip(cells) {
+        table.row_f64(format!("{rate:.1}"), &[off, lag, up as f64]);
+    }
+    FigureOutput {
+        id: "adv-poisson",
+        title: "quality under continuous leave/rejoin churn (X=1, 10 s mean downtime)".to_string(),
+        table,
+        notes: vec!["rejoining nodes restart with fresh protocol state; player history survives"
+            .to_string()],
+    }
+}
+
+/// Join-wave sizes swept by the flash-crowd experiment, as a percentage of
+/// the base population.
+pub fn crowd_percentages() -> Vec<u32> {
+    vec![10, 25, 50]
+}
+
+/// The flash-crowd spec: a wave of `pct`% × n brand-new nodes joining at
+/// the stream midpoint, spread over two seconds.
+pub fn flash_crowd_spec(scale: Scale, pct: u32) -> AdversitySpec {
+    let count = (scale.nodes() * pct as usize).div_ceil(100);
+    AdversitySpec::none().with_flash_crowd(
+        scale.stream_duration() / 2,
+        count,
+        Duration::from_secs(2),
+    )
+}
+
+/// Flash-crowd sweep: do mid-stream joiners catch up, and does the base
+/// population even notice them?
+pub fn run_flash_crowd(scale: Scale, seed: u64) -> FigureOutput {
+    let cells = crate::harness::SweepRunner::new().run(crowd_percentages(), |&pct| {
+        let result = base_scenario(scale, seed, Some(1), flash_crowd_spec(scale, pct)).run();
+        let joiners = result.joiner_quality.as_ref().expect("the wave joined in time");
+        (
+            result.quality.average_quality_percent(OFFLINE),
+            joiners.average_quality_percent(OFFLINE),
+            joiners.average_quality_percent(LAG_20S),
+            joiners.nodes().len(),
+        )
+    });
+    let mut table =
+        Table::new(vec!["crowd_pct", "base_complete", "joiner_complete", "joiner_20s", "joiners"]);
+    for (pct, (base, j_off, j_lag, count)) in crowd_percentages().into_iter().zip(cells) {
+        table.row_f64(pct.to_string(), &[base, j_off, j_lag, count as f64]);
+    }
+    FigureOutput {
+        id: "adv-flash-crowd",
+        title: "mid-stream join wave: base quality and joiner catch-up (X=1)".to_string(),
+        table,
+        notes: vec!["joiners measured only over windows published after their arrival".to_string()],
+    }
+}
+
+/// Free-rider fractions swept, in percent of the population.
+pub fn free_rider_percentages() -> Vec<u32> {
+    vec![0, 10, 25, 40]
+}
+
+/// Free-rider sweep: contributors keep proposing and serving while a
+/// growing fraction only takes. Reports both subpopulations' quality and
+/// the contributors' upload bill.
+pub fn run_free_riders(scale: Scale, seed: u64) -> FigureOutput {
+    let cells = crate::harness::SweepRunner::new().run(free_rider_percentages(), |&pct| {
+        let spec = if pct == 0 {
+            AdversitySpec::none()
+        } else {
+            AdversitySpec::none().with_free_riders(f64::from(pct) / 100.0)
+        };
+        let cfg = base_scenario(scale, seed, Some(1), spec.clone());
+        let result = cfg.run();
+        // No crashes in this sweep, so quality index i is node i + 1;
+        // recompiling the spec (deterministic) recovers who free-rides.
+        let compiled = spec.compile(cfg.n, cfg.seed);
+        let (mut rider, mut rider_n, mut contrib, mut contrib_n) = (0.0, 0u32, 0.0, 0u32);
+        for (i, q) in result.quality.nodes().iter().enumerate() {
+            let pct_complete = 100.0 * q.complete_fraction();
+            if compiled.profiles[i + 1].free_rider {
+                rider += pct_complete;
+                rider_n += 1;
+            } else {
+                contrib += pct_complete;
+                contrib_n += 1;
+            }
+        }
+        let avg_upload = result.upload_kbps.iter().sum::<f64>() / result.upload_kbps.len() as f64;
+        (
+            if contrib_n > 0 { contrib / f64::from(contrib_n) } else { 0.0 },
+            if rider_n > 0 { rider / f64::from(rider_n) } else { f64::NAN },
+            avg_upload,
+        )
+    });
+    let mut table =
+        Table::new(vec!["rider_pct", "contributor_complete", "rider_complete", "avg_upload_kbps"]);
+    for (pct, (contrib, rider, upload)) in free_rider_percentages().into_iter().zip(cells) {
+        table.row_f64(pct.to_string(), &[contrib, rider, upload]);
+    }
+    FigureOutput {
+        id: "adv-free-riders",
+        title: "stream quality vs free-rider fraction (X=1)".to_string(),
+        table,
+        notes: vec![
+            "free-riders request and receive but never propose or serve".to_string(),
+            "rider_complete is NaN at 0% (no riders to measure)".to_string(),
+        ],
+    }
+}
+
+/// The composed stress scenario of the acceptance criteria: continuous
+/// Poisson churn *and* a flash crowd in one spec. Returns the run's
+/// figures: (base complete %, joiner complete %, joiner count).
+pub fn run_composed(scale: Scale, seed: u64) -> (f64, f64, usize) {
+    let spec = AdversitySpec::none()
+        .with_poisson_churn(
+            Duration::ZERO,
+            scale.stream_duration(),
+            0.5,
+            Some(Duration::from_secs(8)),
+        )
+        .with_flash_crowd(
+            scale.stream_duration() * 2 / 5,
+            scale.nodes().div_ceil(4),
+            Duration::from_secs(2),
+        );
+    let result = base_scenario(scale, seed, Some(1), spec).run();
+    let joiners = result.joiner_quality.as_ref().expect("the wave joined in time");
+    (
+        result.quality.average_quality_percent(OFFLINE),
+        joiners.average_quality_percent(OFFLINE),
+        joiners.nodes().len(),
+    )
+}
+
+/// Runs the whole matrix (all four sweeps).
+pub fn run_all(scale: Scale, seed: u64) -> Vec<FigureOutput> {
+    vec![
+        run_catastrophic(scale, seed),
+        run_poisson(scale, seed),
+        run_flash_crowd(scale, seed),
+        run_free_riders(scale, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catastrophic_spec_matches_figure_7_8_shape() {
+        let out = run_catastrophic(Scale::Tiny, 3);
+        assert_eq!(out.table.len(), churn_percentages().len());
+    }
+
+    #[test]
+    fn poisson_churn_degrades_gracefully() {
+        let cells = crate::harness::SweepRunner::new().run(vec![0.0f64, 1.0], |&rate| {
+            let result =
+                base_scenario(Scale::Tiny, 3, Some(1), poisson_spec(Scale::Tiny, rate)).run();
+            result.quality.average_quality_percent(OFFLINE)
+        });
+        assert!(cells[0] > 90.0, "no churn baseline should stream: {cells:?}");
+        assert!(cells[1] > 40.0, "1 leave/s of 20 nodes must not collapse: {cells:?}");
+    }
+
+    #[test]
+    fn flash_crowd_joiners_catch_up() {
+        let result =
+            base_scenario(Scale::Tiny, 3, Some(1), flash_crowd_spec(Scale::Tiny, 25)).run();
+        let joiners = result.joiner_quality.expect("wave joined mid-stream");
+        assert_eq!(joiners.nodes().len(), 5, "25% of 20");
+        let catch_up = joiners.average_quality_percent(OFFLINE);
+        assert!(catch_up > 50.0, "joiners should catch up on later windows: {catch_up:.1}%");
+    }
+
+    #[test]
+    fn free_riders_still_receive_but_cost_the_contributors() {
+        let spec = AdversitySpec::none().with_free_riders(0.25);
+        let cfg = base_scenario(Scale::Tiny, 3, Some(1), spec.clone());
+        let result = cfg.run();
+        let compiled = spec.compile(cfg.n, cfg.seed);
+        let riders = compiled.profiles.iter().filter(|p| p.free_rider).count();
+        assert_eq!(riders, 5, "round(0.25 * 20)");
+        // Riders propose nothing; the aggregate still streams.
+        let avg = result.quality.average_quality_percent(OFFLINE);
+        assert!(avg > 60.0, "25% riders must not collapse a tiny swarm: {avg:.1}%");
+    }
+
+    #[test]
+    fn composed_churn_and_crowd_runs_to_completion() {
+        let (base, joiner, count) = run_composed(Scale::Tiny, 3);
+        assert_eq!(count, 5);
+        assert!(base > 30.0, "the base population must keep streaming: {base:.1}%");
+        assert!(joiner > 20.0, "joiners must reach non-trivial completeness: {joiner:.1}%");
+    }
+}

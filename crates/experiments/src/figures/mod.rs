@@ -6,6 +6,7 @@
 //! plots, ready for printing by the `repro` binary or comparison in
 //! `EXPERIMENTS.md`.
 
+pub mod adversity;
 pub mod churn;
 pub mod extensions;
 pub mod fig1_fanout;

@@ -11,23 +11,31 @@ use crate::harness::result::{self, DepthTracker, RunResult, RunTimeline};
 use crate::scenario::{MembershipMode, Scenario};
 
 /// Events flowing through the simulation engine.
+///
+/// Per-node recurring events ([`Ev::Round`], [`Ev::ShuffleRound`],
+/// [`Ev::NodeTimer`], [`Ev::LinkDone`]) carry the node's *epoch* — its
+/// incarnation counter at scheduling time. A crash bumps the epoch, so any
+/// event armed for an earlier life is silently dropped instead of poking
+/// the fresh state of a revived node. [`Ev::Receive`] deliberately does
+/// not: an in-flight datagram has left the sender and arrives whatever
+/// happened to the destination meanwhile, exactly like on a real network.
 pub(crate) enum Ev {
     /// A node's gossip timer fired.
-    Round(NodeId),
+    Round(NodeId, u32),
     /// The source's next packet(s) are due.
     SourceEmit,
     /// A protocol (retransmission) timer fired.
-    NodeTimer(NodeId, TimerToken),
+    NodeTimer(NodeId, TimerToken, u32),
     /// A node's upload link finished transmitting its head message.
-    LinkDone(NodeId),
+    LinkDone(NodeId, u32),
     /// A message arrives at a node.
     Receive { to: NodeId, from: NodeId, envelope: Envelope },
     /// A node's membership shuffle timer fired (Cyclon mode).
-    ShuffleRound(NodeId),
+    ShuffleRound(NodeId, u32),
     /// The per-second timeline probe.
     Probe,
-    /// The k-th churn event triggers.
-    Crash(usize),
+    /// The k-th event of the compiled fault timeline triggers.
+    Fault(usize),
 }
 
 /// Executes one scenario to completion and assembles its result.
@@ -60,20 +68,26 @@ impl<'a> Driver<'a> {
         result::collect(self)
     }
 
+    /// Whether a per-node event armed in epoch `ep` is still current.
+    fn current(&self, id: NodeId, ep: u32) -> bool {
+        self.dep.alive[id.index()] && self.dep.epoch[id.index()] == ep
+    }
+
     fn dispatch(&mut self, now: Time, ev: Ev) {
         match ev {
-            Ev::Round(id) => {
-                if self.dep.alive[id.index()] {
+            Ev::Round(id, ep) => {
+                if self.current(id, ep) {
                     // Peer sampling mode: selectNodes draws from the live
                     // partial view.
                     self.dep.refresh_membership(id);
                     self.dep.nodes[id.index()].on_round(now);
                     self.drain_outputs(now, id);
-                    self.engine.schedule(now + self.dep.cfg.gossip.gossip_period, Ev::Round(id));
+                    self.engine
+                        .schedule(now + self.dep.cfg.gossip.gossip_period, Ev::Round(id, ep));
                 }
             }
-            Ev::ShuffleRound(id) => {
-                if self.dep.alive[id.index()] && !self.dep.cyclon.is_empty() {
+            Ev::ShuffleRound(id, ep) => {
+                if self.current(id, ep) && !self.dep.cyclon.is_empty() {
                     if let Some((target, request)) =
                         self.dep.cyclon[id.index()].on_shuffle_round(&mut self.dep.membership_rng)
                     {
@@ -81,7 +95,7 @@ impl<'a> Driver<'a> {
                     }
                     if let MembershipMode::Cyclon { shuffle_period, .. } = &self.dep.cfg.membership
                     {
-                        self.engine.schedule(now + *shuffle_period, Ev::ShuffleRound(id));
+                        self.engine.schedule(now + *shuffle_period, Ev::ShuffleRound(id, ep));
                     }
                 }
             }
@@ -96,20 +110,20 @@ impl<'a> Driver<'a> {
                     self.engine.schedule(next, Ev::SourceEmit);
                 }
             }
-            Ev::NodeTimer(id, token) => {
-                if self.dep.alive[id.index()] {
+            Ev::NodeTimer(id, token, ep) => {
+                if self.current(id, ep) {
                     self.dep.nodes[id.index()].on_timer(now, token);
                     self.drain_outputs(now, id);
                 }
             }
-            Ev::LinkDone(from) => {
-                if !self.dep.alive[from.index()] {
+            Ev::LinkDone(from, ep) => {
+                if !self.current(from, ep) {
                     return; // the crash already discarded the link state
                 }
                 let (queued, next_at) = self.dep.links[from.index()].complete_head(now);
                 self.dispatch_transmitted(now, from, queued);
                 if let Some(at) = next_at {
-                    self.engine.schedule(at, Ev::LinkDone(from));
+                    self.engine.schedule(at, Ev::LinkDone(from, ep));
                 }
             }
             Ev::Receive { to, from, envelope } => {
@@ -141,10 +155,36 @@ impl<'a> Driver<'a> {
                 self.timeline.sample(now, &self.dep);
                 self.engine.schedule(now + Duration::from_secs(1), Ev::Probe);
             }
-            Ev::Crash(k) => {
-                let victims = self.dep.cfg.churn.events()[k].victims.clone();
-                self.dep.crash(&victims);
+            Ev::Fault(k) => {
+                let fault = self.dep.compiled.timeline.events()[k];
+                match fault.action {
+                    gossip_adversity::FaultAction::Crash(v) => self.dep.crash(&[v]),
+                    gossip_adversity::FaultAction::Rejoin(v) => {
+                        self.dep.revive(v);
+                        self.start_node(now, v);
+                    }
+                    gossip_adversity::FaultAction::Join(v) => {
+                        self.dep.join(now, v);
+                        self.start_node(now, v);
+                    }
+                }
             }
+        }
+    }
+
+    /// Arms the recurring timers of a node that just came to life (a
+    /// flash-crowd joiner or a rejoining churn victim), staggering its
+    /// first round inside one period like the initial deployment does.
+    fn start_node(&mut self, now: Time, id: NodeId) {
+        let ep = self.dep.epoch[id.index()];
+        let period = self.dep.cfg.gossip.gossip_period;
+        let phase = Duration::from_micros(self.dep.membership_rng.next_below(period.as_micros()));
+        self.engine.schedule(now + phase, Ev::Round(id, ep));
+        if let MembershipMode::Cyclon { shuffle_period, .. } = &self.dep.cfg.membership {
+            let phase = Duration::from_micros(
+                self.dep.membership_rng.next_below(shuffle_period.as_micros()),
+            );
+            self.engine.schedule(now + phase, Ev::ShuffleRound(id, ep));
         }
     }
 
@@ -173,7 +213,8 @@ impl<'a> Driver<'a> {
         let wire = envelope.wire_size();
         match self.dep.links[from.index()].enqueue(now, wire, (to, envelope)) {
             Enqueued::Started { completes_at } => {
-                self.engine.schedule(completes_at, Ev::LinkDone(from));
+                self.engine
+                    .schedule(completes_at, Ev::LinkDone(from, self.dep.epoch[from.index()]));
             }
             Enqueued::Queued | Enqueued::Dropped => {}
         }
@@ -197,7 +238,7 @@ impl<'a> Driver<'a> {
                     self.depth.record(id, packet_id);
                 }
                 Output::ScheduleTimer { token, at } => {
-                    self.engine.schedule(at, Ev::NodeTimer(id, token));
+                    self.engine.schedule(at, Ev::NodeTimer(id, token, self.dep.epoch[id.index()]));
                 }
             }
         }

@@ -37,6 +37,13 @@ pub struct RunResult {
     /// Dissemination-depth statistics (hops from the source per delivered
     /// packet), when [`Scenario::track_depth`] was enabled.
     pub depth: Option<DepthStats>,
+    /// Stream quality of flash-crowd joiners that survived to the end,
+    /// measured only over the windows published *after* each one joined
+    /// (`None` when the adversity spec introduced no joiners, or every
+    /// joiner arrived past the measured horizon). Kept apart from
+    /// [`RunResult::quality`] so mid-stream arrivals don't read as jitter
+    /// on the base population.
+    pub joiner_quality: Option<QualityReport>,
 }
 
 impl RunResult {
@@ -86,7 +93,7 @@ impl RunTimeline {
 
     /// Records one per-second sample of the deployment's state.
     pub(crate) fn sample(&mut self, now: Time, dep: &Deployment<'_>) {
-        let delivered: u64 = (1..dep.cfg.n).map(|i| dep.players[i].packets_received()).sum();
+        let delivered: u64 = (1..dep.total_n()).map(|i| dep.players[i].packets_received()).sum();
         let queued: usize = dep.links.iter().map(|l| l.queued_bytes()).sum();
         let dropped: u64 = dep.links.iter().map(|l| l.stats().msgs_dropped).sum();
         self.delivered.push(now, delivered as f64);
@@ -220,6 +227,31 @@ pub(crate) fn collect(driver: Driver<'_>) -> RunResult {
         ));
     }
 
+    // Flash-crowd joiners: account their traffic, and measure each
+    // survivor only over the windows published after it arrived (the
+    // catch-up question is "how well does a newcomer view the rest of the
+    // stream", not "did it time-travel to the beginning").
+    let mut joiner_qualities = Vec::new();
+    for i in cfg.n..dep.total_n() {
+        protocol.merge(dep.nodes[i].stats());
+        net.merge(dep.links[i].stats());
+        net.merge(&dep.rx_stats[i]);
+        let Some(joined) = dep.joined_at[i] else { continue };
+        if !dep.alive[i] {
+            continue;
+        }
+        if let Some(q) = NodeQuality::from_player_since(
+            &dep.players[i],
+            &cfg.stream,
+            Time::ZERO,
+            joined,
+            first,
+            last,
+        ) {
+            joiner_qualities.push(q);
+        }
+    }
+
     RunResult {
         quality: QualityReport::new(qualities),
         upload_kbps,
@@ -231,6 +263,8 @@ pub(crate) fn collect(driver: Driver<'_>) -> RunResult {
         peak_queue: engine.peak_pending(),
         timeline,
         depth: depth.stats(),
+        joiner_quality: (!joiner_qualities.is_empty())
+            .then(|| QualityReport::new(joiner_qualities)),
     }
 }
 

@@ -19,11 +19,12 @@
 //! assert!(result.quality.percent_viewing(0.01, Duration::MAX) > 50.0);
 //! ```
 
+use gossip_adversity::AdversitySpec;
 use gossip_core::GossipConfig;
 use gossip_membership::CyclonConfig;
 use gossip_net::{ChurnPlan, LatencyModel, LossModel};
 use gossip_stream::StreamConfig;
-use gossip_types::Duration;
+use gossip_types::{Duration, Time};
 
 // Re-exported here so pre-refactor paths (`scenario::RunResult` et al.)
 // keep working; the types now live with the harness's result layer.
@@ -124,8 +125,10 @@ pub struct Scenario {
     pub latency: LatencyModel,
     /// In-network loss model.
     pub loss: LossModel,
-    /// Churn plan (catastrophic failures).
-    pub churn: ChurnPlan,
+    /// Declarative adversity: crashes, Poisson churn, flash-crowd joins,
+    /// free-riders and bandwidth classes, compiled deterministically from
+    /// the scenario seed (see the `gossip-adversity` crate).
+    pub adversity: AdversitySpec,
     /// How long the source streams.
     pub stream_duration: Duration,
     /// Extra simulated time after the stream ends.
@@ -158,7 +161,7 @@ impl Scenario {
             max_queue_delay: Duration::from_secs(25),
             latency: LatencyModel::planetlab_default(),
             loss: LossModel::Bernoulli(0.001),
-            churn: ChurnPlan::none(),
+            adversity: AdversitySpec::none(),
             stream_duration: scale.stream_duration(),
             drain_duration: scale.drain_duration(),
             measure_from_window: 2,
@@ -226,9 +229,21 @@ impl Scenario {
         self
     }
 
-    /// Sets the churn plan (builder-style).
+    /// Sets the adversity spec (builder-style).
+    pub fn with_adversity(mut self, adversity: AdversitySpec) -> Self {
+        self.adversity = adversity;
+        self
+    }
+
+    /// Folds a legacy [`ChurnPlan`] into the adversity spec as explicit
+    /// crash events (builder-style) — the plan's hand-picked victims are
+    /// preserved exactly.
     pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
-        self.churn = churn;
+        for event in churn.events() {
+            self.adversity = self
+                .adversity
+                .with_explicit_crash(event.at.saturating_since(Time::ZERO), event.victims.clone());
+        }
         self
     }
 

@@ -1,11 +1,20 @@
 //! Datagram framing and node placement for shared sockets.
 //!
-//! A reactor socket carries traffic for many virtual nodes, so every
-//! datagram is prefixed with its destination node id:
+//! A reactor socket carries traffic for many virtual nodes, and one kernel
+//! datagram may carry several protocol datagrams (send coalescing): the
+//! payload is a sequence of length-delimited frames, each prefixed with
+//! its destination node id:
 //!
 //! ```text
-//! [ dest: u32 LE ][ standard gossip_core::wire datagram ]
+//! [ dest: u32 LE ][ len: u16 LE ][ standard gossip_core::wire datagram ]  × k
 //! ```
+//!
+//! Senders append frames for the same destination *address* (the same
+//! shard socket, which may host many nodes) into one buffer and hand the
+//! kernel one datagram for the whole burst; the receiving shard walks the
+//! frames and routes each on its prefix. The framing is runtime overhead,
+//! not protocol bytes: the upload shaper charges only the inner wire size,
+//! so pacing matches the thread-per-node runtime exactly.
 //!
 //! The placement scheme is striped: node `g` lives on shard `g % shards`
 //! at local index `g / shards`, and within a shard's socket pool its home
@@ -15,26 +24,54 @@
 
 use gossip_types::NodeId;
 
-/// Byte length of the destination prefix.
-pub const PREFIX_LEN: usize = 4;
+/// Byte length of one frame header (destination id + payload length).
+pub const HEADER_LEN: usize = 6;
 
-/// Appends the framed datagram (prefix + wire bytes) onto `buf`, which is
-/// cleared first; callers reuse one buffer for every send.
-pub fn frame_into(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) {
-    buf.clear();
+/// Appends one frame (header + wire bytes) onto `buf` without clearing it,
+/// so callers can pack several frames into one datagram.
+///
+/// # Panics
+///
+/// Panics if `wire` exceeds `u16::MAX` bytes — the protocol's MTU-sized
+/// serve datagrams are an order of magnitude below the limit.
+pub fn append_frame(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) {
+    let len = u16::try_from(wire.len()).expect("a protocol datagram fits a u16 length");
     buf.extend_from_slice(&dest.as_u32().to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(wire);
 }
 
-/// Splits a received datagram into the destination id and the inner wire
-/// bytes. Returns `None` for runt datagrams shorter than the prefix.
-pub fn split(datagram: &[u8]) -> Option<(NodeId, &[u8])> {
-    if datagram.len() < PREFIX_LEN {
-        return None;
+/// Iterates the frames of a received datagram as `(destination, wire)`
+/// pairs. Truncated or runt trailing bytes end the iteration (nothing on
+/// loopback produces them; a cut-short final frame is simply dropped, like
+/// any other lost datagram).
+pub fn frames(datagram: &[u8]) -> Frames<'_> {
+    Frames { rest: datagram }
+}
+
+/// Iterator over the frames of one datagram (see [`frames`]).
+pub struct Frames<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Frames<'a> {
+    type Item = (NodeId, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.len() < HEADER_LEN {
+            return None;
+        }
+        let (header, body) = self.rest.split_at(HEADER_LEN);
+        let dest = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let len = usize::from(u16::from_le_bytes([header[4], header[5]]));
+        if body.len() < len {
+            self.rest = &[];
+            return None; // truncated final frame: dropped
+        }
+        let (wire, rest) = body.split_at(len);
+        self.rest = rest;
+        Some((NodeId::new(dest), wire))
     }
-    let (prefix, rest) = datagram.split_at(PREFIX_LEN);
-    let dest = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
-    Some((NodeId::new(dest), rest))
 }
 
 /// Returns the shard hosting global node `g`.
@@ -62,20 +99,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn frame_and_split_roundtrip() {
-        let mut buf = vec![0xFF; 3]; // stale content must be cleared
-        frame_into(&mut buf, NodeId::new(0xAABBCCDD), b"hello");
-        let (dest, rest) = split(&buf).expect("well-formed");
+    fn single_frame_roundtrip() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(0xAABBCCDD), b"hello");
+        let mut it = frames(&buf);
+        let (dest, wire) = it.next().expect("well-formed");
         assert_eq!(dest, NodeId::new(0xAABBCCDD));
-        assert_eq!(rest, b"hello");
+        assert_eq!(wire, b"hello");
+        assert!(it.next().is_none());
     }
 
     #[test]
-    fn runt_datagrams_are_rejected() {
-        assert!(split(&[1, 2, 3]).is_none());
-        assert!(split(&[]).is_none());
-        // Exactly a prefix is fine: the inner codec rejects the empty rest.
-        assert!(split(&[0, 0, 0, 0]).is_some());
+    fn coalesced_frames_roundtrip_in_order() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(1), b"first");
+        append_frame(&mut buf, NodeId::new(2), b"");
+        append_frame(&mut buf, NodeId::new(3), &[7u8; 1400]);
+        let got: Vec<(NodeId, usize)> = frames(&buf).map(|(d, w)| (d, w.len())).collect();
+        assert_eq!(got, vec![(NodeId::new(1), 5), (NodeId::new(2), 0), (NodeId::new(3), 1400)]);
+    }
+
+    #[test]
+    fn runt_and_truncated_tails_are_dropped() {
+        assert_eq!(frames(&[1, 2, 3]).count(), 0);
+        assert_eq!(frames(&[]).count(), 0);
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(1), b"ok");
+        append_frame(&mut buf, NodeId::new(2), b"gone");
+        buf.truncate(buf.len() - 2); // cut the last frame short
+        let got: Vec<NodeId> = frames(&buf).map(|(d, _)| d).collect();
+        assert_eq!(got, vec![NodeId::new(1)], "only the intact frame survives");
     }
 
     #[test]

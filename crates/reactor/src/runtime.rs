@@ -76,7 +76,13 @@ impl ReactorCluster {
         assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
         assert!(options.sockets_per_shard >= 1, "each shard needs at least one socket");
         assert!(options.recv_batch >= 1, "the receive batch must be positive");
-        let shards = options.resolve_shards(config.n);
+        // The reactor hosts the full compiled plan: crashed nodes revive
+        // with fresh state, flash-crowd joiners boot mid-run, so the
+        // address book and every shard's node slice are sized for the
+        // total population (base nodes plus joiners).
+        let compiled = Arc::new(config.compiled_adversity());
+        let total_n = compiled.total_n;
+        let shards = options.resolve_shards(total_n);
 
         // Bind every shard's pool up front so the full address book exists
         // before any shard starts.
@@ -96,7 +102,7 @@ impl ReactorCluster {
 
         // Global node id → its home socket's address.
         let addresses: Arc<Vec<SocketAddr>> = Arc::new(
-            (0..config.n as u32)
+            (0..total_n as u32)
                 .map(|g| {
                     let shard = demux::shard_of(g, shards);
                     let local = demux::local_of(g, shards);
@@ -115,6 +121,7 @@ impl ReactorCluster {
                 shards,
                 recv_batch: options.recv_batch,
                 cluster: config.clone(),
+                compiled: Arc::clone(&compiled),
                 sockets,
                 addresses: Arc::clone(&addresses),
                 clock,
@@ -132,13 +139,17 @@ impl ReactorCluster {
         thread::sleep(ClusterClock::to_std(config.stream_duration + config.drain_duration));
         stop.store(true, Ordering::Relaxed);
 
-        let mut nodes = Vec::with_capacity(config.n);
+        let mut nodes = Vec::with_capacity(total_n);
+        let mut shard_stats = Vec::with_capacity(shards);
         for (index, handle) in handles.into_iter().enumerate() {
-            let reports = handle.join().map_err(|_| ClusterError::NodePanic(index))??;
+            let (reports, stats) = handle.join().map_err(|_| ClusterError::NodePanic(index))??;
             nodes.extend(reports);
+            shard_stats.push(stats);
         }
 
-        Ok(assemble_report(&config, nodes))
+        let mut report = assemble_report(&config, nodes);
+        report.shard_stats = shard_stats;
+        Ok(report)
     }
 }
 

@@ -1,27 +1,39 @@
 //! The shard event loop: one thread hosting many virtual nodes.
 //!
 //! A shard multiplexes every deadline of its nodes — gossip rounds,
-//! retransmission timers, source emissions, shaper releases — through one
-//! timer wheel (the calendar queue from `gossip-sim`, the same
-//! `EventSchedule` implementation the simulator runs on), and all their
-//! traffic through a small pool of
+//! retransmission timers, source emissions, shaper releases, and the
+//! compiled fault timeline (crash / rejoin / join events from the
+//! `gossip-adversity` crate) — through one timer wheel (the calendar queue
+//! from `gossip-sim`, the same `EventSchedule` implementation the
+//! simulator runs on), and all their traffic through a small pool of
 //! non-blocking sockets with batched receives into one reusable buffer.
 //! Between deadlines the shard parks on its first socket with a bounded
 //! read timeout, so an arriving datagram wakes it early but a raised stop
 //! flag is still noticed promptly.
+//!
+//! # Send batching
+//!
+//! Outbound datagrams released in one loop iteration are not written
+//! immediately: they accumulate in the shard's **outbox** and are flushed
+//! grouped by sending socket, with consecutive releases for the same
+//! destination *address* (one shard socket hosts many nodes) coalesced
+//! into a single kernel datagram of length-delimited frames (see
+//! [`crate::demux`]). The per-shard [`ShardStats`] report the resulting
+//! syscalls-per-datagram ratio.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use gossip_adversity::{CompiledAdversity, FaultAction};
 use gossip_core::wire::{decode_message, encode_message};
 use gossip_core::{Output, TimerToken};
 use gossip_sim::EventQueue;
 use gossip_stream::StreamPacket;
-use gossip_types::{Duration, Time};
+use gossip_types::{Duration, NodeId, Time};
 use gossip_udp::clock::ClusterClock;
 use gossip_udp::cluster::ClusterConfig;
-use gossip_udp::report::NodeReport;
+use gossip_udp::report::{NodeReport, ShardStats};
 
 use crate::demux;
 use crate::vnode::VirtualNode;
@@ -35,17 +47,27 @@ const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(1);
 /// more in syscalls than it saves.
 const MIN_PARK: std::time::Duration = std::time::Duration::from_micros(200);
 
+/// Size cap of one coalesced kernel datagram. Well under the 64 KiB UDP
+/// limit: a burst lost to a full kernel buffer should not take half a
+/// window of serves with it.
+const MAX_COALESCED: usize = 16 * 1024;
+
 /// A deadline in the shard's timer wheel, tagged with the local slot of
-/// the node it belongs to.
+/// the node it belongs to. Per-node recurring deadlines also carry the
+/// node's epoch at arming time; a crash bumps the epoch, so deadlines of
+/// an earlier incarnation are dropped on the floor instead of poking a
+/// revived node's fresh state.
 enum Fire {
     /// The node's next gossip round.
-    Round(u32),
+    Round(u32, u32),
     /// A protocol retransmission timer.
-    Timer(u32, TimerToken),
+    Timer(u32, TimerToken, u32),
     /// The source's next packet emission.
     Source(u32),
     /// The node's upload shaper has a datagram coming due.
-    Shaper(u32),
+    Shaper(u32, u32),
+    /// The k-th event of the compiled fault timeline.
+    Fault(u32),
 }
 
 /// Everything a shard needs to run, prepared by the runtime.
@@ -57,6 +79,9 @@ pub(crate) struct ShardConfig {
     /// Maximum datagrams drained per socket per loop iteration.
     pub recv_batch: usize,
     pub cluster: ClusterConfig,
+    /// The compiled fault plan (shared; every shard walks the same
+    /// timeline and applies the slice that concerns its nodes).
+    pub compiled: Arc<CompiledAdversity>,
     /// This shard's socket pool, already bound.
     pub sockets: Vec<UdpSocket>,
     /// Global node id → home socket address.
@@ -66,8 +91,8 @@ pub(crate) struct ShardConfig {
 }
 
 /// Runs a shard to completion (until `stop` is raised) and returns the
-/// reports of its nodes.
-pub(crate) fn run_shard(config: ShardConfig) -> std::io::Result<Vec<NodeReport>> {
+/// reports of its nodes plus the shard's I/O statistics.
+pub(crate) fn run_shard(config: ShardConfig) -> std::io::Result<(Vec<NodeReport>, ShardStats)> {
     Shard::new(config)?.run()
 }
 
@@ -76,67 +101,106 @@ struct Shard {
     shards: usize,
     recv_batch: usize,
     cluster: ClusterConfig,
+    compiled: Arc<CompiledAdversity>,
     sockets: Vec<UdpSocket>,
     addresses: Arc<Vec<SocketAddr>>,
     clock: ClusterClock,
     stop: Arc<AtomicBool>,
     nodes: Vec<VirtualNode>,
     wheel: EventQueue<Fire>,
+    /// The currently known membership: base nodes plus joiners so far.
+    members: Vec<NodeId>,
+    /// Bumped on every join; nodes whose `members_seen` lags refresh
+    /// their membership lazily at their next round.
+    members_version: u32,
+    /// Released-but-unsent datagrams of this loop iteration:
+    /// `(sending socket, destination, unframed wire bytes)`.
+    outbox: Vec<(usize, NodeId, Vec<u8>)>,
+    stats: ShardStats,
     /// Reusable receive buffer (max UDP datagram).
     recv_buf: Vec<u8>,
-    /// Reusable send buffer for prefix framing.
-    frame_buf: Vec<u8>,
+    /// Reusable send buffer for coalesced framing.
+    pack_buf: Vec<u8>,
 }
 
 impl Shard {
     fn new(config: ShardConfig) -> std::io::Result<Self> {
-        let ShardConfig { index, shards, recv_batch, cluster, sockets, addresses, clock, stop } =
-            config;
+        let ShardConfig {
+            index,
+            shards,
+            recv_batch,
+            cluster,
+            compiled,
+            sockets,
+            addresses,
+            clock,
+            stop,
+        } = config;
         for socket in &sockets {
             socket.set_nonblocking(true)?;
         }
         let pool = sockets.len();
         let nodes: Vec<VirtualNode> = (0..)
             .map(|local| demux::global_of(index, local, shards))
-            .take_while(|&g| (g as usize) < cluster.n)
+            .take_while(|&g| (g as usize) < compiled.total_n)
             .map(|g| {
-                VirtualNode::new(&cluster, g, demux::home_socket(demux::local_of(g, shards), pool))
+                VirtualNode::new(
+                    &cluster,
+                    &compiled,
+                    g,
+                    demux::home_socket(demux::local_of(g, shards), pool),
+                )
             })
             .collect();
 
         let mut wheel: EventQueue<Fire> = EventQueue::new();
         let period = cluster.gossip.gossip_period;
         for (local, vn) in nodes.iter().enumerate() {
+            if vn.down {
+                continue; // flash-crowd joiners start dark
+            }
             // Stagger first rounds across one gossip period (thread-per-node
             // deployments stagger naturally through thread start-up) so the
             // cluster's round traffic does not arrive as one synchronised
             // burst on every socket.
             let phase = Duration::from_micros(
-                u64::from(vn.id.as_u32()) * period.as_micros() / cluster.n as u64,
+                u64::from(vn.id.as_u32()) * period.as_micros() / compiled.total_n as u64,
             );
-            wheel.push(Time::ZERO + phase, Fire::Round(local as u32));
+            wheel.push(Time::ZERO + phase, Fire::Round(local as u32, vn.epoch));
             if vn.source.is_some() {
                 wheel.push(Time::ZERO, Fire::Source(local as u32));
             }
         }
+        // Every shard walks the whole fault timeline; each event is applied
+        // to the membership every shard tracks, and to the victim/joiner
+        // only by the shard that hosts it.
+        for (k, event) in compiled.timeline.events().iter().enumerate() {
+            wheel.push(event.at, Fire::Fault(k as u32));
+        }
 
+        let members: Vec<NodeId> = (0..compiled.base_n as u32).map(NodeId::new).collect();
         Ok(Shard {
             index,
             shards,
             recv_batch,
             cluster,
+            compiled,
             sockets,
             addresses,
             clock,
             stop,
             nodes,
             wheel,
+            members,
+            members_version: 0,
+            outbox: Vec::new(),
+            stats: ShardStats::default(),
             recv_buf: vec![0u8; 65_536],
-            frame_buf: Vec::with_capacity(2048),
+            pack_buf: Vec::with_capacity(MAX_COALESCED + 2048),
         })
     }
 
-    fn run(mut self) -> std::io::Result<Vec<NodeReport>> {
+    fn run(mut self) -> std::io::Result<(Vec<NodeReport>, ShardStats)> {
         while !self.stop.load(Ordering::Relaxed) {
             let now = self.clock.now();
 
@@ -148,10 +212,15 @@ impl Shard {
             // 2. Batched receive across the socket pool.
             self.drain_sockets(now)?;
 
-            // 3. Park until the next deadline, waking early for traffic.
+            // 3. Put this iteration's backlog on the wire, coalesced.
+            self.flush_outbox();
+
+            // 4. Park until the next deadline, waking early for traffic.
             self.park()?;
+            self.flush_outbox();
         }
-        Ok(self.nodes.into_iter().map(VirtualNode::into_report).collect())
+        let stats = self.stats;
+        Ok((self.nodes.into_iter().map(VirtualNode::into_report).collect(), stats))
     }
 
     /// Blocks on the first pool socket for up to the time until the next
@@ -170,6 +239,7 @@ impl Shard {
         match waiter.recv_from(&mut self.recv_buf) {
             Ok((len, _)) => {
                 let now = self.clock.now();
+                self.stats.recv_syscalls += 1;
                 self.on_datagram(len, now);
             }
             Err(e) if transient_recv_error(&e) => {}
@@ -183,7 +253,10 @@ impl Shard {
         for si in 0..self.sockets.len() {
             for _ in 0..self.recv_batch {
                 match self.sockets[si].recv_from(&mut self.recv_buf) {
-                    Ok((len, _)) => self.on_datagram(len, now),
+                    Ok((len, _)) => {
+                        self.stats.recv_syscalls += 1;
+                        self.on_datagram(len, now);
+                    }
                     Err(e) if transient_recv_error(&e) => break,
                     Err(e) => return Err(e),
                 }
@@ -192,30 +265,38 @@ impl Shard {
         Ok(())
     }
 
-    /// Routes one received datagram: split the destination prefix, find
-    /// the local node, apply impairment, decode, drive the state machine.
+    /// Unpacks one received kernel datagram into its protocol frames and
+    /// routes each: find the local node, apply impairment, decode, drive
+    /// the state machine.
     fn on_datagram(&mut self, len: usize, now: Time) {
-        let Some((dest, wire)) = demux::split(&self.recv_buf[..len]) else {
-            return; // runt frame: nothing on loopback sends these
-        };
+        // The buffer is moved out for the walk so routing can borrow the
+        // shard mutably; frames copy what they keep.
+        let buf = std::mem::take(&mut self.recv_buf);
+        for (dest, wire) in demux::frames(&buf[..len]) {
+            self.stats.datagrams_received += 1;
+            self.on_frame(dest, wire, now);
+        }
+        self.recv_buf = buf;
+    }
+
+    /// Routes one protocol frame to its destination node.
+    fn on_frame(&mut self, dest: NodeId, wire: &[u8], now: Time) {
         let g = dest.as_u32();
         if demux::shard_of(g, self.shards) != self.index {
-            return; // stray datagram for another shard's socket
+            return; // stray frame for another shard's socket
         }
         let local = demux::local_of(g, self.shards);
         if local >= self.nodes.len() {
             return;
         }
         let vn = &mut self.nodes[local];
-        if vn.check_crash(now) {
-            return; // crashed nodes drop everything
+        if vn.down {
+            return; // crashed and not-yet-joined nodes drop everything
         }
         if self.cluster.inject_loss > 0.0 && vn.loss_rng.chance(self.cluster.inject_loss) {
-            return; // injected network loss: the datagram evaporates
+            return; // injected network loss: the frame evaporates
         }
         vn.recv_msgs += 1;
-        // The borrow of `wire` (into recv_buf) ends before drains mutate
-        // the buffer-free parts of self; decode copies what it keeps.
         match decode_message::<StreamPacket>(wire) {
             Some((from, msg)) => {
                 vn.node.on_message(now, from, msg);
@@ -228,22 +309,28 @@ impl Shard {
     /// Fires one wheel deadline.
     fn dispatch(&mut self, fire: Fire, at: Time, now: Time) {
         match fire {
-            Fire::Round(l) => {
+            Fire::Round(l, ep) => {
                 let local = l as usize;
                 let vn = &mut self.nodes[local];
-                if vn.check_crash(now) {
-                    return; // a crashed node's round chain ends here
+                if vn.members_seen != self.members_version && !vn.down {
+                    // Pick up joiners introduced since this node's last
+                    // round (see the Join arm of `apply_fault`).
+                    vn.node.set_membership(self.members.clone());
+                    vn.members_seen = self.members_version;
+                }
+                if vn.down || vn.epoch != ep {
+                    return; // this incarnation's round chain ends here
                 }
                 vn.node.on_round(now);
                 self.drain_outputs(local, now);
                 // Re-arm from the scheduled time, not `now`: rounds must
                 // not drift under load.
-                self.wheel.push(at + self.cluster.gossip.gossip_period, Fire::Round(l));
+                self.wheel.push(at + self.cluster.gossip.gossip_period, Fire::Round(l, ep));
             }
-            Fire::Timer(l, token) => {
+            Fire::Timer(l, token, ep) => {
                 let local = l as usize;
                 let vn = &mut self.nodes[local];
-                if vn.check_crash(now) {
+                if vn.down || vn.epoch != ep {
                     return;
                 }
                 vn.node.on_timer(now, token);
@@ -252,7 +339,7 @@ impl Shard {
             Fire::Source(l) => {
                 let local = l as usize;
                 let vn = &mut self.nodes[local];
-                if vn.check_crash(now) {
+                if vn.down {
                     return;
                 }
                 let (Some(source), Some(end)) = (vn.source.as_mut(), vn.stream_end) else {
@@ -269,19 +356,80 @@ impl Shard {
                 }
                 self.drain_outputs(local, now);
             }
-            Fire::Shaper(l) => {
+            Fire::Shaper(l, ep) => {
                 let local = l as usize;
-                self.nodes[local].shaper_armed = false;
-                if self.nodes[local].check_crash(now) {
-                    return; // a crashed node's backlog never reaches the wire
+                let vn = &mut self.nodes[local];
+                if vn.epoch != ep {
+                    return; // the crash already reset the shaper
+                }
+                vn.shaper_armed = false;
+                if vn.down {
+                    return;
                 }
                 self.flush_shaper(local, now);
+            }
+            Fire::Fault(k) => self.apply_fault(k as usize, now),
+        }
+    }
+
+    /// Applies the k-th compiled fault event. Crash and rejoin concern only
+    /// the hosting shard; a join also updates the membership every active
+    /// node selects partners from.
+    fn apply_fault(&mut self, k: usize, now: Time) {
+        let event = self.compiled.timeline.events()[k];
+        let v = event.action.node();
+        let hosted_here = demux::shard_of(v.as_u32(), self.shards) == self.index;
+        let local = demux::local_of(v.as_u32(), self.shards);
+        match event.action {
+            FaultAction::Crash(_) => {
+                if hosted_here && !self.nodes[local].down {
+                    self.nodes[local].crash();
+                }
+            }
+            FaultAction::Rejoin(_) => {
+                if hosted_here && self.nodes[local].down {
+                    let members = self.members.clone();
+                    let free_rider = self.compiled.profiles[v.index()].free_rider;
+                    self.nodes[local].revive(&self.cluster, members, free_rider);
+                    self.nodes[local].members_seen = self.members_version;
+                    self.arm_round(local, now);
+                }
+            }
+            FaultAction::Join(_) => {
+                // A tracker-style introduction, like the simulator's
+                // full-membership mode — but applied lazily: bumping the
+                // version makes every local node refresh its membership at
+                // its next gossip round (one clone per node per join
+                // *wave*, not per join — a 100-node flash crowd would
+                // otherwise cost O(joins × nodes) clones inside the
+                // real-time loop).
+                self.members.push(v);
+                self.members_version += 1;
+                if hosted_here {
+                    let vn = &mut self.nodes[local];
+                    debug_assert!(vn.down, "double join of {v}");
+                    vn.node.set_membership(self.members.clone());
+                    vn.members_seen = self.members_version;
+                    vn.down = false;
+                    self.arm_round(local, now);
+                }
             }
         }
     }
 
+    /// Starts (or restarts) a node's round chain, staggered within one
+    /// gossip period by id like the initial deployment.
+    fn arm_round(&mut self, local: usize, now: Time) {
+        let vn = &self.nodes[local];
+        let period = self.cluster.gossip.gossip_period;
+        let phase = Duration::from_micros(
+            u64::from(vn.id.as_u32()) * period.as_micros() / self.compiled.total_n as u64,
+        );
+        self.wheel.push(now + phase, Fire::Round(local as u32, vn.epoch));
+    }
+
     /// Drains the protocol outputs of one node into its shaper, player and
-    /// the timer wheel, then puts released datagrams on the wire.
+    /// the timer wheel, then moves released datagrams to the outbox.
     fn drain_outputs(&mut self, local: usize, now: Time) {
         let vn = &mut self.nodes[local];
         while let Some(out) = vn.node.poll_output() {
@@ -297,31 +445,69 @@ impl Shard {
                     vn.player.on_packet(now, event.packet_id());
                 }
                 Output::ScheduleTimer { token, at } => {
-                    self.wheel.push(at, Fire::Timer(local as u32, token));
+                    self.wheel.push(at, Fire::Timer(local as u32, token, vn.epoch));
                 }
             }
         }
         self.flush_shaper(local, now);
     }
 
-    /// Sends everything the node's shaper has released and arms one wheel
-    /// deadline for the earliest datagram still held back.
+    /// Moves everything the node's shaper has released into the shard
+    /// outbox and arms one wheel deadline for the earliest datagram still
+    /// held back.
     fn flush_shaper(&mut self, local: usize, now: Time) {
         let vn = &mut self.nodes[local];
-        let socket = &self.sockets[vn.home_socket];
         while let Some((to, bytes)) = vn.shaper.pop_due(now) {
-            demux::frame_into(&mut self.frame_buf, to, &bytes);
-            // UDP semantics: a full kernel buffer drops the datagram, like
-            // any congested link; the protocol's FEC + retransmission
-            // absorb it.
-            let _ = socket.send_to(&self.frame_buf, self.addresses[to.index()]);
+            self.outbox.push((vn.home_socket, to, bytes));
         }
         if !vn.shaper_armed {
             if let Some(at) = vn.shaper.next_release() {
-                self.wheel.push(at, Fire::Shaper(local as u32));
+                self.wheel.push(at, Fire::Shaper(local as u32, vn.epoch));
                 vn.shaper_armed = true;
             }
         }
+    }
+
+    /// Writes the outbox: grouped by sending socket, with consecutive
+    /// datagrams for the same destination address coalesced into one
+    /// kernel datagram (up to [`MAX_COALESCED`] bytes).
+    ///
+    /// UDP semantics throughout: a full kernel buffer drops the datagram,
+    /// like any congested link; the protocol's FEC + retransmission absorb
+    /// it.
+    fn flush_outbox(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let outbox = std::mem::take(&mut self.outbox);
+        for si in 0..self.sockets.len() {
+            let mut burst_addr: Option<SocketAddr> = None;
+            for (_, to, bytes) in outbox.iter().filter(|e| e.0 == si) {
+                let addr = self.addresses[to.index()];
+                let fits = self.pack_buf.len() + demux::HEADER_LEN + bytes.len() <= MAX_COALESCED;
+                if burst_addr != Some(addr) || !fits {
+                    self.send_packed(si, burst_addr);
+                    burst_addr = Some(addr);
+                }
+                demux::append_frame(&mut self.pack_buf, *to, bytes);
+                self.stats.datagrams_sent += 1;
+            }
+            self.send_packed(si, burst_addr);
+        }
+        // Hand the (now empty) allocation back for the next iteration.
+        self.outbox = outbox;
+        self.outbox.clear();
+    }
+
+    /// Sends the accumulated coalesced buffer, if any, on pool socket `si`.
+    fn send_packed(&mut self, si: usize, addr: Option<SocketAddr>) {
+        if self.pack_buf.is_empty() {
+            return;
+        }
+        let Some(addr) = addr else { return };
+        let _ = self.sockets[si].send_to(&self.pack_buf, addr);
+        self.stats.send_syscalls += 1;
+        self.pack_buf.clear();
     }
 }
 

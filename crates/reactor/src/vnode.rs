@@ -5,6 +5,7 @@
 //! shaper, optional stream source, impairment state — minus the thread and
 //! the socket: scheduling and I/O belong to the shard.
 
+use gossip_adversity::CompiledAdversity;
 use gossip_core::GossipNode;
 use gossip_sim::DetRng;
 use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
@@ -23,8 +24,17 @@ pub(crate) struct VirtualNode {
     pub shaper: UploadShaper<(NodeId, Vec<u8>)>,
     pub source: Option<StreamSource>,
     pub stream_end: Option<Time>,
-    pub crash_at: Option<Time>,
-    pub crashed: bool,
+    /// A down node fires no timers, sends nothing and drops everything
+    /// addressed to it: crashed churn victims, and flash-crowd joiners
+    /// before their join fires.
+    pub down: bool,
+    /// Incarnation counter, bumped on every crash: wheel deadlines carry
+    /// the epoch they were armed in and are dropped on mismatch, so no
+    /// timer from an earlier life can poke a revived node's fresh state.
+    pub epoch: u32,
+    /// The shard `members_version` this node's membership reflects; a lag
+    /// means joiners arrived since its last round (refreshed lazily).
+    pub members_seen: u32,
     /// Whether a shaper-release event for this node is pending in the
     /// shard's timer wheel (at most one at a time).
     pub shaper_armed: bool,
@@ -38,18 +48,30 @@ pub(crate) struct VirtualNode {
 }
 
 impl VirtualNode {
-    /// Builds the virtual node with global id `id` for `config`.
-    pub fn new(config: &ClusterConfig, id: u32, home_socket: usize) -> Self {
+    /// Builds the virtual node with global id `id` for `config`, applying
+    /// its static adversity profile (bandwidth-class cap override,
+    /// free-rider flag, dark start for flash-crowd joiners).
+    pub fn new(
+        config: &ClusterConfig,
+        compiled: &CompiledAdversity,
+        id: u32,
+        home_socket: usize,
+    ) -> Self {
         let node_id = NodeId::new(id);
-        let membership: Vec<NodeId> = (0..config.n as u32).map(NodeId::new).collect();
+        let profile = &compiled.profiles[id as usize];
+        // Base membership only: joiners become visible when their join
+        // fires (the shard then refreshes every local node's view).
+        let membership: Vec<NodeId> = (0..compiled.base_n as u32).map(NodeId::new).collect();
         let is_source = id == 0;
-        let node = if is_source {
+        let mut node = if is_source {
             GossipNode::new_source(node_id, config.gossip.clone(), membership, config.seed)
         } else {
             GossipNode::new(node_id, config.gossip.clone(), membership, config.seed)
         };
-        let upload_cap =
+        node.set_free_rider(profile.free_rider);
+        let uniform_cap =
             if is_source && config.source_uncapped { None } else { config.upload_cap_bps };
+        let upload_cap = profile.resolve_cap(uniform_cap);
         VirtualNode {
             id: node_id,
             node,
@@ -57,12 +79,9 @@ impl VirtualNode {
             shaper: UploadShaper::new(upload_cap, config.max_backlog),
             source: is_source.then(|| StreamSource::new(config.stream, Time::ZERO)),
             stream_end: is_source.then(|| Time::ZERO + config.stream_duration),
-            crash_at: config
-                .crashes
-                .iter()
-                .find(|&&(node, _)| node == id as usize)
-                .map(|&(_, at)| Time::ZERO + at),
-            crashed: false,
+            down: profile.join_at.is_some(),
+            epoch: 0,
+            members_seen: 0,
             shaper_armed: false,
             home_socket,
             loss_rng: DetRng::seed_from(config.seed).split(0xD409 + u64::from(id)),
@@ -71,15 +90,24 @@ impl VirtualNode {
         }
     }
 
-    /// Latches the crash flag once `now` passes the configured crash time.
-    /// A crashed node fires no timers, sends nothing and drops everything
-    /// addressed to it — churn injection, same semantics as the thread
-    /// runtime.
-    pub fn check_crash(&mut self, now: Time) -> bool {
-        if !self.crashed && self.crash_at.is_some_and(|at| now >= at) {
-            self.crashed = true;
-        }
-        self.crashed
+    /// Takes the node down: it loses its queued uploads and its epoch,
+    /// so every armed deadline of this life is dead on arrival.
+    pub fn crash(&mut self) {
+        self.down = true;
+        self.epoch += 1;
+        self.shaper.discard_backlog();
+        self.shaper_armed = false;
+    }
+
+    /// Brings the node back with *fresh* protocol state (a crash loses
+    /// everything; only the player's history of what the viewer already
+    /// watched survives) and the given membership.
+    pub fn revive(&mut self, config: &ClusterConfig, members: Vec<NodeId>, free_rider: bool) {
+        debug_assert!(self.down, "revive of a live node");
+        let mut node = GossipNode::new(self.id, config.gossip.clone(), members, config.seed);
+        node.set_free_rider(free_rider);
+        self.node = node;
+        self.down = false;
     }
 
     /// Consumes the node into its end-of-run report.

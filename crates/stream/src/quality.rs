@@ -75,6 +75,32 @@ impl NodeQuality {
         NodeQuality { window_lags }
     }
 
+    /// Extracts quality data for a node that *joined mid-stream* at
+    /// `joined`: only the windows published entirely after its arrival
+    /// are measured (the catch-up question is how well a newcomer views
+    /// the rest of the stream, not whether it time-travelled to the
+    /// beginning), clamped to `[first_window, last_window]`. Returns
+    /// `None` when the node joined past the measured horizon.
+    ///
+    /// Every runtime measures joiners through this one function, so
+    /// "joiner quality" means the same thing in a simulator `RunResult`
+    /// and a live-socket `ClusterReport`.
+    pub fn from_player_since(
+        player: &StreamPlayer,
+        config: &StreamConfig,
+        stream_start: Time,
+        joined: Time,
+        first_window: u32,
+        last_window: u32,
+    ) -> Option<Self> {
+        let wd = config.window_duration();
+        let first_full =
+            (joined.saturating_since(stream_start).as_micros() / wd.as_micros()) as u32 + 1;
+        let from = first_full.max(first_window);
+        (from <= last_window)
+            .then(|| NodeQuality::from_player(player, config, stream_start, from, last_window))
+    }
+
     /// Returns the number of measured windows.
     pub fn window_count(&self) -> usize {
         self.window_lags.len()

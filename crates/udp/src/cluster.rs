@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
+use gossip_adversity::{AdversitySpec, CompiledAdversity, FaultAction};
 use gossip_core::GossipConfig;
 use gossip_fec::{WindowDecoder, WindowParams};
 use gossip_stream::source::synth_payload;
@@ -14,6 +15,7 @@ use gossip_types::{Duration, NodeId, Time};
 
 use crate::clock::ClusterClock;
 use crate::driver::{run_node, DriverConfig, NodeReport};
+use crate::report::ShardStats;
 
 /// Configuration of a loopback deployment.
 ///
@@ -45,8 +47,17 @@ pub struct ClusterConfig {
     /// Probability of dropping each received datagram (impairment
     /// injection).
     pub inject_loss: f64,
-    /// Nodes that crash mid-run: `(node index, crash offset)`.
+    /// Nodes that crash mid-run: `(node index, crash offset)` — shorthand
+    /// for hand-picked victims, folded into [`ClusterConfig::adversity`]
+    /// as explicit crash events at compile time.
     pub crashes: Vec<(usize, Duration)>,
+    /// Declarative adversity: catastrophic crashes, Poisson churn,
+    /// flash-crowd joins, free-riders and bandwidth classes, compiled
+    /// deterministically from the cluster seed (the `gossip-adversity`
+    /// crate). Both runtimes consume the same compilation; the
+    /// thread-per-node runtime supports the crash/free-rider/bandwidth
+    /// subset (see [`UdpCluster::run`]).
+    pub adversity: AdversitySpec,
 }
 
 impl ClusterConfig {
@@ -69,26 +80,47 @@ impl ClusterConfig {
             seed: 1,
             inject_loss: 0.0,
             crashes: Vec::new(),
+            adversity: AdversitySpec::none(),
         }
+    }
+
+    /// Compiles the cluster's fault plan: the declarative spec plus the
+    /// [`ClusterConfig::crashes`] shorthand (folded in as explicit crash
+    /// events), a pure function of `(config, seed)` — so every shard, every
+    /// thread and the report assembly all derive the identical timeline
+    /// independently.
+    pub fn compiled_adversity(&self) -> CompiledAdversity {
+        let mut spec = self.adversity.clone();
+        for &(node, at) in &self.crashes {
+            spec = spec.with_explicit_crash(at, vec![NodeId::new(node as u32)]);
+        }
+        spec.compile(self.n, self.seed)
     }
 }
 
 /// The outcome of a loopback run.
 #[derive(Debug)]
 pub struct ClusterReport {
-    /// Per-node reports (index 0 is the source).
+    /// Per-node reports (index 0 is the source; flash-crowd joiners, when
+    /// the runtime hosts them, follow the base population).
     pub nodes: Vec<NodeReport>,
-    /// Stream quality of the receivers.
+    /// Stream quality of the *base* receivers (present from the start).
     pub quality: QualityReport,
+    /// Stream quality of flash-crowd joiners, each measured only over the
+    /// windows published after it joined (`None` when the run had none).
+    pub joiner_quality: Option<QualityReport>,
     /// Windows measured per node.
     pub windows_measured: u32,
     /// Number of windows whose payloads were fully reconstructed *and*
     /// byte-verified against the source generator, across all receivers.
     pub windows_verified: u64,
+    /// Per-shard I/O statistics (empty for the thread-per-node runtime,
+    /// which has no shards).
+    pub shard_stats: Vec<ShardStats>,
 }
 
 impl ClusterReport {
-    /// Number of receiving nodes.
+    /// Number of receiving nodes (base and joiners alike).
     pub fn receivers(&self) -> usize {
         self.nodes.len() - 1
     }
@@ -106,6 +138,9 @@ pub enum ClusterError {
     Io(std::io::Error),
     /// A node thread panicked.
     NodePanic(usize),
+    /// The adversity spec asks for something this runtime cannot host
+    /// (e.g. mid-stream joins or rejoins on the thread-per-node runtime).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -113,6 +148,7 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::Io(e) => write!(f, "cluster I/O error: {e}"),
             ClusterError::NodePanic(i) => write!(f, "node thread {i} panicked"),
+            ClusterError::Unsupported(what) => write!(f, "unsupported by this runtime: {what}"),
         }
     }
 }
@@ -140,6 +176,22 @@ impl UdpCluster {
     pub fn run(config: ClusterConfig) -> Result<ClusterReport, ClusterError> {
         assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
 
+        // One thread per node cannot grow the population or restart a
+        // thread's protocol state mid-run; it maps the compiled timeline
+        // onto per-thread one-shot crash deadlines plus the static
+        // profiles. Everything richer needs the reactor runtime.
+        let compiled = config.compiled_adversity();
+        if compiled.total_n > compiled.base_n {
+            return Err(ClusterError::Unsupported(
+                "flash-crowd joins need the reactor runtime (`ReactorCluster`)".to_string(),
+            ));
+        }
+        if compiled.timeline.events().iter().any(|e| matches!(e.action, FaultAction::Rejoin(_))) {
+            return Err(ClusterError::Unsupported(
+                "leave/rejoin churn needs the reactor runtime (`ReactorCluster`)".to_string(),
+            ));
+        }
+
         // Bind all sockets up front so every thread starts with the full
         // address book.
         let mut sockets = Vec::with_capacity(config.n);
@@ -155,20 +207,22 @@ impl UdpCluster {
 
         let mut handles = Vec::with_capacity(config.n);
         for (i, socket) in sockets.into_iter().enumerate() {
+            let profile = &compiled.profiles[i];
+            let uniform_cap =
+                if i == 0 && config.source_uncapped { None } else { config.upload_cap_bps };
             let driver = DriverConfig {
                 id: NodeId::new(i as u32),
                 gossip: config.gossip.clone(),
                 stream: config.stream,
-                upload_cap_bps: if i == 0 && config.source_uncapped {
-                    None
-                } else {
-                    config.upload_cap_bps
-                },
+                upload_cap_bps: profile.resolve_cap(uniform_cap),
                 max_backlog: config.max_backlog,
                 seed: config.seed,
                 stream_for: (i == 0).then_some(config.stream_duration),
                 inject_loss: config.inject_loss,
-                crash_at: config.crashes.iter().find(|&&(node, _)| node == i).map(|&(_, at)| at),
+                crash_at: compiled
+                    .first_crash_of(NodeId::new(i as u32))
+                    .map(|at| at.saturating_since(Time::ZERO)),
+                free_rider: profile.free_rider,
             };
             let addresses = Arc::clone(&addresses);
             let stop = Arc::clone(&stop);
@@ -195,14 +249,16 @@ impl UdpCluster {
 }
 
 /// Turns the per-node reports of a finished run into a [`ClusterReport`]:
-/// sorts by node id, computes the quality of every receiver over all
-/// fully-published windows except the first, and byte-verifies the
+/// sorts by node id, computes the quality of every *base* receiver over
+/// all fully-published windows except the first, measures flash-crowd
+/// joiners from their arrival window onward, and byte-verifies the
 /// decodable windows through the real Reed–Solomon code.
 ///
 /// Shared by every runtime that hosts a cluster (threads here, shards in
 /// `gossip-reactor`), so their reports are directly comparable.
 pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> ClusterReport {
     nodes.sort_by_key(|r| r.id);
+    let compiled = config.compiled_adversity();
 
     // Quality over all fully-published windows except the first. A stream
     // too short to fully publish two windows measures nothing (empty
@@ -211,27 +267,54 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
     let published = config.stream.windows_published(config.stream_duration) as u32;
     let (first, last) = (1u32, published.saturating_sub(1));
     if last < first {
-        let qualities = nodes.iter().skip(1).map(|_| NodeQuality::from_lags(Vec::new())).collect();
+        let qualities = nodes
+            .iter()
+            .filter(|r| r.id.index() != 0 && r.id.index() < compiled.base_n)
+            .map(|_| NodeQuality::from_lags(Vec::new()))
+            .collect();
         return ClusterReport {
             nodes,
             quality: QualityReport::new(qualities),
+            joiner_quality: None,
             windows_measured: 0,
             windows_verified: 0,
+            shard_stats: Vec::new(),
         };
     }
     let qualities: Vec<NodeQuality> = nodes
         .iter()
-        .skip(1)
+        .filter(|r| r.id.index() != 0 && r.id.index() < compiled.base_n)
         .map(|r| NodeQuality::from_player(&r.player, &config.stream, Time::ZERO, first, last))
         .collect();
+
+    // Joiners are measured only over the windows published after each one
+    // arrived: the catch-up question is how well a newcomer views the rest
+    // of the stream, not whether it time-travelled to the beginning.
+    let mut joiner_qualities = Vec::new();
+    for r in nodes.iter().filter(|r| r.id.index() >= compiled.base_n) {
+        let Some(joined) = compiled.profiles[r.id.index()].join_at else { continue };
+        if let Some(q) = NodeQuality::from_player_since(
+            &r.player,
+            &config.stream,
+            Time::ZERO,
+            joined,
+            first,
+            last,
+        ) {
+            joiner_qualities.push(q);
+        }
+    }
 
     let windows_verified = verify_windows(config, &nodes, first, last);
 
     ClusterReport {
         nodes,
         quality: QualityReport::new(qualities),
+        joiner_quality: (!joiner_qualities.is_empty())
+            .then(|| QualityReport::new(joiner_qualities)),
         windows_measured: last - first + 1,
         windows_verified,
+        shard_stats: Vec::new(),
     }
 }
 

@@ -38,6 +38,9 @@ pub struct DriverConfig {
     /// If set, the node crashes (stops processing and sending) at this
     /// point of the run — churn injection for the real runtime.
     pub crash_at: Option<Duration>,
+    /// Whether this node free-rides (requests but never proposes or
+    /// serves) — the selfish peer of the adversity experiments.
+    pub free_rider: bool,
 }
 
 /// Runs one node until `stop` is raised. Returns the node's report.
@@ -65,6 +68,7 @@ pub fn run_node(
     } else {
         GossipNode::new(config.id, config.gossip.clone(), membership, config.seed)
     };
+    node.set_free_rider(config.free_rider);
     let mut player = StreamPlayer::new(config.stream);
     let mut shaper: UploadShaper<(NodeId, Vec<u8>)> =
         UploadShaper::new(config.upload_cap_bps, config.max_backlog);

@@ -29,3 +29,37 @@ pub struct NodeReport {
     /// Datagrams that failed to decode.
     pub decode_errors: u64,
 }
+
+/// Per-shard I/O accounting of the sharded reactor runtime.
+///
+/// The interesting ratio is [`ShardStats::syscalls_per_datagram`]: with
+/// send coalescing (several protocol datagrams for the same destination
+/// socket packed into one kernel datagram) it drops below 1.0, which is
+/// the whole point of sharing sockets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Protocol datagrams this shard's nodes put on the wire.
+    pub datagrams_sent: u64,
+    /// `send_to` syscalls used to carry them.
+    pub send_syscalls: u64,
+    /// Protocol datagrams received (after unpacking coalesced frames).
+    pub datagrams_received: u64,
+    /// `recv_from` syscalls that returned data.
+    pub recv_syscalls: u64,
+}
+
+impl ShardStats {
+    /// Send syscalls per protocol datagram (1.0 = no coalescing; `None`
+    /// when the shard sent nothing).
+    pub fn syscalls_per_datagram(&self) -> Option<f64> {
+        (self.datagrams_sent > 0).then(|| self.send_syscalls as f64 / self.datagrams_sent as f64)
+    }
+
+    /// Folds another shard's counters into this one (for cluster totals).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.datagrams_sent += other.datagrams_sent;
+        self.send_syscalls += other.send_syscalls;
+        self.datagrams_received += other.datagrams_received;
+        self.recv_syscalls += other.recv_syscalls;
+    }
+}

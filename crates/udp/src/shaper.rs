@@ -109,6 +109,16 @@ impl<T> UploadShaper<T> {
         self.queue.len()
     }
 
+    /// Discards every queued datagram and resets pacing — a crashed node's
+    /// backlog never reaches the wire, and a later incarnation starts with
+    /// a clean bucket. The accepted-traffic counters are kept: they
+    /// describe what the node *offered*, same as in the thread runtime,
+    /// where a crashed node's queue also silently never drains.
+    pub fn discard_backlog(&mut self) {
+        self.queue.clear();
+        self.next_free = Time::ZERO;
+    }
+
     /// Total bytes accepted for sending.
     pub fn sent_bytes(&self) -> u64 {
         self.sent_bytes

@@ -4,15 +4,22 @@
 //! * `threads` — one thread + one blocking socket per node (hundreds of
 //!   nodes);
 //! * `reactor` — a few event-loop shards with shared sockets (thousands of
-//!   nodes in one process).
+//!   nodes in one process, plus the full adversity feature set: revives
+//!   and flash-crowd joins).
 //!
 //! Both use real wire encoding, real upload shaping and real Reed–Solomon
-//! verification of the received windows.
+//! verification of the received windows, and both consume the same
+//! declarative adversity spec (the `gossip-adversity` crate):
 //!
 //! ```text
-//! cargo run --release --example live_udp [nodes] [seconds] [--runtime threads|reactor]
+//! cargo run --release --example live_udp [nodes] [seconds]
+//!     [--runtime threads|reactor]
+//!     [--adversity <spec.toml>]     # full declarative spec
+//!     [--crash-frac <0..1>]         # shorthand: catastrophic crash
+//!     [--crash-at <seconds>]        # ... at this offset (default: midway)
 //! ```
 
+use gossip_adversity::AdversitySpec;
 use gossip_core::GossipConfig;
 use gossip_fec::WindowParams;
 use gossip_reactor::ReactorCluster;
@@ -23,20 +30,52 @@ use gossip_udp::cluster::{ClusterConfig, UdpCluster};
 fn main() {
     let mut positional: Vec<u64> = Vec::new();
     let mut runtime = String::from("threads");
+    let mut spec_path: Option<String> = None;
+    let mut crash_frac: Option<f64> = None;
+    let mut crash_at: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--runtime" => {
                 runtime = args.next().expect("--runtime requires `threads` or `reactor`");
             }
+            "--adversity" => {
+                spec_path = Some(args.next().expect("--adversity requires a spec.toml path"));
+            }
+            "--crash-frac" => {
+                let v = args.next().expect("--crash-frac requires a fraction");
+                crash_frac = Some(v.parse().expect("--crash-frac must be a number in [0, 1]"));
+            }
+            "--crash-at" => {
+                let v = args.next().expect("--crash-at requires seconds");
+                crash_at = Some(v.parse().expect("--crash-at must be a number of seconds"));
+            }
             other => positional.push(other.parse().unwrap_or_else(|_| {
-                panic!("unexpected argument {other:?} (usage: live_udp [nodes] [seconds] [--runtime threads|reactor])")
+                panic!(
+                    "unexpected argument {other:?} (usage: live_udp [nodes] [seconds] \
+                     [--runtime threads|reactor] [--adversity spec.toml] \
+                     [--crash-frac f] [--crash-at secs])"
+                )
             })),
         }
     }
     let n = positional.first().map_or(12, |&v| v as usize);
     let secs = positional.get(1).copied().unwrap_or(6);
     assert!(n >= 2, "need a source and at least one receiver");
+
+    // Adversity: a full spec file, or the catastrophic-crash shorthand.
+    let mut adversity = match &spec_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            AdversitySpec::from_toml_str(&text).unwrap_or_else(|e| panic!("{e}"))
+        }
+        None => AdversitySpec::none(),
+    };
+    if let Some(frac) = crash_frac {
+        let at = crash_at.unwrap_or(secs as f64 / 2.0);
+        adversity = adversity.with_catastrophic(Duration::from_secs_f64(at), frac);
+    }
 
     let config = ClusterConfig {
         n,
@@ -54,13 +93,23 @@ fn main() {
         seed: 42,
         inject_loss: 0.0,
         crashes: Vec::new(),
+        adversity,
     };
 
+    let faults = config.compiled_adversity();
     println!(
         "streaming {} kbps to {} receivers over loopback UDP for {secs} s ({runtime} runtime)...",
         config.stream.rate_bps / 1000,
         n - 1
     );
+    if !faults.timeline.is_empty() {
+        println!(
+            "  adversity: {} fault events, population {} -> {} nodes",
+            faults.timeline.len(),
+            faults.base_n,
+            faults.total_n
+        );
+    }
     let report = match runtime.as_str() {
         "threads" => UdpCluster::run(config).expect("cluster runs"),
         "reactor" => ReactorCluster::run(config).expect("cluster runs"),
@@ -78,9 +127,30 @@ fn main() {
         "  average complete windows: {:.1}%",
         report.quality.average_quality_percent(Duration::MAX)
     );
+    if let Some(joiners) = &report.joiner_quality {
+        println!(
+            "  joiner catch-up (windows after each join): {:.1}% across {} joiners",
+            joiners.average_quality_percent(Duration::MAX),
+            joiners.nodes().len()
+        );
+    }
     println!("  windows byte-verified through real Reed-Solomon: {}", report.windows_verified);
     let sent: u64 = report.nodes.iter().map(|r| r.sent_msgs).sum();
     let recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
     let errs: u64 = report.nodes.iter().map(|r| r.decode_errors).sum();
     println!("  datagrams sent {sent}, received {recv}, malformed {errs}");
+    if !report.shard_stats.is_empty() {
+        let mut total = gossip_udp::report::ShardStats::default();
+        for s in &report.shard_stats {
+            total.merge(s);
+        }
+        if let Some(ratio) = total.syscalls_per_datagram() {
+            println!(
+                "  send syscalls per datagram: {ratio:.3} ({} syscalls / {} datagrams, {} shards)",
+                total.send_syscalls,
+                total.datagrams_sent,
+                report.shard_stats.len()
+            );
+        }
+    }
 }

@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gossip_adversity as adversity;
 pub use gossip_core as core;
 pub use gossip_experiments as experiments;
 pub use gossip_fec as fec;

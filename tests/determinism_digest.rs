@@ -83,3 +83,24 @@ fn fig1_style_digest_is_pinned() {
 fn digest_is_reproducible_within_a_process() {
     assert_eq!(digest(), digest());
 }
+
+/// The adversity regression of the spec engine: attaching an explicitly
+/// empty `AdversitySpec` must leave the digest byte-identical to the
+/// pinned constant — a no-adversity run draws nothing from the compile
+/// stream and schedules no fault events, so the simulation schedule
+/// cannot move by a single microsecond.
+#[test]
+fn empty_adversity_spec_leaves_digest_pinned() {
+    use gossip::adversity::AdversitySpec;
+
+    let mut h = Fnv::new();
+    for fanout in [5usize, 7] {
+        let result =
+            Scenario::tiny(fanout).with_seed(42).with_adversity(AdversitySpec::none()).run();
+        fold_result(&mut h, &result);
+    }
+    assert_eq!(
+        h.0, PINNED_DIGEST,
+        "an empty adversity spec must not perturb the simulation schedule"
+    );
+}

@@ -26,6 +26,7 @@ fn reactor_cluster(n: usize, secs: u64) -> ClusterConfig {
         seed: 11,
         inject_loss: 0.0,
         crashes: Vec::new(),
+        adversity: gossip_adversity::AdversitySpec::none(),
     }
 }
 
@@ -101,4 +102,126 @@ fn reactor_reports_are_sane_at_n256() {
     assert!(report.windows_verified > 0, "windows must byte-verify through Reed-Solomon");
     let avg = report.quality.average_quality_percent(Duration::MAX);
     assert!(avg >= 50.0, "a lightly loaded 256-node loopback run should stream: {avg:.1}%");
+}
+
+/// The acceptance scenario of the adversity subsystem: the paper's
+/// Figure 7/8 catastrophe — 80 % of the nodes crash simultaneously at the
+/// stream midpoint under `X = 1` partner refresh — expressed as ONE
+/// declarative `AdversitySpec` and applied unchanged to both the
+/// event-driven simulator and the live reactor runtime. The spec compiles
+/// from the same `(spec, n, seed)` in both, so the two runs kill the
+/// *identical* victim set; survivors must keep streaming comparably and
+/// every victim must go dark in both worlds.
+#[test]
+fn figure_7_8_spec_runs_on_sim_and_reactor() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_experiments::Scenario;
+    use gossip_net::{LatencyModel, LossModel};
+    use gossip_types::Time;
+
+    let n = 50;
+    let seed = 11;
+    let spec = AdversitySpec::none().with_catastrophic(Duration::from_secs(3), 0.8);
+
+    // Live reactor run. Fanout ~ln(n)+2, the paper's optimum for the
+    // deployment size (its Figure 7/8 numbers are at the optimal fanout).
+    let mut config = reactor_cluster(n, 6);
+    config.seed = seed;
+    config.gossip = GossipConfig::new(6)
+        .with_gossip_period(Duration::from_millis(100))
+        .with_refresh_rounds(Some(1));
+    config.adversity = spec.clone();
+    let report = ReactorCluster::run_with(config.clone(), small_reactor()).expect("cluster runs");
+
+    // The same workload on the simulator (loopback-like network: tiny
+    // constant latency, no in-network loss).
+    let mut scenario = Scenario::tiny(6)
+        .with_seed(seed)
+        .with_gossip(config.gossip.clone())
+        .with_adversity(spec.clone());
+    scenario.n = n;
+    scenario.stream = config.stream;
+    scenario.upload_cap_bps = config.upload_cap_bps;
+    scenario.stream_duration = config.stream_duration;
+    scenario.drain_duration = config.drain_duration;
+    scenario.latency = LatencyModel::Constant(Duration::from_micros(200));
+    scenario.loss = LossModel::None;
+    scenario.measure_from_window = 1; // match the cluster report's window range
+    let sim = scenario.run();
+
+    // Both runtimes compiled the identical timeline.
+    let compiled = config.compiled_adversity();
+    let dead = compiled.timeline.dead_at(Time::MAX);
+    assert_eq!(dead.len(), 40, "80% of 50");
+
+    // Dark victims, both worlds: the simulator excludes them from the
+    // survivor report entirely; the reactor reports them with incomplete
+    // windows (nothing can reach a node that drops every datagram).
+    assert_eq!(sim.quality.nodes().len(), n - 1 - dead.len());
+    for v in &dead {
+        let victim = report.quality.nodes()[v.index() - 1].complete_fraction();
+        assert!(victim < 1.0 - 1e-9, "victim {v} completed every window ({victim})");
+    }
+
+    // Comparable survivor quality. Real-time scheduling on a shared box is
+    // noisy, so the band is generous — but both must stream, and they must
+    // not tell opposite stories.
+    let sim_avg = sim.quality.average_quality_percent(Duration::MAX);
+    let survivors: Vec<f64> = report
+        .quality
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !dead.iter().any(|v| v.index() == r + 1))
+        .map(|(_, q)| 100.0 * q.complete_fraction())
+        .collect();
+    assert_eq!(survivors.len(), n - 1 - dead.len());
+    let reactor_avg = survivors.iter().sum::<f64>() / survivors.len() as f64;
+    // n = 50 is far below the paper's 230-node deployment, so absolute
+    // completeness after an 80 % massacre is scale-limited; the claim
+    // under test is that both runtimes keep streaming AND agree.
+    assert!(sim_avg >= 40.0, "sim survivors must keep streaming: {sim_avg:.1}%");
+    assert!(reactor_avg >= 40.0, "reactor survivors must keep streaming: {reactor_avg:.1}%");
+    assert!(
+        (sim_avg - reactor_avg).abs() <= 35.0,
+        "sim ({sim_avg:.1}%) and reactor ({reactor_avg:.1}%) disagree beyond the band"
+    );
+}
+
+/// A composed spec — Poisson leave/rejoin churn plus a mid-stream flash
+/// crowd — runs to completion on the reactor, with the joiners reaching
+/// non-trivial completeness over the windows published after they joined.
+#[test]
+fn reactor_hosts_churn_and_flash_crowd() {
+    use gossip_adversity::AdversitySpec;
+
+    let mut config = reactor_cluster(40, 6);
+    config.adversity = AdversitySpec::none()
+        .with_poisson_churn(
+            Duration::ZERO,
+            Duration::from_secs(6),
+            0.5,
+            Some(Duration::from_secs(3)),
+        )
+        .with_flash_crowd(Duration::from_secs(2), 10, Duration::from_secs(1));
+    let compiled = config.compiled_adversity();
+    assert_eq!(compiled.total_n, 50);
+    let report = ReactorCluster::run_with(config, small_reactor()).expect("cluster runs");
+
+    assert_eq!(report.nodes.len(), 50, "joiners must report too");
+    let joiners = report.joiner_quality.as_ref().expect("the wave joined mid-stream");
+    assert_eq!(joiners.nodes().len(), 10);
+    let catch_up = joiners.average_quality_percent(Duration::MAX);
+    assert!(catch_up >= 40.0, "joiners must reach non-trivial completeness: {catch_up:.1}%");
+
+    // The send-batching satellite: shards must report their syscall
+    // accounting, and coalescing must never *increase* the syscall count.
+    assert!(!report.shard_stats.is_empty());
+    let mut total = gossip_udp::report::ShardStats::default();
+    for s in &report.shard_stats {
+        total.merge(s);
+    }
+    assert!(total.datagrams_sent > 0);
+    let ratio = total.syscalls_per_datagram().expect("traffic flowed");
+    assert!(ratio <= 1.0 + 1e-9, "coalescing cannot take more syscalls than datagrams: {ratio}");
 }

@@ -26,6 +26,7 @@ fn small_cluster(n: usize, secs: u64) -> ClusterConfig {
         seed: 7,
         inject_loss: 0.0,
         crashes: Vec::new(),
+        adversity: gossip_adversity::AdversitySpec::none(),
     }
 }
 
@@ -126,4 +127,60 @@ fn shaper_limits_throughput() {
         let kbps = node.sent_bytes as f64 * 8.0 / 1000.0 / elapsed_secs;
         assert!(kbps <= 330.0, "node {} sent {kbps:.0} kbps through a 300 kbps shaper", node.id);
     }
+}
+
+/// The thread-per-node runtime consumes the same declarative adversity
+/// spec as the reactor, for the subset a fixed thread pool can host:
+/// one-shot crashes (mapped onto per-thread crash deadlines), free-riders
+/// and bandwidth classes.
+#[test]
+fn threads_runtime_consumes_catastrophic_spec() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_types::Time;
+
+    let mut config = small_cluster(12, 5);
+    config.gossip = config.gossip.with_refresh_rounds(Some(1));
+    config.adversity =
+        AdversitySpec::none().with_catastrophic(Duration::from_secs(2), 0.25).with_free_riders(0.2);
+    let compiled = config.compiled_adversity();
+    let dead = compiled.timeline.dead_at(Time::MAX);
+    assert_eq!(dead.len(), 3, "25% of 12");
+
+    let report = UdpCluster::run(config).expect("cluster runs");
+    for v in &dead {
+        let victim = report.quality.nodes()[v.index() - 1].complete_fraction();
+        assert!(victim < 1.0 - 1e-9, "victim {v} completed every window ({victim})");
+    }
+    let survivors: Vec<f64> = report
+        .quality
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !dead.iter().any(|v| v.index() == r + 1))
+        .map(|(_, q)| 100.0 * q.complete_fraction())
+        .collect();
+    let avg = survivors.iter().sum::<f64>() / survivors.len() as f64;
+    assert!(avg >= 60.0, "survivors should keep streaming: {avg:.1}%");
+}
+
+/// Specs the thread runtime cannot host are rejected loudly instead of
+/// silently mis-running: joins and rejoins need the reactor.
+#[test]
+fn threads_runtime_rejects_joins_and_rejoins() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_udp::cluster::ClusterError;
+
+    let mut config = small_cluster(8, 2);
+    config.adversity =
+        AdversitySpec::none().with_flash_crowd(Duration::from_secs(1), 4, Duration::ZERO);
+    assert!(matches!(UdpCluster::run(config), Err(ClusterError::Unsupported(_))));
+
+    let mut config = small_cluster(8, 2);
+    config.adversity = AdversitySpec::none().with_poisson_churn(
+        Duration::ZERO,
+        Duration::from_secs(2),
+        1.0,
+        Some(Duration::from_secs(1)),
+    );
+    assert!(matches!(UdpCluster::run(config), Err(ClusterError::Unsupported(_))));
 }
