@@ -1,0 +1,126 @@
+//! Races the two ingress demux paths of the reactor runtime head-to-head.
+//!
+//! A shard receives one kernel datagram carrying several coalesced
+//! protocol frames and must hand each to its hosted node. The *copying*
+//! path materialises every frame into an owned `Message` (a `Vec` of
+//! elements, plus an `Arc<[Id]>` for id messages) before the node sees
+//! it; the *borrowed* path (`decode_frame`) validates in place and lends
+//! the node lazy iterators over the receive buffer. Same bytes in, same
+//! protocol semantics out — the difference is pure allocation and copy
+//! traffic, which is exactly what this group measures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use gossip_core::wire::{decode_frame, decode_message, encode_message, FrameKind};
+use gossip_core::Message;
+use gossip_reactor::demux;
+use gossip_stream::{PacketId, StreamPacket};
+use gossip_types::{NodeId, Time};
+
+/// One kernel datagram of `k` coalesced propose frames, `ids` ids each —
+/// the dominant traffic shape of a gossip round.
+fn coalesced_proposes(k: u32, ids: u16) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for dest in 0..k {
+        let msg: Message<StreamPacket> = Message::Propose {
+            ids: (0..ids).map(|i| PacketId::new(dest, i)).collect::<Vec<_>>().into(),
+        };
+        let wire = encode_message(NodeId::new(1000 + dest), &msg);
+        demux::append_frame(&mut buf, NodeId::new(dest), &wire);
+    }
+    buf
+}
+
+/// One kernel datagram of `k` coalesced serve frames, each carrying one
+/// MTU-sized stream packet — the payload-heavy traffic shape.
+fn coalesced_serves(k: u32, payload: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for dest in 0..k {
+        let packet = StreamPacket::new(
+            PacketId::new(dest, 0),
+            Time::from_micros(u64::from(dest) * 33_000),
+            Bytes::from(vec![0x5Au8; payload]),
+        );
+        let msg: Message<StreamPacket> = Message::Serve { events: vec![packet] };
+        let wire = encode_message(NodeId::new(1000 + dest), &msg);
+        demux::append_frame(&mut buf, NodeId::new(dest), &wire);
+    }
+    buf
+}
+
+/// Walks every frame through the copying decoder, touching the decoded
+/// elements the way a node would.
+fn demux_copying(datagram: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for (dest, wire) in demux::frames(datagram) {
+        let (sender, msg) = decode_message::<StreamPacket>(wire).expect("well-formed");
+        acc = acc.wrapping_add(u64::from(dest.as_u32()) ^ u64::from(sender.as_u32()));
+        match msg {
+            Message::Propose { ids } | Message::Request { ids } => {
+                for id in ids.iter() {
+                    acc = acc.wrapping_add(u64::from(id.window) + u64::from(id.index));
+                }
+            }
+            Message::Serve { events } => {
+                for event in events {
+                    acc = acc.wrapping_add(event.payload().len() as u64);
+                }
+            }
+            Message::FeedMe => {}
+        }
+    }
+    acc
+}
+
+/// Walks every frame through the borrowed decoder: validation in place,
+/// ids decoded lazily out of the receive buffer, no intermediate `Vec`.
+fn demux_borrowed(datagram: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for (dest, wire) in demux::frames(datagram) {
+        let frame = decode_frame::<StreamPacket>(wire).expect("well-formed");
+        acc = acc.wrapping_add(u64::from(dest.as_u32()) ^ u64::from(frame.sender().as_u32()));
+        match frame.kind() {
+            FrameKind::Propose | FrameKind::Request => {
+                for id in frame.ids() {
+                    acc = acc.wrapping_add(u64::from(id.window) + u64::from(id.index));
+                }
+            }
+            FrameKind::Serve => {
+                for event in frame.events() {
+                    acc = acc.wrapping_add(event.payload().len() as u64);
+                }
+            }
+            FrameKind::FeedMe => {}
+        }
+    }
+    acc
+}
+
+fn bench_demux(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demux_borrowed");
+
+    let proposes = coalesced_proposes(16, 16);
+    g.throughput(Throughput::Bytes(proposes.len() as u64));
+    g.bench_function("propose_16x16ids_copying", |b| {
+        b.iter(|| black_box(demux_copying(black_box(&proposes))));
+    });
+    g.bench_function("propose_16x16ids_borrowed", |b| {
+        b.iter(|| black_box(demux_borrowed(black_box(&proposes))));
+    });
+
+    let serves = coalesced_serves(8, 1000);
+    g.throughput(Throughput::Bytes(serves.len() as u64));
+    g.bench_function("serve_8x1000B_copying", |b| {
+        b.iter(|| black_box(demux_copying(black_box(&serves))));
+    });
+    g.bench_function("serve_8x1000B_borrowed", |b| {
+        b.iter(|| black_box(demux_borrowed(black_box(&serves))));
+    });
+
+    g.finish();
+}
+
+criterion_group!(demux_races, bench_demux);
+criterion_main!(demux_races);

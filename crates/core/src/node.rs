@@ -391,15 +391,18 @@ impl<E: Event> GossipNode<E> {
     /// Handles an incoming message (phases 2 and 3, plus feed-me).
     pub fn on_message(&mut self, now: Time, from: NodeId, msg: Message<E>) {
         match msg {
-            Message::Propose { ids } => self.handle_propose(now, from, ids),
-            Message::Request { ids } => self.handle_request(from, ids),
-            Message::Serve { events } => self.handle_serve(now, events),
+            Message::Propose { ids } => self.handle_propose(now, from, ids.iter().copied()),
+            Message::Request { ids } => self.handle_request(from, ids.iter().copied()),
+            Message::Serve { events } => self.handle_serve(now, events.into_iter()),
             Message::FeedMe => self.handle_feedme(from),
         }
     }
 
     /// Handles a retransmission timer expiry (line 25). Stale tokens are
     /// ignored.
+    ///
+    /// (See also [`GossipNode::on_frame`] for the borrowed-datagram twin of
+    /// [`GossipNode::on_message`].)
     pub fn on_timer(&mut self, now: Time, token: TimerToken) {
         let Some(entry) = self.retransmits.remove(token.0) else {
             return; // stale timer: its proposal was fully served
@@ -444,14 +447,18 @@ impl<E: Event> GossipNode<E> {
 
     /// Phase 2 (lines 8–15): request the proposed ids we have not requested
     /// from anyone yet, and arm a retransmission timer for them.
-    fn handle_propose(&mut self, now: Time, from: NodeId, ids: Arc<[E::Id]>) {
+    ///
+    /// Generic over the id source so both the owned path
+    /// ([`GossipNode::on_message`]) and the borrowed wire path
+    /// ([`GossipNode::on_frame`]) feed it without an intermediate buffer.
+    fn handle_propose(&mut self, now: Time, from: NodeId, ids: impl Iterator<Item = E::Id>) {
         self.stats.proposes_received += 1;
         if self.is_source {
             return; // the source never pulls
         }
         let mut wanted = std::mem::take(&mut self.scratch_ids);
         wanted.clear();
-        for &id in ids.iter() {
+        for id in ids {
             // Already requested (from whoever proposed first) or already
             // delivered: line 10 filters it out.
             let fresh = self.requested.insert_if_vacant(id, RequestState::new(1, false, now));
@@ -480,15 +487,15 @@ impl<E: Event> GossipNode<E> {
 
     /// Phase 3, serving side (lines 16–19): push the requested events we
     /// still hold, split into MTU-sized serve datagrams.
-    fn handle_request(&mut self, from: NodeId, ids: Arc<[E::Id]>) {
+    fn handle_request(&mut self, from: NodeId, ids: impl Iterator<Item = E::Id>) {
         self.stats.requests_received += 1;
         if self.free_rider {
             return; // free-riders take and never give
         }
         let mut events = std::mem::take(&mut self.scratch_events);
         events.clear();
-        for id in ids.iter() {
-            match self.store.get(id) {
+        for id in ids {
+            match self.store.get(&id) {
                 Some((event, _)) => events.push(event.clone()),
                 None => self.stats.unservable_ids += 1,
             }
@@ -506,7 +513,7 @@ impl<E: Event> GossipNode<E> {
 
     /// Phase 3, receiving side (lines 20–24): deliver fresh events, queue
     /// their ids for the next proposal.
-    fn handle_serve(&mut self, now: Time, events: Vec<E>) {
+    fn handle_serve(&mut self, now: Time, events: impl Iterator<Item = E>) {
         self.stats.serves_received += 1;
         for event in events {
             let id = event.id();
@@ -609,6 +616,25 @@ impl<E: Event> GossipNode<E> {
     /// requested or delivered (diagnostics).
     pub fn request_info(&self, id: &E::Id) -> Option<(u32, bool)> {
         self.requested.get(id).map(|s| (s.times_requested(), s.delivered()))
+    }
+}
+
+impl<E: crate::wire::WireEvent> GossipNode<E> {
+    /// Drives the node from a *borrowed* wire frame — the allocation-free
+    /// twin of [`GossipNode::on_message`].
+    ///
+    /// Ids and events decode lazily straight out of the receive buffer as
+    /// the handlers consume them; no intermediate `Vec`/`Arc` is built. The
+    /// protocol effect is identical to decoding the same datagram with
+    /// [`crate::wire::decode_message`] and calling `on_message`.
+    pub fn on_frame(&mut self, now: Time, frame: &crate::wire::Frame<'_, E>) {
+        use crate::wire::FrameKind;
+        match frame.kind() {
+            FrameKind::Propose => self.handle_propose(now, frame.sender(), frame.ids()),
+            FrameKind::Request => self.handle_request(frame.sender(), frame.ids()),
+            FrameKind::Serve => self.handle_serve(now, frame.events()),
+            FrameKind::FeedMe => self.handle_feedme(frame.sender()),
+        }
     }
 }
 

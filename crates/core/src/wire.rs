@@ -38,6 +38,16 @@ pub trait WireEvent: Event + Sized {
     fn encode_event(&self, buf: &mut Vec<u8>);
     /// Decodes a full event from the front of `input`, advancing it.
     fn decode_event(input: &mut &[u8]) -> Option<Self>;
+    /// Advances `input` past one encoded event without materialising it.
+    ///
+    /// [`decode_frame`] uses this to validate a `[SERVE]` body up front so
+    /// the borrowed [`Frame::events`] iterator cannot fail mid-message. The
+    /// default decodes and discards; implementations whose encoding carries
+    /// explicit length fields should override it — copying a payload just
+    /// to throw it away defeats the zero-copy walk.
+    fn skip_event(input: &mut &[u8]) -> Option<()> {
+        Self::decode_event(input).map(|_| ())
+    }
 }
 
 /// Encodes `msg` from `sender` into a fresh datagram buffer.
@@ -103,6 +113,143 @@ pub fn decode_message<E: WireEvent>(datagram: &[u8]) -> Option<(NodeId, Message<
         return None; // trailing garbage: reject the datagram
     }
     Some((sender, msg))
+}
+
+/// The message kind of a decoded [`Frame`] (the [`Message`] variants
+/// without their payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Phase 1: the frame carries proposed event ids.
+    Propose,
+    /// Phase 2: the frame carries requested event ids.
+    Request,
+    /// Phase 3: the frame carries full events.
+    Serve,
+    /// The feed-me extension (no payload).
+    FeedMe,
+}
+
+/// A *borrowed* view of one encoded datagram: the header is parsed, the
+/// element body is validated but left in place, and ids/events decode
+/// lazily straight out of the receive buffer.
+///
+/// This is the allocation-free twin of [`decode_message`]: where the
+/// copying path materialises a `Vec` (and, for id messages, a second
+/// `Arc<[Id]>` allocation) before the node ever sees the message, a
+/// `Frame` hands the consumer an iterator over the original bytes. The
+/// hot-path consumer is `GossipNode::on_frame`; the `demux_borrowed`
+/// criterion group races the two paths head-to-head.
+///
+/// Validation happens entirely in [`decode_frame`] — cheap length walks,
+/// no allocation — so a `Frame` that exists is guaranteed well-formed and
+/// its iterators yield exactly [`Frame::count`] elements. The borrowed
+/// path therefore keeps the copying path's all-or-nothing rejection of
+/// malformed datagrams.
+#[derive(Debug)]
+pub struct Frame<'a, E: WireEvent> {
+    sender: NodeId,
+    kind: FrameKind,
+    count: usize,
+    body: &'a [u8],
+    _marker: std::marker::PhantomData<fn() -> E>,
+}
+
+/// Parses and validates a datagram into a borrowed [`Frame`].
+///
+/// Returns `None` for truncated or malformed input, exactly when
+/// [`decode_message`] would (the two paths are property-tested against
+/// each other in `crates/core/tests/proptests.rs`).
+pub fn decode_frame<E: WireEvent>(datagram: &[u8]) -> Option<Frame<'_, E>> {
+    let mut input = datagram;
+    let tag = take_u8(&mut input)?;
+    let sender = NodeId::new(take_u32(&mut input)?);
+    let count = take_u16(&mut input)? as usize;
+    let kind = match tag {
+        TAG_PROPOSE => FrameKind::Propose,
+        TAG_REQUEST => FrameKind::Request,
+        TAG_SERVE => FrameKind::Serve,
+        TAG_FEEDME => FrameKind::FeedMe,
+        _ => return None,
+    };
+    match kind {
+        FrameKind::Propose | FrameKind::Request => {
+            // Ids are fixed-size (`Event::id_wire_size`), so the body is
+            // valid iff its length is exact.
+            if input.len() != count * E::id_wire_size() {
+                return None;
+            }
+        }
+        FrameKind::Serve => {
+            let mut cursor = input;
+            for _ in 0..count {
+                E::skip_event(&mut cursor)?;
+            }
+            if !cursor.is_empty() {
+                return None; // trailing garbage: reject the datagram
+            }
+        }
+        FrameKind::FeedMe => {
+            if !input.is_empty() {
+                return None; // trailing garbage: reject the datagram
+            }
+        }
+    }
+    Some(Frame { sender, kind, count, body: input, _marker: std::marker::PhantomData })
+}
+
+impl<'a, E: WireEvent> Frame<'a, E> {
+    /// The node that sent this datagram.
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// Which message the frame encodes.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// Number of elements (ids or events) the frame carries.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Iterates the ids of a `Propose`/`Request` frame, decoding each from
+    /// the borrowed body on the fly. Empty for the other kinds.
+    pub fn ids(&self) -> impl Iterator<Item = E::Id> + 'a {
+        let (mut cursor, count) = match self.kind {
+            FrameKind::Propose | FrameKind::Request => (self.body, self.count),
+            _ => (&[][..], 0),
+        };
+        // Validation already proved every decode succeeds; `map_while` only
+        // guards against a `WireEvent` impl whose decode disagrees with its
+        // own sizes.
+        (0..count).map_while(move |_| E::decode_id(&mut cursor))
+    }
+
+    /// Iterates the events of a `Serve` frame, decoding each from the
+    /// borrowed body on the fly. Empty for the other kinds.
+    ///
+    /// "Zero-copy" here means no intermediate `Vec<E>` and no per-message
+    /// buffer copy; an individual event may still copy its payload out of
+    /// the buffer if its type owns its bytes.
+    pub fn events(&self) -> impl Iterator<Item = E> + 'a {
+        let (mut cursor, count) = match self.kind {
+            FrameKind::Serve => (self.body, self.count),
+            _ => (&[][..], 0),
+        };
+        (0..count).map_while(move |_| E::decode_event(&mut cursor))
+    }
+
+    /// Materialises the frame into an owned [`Message`] (the copying path;
+    /// useful for tests and for consumers that need ownership anyway).
+    pub fn to_message(&self) -> Message<E> {
+        match self.kind {
+            FrameKind::Propose => Message::Propose { ids: self.ids().collect::<Vec<_>>().into() },
+            FrameKind::Request => Message::Request { ids: self.ids().collect::<Vec<_>>().into() },
+            FrameKind::Serve => Message::Serve { events: self.events().collect() },
+            FrameKind::FeedMe => Message::FeedMe,
+        }
+    }
 }
 
 fn take_u8(input: &mut &[u8]) -> Option<u8> {
@@ -224,5 +371,83 @@ mod tests {
     #[test]
     fn empty_datagram_is_rejected() {
         assert!(decode_message::<TestEvent>(&[]).is_none());
+    }
+
+    #[test]
+    fn frame_round_trips_every_variant() {
+        let sender = NodeId::new(17);
+        for msg in [
+            Message::Propose { ids: vec![1, 2, u64::MAX].into() },
+            Message::Request { ids: Vec::new().into() },
+            Message::Serve { events: vec![TestEvent::new(9, 1000), TestEvent::new(10, 0)] },
+            Message::FeedMe,
+        ] {
+            let bytes = encode_message(sender, &msg);
+            let frame = decode_frame::<TestEvent>(&bytes).expect("decodes");
+            assert_eq!(frame.sender(), sender);
+            assert_eq!(frame.to_message(), msg);
+        }
+    }
+
+    #[test]
+    fn frame_rejects_truncation_everywhere() {
+        let bytes = encode_message(
+            NodeId::new(1),
+            &Message::Serve::<TestEvent> { events: vec![TestEvent::new(1, 64)] },
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame::<TestEvent>(&bytes[..cut]).is_none(),
+                "truncation at {cut} must not decode as a frame"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage_and_unknown_tags() {
+        let mut bytes = encode_message(NodeId::new(1), &Message::FeedMe::<TestEvent>);
+        bytes.push(0xFF);
+        assert!(decode_frame::<TestEvent>(&bytes).is_none());
+        assert!(decode_frame::<TestEvent>(&[42u8, 0, 0, 0, 0, 0, 0]).is_none());
+        assert!(decode_frame::<TestEvent>(&[]).is_none());
+    }
+
+    #[test]
+    fn frame_rejects_event_length_past_datagram_end() {
+        // A serve whose embedded payload length runs past the datagram:
+        // [tag][sender][count=1][id u64][size u32 = 1000][8 bytes only].
+        let mut bytes = Vec::new();
+        bytes.push(TAG_SERVE);
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&99u64.to_le_bytes());
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(decode_frame::<TestEvent>(&bytes).is_none());
+        assert!(decode_message::<TestEvent>(&bytes).is_none(), "paths agree");
+    }
+
+    #[test]
+    fn frame_rejects_id_body_length_mismatch() {
+        // A propose claiming 2 ids but carrying 1.5: all-or-nothing.
+        let mut bytes = Vec::new();
+        bytes.push(TAG_PROPOSE);
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        assert!(decode_frame::<TestEvent>(&bytes).is_none());
+        assert!(decode_message::<TestEvent>(&bytes).is_none(), "paths agree");
+    }
+
+    #[test]
+    fn frame_iterators_are_lazy_and_repeatable() {
+        let msg: Message<TestEvent> = Message::Propose { ids: vec![3, 1, 4, 1, 5].into() };
+        let bytes = encode_message(NodeId::new(2), &msg);
+        let frame = decode_frame::<TestEvent>(&bytes).expect("decodes");
+        assert_eq!(frame.count(), 5);
+        // Each call yields a fresh pass over the borrowed body.
+        assert_eq!(frame.ids().collect::<Vec<_>>(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(frame.ids().take(2).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(frame.ids().count(), 5);
     }
 }

@@ -5,7 +5,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use gossip_core::wire::{decode_message, encode_message};
+use gossip_core::wire::{decode_frame, decode_message, encode_message};
 use gossip_core::{Event, GossipConfig, GossipNode, Message, Output, TestEvent};
 use gossip_types::{NodeId, Time};
 
@@ -149,6 +149,85 @@ proptest! {
         let bytes = encode_message(NodeId::new(1), &msg);
         let cut = (bytes.len() as f64 * cut_fraction) as usize;
         if cut < bytes.len() {
+            prop_assert!(decode_message::<TestEvent>(&bytes[..cut]).is_none());
+        }
+    }
+
+    /// The borrowed `decode_frame` path is equivalent to the copying
+    /// `decode_message` path on every valid datagram: same sender, same
+    /// message once materialised, same lazy iterator contents.
+    #[test]
+    fn borrowed_frame_matches_owned_decode_on_valid_input(
+        sender in any::<u32>(),
+        ids in vec(any::<u64>(), 0..50),
+        sizes in vec(0usize..2000, 0..5),
+        kind in 0u8..4,
+    ) {
+        let msg: Message<TestEvent> = match kind {
+            0 => Message::Propose { ids: ids.into() },
+            1 => Message::Request { ids: ids.into() },
+            2 => Message::Serve {
+                events: sizes.iter().enumerate().map(|(i, &s)| TestEvent::new(i as u64, s)).collect(),
+            },
+            _ => Message::FeedMe,
+        };
+        let bytes = encode_message(NodeId::new(sender), &msg);
+        let frame = decode_frame::<TestEvent>(&bytes).expect("valid datagrams decode as frames");
+        prop_assert_eq!(frame.sender(), NodeId::new(sender));
+        prop_assert_eq!(frame.to_message(), msg.clone());
+        match &msg {
+            Message::Propose { ids } | Message::Request { ids } => {
+                prop_assert_eq!(frame.count(), ids.len());
+                prop_assert_eq!(&frame.ids().collect::<Vec<_>>()[..], &ids[..]);
+                prop_assert_eq!(frame.events().count(), 0);
+            }
+            Message::Serve { events } => {
+                prop_assert_eq!(frame.count(), events.len());
+                prop_assert_eq!(&frame.events().collect::<Vec<_>>(), events);
+                prop_assert_eq!(frame.ids().count(), 0);
+            }
+            Message::FeedMe => {
+                prop_assert_eq!(frame.ids().count(), 0);
+                prop_assert_eq!(frame.events().count(), 0);
+            }
+        }
+    }
+
+    /// The two decode paths accept and reject *exactly* the same inputs —
+    /// arbitrary garbage included — and neither ever panics.
+    #[test]
+    fn borrowed_frame_matches_owned_decode_on_garbage(bytes in vec(any::<u8>(), 0..300)) {
+        let owned = decode_message::<TestEvent>(&bytes);
+        let borrowed = decode_frame::<TestEvent>(&bytes);
+        match (owned, borrowed) {
+            (Some((sender, msg)), Some(frame)) => {
+                prop_assert_eq!(frame.sender(), sender);
+                prop_assert_eq!(frame.to_message(), msg);
+            }
+            (None, None) => {}
+            (owned, borrowed) => prop_assert!(
+                false,
+                "paths disagree: owned={:?} borrowed={:?}",
+                owned.is_some(),
+                borrowed.is_some()
+            ),
+        }
+    }
+
+    /// Truncating a valid datagram anywhere is rejected identically by
+    /// both decode paths.
+    #[test]
+    fn borrowed_frame_rejects_truncation(
+        sizes in vec(0usize..500, 1..4),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg: Message<TestEvent> = Message::Serve {
+            events: sizes.iter().enumerate().map(|(i, &s)| TestEvent::new(i as u64, s)).collect(),
+        };
+        let bytes = encode_message(NodeId::new(1), &msg);
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_frame::<TestEvent>(&bytes[..cut]).is_none());
             prop_assert!(decode_message::<TestEvent>(&bytes[..cut]).is_none());
         }
     }

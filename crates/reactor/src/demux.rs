@@ -42,30 +42,48 @@ pub fn append_frame(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) {
 }
 
 /// Iterates the frames of a received datagram as `(destination, wire)`
-/// pairs. Truncated or runt trailing bytes end the iteration (nothing on
-/// loopback produces them; a cut-short final frame is simply dropped, like
-/// any other lost datagram).
+/// pairs. Malformation is salvaged deterministically: every intact leading
+/// frame is yielded, and the first truncated or runt tail — a frame header
+/// cut short, or a length running past the datagram end — stops the walk
+/// and raises [`Frames::malformed`] so the shard can count it. A fully
+/// consumed datagram ends the walk with the flag clear.
 pub fn frames(datagram: &[u8]) -> Frames<'_> {
-    Frames { rest: datagram }
+    Frames { rest: datagram, malformed: false }
 }
 
 /// Iterator over the frames of one datagram (see [`frames`]).
 pub struct Frames<'a> {
     rest: &'a [u8],
+    malformed: bool,
+}
+
+impl Frames<'_> {
+    /// Whether the walk hit malformed framing (meaningful once the
+    /// iterator is exhausted). The intact frames before the damage were
+    /// still yielded.
+    pub fn malformed(&self) -> bool {
+        self.malformed
+    }
 }
 
 impl<'a> Iterator for Frames<'a> {
     type Item = (NodeId, &'a [u8]);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.rest.len() < HEADER_LEN {
+        if self.rest.is_empty() {
             return None;
+        }
+        if self.rest.len() < HEADER_LEN {
+            self.rest = &[];
+            self.malformed = true;
+            return None; // runt tail: shorter than one frame header
         }
         let (header, body) = self.rest.split_at(HEADER_LEN);
         let dest = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
         let len = usize::from(u16::from_le_bytes([header[4], header[5]]));
         if body.len() < len {
             self.rest = &[];
+            self.malformed = true;
             return None; // truncated final frame: dropped
         }
         let (wire, rest) = body.split_at(len);
@@ -129,6 +147,68 @@ mod tests {
         buf.truncate(buf.len() - 2); // cut the last frame short
         let got: Vec<NodeId> = frames(&buf).map(|(d, _)| d).collect();
         assert_eq!(got, vec![NodeId::new(1)], "only the intact frame survives");
+    }
+
+    /// Walks a datagram to exhaustion, returning the salvaged frames and
+    /// the malformation verdict.
+    fn walk(datagram: &[u8]) -> (Vec<(NodeId, Vec<u8>)>, bool) {
+        let mut it = frames(datagram);
+        let got: Vec<(NodeId, Vec<u8>)> = it.by_ref().map(|(d, w)| (d, w.to_vec())).collect();
+        (got, it.malformed())
+    }
+
+    #[test]
+    fn well_formed_datagrams_clear_the_malformed_flag() {
+        let (got, malformed) = walk(&[]);
+        assert!(got.is_empty());
+        assert!(!malformed, "an empty datagram is vacuously well-formed");
+
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(5), b"payload");
+        append_frame(&mut buf, NodeId::new(6), b""); // zero-length frame is legal
+        let (got, malformed) = walk(&buf);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], (NodeId::new(6), Vec::new()));
+        assert!(!malformed);
+    }
+
+    #[test]
+    fn truncated_header_is_malformed_after_salvage() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(1), b"keep");
+        buf.extend_from_slice(&[9, 9, 9]); // 3 trailing garbage bytes: a runt header
+        let (got, malformed) = walk(&buf);
+        assert_eq!(got, vec![(NodeId::new(1), b"keep".to_vec())], "intact prefix salvaged");
+        assert!(malformed, "the runt tail must be flagged");
+    }
+
+    #[test]
+    fn length_past_datagram_end_is_malformed() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(1), b"keep");
+        // Hand-craft a header whose length field overruns the datagram.
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&1000u16.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let (got, malformed) = walk(&buf);
+        assert_eq!(got, vec![(NodeId::new(1), b"keep".to_vec())]);
+        assert!(malformed);
+    }
+
+    #[test]
+    fn salvage_is_deterministic() {
+        // The same damaged datagram walks identically every time: same
+        // salvage, same verdict — no state leaks between iterations.
+        let mut buf = Vec::new();
+        append_frame(&mut buf, NodeId::new(1), b"a");
+        append_frame(&mut buf, NodeId::new(2), b"bb");
+        buf.truncate(buf.len() - 1);
+        let first = walk(&buf);
+        for _ in 0..5 {
+            assert_eq!(walk(&buf), first);
+        }
+        assert!(first.1);
+        assert_eq!(first.0.len(), 1);
     }
 
     #[test]

@@ -25,13 +25,34 @@ pub struct ReactorOptions {
     pub shards: Option<usize>,
     /// Non-blocking sockets per shard; nodes stripe across the pool.
     pub sockets_per_shard: usize,
-    /// Maximum datagrams drained per socket per loop iteration.
+    /// Maximum datagrams drained per socket per loop iteration (also the
+    /// `recvmmsg` batch size, capped at the backend's vector limit). The
+    /// budget is what keeps timers on time under ingress floods.
     pub recv_batch: usize,
+    /// Kernel batching: `None` auto-detects (`sendmmsg`/`recvmmsg` where
+    /// available unless the `GOSSIP_REACTOR_NO_MMSG` environment toggle is
+    /// set), `Some(false)` pins the portable per-datagram fallback,
+    /// `Some(true)` asks for batching but still degrades gracefully where
+    /// the syscalls do not exist.
+    pub mmsg: Option<bool>,
+    /// Requested kernel send/receive buffer size per pool socket, applied
+    /// best-effort at bind time (`SO_*BUFFORCE` where privileged, the
+    /// sysctl-clamped plain options otherwise). Each shared socket carries
+    /// the traffic of hundreds of nodes; distribution-default ~200 KiB
+    /// buffers overflow under burst and every overflow is a datagram lost
+    /// on loopback.
+    pub socket_buffer_bytes: usize,
 }
 
 impl Default for ReactorOptions {
     fn default() -> Self {
-        ReactorOptions { shards: None, sockets_per_shard: 4, recv_batch: 64 }
+        ReactorOptions {
+            shards: None,
+            sockets_per_shard: 4,
+            recv_batch: 64,
+            mmsg: None,
+            socket_buffer_bytes: 8 << 20,
+        }
     }
 }
 
@@ -83,6 +104,9 @@ impl ReactorCluster {
         let compiled = Arc::new(config.compiled_adversity());
         let total_n = compiled.total_n;
         let shards = options.resolve_shards(total_n);
+        // Resolve the I/O backend once (runtime probe + env toggle +
+        // explicit preference); every shard runs the same path.
+        let backend = crate::mmsg::select_backend(options.mmsg);
 
         // Bind every shard's pool up front so the full address book exists
         // before any shard starts.
@@ -93,6 +117,7 @@ impl ReactorCluster {
             let mut addrs = Vec::with_capacity(options.sockets_per_shard);
             for _ in 0..options.sockets_per_shard {
                 let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+                crate::mmsg::set_socket_buffers(&socket, options.socket_buffer_bytes);
                 addrs.push(socket.local_addr()?);
                 pool.push(socket);
             }
@@ -120,6 +145,7 @@ impl ReactorCluster {
                 index,
                 shards,
                 recv_batch: options.recv_batch,
+                backend,
                 cluster: config.clone(),
                 compiled: Arc::clone(&compiled),
                 sockets,

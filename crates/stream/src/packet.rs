@@ -156,6 +156,21 @@ impl WireEvent for StreamPacket {
         *input = &input[len..];
         Some(StreamPacket::new(id, Time::from_micros(micros), payload))
     }
+
+    fn skip_event(input: &mut &[u8]) -> Option<()> {
+        // id + timestamp + length field, then jump the payload: validating
+        // a serve body must not copy the payloads it walks over.
+        const HEADER: usize = PacketId::WIRE_SIZE + 8 + 2;
+        if input.len() < HEADER {
+            return None;
+        }
+        let len = u16::from_le_bytes([input[HEADER - 2], input[HEADER - 1]]) as usize;
+        if input.len() < HEADER + len {
+            return None;
+        }
+        *input = &input[HEADER + len..];
+        Some(())
+    }
 }
 
 #[cfg(test)]

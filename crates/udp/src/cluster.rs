@@ -125,6 +125,19 @@ impl ClusterReport {
         self.nodes.len() - 1
     }
 
+    /// Cluster-wide I/O totals: every shard's [`ShardStats`] merged into
+    /// one (`None` for the thread-per-node runtime, which reports none).
+    pub fn io_stats(&self) -> Option<ShardStats> {
+        if self.shard_stats.is_empty() {
+            return None;
+        }
+        let mut total = ShardStats::default();
+        for s in &self.shard_stats {
+            total.merge(s);
+        }
+        Some(total)
+    }
+
     /// Receivers for which every measured window became decodable.
     pub fn nodes_all_windows_ok(&self) -> usize {
         self.quality.nodes().iter().filter(|q| q.complete_fraction() >= 1.0 - 1e-9).count()

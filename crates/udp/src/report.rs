@@ -32,34 +32,93 @@ pub struct NodeReport {
 
 /// Per-shard I/O accounting of the sharded reactor runtime.
 ///
-/// The interesting ratio is [`ShardStats::syscalls_per_datagram`]: with
-/// send coalescing (several protocol datagrams for the same destination
-/// socket packed into one kernel datagram) it drops below 1.0, which is
-/// the whole point of sharing sockets.
+/// Two layers of batching separate *protocol* datagrams from kernel
+/// interactions: send coalescing packs several protocol datagrams for the
+/// same destination socket into one **kernel datagram**, and the
+/// `sendmmsg`/`recvmmsg` backend moves many kernel datagrams per
+/// **syscall**. The headline ratios are
+/// [`ShardStats::syscalls_per_datagram`] (send syscalls per protocol
+/// datagram — well below 1.0 once both layers engage) and
+/// [`ShardStats::syscalls_per_iteration`] (how close the loop gets to the
+/// one-`sendmmsg`-plus-one-`recvmmsg`-per-iteration ideal).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShardStats {
     /// Protocol datagrams this shard's nodes put on the wire.
     pub datagrams_sent: u64,
-    /// `send_to` syscalls used to carry them.
+    /// Send syscalls (`sendmmsg` or `send_to`) used to carry them.
     pub send_syscalls: u64,
+    /// Kernel datagrams handed to the kernel (coalesced bursts).
+    pub kernel_sent: u64,
+    /// Kernel datagrams dropped on a send error (full kernel buffer —
+    /// UDP semantics, absorbed by FEC + retransmission).
+    pub send_drops: u64,
     /// Protocol datagrams received (after unpacking coalesced frames).
     pub datagrams_received: u64,
-    /// `recv_from` syscalls that returned data.
+    /// Receive syscalls (`recvmmsg` or `recv_from`) that returned data.
     pub recv_syscalls: u64,
+    /// Kernel datagrams received.
+    pub kernel_received: u64,
+    /// Total batch capacity offered across data-bearing receive calls
+    /// (denominator of [`ShardStats::recv_batch_occupancy`]).
+    pub recv_capacity: u64,
+    /// Kernel datagrams whose demux framing was malformed (truncated
+    /// header or length running past the datagram end). Frame-level decode
+    /// failures are attributed to the destination node's `decode_errors`
+    /// instead; these had no readable destination.
+    pub frame_errors: u64,
+    /// Event-loop iterations the shard ran.
+    pub iterations: u64,
 }
 
 impl ShardStats {
-    /// Send syscalls per protocol datagram (1.0 = no coalescing; `None`
-    /// when the shard sent nothing).
+    /// Send syscalls per protocol datagram (1.0 = no batching at all;
+    /// `None` when the shard sent nothing).
     pub fn syscalls_per_datagram(&self) -> Option<f64> {
         (self.datagrams_sent > 0).then(|| self.send_syscalls as f64 / self.datagrams_sent as f64)
+    }
+
+    /// Protocol datagrams moved per send syscall (coalescing × mmsg
+    /// batching; `None` when the shard never sent).
+    pub fn datagrams_per_send_syscall(&self) -> Option<f64> {
+        (self.send_syscalls > 0).then(|| self.datagrams_sent as f64 / self.send_syscalls as f64)
+    }
+
+    /// Protocol datagrams received per data-bearing receive syscall
+    /// (`None` when the shard never received).
+    pub fn datagrams_per_recv_syscall(&self) -> Option<f64> {
+        (self.recv_syscalls > 0).then(|| self.datagrams_received as f64 / self.recv_syscalls as f64)
+    }
+
+    /// Average fill fraction of the receive batch across data-bearing
+    /// receive calls (1.0 = every `recvmmsg` came back full).
+    pub fn recv_batch_occupancy(&self) -> Option<f64> {
+        (self.recv_capacity > 0).then(|| self.kernel_received as f64 / self.recv_capacity as f64)
+    }
+
+    /// I/O syscalls per event-loop iteration (the batched ideal is ~2:
+    /// one `sendmmsg` plus one `recvmmsg`).
+    pub fn syscalls_per_iteration(&self) -> Option<f64> {
+        (self.iterations > 0)
+            .then(|| (self.send_syscalls + self.recv_syscalls) as f64 / self.iterations as f64)
+    }
+
+    /// I/O syscalls per protocol datagram moved in either direction.
+    pub fn total_syscalls_per_datagram(&self) -> Option<f64> {
+        let datagrams = self.datagrams_sent + self.datagrams_received;
+        (datagrams > 0).then(|| (self.send_syscalls + self.recv_syscalls) as f64 / datagrams as f64)
     }
 
     /// Folds another shard's counters into this one (for cluster totals).
     pub fn merge(&mut self, other: &ShardStats) {
         self.datagrams_sent += other.datagrams_sent;
         self.send_syscalls += other.send_syscalls;
+        self.kernel_sent += other.kernel_sent;
+        self.send_drops += other.send_drops;
         self.datagrams_received += other.datagrams_received;
         self.recv_syscalls += other.recv_syscalls;
+        self.kernel_received += other.kernel_received;
+        self.recv_capacity += other.recv_capacity;
+        self.frame_errors += other.frame_errors;
+        self.iterations += other.iterations;
     }
 }

@@ -139,18 +139,29 @@ fn main() {
     let recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
     let errs: u64 = report.nodes.iter().map(|r| r.decode_errors).sum();
     println!("  datagrams sent {sent}, received {recv}, malformed {errs}");
-    if !report.shard_stats.is_empty() {
-        let mut total = gossip_udp::report::ShardStats::default();
-        for s in &report.shard_stats {
-            total.merge(s);
-        }
+    if let Some(total) = report.io_stats() {
+        println!(
+            "  kernel batching: {} ({} shards)",
+            if gossip_reactor::mmsg_active() { "sendmmsg/recvmmsg" } else { "portable fallback" },
+            report.shard_stats.len()
+        );
         if let Some(ratio) = total.syscalls_per_datagram() {
             println!(
-                "  send syscalls per datagram: {ratio:.3} ({} syscalls / {} datagrams, {} shards)",
-                total.send_syscalls,
-                total.datagrams_sent,
-                report.shard_stats.len()
+                "  send syscalls per datagram: {ratio:.3} ({} syscalls / {} datagrams)",
+                total.send_syscalls, total.datagrams_sent
             );
+        }
+        if let Some(d) = total.datagrams_per_send_syscall() {
+            println!("  datagrams per send syscall: {d:.1}");
+        }
+        if let Some(d) = total.datagrams_per_recv_syscall() {
+            println!("  datagrams per recv syscall: {d:.1}");
+        }
+        if let Some(occ) = total.recv_batch_occupancy() {
+            println!("  recv batch occupancy: {:.1}%", occ * 100.0);
+        }
+        if let Some(spi) = total.syscalls_per_iteration() {
+            println!("  syscalls per loop iteration: {spi:.2}");
         }
     }
 }

@@ -101,18 +101,28 @@ fn sim_and_udp_agree_qualitatively() {
 fn threads_and_reactor_agree_on_delivery_quality() {
     let config = small_cluster(8, 4);
     let threads = UdpCluster::run(config.clone()).expect("thread cluster runs");
-    let opts = ReactorOptions { shards: Some(2), ..ReactorOptions::default() };
-    let reactor = ReactorCluster::run_with(config, opts).expect("reactor cluster runs");
-
     let threads_q = threads.quality.average_quality_percent(Duration::MAX);
-    let reactor_q = reactor.quality.average_quality_percent(Duration::MAX);
     assert!(threads_q >= 80.0, "threads quality {threads_q:.1}%");
-    assert!(reactor_q >= 80.0, "reactor quality {reactor_q:.1}%");
-    assert!(
-        (threads_q - reactor_q).abs() <= 20.0,
-        "runtimes disagree: threads {threads_q:.1}% vs reactor {reactor_q:.1}%"
-    );
-    assert!(reactor.windows_verified > 0, "reactor windows must byte-verify too");
+
+    // Both reactor I/O paths must agree with the thread runtime: the
+    // kernel-batched sendmmsg/recvmmsg backend (where the platform has it;
+    // it degrades to the fallback elsewhere) and the portable per-datagram
+    // fallback, pinned explicitly.
+    for (label, mmsg) in [("mmsg", Some(true)), ("fallback", Some(false))] {
+        let opts = ReactorOptions { shards: Some(2), mmsg, ..ReactorOptions::default() };
+        let reactor = ReactorCluster::run_with(config.clone(), opts)
+            .unwrap_or_else(|e| panic!("reactor ({label}) cluster runs: {e}"));
+        let reactor_q = reactor.quality.average_quality_percent(Duration::MAX);
+        assert!(reactor_q >= 80.0, "reactor ({label}) quality {reactor_q:.1}%");
+        assert!(
+            (threads_q - reactor_q).abs() <= 20.0,
+            "runtimes disagree: threads {threads_q:.1}% vs reactor ({label}) {reactor_q:.1}%"
+        );
+        assert!(reactor.windows_verified > 0, "reactor ({label}) windows must byte-verify too");
+        let io = reactor.io_stats().expect("the reactor reports shard stats");
+        assert_eq!(io.frame_errors, 0, "no malformed framing on loopback ({label})");
+        assert!(io.datagrams_sent > 0 && io.datagrams_received > 0);
+    }
 }
 
 /// Shapers actually limit throughput: with a tight cap, a node cannot send
