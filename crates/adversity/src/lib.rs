@@ -47,6 +47,12 @@ pub mod spec;
 pub mod timeline;
 pub mod toml;
 
-pub use spec::{AdversitySpec, BandwidthClass, Catastrophic, FlashCrowd, PoissonChurn};
-pub use timeline::{CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile};
+pub use spec::{
+    AdversitySpec, BandwidthClass, ByzantineMix, ByzantinePeers, Catastrophic, FlashCrowd,
+    PartitionSpec, PoissonChurn, ThrottleSpec,
+};
+pub use timeline::{
+    ByzantineBehaviour, CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile,
+    PartitionCells, PartitionState, ThrottlePlan,
+};
 pub use toml::SpecParseError;

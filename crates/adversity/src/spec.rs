@@ -6,7 +6,10 @@ use std::collections::BinaryHeap;
 use gossip_sim::DetRng;
 use gossip_types::{Duration, NodeId, Time};
 
-use crate::timeline::{CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile};
+use crate::timeline::{
+    ByzantineBehaviour, CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile,
+    PartitionCells, ThrottlePlan,
+};
 
 /// RNG stream tag for spec compilation: independent of every stream the
 /// runtimes draw from, so adding adversity never perturbs a run's other
@@ -60,6 +63,63 @@ pub struct BandwidthClass {
     pub cap_bps: Option<u64>,
 }
 
+/// The relative weights of the three Byzantine behaviours within the
+/// misbehaving population (normalised at compile time; all-zero weights
+/// default to pure serve-corruptors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzantineMix {
+    /// Weight of [`ByzantineBehaviour::ServeCorrupt`] peers.
+    pub serve_corrupt: f64,
+    /// Weight of [`ByzantineBehaviour::ProposeGarbage`] peers.
+    pub propose_garbage: f64,
+    /// Weight of [`ByzantineBehaviour::EatRequests`] peers.
+    pub eat_requests: f64,
+}
+
+impl ByzantineMix {
+    /// Pure serve-corruptors — the mix the paper-style quality experiments
+    /// care about most, and the default when no weights are given.
+    pub fn serve_corruptors() -> Self {
+        ByzantineMix { serve_corrupt: 1.0, propose_garbage: 0.0, eat_requests: 0.0 }
+    }
+}
+
+/// A fraction of the base receivers that misbehaves (never the source).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzantinePeers {
+    /// Fraction of the base receivers that are Byzantine (`0..=1`).
+    pub fraction: f64,
+    /// How the misbehaving population splits across behaviours.
+    pub mix: ByzantineMix,
+}
+
+/// One scheduled partition: the membership splits into `cells` named cells
+/// at `at` and heals at `heal`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSpec {
+    /// When the split happens.
+    pub at: Duration,
+    /// When cross-cell traffic flows again (must be after `at`).
+    pub heal: Duration,
+    /// How many cells the population splits into (≥ 2; cell membership is
+    /// drawn at compile time, the source lands in cell 0).
+    pub cells: usize,
+}
+
+/// One scheduled throttle: a fraction of receivers has its upload cap
+/// forced to `cap_bps` between `start` and `end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleSpec {
+    /// When the throttle engages.
+    pub start: Duration,
+    /// When the original caps are restored (must be after `start`).
+    pub end: Duration,
+    /// Fraction of the base receivers affected (`0..=1`; never the source).
+    pub fraction: f64,
+    /// The throttled upload cap in bits/s (`None` = uncapped — a "boost").
+    pub cap_bps: Option<u64>,
+}
+
 /// A declarative, composable fault & workload description.
 ///
 /// Build one with the `with_*` methods (or load it from TOML), then
@@ -87,6 +147,13 @@ pub struct AdversitySpec {
     /// are honoured verbatim — naming node 0 here deliberately kills the
     /// source.
     pub explicit_crashes: Vec<(Duration, Vec<NodeId>)>,
+    /// Byzantine peers: a fraction of the base receivers that corrupts
+    /// serves, proposes garbage ids or eats requests.
+    pub byzantine: Option<ByzantinePeers>,
+    /// Scheduled partition/heal intervals.
+    pub partitions: Vec<PartitionSpec>,
+    /// Scheduled time-varying bandwidth throttles.
+    pub throttles: Vec<ThrottleSpec>,
 }
 
 impl AdversitySpec {
@@ -162,6 +229,52 @@ impl AdversitySpec {
         self
     }
 
+    /// Makes a fraction of the base receivers Byzantine (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or any mix weight is
+    /// negative or non-finite.
+    pub fn with_byzantine(mut self, fraction: f64, mix: ByzantineMix) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        for w in [mix.serve_corrupt, mix.propose_garbage, mix.eat_requests] {
+            assert!(w >= 0.0 && w.is_finite(), "mix weights must be non-negative and finite");
+        }
+        self.byzantine = Some(ByzantinePeers { fraction, mix });
+        self
+    }
+
+    /// Schedules a partition/heal interval (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or inverted, or `cells < 2`.
+    pub fn with_partition(mut self, at: Duration, heal: Duration, cells: usize) -> Self {
+        assert!(at < heal, "a partition must heal strictly after it splits");
+        assert!(cells >= 2, "a partition needs at least two cells");
+        self.partitions.push(PartitionSpec { at, heal, cells });
+        self
+    }
+
+    /// Schedules a time-varying bandwidth throttle (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty or inverted, or `fraction` is
+    /// outside `[0, 1]`.
+    pub fn with_throttle(
+        mut self,
+        start: Duration,
+        end: Duration,
+        fraction: f64,
+        cap_bps: Option<u64>,
+    ) -> Self {
+        assert!(start < end, "a throttle must end strictly after it starts");
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+        self.throttles.push(ThrottleSpec { start, end, fraction, cap_bps });
+        self
+    }
+
     /// Compiles the spec for a base population of `n` nodes under the
     /// given seed.
     ///
@@ -213,6 +326,63 @@ impl AdversitySpec {
                 profiles[i + 1].free_rider = true;
             }
         }
+        // Byzantine peers: a fraction of the base receivers (never the
+        // source, never the joiners — same rationale as free riders), each
+        // assigned one behaviour by the mix weights.
+        if let Some(byz) = self.byzantine {
+            let receivers = n - 1;
+            let count = ((byz.fraction * receivers as f64).round() as usize).min(receivers);
+            let weights = [byz.mix.serve_corrupt, byz.mix.propose_garbage, byz.mix.eat_requests];
+            let total_weight: f64 = weights.iter().sum();
+            for i in rng.sample_indices(receivers, count) {
+                let behaviour = if total_weight <= 0.0 {
+                    ByzantineBehaviour::ServeCorrupt
+                } else {
+                    // A uniform draw in [0, total): the behaviour whose
+                    // cumulative weight bucket the draw lands in.
+                    let draw = rng.next_below(u64::MAX) as f64 / u64::MAX as f64 * total_weight;
+                    if draw < weights[0] {
+                        ByzantineBehaviour::ServeCorrupt
+                    } else if draw < weights[0] + weights[1] {
+                        ByzantineBehaviour::ProposeGarbage
+                    } else {
+                        ByzantineBehaviour::EatRequests
+                    }
+                };
+                profiles[i + 1].byzantine = Some(behaviour);
+            }
+        }
+        // Partitions: a cell map per scheduled split, drawn once at compile
+        // time so every runtime cuts the exact same edges. The source
+        // always lands in cell 0 (a sourceless cell measures nothing but
+        // its own starvation — re-convergence is the interesting metric).
+        let partitions: Vec<PartitionCells> = self
+            .partitions
+            .iter()
+            .map(|p| {
+                let mut cells = vec![0u8; total_n];
+                for cell in cells.iter_mut().skip(1) {
+                    *cell = rng.index(p.cells) as u8;
+                }
+                PartitionCells { cells }
+            })
+            .collect();
+        // Throttles: victim sets over the base receivers, never the source.
+        let throttles: Vec<ThrottlePlan> = self
+            .throttles
+            .iter()
+            .map(|t| {
+                let receivers = n - 1;
+                let count = ((t.fraction * receivers as f64).round() as usize).min(receivers);
+                let mut victims: Vec<NodeId> = rng
+                    .sample_indices(receivers, count)
+                    .into_iter()
+                    .map(|i| NodeId::new((i + 1) as u32))
+                    .collect();
+                victims.sort_unstable();
+                ThrottlePlan { cap_bps: t.cap_bps, victims }
+            })
+            .collect();
 
         // --- the chronological worklist -------------------------------------
         #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,6 +392,7 @@ impl AdversitySpec {
             ChurnArrival,
             Rejoin(NodeId),
             Join(NodeId),
+            Network(FaultAction),
         }
         let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
         let mut payloads: Vec<Work> = Vec::new();
@@ -253,6 +424,20 @@ impl AdversitySpec {
                 }
                 push(&mut heap, &mut payloads, t, Work::ChurnArrival);
             }
+        }
+        for (k, p) in self.partitions.iter().enumerate() {
+            let k = k as u32;
+            let split = Work::Network(FaultAction::Partition(k));
+            push(&mut heap, &mut payloads, Time::ZERO + p.at, split);
+            let heal = Work::Network(FaultAction::Heal(k));
+            push(&mut heap, &mut payloads, Time::ZERO + p.heal, heal);
+        }
+        for (k, t) in self.throttles.iter().enumerate() {
+            let k = k as u32;
+            let start = Work::Network(FaultAction::ThrottleStart(k));
+            push(&mut heap, &mut payloads, Time::ZERO + t.start, start);
+            let end = Work::Network(FaultAction::ThrottleEnd(k));
+            push(&mut heap, &mut payloads, Time::ZERO + t.end, end);
         }
         if let Some(fc) = self.flash_crowd {
             for j in 0..fc.count {
@@ -335,10 +520,20 @@ impl AdversitySpec {
                     profiles[v.index()].join_at = Some(at);
                     events.push(FaultEvent { at, action: FaultAction::Join(v) });
                 }
+                Work::Network(action) => {
+                    events.push(FaultEvent { at, action });
+                }
             }
         }
 
-        CompiledAdversity { base_n: n, total_n, timeline: FaultTimeline::new(events), profiles }
+        CompiledAdversity {
+            base_n: n,
+            total_n,
+            timeline: FaultTimeline::new(events),
+            profiles,
+            partitions,
+            throttles,
+        }
     }
 }
 
@@ -480,7 +675,8 @@ mod tests {
             .with_explicit_crash(Duration::from_secs(5), vec![NodeId::new(3), NodeId::new(4)])
             .with_explicit_crash(Duration::from_secs(9), vec![NodeId::new(4), NodeId::new(6)]);
         let c = spec.compile(10, 1);
-        let crashed: Vec<NodeId> = c.timeline.events().iter().map(|e| e.action.node()).collect();
+        let crashed: Vec<NodeId> =
+            c.timeline.events().iter().filter_map(|e| e.action.node()).collect();
         assert_eq!(crashed, vec![NodeId::new(3), NodeId::new(4), NodeId::new(6)]);
         assert!(c.timeline.is_order_sound(c.total_n));
     }
@@ -493,7 +689,8 @@ mod tests {
         let spec = AdversitySpec::none()
             .with_explicit_crash(Duration::from_secs(3), vec![NodeId::new(0), NodeId::new(2)]);
         let c = spec.compile(10, 1);
-        let crashed: Vec<NodeId> = c.timeline.events().iter().map(|e| e.action.node()).collect();
+        let crashed: Vec<NodeId> =
+            c.timeline.events().iter().filter_map(|e| e.action.node()).collect();
         assert_eq!(crashed, vec![NodeId::new(0), NodeId::new(2)]);
         assert!(c.timeline.is_order_sound(c.total_n));
     }
@@ -502,5 +699,95 @@ mod tests {
     #[should_panic(expected = "within [0, 1]")]
     fn absurd_fraction_is_rejected() {
         let _ = AdversitySpec::none().with_catastrophic(Duration::ZERO, 1.5);
+    }
+
+    #[test]
+    fn byzantine_assignment_hits_the_fraction_and_spares_the_source() {
+        let spec = AdversitySpec::none().with_byzantine(0.2, ByzantineMix::serve_corruptors());
+        let c = spec.compile(61, 5);
+        let byz = c.profiles.iter().filter(|p| p.byzantine.is_some()).count();
+        assert_eq!(byz, 12, "round(0.2 * 60 receivers)");
+        assert!(c.profiles[0].byzantine.is_none(), "the source is never Byzantine");
+        assert!(c.profiles.iter().all(
+            |p| p.byzantine.is_none() || p.byzantine == Some(ByzantineBehaviour::ServeCorrupt)
+        ));
+        assert!(c.is_sound());
+    }
+
+    #[test]
+    fn byzantine_mix_draws_every_behaviour() {
+        let mix = ByzantineMix { serve_corrupt: 1.0, propose_garbage: 1.0, eat_requests: 1.0 };
+        let spec = AdversitySpec::none().with_byzantine(0.9, mix);
+        let c = spec.compile(100, 2);
+        for want in [
+            ByzantineBehaviour::ServeCorrupt,
+            ByzantineBehaviour::ProposeGarbage,
+            ByzantineBehaviour::EatRequests,
+        ] {
+            assert!(
+                c.profiles.iter().any(|p| p.byzantine == Some(want)),
+                "an even mix over ~89 peers draws {want:?} almost surely"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_compiles_cells_and_paired_events() {
+        let spec = AdversitySpec::none().with_partition(
+            Duration::from_secs(20),
+            Duration::from_secs(50),
+            2,
+        );
+        let c = spec.compile(40, 7);
+        assert_eq!(c.partitions.len(), 1);
+        assert_eq!(c.partitions[0].cells.len(), 40);
+        assert_eq!(c.partitions[0].cells[0], 0, "the source sits in cell 0");
+        assert!(c.partitions[0].cells.contains(&1), "both cells are populated");
+        let actions: Vec<FaultAction> = c.timeline.events().iter().map(|e| e.action).collect();
+        assert_eq!(actions, vec![FaultAction::Partition(0), FaultAction::Heal(0)]);
+        assert_eq!(c.timeline.events()[0].at, Time::from_secs(20));
+        assert_eq!(c.timeline.events()[1].at, Time::from_secs(50));
+        assert!(c.is_sound());
+    }
+
+    #[test]
+    fn throttle_compiles_victims_and_interval() {
+        let spec = AdversitySpec::none().with_throttle(
+            Duration::from_secs(10),
+            Duration::from_secs(30),
+            0.5,
+            Some(100_000),
+        );
+        let c = spec.compile(21, 3);
+        assert_eq!(c.throttles.len(), 1);
+        assert_eq!(c.throttles[0].victims.len(), 10, "round(0.5 * 20 receivers)");
+        assert_eq!(c.throttles[0].cap_bps, Some(100_000));
+        assert!(!c.throttles[0].victims.contains(&NodeId::new(0)), "never the source");
+        let actions: Vec<FaultAction> = c.timeline.events().iter().map(|e| e.action).collect();
+        assert_eq!(actions, vec![FaultAction::ThrottleStart(0), FaultAction::ThrottleEnd(0)]);
+        assert!(c.is_sound());
+    }
+
+    #[test]
+    fn network_events_interleave_chronologically_with_node_faults() {
+        let spec = AdversitySpec::none()
+            .with_catastrophic(Duration::from_secs(25), 0.3)
+            .with_partition(Duration::from_secs(10), Duration::from_secs(40), 2)
+            .with_throttle(Duration::from_secs(5), Duration::from_secs(45), 0.25, Some(64_000));
+        let c = spec.compile(30, 9);
+        let mut last = Time::ZERO;
+        for e in c.timeline.events() {
+            assert!(e.at >= last, "timeline stays sorted with network events mixed in");
+            last = e.at;
+        }
+        assert!(c.is_sound());
+        assert_eq!(spec.compile(30, 9), spec.compile(30, 9), "still deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "heal strictly after")]
+    fn inverted_partition_is_rejected() {
+        let _ =
+            AdversitySpec::none().with_partition(Duration::from_secs(5), Duration::from_secs(5), 2);
     }
 }

@@ -35,6 +35,23 @@
 //! [[bandwidth_class]]
 //! fraction = 0.5
 //! cap_kbps = 300                # cap_kbps = 0 means "uncapped"
+//!
+//! [byzantine]
+//! fraction = 0.2
+//! serve_corrupt = 1.0           # behaviour-mix weights; all omitted =
+//! propose_garbage = 0.0         # pure serve-corruptors
+//! eat_requests = 0.0
+//!
+//! [[partition]]
+//! at_secs = 30.0
+//! heal_secs = 60.0
+//! cells = 2
+//!
+//! [[throttle]]
+//! start_secs = 20.0
+//! end_secs = 40.0
+//! fraction = 0.5
+//! cap_kbps = 100                # cap_kbps = 0 means "uncapped"
 //! ```
 
 use gossip_types::Duration;
@@ -189,6 +206,75 @@ impl AdversitySpec {
                         cap_bps: if kbps == 0.0 { None } else { Some((kbps * 1000.0) as u64) },
                     });
                 }
+                "byzantine" => {
+                    let f = section.require("fraction")?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(SpecParseError(format!(
+                            "[byzantine] fraction must be within [0, 1], got {f}"
+                        )));
+                    }
+                    let weight = |key: &str, default: f64| -> Result<f64, SpecParseError> {
+                        let w = section.get(key).unwrap_or(default);
+                        if w >= 0.0 && w.is_finite() {
+                            Ok(w)
+                        } else {
+                            Err(SpecParseError(format!(
+                                "[byzantine] {key} must be a non-negative weight, got {w}"
+                            )))
+                        }
+                    };
+                    let mix = crate::spec::ByzantineMix {
+                        serve_corrupt: weight("serve_corrupt", 1.0)?,
+                        propose_garbage: weight("propose_garbage", 0.0)?,
+                        eat_requests: weight("eat_requests", 0.0)?,
+                    };
+                    spec.byzantine = Some(crate::spec::ByzantinePeers { fraction: f, mix });
+                }
+                "partition" => {
+                    let at = secs(section.require("at_secs")?, "at_secs")?;
+                    let heal = secs(section.require("heal_secs")?, "heal_secs")?;
+                    if at >= heal {
+                        return Err(SpecParseError(
+                            "[[partition]] must heal strictly after it splits".to_string(),
+                        ));
+                    }
+                    let cells = section.require("cells")?;
+                    if cells < 2.0 || cells.fract() != 0.0 {
+                        return Err(SpecParseError(format!(
+                            "[[partition]] cells must be an integer ≥ 2, got {cells}"
+                        )));
+                    }
+                    spec.partitions.push(crate::spec::PartitionSpec {
+                        at,
+                        heal,
+                        cells: cells as usize,
+                    });
+                }
+                "throttle" => {
+                    let start = secs(section.require("start_secs")?, "start_secs")?;
+                    let end = secs(section.require("end_secs")?, "end_secs")?;
+                    if start >= end {
+                        return Err(SpecParseError(
+                            "[[throttle]] must end strictly after it starts".to_string(),
+                        ));
+                    }
+                    let f = section.require("fraction")?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(SpecParseError(format!(
+                            "[[throttle]] fraction must be within [0, 1], got {f}"
+                        )));
+                    }
+                    let kbps = section.require("cap_kbps")?;
+                    if kbps < 0.0 {
+                        return Err(SpecParseError("cap_kbps must be non-negative".to_string()));
+                    }
+                    spec.throttles.push(crate::spec::ThrottleSpec {
+                        start,
+                        end,
+                        fraction: f,
+                        cap_bps: if kbps == 0.0 { None } else { Some((kbps * 1000.0) as u64) },
+                    });
+                }
                 other => {
                     return Err(SpecParseError(format!("unknown section [{other}]")));
                 }
@@ -229,6 +315,21 @@ cap_kbps = 700
 [[bandwidth_class]]
 fraction = 0.5
 cap_kbps = 0
+
+[byzantine]
+fraction = 0.2
+propose_garbage = 0.5
+
+[[partition]]
+at_secs = 30
+heal_secs = 60
+cells = 2
+
+[[throttle]]
+start_secs = 20
+end_secs = 40
+fraction = 0.5
+cap_kbps = 100
 ";
 
     #[test]
@@ -246,6 +347,15 @@ cap_kbps = 0
         assert_eq!(spec.bandwidth_classes.len(), 2);
         assert_eq!(spec.bandwidth_classes[0].cap_bps, Some(700_000));
         assert_eq!(spec.bandwidth_classes[1].cap_bps, None, "0 kbps means uncapped");
+        let byz = spec.byzantine.expect("byzantine");
+        assert!((byz.fraction - 0.2).abs() < 1e-12);
+        assert!((byz.mix.serve_corrupt - 1.0).abs() < 1e-12, "omitted weight defaults");
+        assert!((byz.mix.propose_garbage - 0.5).abs() < 1e-12);
+        assert_eq!(spec.partitions.len(), 1);
+        assert_eq!(spec.partitions[0].cells, 2);
+        assert_eq!(spec.partitions[0].heal, Duration::from_secs(60));
+        assert_eq!(spec.throttles.len(), 1);
+        assert_eq!(spec.throttles[0].cap_bps, Some(100_000));
     }
 
     #[test]
@@ -279,6 +389,22 @@ cap_kbps = 0
             .unwrap_err()
             .0
             .contains("not a number"));
+        assert!(AdversitySpec::from_toml_str("[byzantine]\nfraction = 2\n")
+            .unwrap_err()
+            .0
+            .contains("within [0, 1]"));
+        assert!(AdversitySpec::from_toml_str(
+            "[[partition]]\nat_secs = 9\nheal_secs = 3\ncells = 2\n"
+        )
+        .unwrap_err()
+        .0
+        .contains("heal strictly after"));
+        assert!(AdversitySpec::from_toml_str(
+            "[[throttle]]\nstart_secs = 5\nend_secs = 5\nfraction = 0.5\ncap_kbps = 10\n"
+        )
+        .unwrap_err()
+        .0
+        .contains("end strictly after"));
     }
 
     #[test]

@@ -4,16 +4,20 @@
 
 use proptest::prelude::*;
 
-use gossip_adversity::{AdversitySpec, BandwidthClass, FaultAction};
+use gossip_adversity::{AdversitySpec, BandwidthClass, ByzantineMix, FaultAction};
 use gossip_types::Duration;
 
 /// Builds a composed spec from raw knobs (each process optional).
+#[allow(clippy::too_many_arguments)]
 fn build_spec(
     cat: Option<(u16, u8)>,
     churn: Option<(u16, u16, u8, u8)>,
     crowd: Option<(u16, u8)>,
     riders_pct: u8,
     classes: bool,
+    byzantine: Option<(u8, u8, u8, u8)>,
+    partitions: Vec<(u16, u16, u8)>,
+    throttles: Vec<(u16, u16, u8, u16)>,
 ) -> AdversitySpec {
     let mut spec = AdversitySpec::none();
     if let Some((at_s, pct)) = cat {
@@ -46,6 +50,31 @@ fn build_spec(
             BandwidthClass { fraction: 0.5, cap_bps: Some(300_000) },
         ]);
     }
+    if let Some((pct, w_serve, w_propose, w_eat)) = byzantine {
+        spec = spec.with_byzantine(
+            f64::from(pct.min(100)) / 100.0,
+            ByzantineMix {
+                serve_corrupt: f64::from(w_serve),
+                propose_garbage: f64::from(w_propose),
+                eat_requests: f64::from(w_eat),
+            },
+        );
+    }
+    for (at_s, len_s, cells) in partitions {
+        spec = spec.with_partition(
+            Duration::from_secs(u64::from(at_s)),
+            Duration::from_secs(u64::from(at_s) + u64::from(len_s.max(1))),
+            usize::from(cells.clamp(2, 8)),
+        );
+    }
+    for (start_s, len_s, pct, cap_kbps) in throttles {
+        spec = spec.with_throttle(
+            Duration::from_secs(u64::from(start_s)),
+            Duration::from_secs(u64::from(start_s) + u64::from(len_s.max(1))),
+            f64::from(pct.min(100)) / 100.0,
+            (cap_kbps > 0).then(|| u64::from(cap_kbps) * 1000),
+        );
+    }
     spec
 }
 
@@ -61,8 +90,11 @@ proptest! {
         crowd in proptest::option::of((0u16..90, 0u8..20)),
         riders in 0u8..101,
         classes in any::<bool>(),
+        byzantine in proptest::option::of((0u8..101, 0u8..4, 0u8..4, 0u8..4)),
+        partitions in proptest::collection::vec((0u16..90, 1u16..60, 2u8..9), 0..3),
+        throttles in proptest::collection::vec((0u16..90, 1u16..60, 0u8..101, 0u16..800), 0..3),
     ) {
-        let spec = build_spec(cat, churn, crowd, riders, classes);
+        let spec = build_spec(cat, churn, crowd, riders, classes, byzantine, partitions, throttles);
         let a = spec.compile(n, seed);
         let b = spec.compile(n, seed);
         prop_assert_eq!(&a, &b, "compilation must be deterministic");
@@ -71,20 +103,28 @@ proptest! {
             "timeline must be order-sound: {:?}",
             a.timeline
         );
+        prop_assert!(a.is_sound(), "compiled plan must be structurally sound");
         // Sorted by time (also implied by order-soundness, asserted
         // directly for a clearer failure).
         let times: Vec<u64> = a.timeline.events().iter().map(|e| e.at.as_micros()).collect();
         prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "events must be time-sorted");
         // The source is untouchable and joiner ids are exactly the tail.
         for e in a.timeline.events() {
-            prop_assert!(e.action.node().index() != 0, "node 0 must never appear: {e:?}");
-            prop_assert!(e.action.node().index() < a.total_n);
+            if let Some(node) = e.action.node() {
+                prop_assert!(node.index() != 0, "node 0 must never appear: {e:?}");
+                prop_assert!(node.index() < a.total_n);
+            }
             if let FaultAction::Join(v) = e.action {
                 prop_assert!(v.index() >= a.base_n, "joins are new ids only");
             }
         }
         prop_assert_eq!(a.profiles.len(), a.total_n);
         prop_assert_eq!(a.total_n - a.base_n, crowd.map_or(0, |(_, c)| c as usize));
+        // Byzantine assignment never names the source and never a joiner.
+        prop_assert!(a.profiles[0].byzantine.is_none(), "the source is never Byzantine");
+        for p in &a.profiles[a.base_n..] {
+            prop_assert!(p.byzantine.is_none(), "joiners are never Byzantine");
+        }
     }
 
     /// No victim crashes twice without an intervening rejoin — stated
@@ -117,8 +157,50 @@ proptest! {
                     prop_assert!(down[v.index()], "{v} rejoined while alive");
                     down[v.index()] = false;
                 }
-                FaultAction::Join(_) => {}
+                _ => {}
             }
         }
+    }
+
+    /// Every heal follows its split and every throttle end follows its
+    /// start — stated directly on the event stream, per class index.
+    #[test]
+    fn network_intervals_pair_up(
+        n in 2usize..150,
+        seed in 0u64..100_000,
+        partitions in proptest::collection::vec((0u16..90, 1u16..60, 2u8..9), 1..4),
+        throttles in proptest::collection::vec((0u16..90, 1u16..60, 1u8..101, 0u16..800), 1..4),
+    ) {
+        let spec = build_spec(None, None, None, 0, false, None, partitions.clone(), throttles.clone());
+        let c = spec.compile(n, seed);
+        let mut split = vec![false; partitions.len()];
+        let mut throttled = vec![false; throttles.len()];
+        for e in c.timeline.events() {
+            match e.action {
+                FaultAction::Partition(k) => {
+                    prop_assert!(!split[k as usize], "partition {k} split twice");
+                    split[k as usize] = true;
+                }
+                FaultAction::Heal(k) => {
+                    prop_assert!(split[k as usize], "partition {k} healed unsplit");
+                    split[k as usize] = false;
+                }
+                FaultAction::ThrottleStart(k) => {
+                    prop_assert!(!throttled[k as usize], "throttle {k} started twice");
+                    throttled[k as usize] = true;
+                }
+                FaultAction::ThrottleEnd(k) => {
+                    prop_assert!(throttled[k as usize], "throttle {k} ended unstarted");
+                    throttled[k as usize] = false;
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(split.iter().all(|&s| !s), "every partition heals");
+        prop_assert!(throttled.iter().all(|&t| !t), "every throttle ends");
+        // Every victim set and cell map is sized for the population.
+        prop_assert_eq!(c.partitions.len(), partitions.len());
+        prop_assert_eq!(c.throttles.len(), throttles.len());
+        prop_assert!(c.is_sound());
     }
 }

@@ -16,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
 //! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
@@ -30,6 +30,11 @@
 //!   simulated, 50 % catastrophic crash plus a flash crowd under `X = 1`),
 //!   write its report and exit non-zero unless survivors keep streaming
 //!   and joiners catch up. This is the CI `adversity-smoke` job;
+//! * `--byzantine-smoke` — run *only* a gating Byzantine cell (n = 60
+//!   simulated, 20 % serve-corruptors, validate-before-relay defenses
+//!   on), write its report and exit non-zero unless honest receivers keep
+//!   streaming and the corruptions were detected and re-requested. This
+//!   is the CI `byzantine-smoke` job;
 //! * `--reactor-only` — run *only* the tracked reactor cells (no
 //!   simulator matrix, nothing written): the iteration mode for runtime
 //!   I/O work;
@@ -59,7 +64,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gossip_adversity::AdversitySpec;
+use gossip_adversity::{AdversitySpec, ByzantineMix};
 use gossip_core::GossipConfig;
 use gossip_experiments::{MembershipMode, Scale, Scenario};
 use gossip_fec::WindowParams;
@@ -233,6 +238,7 @@ fn reactor_config(cell: &ReactorCell) -> ClusterConfig {
         inject_loss: 0.0,
         crashes: Vec::new(),
         adversity: gossip_adversity::AdversitySpec::none(),
+        joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
     }
 }
 
@@ -597,10 +603,81 @@ fn adversity_smoke(out: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The gating CI mode for the adversarial-resilience layer: n = 60 on the
+/// (deterministic) simulator with 20 % of the receivers serve-corrupting
+/// every payload they relay, validate-before-relay defenses on.
+///
+/// The gate asserts the defense headline — honest receivers keep
+/// streaming — and that the defense actually engaged: corruptions were
+/// detected and re-requested from alternate proposers. Being a
+/// simulation, the run is bit-reproducible: a failure means the code
+/// changed behaviour, never that the box was busy.
+fn byzantine_smoke(out: &str) -> ! {
+    eprintln!("perfbench: gating byzantine smoke (n=60, 20% serve-corruptors, defenses on, X=1)");
+    let fanout = 6; // ~ln(60) + 2
+    let spec = AdversitySpec::none().with_byzantine(0.2, ByzantineMix::serve_corruptors());
+    let scenario = Scenario::at_scale(Scale::Quick, fanout)
+        .with_seed(7)
+        .with_gossip(GossipConfig::new(fanout).with_refresh_rounds(Some(1)))
+        .with_adversity(spec.clone());
+    let start = Instant::now();
+    let result = scenario.run();
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // No crashes in this spec, so quality index i is node i + 1;
+    // recompiling the spec (deterministic) recovers who corrupts.
+    let compiled = spec.compile(scenario.n, scenario.seed);
+    let honest: Vec<f64> = result
+        .quality
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| compiled.profiles[i + 1].byzantine.is_none())
+        .map(|(_, q)| 100.0 * q.complete_fraction())
+        .collect();
+    let honest_quality = honest.iter().sum::<f64>() / honest.len() as f64;
+    let detected = result.protocol.corrupted_events_detected;
+    let rerequests = result.protocol.corrupt_rerequests;
+    let demoted = result.protocol.peers_demoted;
+    eprintln!(
+        "  {wall_secs:.3} s wall, {} events; {} honest receivers at {honest_quality:.1}% \
+         complete; {detected} corruptions detected, {rerequests} re-requested, {demoted} \
+         peers demoted",
+        result.events_processed,
+        honest.len(),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"byzantine_smoke\",\n  \"scenario\": {{ \"n\": 60, \"fanout\": {fanout}, \"byzantine_fraction\": 0.2, \"mix\": \"serve_corrupt\", \"x\": 1 }},\n  \"wall_secs\": {wall_secs:.4},\n  \"events\": {},\n  \"honest_receivers\": {},\n  \"honest_quality_percent\": {honest_quality:.1},\n  \"corruptions_detected\": {detected},\n  \"corrupt_rerequests\": {rerequests},\n  \"peers_demoted\": {demoted}\n}}\n",
+        result.events_processed,
+        honest.len(),
+    );
+    std::fs::write(out, json).expect("write byzantine smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    let mut failures = Vec::new();
+    if honest_quality < 60.0 {
+        failures.push(format!("honest quality {honest_quality:.1}% below 60%"));
+    }
+    if detected == 0 {
+        failures.push("no corruptions detected (20% corruptors must trip the checksum)".into());
+    }
+    if rerequests == 0 {
+        failures.push("no corrupt re-requests (detected ids must be re-pulled)".into());
+    }
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: byzantine smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut smoke = false;
     let mut gate_reactor = false;
     let mut gate_adversity = false;
+    let mut gate_byzantine = false;
     let mut reactor_only = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<f64> = None;
@@ -611,6 +688,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--reactor-smoke" => gate_reactor = true,
             "--adversity-smoke" => gate_adversity = true,
+            "--byzantine-smoke" => gate_byzantine = true,
             "--reactor-only" => reactor_only = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
             "--baseline" => {
@@ -625,7 +703,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--reactor-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--reactor-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
@@ -639,6 +717,9 @@ fn main() {
     }
     if gate_adversity {
         adversity_smoke(out.as_deref().unwrap_or("ADVERSITY_smoke.json"));
+    }
+    if gate_byzantine {
+        byzantine_smoke(out.as_deref().unwrap_or("BYZANTINE_smoke.json"));
     }
     if reactor_only {
         // Iteration mode for runtime work: just the reactor cells, no

@@ -66,6 +66,22 @@ pub struct GossipConfig {
     /// harmful — it keeps a round's ids glued together hop after hop, so a
     /// single loss removes more packets from a window than FEC can absorb.
     pub max_serve_events_per_message: usize,
+    /// Whether served payloads are checked against their integrity
+    /// metadata ([`gossip_core::Event::verify`](crate::Event::verify))
+    /// before delivery, storage and re-proposal. Disabling this models the
+    /// undefended protocol under Byzantine serve-corruptors (an ablation);
+    /// honest deployments leave it on.
+    pub verify_payloads: bool,
+    /// How many misbehaviours (corrupted payloads, garbage ids) a peer may
+    /// accumulate before it is demoted out of partner selection and its
+    /// proposals are ignored.
+    pub misbehaviour_threshold: u32,
+    /// Upper bound on the dense-key *offset* of a proposed id. Ids above
+    /// the horizon are rejected (and scored as misbehaviour) instead of
+    /// inflating per-window bookkeeping rows — a Byzantine proposer could
+    /// otherwise grow a row to its largest claimed offset. The default
+    /// admits any 16-bit packet index, which no honest stream exceeds.
+    pub propose_offset_horizon: u32,
 }
 
 impl GossipConfig {
@@ -84,6 +100,9 @@ impl GossipConfig {
             propose_lifetime_rounds: 1,
             retention: Duration::from_secs(120),
             max_serve_events_per_message: 1,
+            verify_payloads: true,
+            misbehaviour_threshold: 3,
+            propose_offset_horizon: 1 << 16,
         }
     }
 
@@ -179,6 +198,26 @@ impl GossipConfig {
         self.max_serve_events_per_message = events;
         self
     }
+
+    /// Enables or disables payload verification (validate-before-relay).
+    pub fn with_verify_payloads(mut self, verify: bool) -> Self {
+        self.verify_payloads = verify;
+        self
+    }
+
+    /// Sets how many misbehaviours demote a peer.
+    pub fn with_misbehaviour_threshold(mut self, threshold: u32) -> Self {
+        assert!(threshold >= 1, "a zero threshold would demote everyone preemptively");
+        self.misbehaviour_threshold = threshold;
+        self
+    }
+
+    /// Sets the dense-offset horizon for proposed ids.
+    pub fn with_propose_offset_horizon(mut self, horizon: u32) -> Self {
+        assert!(horizon >= 1, "a zero horizon would reject every id");
+        self.propose_offset_horizon = horizon;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +262,27 @@ mod tests {
         assert_eq!(c.source_fanout, 9);
         assert_eq!(c.propose_lifetime_rounds, 2);
         assert_eq!(c.retention, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn defense_defaults_and_builders() {
+        let c = GossipConfig::new(7);
+        assert!(c.verify_payloads, "validate-before-relay is on by default");
+        assert_eq!(c.misbehaviour_threshold, 3);
+        assert_eq!(c.propose_offset_horizon, 1 << 16);
+        let c = c
+            .with_verify_payloads(false)
+            .with_misbehaviour_threshold(5)
+            .with_propose_offset_horizon(128);
+        assert!(!c.verify_payloads);
+        assert_eq!(c.misbehaviour_threshold, 5);
+        assert_eq!(c.propose_offset_horizon, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "demote everyone")]
+    fn zero_misbehaviour_threshold_rejected() {
+        GossipConfig::new(7).with_misbehaviour_threshold(0);
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub trait Event: Clone + fmt::Debug {
     /// Returns the serialized size of one event id in a
     /// `[PROPOSE]`/`[REQUEST]` message, in bytes.
     fn id_wire_size() -> usize;
+
+    /// Whether the event's payload matches its integrity metadata.
+    ///
+    /// The node calls this on every served event before delivering,
+    /// storing or re-proposing it (validate-before-relay); events without
+    /// integrity metadata are trivially valid. Implementations must be
+    /// cheap relative to payload size — it runs once per received serve.
+    fn verify(&self) -> bool {
+        true
+    }
 }
 
 /// A minimal event for tests and microbenchmarks: a `u64` id plus a nominal
@@ -47,17 +57,25 @@ pub trait Event: Clone + fmt::Debug {
 pub struct TestEvent {
     id: u64,
     payload_size: usize,
+    corrupt: bool,
 }
 
 impl TestEvent {
     /// Creates a test event with the given id and nominal payload size.
     pub fn new(id: u64, payload_size: usize) -> Self {
-        TestEvent { id, payload_size }
+        TestEvent { id, payload_size, corrupt: false }
     }
 
     /// Returns the nominal payload size.
     pub fn payload_size(&self) -> usize {
         self.payload_size
+    }
+
+    /// Returns a copy whose (nominal) payload fails [`Event::verify`] —
+    /// what a Byzantine serve-corruptor would hand out.
+    pub fn corrupted(mut self) -> Self {
+        self.corrupt = true;
+        self
     }
 }
 
@@ -78,6 +96,10 @@ impl Event for TestEvent {
     fn id_wire_size() -> usize {
         8
     }
+
+    fn verify(&self) -> bool {
+        !self.corrupt
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +113,10 @@ mod tests {
         assert_eq!(e.payload_size(), 100);
         assert_eq!(e.wire_size(), 112);
         assert_eq!(TestEvent::id_wire_size(), 8);
+        assert!(e.verify());
+        let bad = e.corrupted();
+        assert!(!bad.verify());
+        assert_eq!(bad.id(), 7, "corruption keeps the claimed id");
+        assert_eq!(bad.wire_size(), e.wire_size());
     }
 }

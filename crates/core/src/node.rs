@@ -174,6 +174,15 @@ pub struct GossipNode<E: Event> {
     /// All-time request/delivery bookkeeping (never pruned; an id is
     /// requested from exactly one peer, ever, apart from retransmissions).
     requested: DenseMap<E::Id, RequestState>,
+    /// Most recent *other* proposer of each still-undelivered id: where a
+    /// corrupted serve is re-requested from (validate-before-relay).
+    alternates: DenseMap<E::Id, NodeId>,
+    /// Misbehaviour scores of peers that served corrupted payloads or
+    /// proposed garbage ids (sparse: almost always empty).
+    misbehaviour: Vec<(NodeId, u32)>,
+    /// Peers demoted for repeat misbehaviour: excluded from partner
+    /// selection and feed-me adoption, their proposals ignored.
+    demoted: Vec<NodeId>,
     /// Armed retransmission timers, addressed by their sequential token.
     retransmits: TokenSlab<RetransmitEntry<E::Id>>,
     rtt: RttEstimator,
@@ -222,6 +231,9 @@ impl<E: Event> GossipNode<E> {
             propose_queue: Vec::new(),
             store: DenseMap::new(),
             requested: DenseMap::new(),
+            alternates: DenseMap::new(),
+            misbehaviour: Vec::new(),
+            demoted: Vec::new(),
             retransmits: TokenSlab::new(),
             rtt,
             next_token: 0,
@@ -368,6 +380,7 @@ impl<E: Event> GossipNode<E> {
             fanout,
             &self.membership,
             self.id,
+            &self.demoted,
             &mut self.rng,
         ));
         if !ids.is_empty() && !self.free_rider {
@@ -393,7 +406,7 @@ impl<E: Event> GossipNode<E> {
         match msg {
             Message::Propose { ids } => self.handle_propose(now, from, ids.iter().copied()),
             Message::Request { ids } => self.handle_request(from, ids.iter().copied()),
-            Message::Serve { events } => self.handle_serve(now, events.into_iter()),
+            Message::Serve { events } => self.handle_serve(now, from, events.into_iter()),
             Message::FeedMe => self.handle_feedme(from),
         }
     }
@@ -456,9 +469,22 @@ impl<E: Event> GossipNode<E> {
         if self.is_source {
             return; // the source never pulls
         }
+        if !self.demoted.is_empty() && self.demoted.contains(&from) {
+            self.stats.proposes_from_demoted_ignored += 1;
+            return;
+        }
         let mut wanted = std::mem::take(&mut self.scratch_ids);
         wanted.clear();
         for id in ids {
+            // Dense-offset horizon: a garbage id (Byzantine proposer) would
+            // grow this id's window row to its claimed offset — reject it
+            // before it touches the bookkeeping, and score the proposer.
+            use crate::index::EventIndex;
+            if id.dense_key().1 >= self.config.propose_offset_horizon {
+                self.stats.garbage_ids_rejected += 1;
+                self.note_misbehaviour(from);
+                continue;
+            }
             // Already requested (from whoever proposed first) or already
             // delivered: line 10 filters it out.
             let fresh = self.requested.insert_if_vacant(id, RequestState::new(1, false, now));
@@ -466,6 +492,11 @@ impl<E: Event> GossipNode<E> {
                 wanted.push(id);
             } else {
                 self.stats.duplicate_ids_proposed += 1;
+                // Remember the redundant proposer: if the first peer's serve
+                // turns out corrupted, this is where the re-request goes.
+                if self.requested.get(&id).is_some_and(|s| !s.delivered()) {
+                    self.alternates.insert(id, from);
+                }
             }
         }
         if wanted.is_empty() {
@@ -513,10 +544,22 @@ impl<E: Event> GossipNode<E> {
 
     /// Phase 3, receiving side (lines 20–24): deliver fresh events, queue
     /// their ids for the next proposal.
-    fn handle_serve(&mut self, now: Time, events: impl Iterator<Item = E>) {
+    ///
+    /// Validate-before-relay: each event's payload is checked against its
+    /// integrity metadata *before* it can be delivered, stored or
+    /// re-proposed. A corrupted event is dropped, the server's misbehaviour
+    /// score bumped, and — if another peer proposed the same id — the id is
+    /// re-requested from that alternate within the usual `K` budget.
+    fn handle_serve(&mut self, now: Time, from: NodeId, events: impl Iterator<Item = E>) {
         self.stats.serves_received += 1;
         for event in events {
             let id = event.id();
+            if self.config.verify_payloads && !event.verify() {
+                self.stats.corrupted_events_detected += 1;
+                self.note_misbehaviour(from);
+                self.rerequest_corrupted(now, from, id);
+                continue;
+            }
             let state = self.requested.get_or_insert_with(id, || RequestState::new(0, false, now));
             if state.delivered() {
                 self.stats.duplicate_events_received += 1;
@@ -538,13 +581,14 @@ impl<E: Event> GossipNode<E> {
         // marked delivered are skipped, and empty entries evaporate.
     }
 
-    /// Feed-me handling: replace a random partner with the sender.
+    /// Feed-me handling: replace a random partner with the sender (refused
+    /// for demoted peers — a corruptor must not feed-me its way back in).
     fn handle_feedme(&mut self, from: NodeId) {
         self.stats.feedmes_received += 1;
         if from == self.id {
             return;
         }
-        if self.view.adopt(from, &mut self.rng) {
+        if self.view.adopt(from, &self.demoted, &mut self.rng) {
             self.stats.feedmes_adopted += 1;
         }
     }
@@ -569,6 +613,58 @@ impl<E: Event> GossipNode<E> {
         for i in picked {
             self.stats.feedmes_sent += 1;
             self.outputs.push_back(Output::Send { to: candidates[i], msg: Message::FeedMe });
+        }
+    }
+
+    /// Bumps `peer`'s misbehaviour score; at
+    /// [`GossipConfig::misbehaviour_threshold`] the peer is demoted:
+    /// excluded from partner selection, refused feed-me adoption, and its
+    /// proposals ignored from then on.
+    fn note_misbehaviour(&mut self, peer: NodeId) {
+        if peer == self.id || self.demoted.contains(&peer) {
+            return;
+        }
+        let score = match self.misbehaviour.iter_mut().find(|(p, _)| *p == peer) {
+            Some((_, s)) => {
+                *s += 1;
+                *s
+            }
+            None => {
+                self.misbehaviour.push((peer, 1));
+                1
+            }
+        };
+        if score >= self.config.misbehaviour_threshold {
+            self.demoted.push(peer);
+            self.stats.peers_demoted += 1;
+        }
+    }
+
+    /// After a corrupted serve of `id` from `offender`: re-request the id
+    /// from the most recent *other* proposer, spending one unit of the
+    /// usual `K` request budget and re-arming the backoff timer if more
+    /// budget remains. Without an alternate proposer the id simply stays
+    /// undelivered — the armed retransmission timer retries as usual.
+    fn rerequest_corrupted(&mut self, now: Time, offender: NodeId, id: E::Id) {
+        let alt = match self.alternates.get(&id) {
+            Some(&a) if a != offender => a,
+            _ => return,
+        };
+        let cap = self.max_requests_cap();
+        let Some(state) = self.requested.get_mut(&id) else { return };
+        if state.delivered() || state.times_requested() >= cap {
+            return;
+        }
+        state.bump_requested();
+        let attempt = state.times_requested();
+        let budget_left = attempt < cap;
+        self.stats.corrupt_rerequests += 1;
+        self.stats.requests_sent += 1;
+        let shared: Arc<[E::Id]> = std::iter::once(id).collect();
+        self.outputs
+            .push_back(Output::Send { to: alt, msg: Message::Request { ids: shared.clone() } });
+        if budget_left {
+            self.arm_retransmit(now, alt, shared, attempt);
         }
     }
 
@@ -617,6 +713,16 @@ impl<E: Event> GossipNode<E> {
     pub fn request_info(&self, id: &E::Id) -> Option<(u32, bool)> {
         self.requested.get(id).map(|s| (s.times_requested(), s.delivered()))
     }
+
+    /// Returns the peers this node has demoted for repeat misbehaviour.
+    pub fn demoted_peers(&self) -> &[NodeId] {
+        &self.demoted
+    }
+
+    /// Returns `peer`'s current misbehaviour score (0 if clean).
+    pub fn misbehaviour_score(&self, peer: NodeId) -> u32 {
+        self.misbehaviour.iter().find(|(p, _)| *p == peer).map_or(0, |(_, s)| *s)
+    }
 }
 
 impl<E: crate::wire::WireEvent> GossipNode<E> {
@@ -632,7 +738,7 @@ impl<E: crate::wire::WireEvent> GossipNode<E> {
         match frame.kind() {
             FrameKind::Propose => self.handle_propose(now, frame.sender(), frame.ids()),
             FrameKind::Request => self.handle_request(frame.sender(), frame.ids()),
-            FrameKind::Serve => self.handle_serve(now, frame.events()),
+            FrameKind::Serve => self.handle_serve(now, frame.sender(), frame.events()),
             FrameKind::FeedMe => self.handle_feedme(frame.sender()),
         }
     }
@@ -1027,6 +1133,144 @@ mod tests {
         let out = drain(&mut node);
         assert!(sends(&out).is_empty(), "free-riders never serve");
         assert_eq!(node.stats().serves_sent, 0);
+    }
+
+    #[test]
+    fn corrupted_serve_is_dropped_and_rerequested_from_alternate() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        let first = NodeId::new(2);
+        let alt = NodeId::new(3);
+        // Two peers propose id 7: the first is requested, the second is
+        // remembered as the alternate.
+        node.on_message(Time::ZERO, first, Message::Propose { ids: vec![7].into() });
+        drain(&mut node);
+        node.on_message(Time::ZERO, alt, Message::Propose { ids: vec![7].into() });
+        drain(&mut node);
+
+        // The first peer serves a corrupted payload.
+        node.on_message(
+            Time::from_millis(50),
+            first,
+            Message::Serve { events: vec![TestEvent::new(7, 10).corrupted()] },
+        );
+        let out = drain(&mut node);
+        assert!(
+            out.iter().all(|o| !matches!(o, Output::Deliver { .. })),
+            "a corrupted event is never delivered"
+        );
+        assert!(!node.has_delivered(&7));
+        assert_eq!(node.stored_events(), 0, "never stored, so never served onward");
+        assert_eq!(node.stats().corrupted_events_detected, 1);
+        assert_eq!(node.stats().corrupt_rerequests, 1);
+        assert_eq!(node.misbehaviour_score(first), 1);
+        let s = sends(&out);
+        assert_eq!(s[0], (alt, &Message::Request { ids: vec![7].into() }));
+
+        // The alternate serves a clean copy: delivered and proposed onward.
+        node.on_message(
+            Time::from_millis(80),
+            alt,
+            Message::Serve { events: vec![TestEvent::new(7, 10)] },
+        );
+        let out = drain(&mut node);
+        assert!(out.iter().any(|o| matches!(o, Output::Deliver { event } if event.id() == 7)));
+        node.on_round(Time::from_millis(200));
+        assert!(
+            sends(&drain(&mut node)).iter().any(|(_, m)| matches!(m, Message::Propose { .. })),
+            "the clean copy is relayed"
+        );
+    }
+
+    #[test]
+    fn corrupted_serve_without_alternate_leaves_the_timer_to_retry() {
+        let mut node = GossipNode::new(NodeId::new(1), GossipConfig::new(3), members(10), 1);
+        let peer = NodeId::new(2);
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![7].into() });
+        drain(&mut node);
+        node.on_message(
+            Time::from_millis(50),
+            peer,
+            Message::Serve { events: vec![TestEvent::new(7, 10).corrupted()] },
+        );
+        let out = drain(&mut node);
+        assert!(sends(&out).is_empty(), "no alternate proposer: nothing to re-request");
+        assert_eq!(node.stats().corrupted_events_detected, 1);
+        assert_eq!(node.stats().corrupt_rerequests, 0);
+        assert!(!node.has_delivered(&7), "the armed RTO timer will retry in due course");
+    }
+
+    #[test]
+    fn repeat_offender_is_demoted_and_its_proposals_ignored() {
+        let config = GossipConfig::new(3).with_misbehaviour_threshold(2);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(6), 1);
+        let bad = NodeId::new(2);
+        for id in [10u64, 11] {
+            node.on_message(Time::ZERO, bad, Message::Propose { ids: vec![id].into() });
+            drain(&mut node);
+            node.on_message(
+                Time::ZERO,
+                bad,
+                Message::Serve { events: vec![TestEvent::new(id, 10).corrupted()] },
+            );
+            drain(&mut node);
+        }
+        assert_eq!(node.stats().peers_demoted, 1);
+        assert_eq!(node.demoted_peers(), &[bad]);
+
+        // Its proposals are ignored from now on…
+        node.on_message(Time::ZERO, bad, Message::Propose { ids: vec![12].into() });
+        assert!(sends(&drain(&mut node)).is_empty());
+        assert_eq!(node.stats().proposes_from_demoted_ignored, 1);
+
+        // …it is never drawn as a partner…
+        for r in 1..=20u64 {
+            node.on_round(Time::from_millis(200 * r));
+            drain(&mut node);
+            assert!(!node.partners().contains(&bad), "demoted peer drawn as partner");
+        }
+
+        // …and it cannot feed-me its way back into the view.
+        node.on_message(Time::ZERO, bad, Message::FeedMe);
+        assert!(!node.partners().contains(&bad));
+        assert_eq!(node.stats().feedmes_adopted, 0);
+    }
+
+    #[test]
+    fn garbage_propose_ids_beyond_the_horizon_are_rejected() {
+        // u64 test ids put the low byte in the dense offset: a horizon of
+        // 100 makes offsets 100..256 "garbage".
+        let config = GossipConfig::new(3).with_propose_offset_horizon(100);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
+        let peer = NodeId::new(2);
+        node.on_message(Time::ZERO, peer, Message::Propose { ids: vec![5, 200].into() });
+        let out = drain(&mut node);
+        let s = sends(&out);
+        assert_eq!(
+            s[0],
+            (peer, &Message::Request { ids: vec![5].into() }),
+            "the in-horizon id is still requested"
+        );
+        assert_eq!(node.stats().garbage_ids_rejected, 1);
+        assert_eq!(node.misbehaviour_score(peer), 1);
+        assert_eq!(node.request_info(&200), None, "the garbage id never touched bookkeeping");
+    }
+
+    #[test]
+    fn verification_off_accepts_corrupted_payloads() {
+        let config = GossipConfig::new(3).with_verify_payloads(false);
+        let mut node = GossipNode::new(NodeId::new(1), config, members(10), 1);
+        node.on_message(
+            Time::ZERO,
+            NodeId::new(2),
+            Message::Serve { events: vec![TestEvent::new(7, 10).corrupted()] },
+        );
+        let out = drain(&mut node);
+        assert!(
+            out.iter().any(|o| matches!(o, Output::Deliver { event } if event.id() == 7)),
+            "undefended node swallows the corruption"
+        );
+        assert_eq!(node.stats().corrupted_events_detected, 0);
+        assert!(node.demoted_peers().is_empty());
     }
 
     #[test]

@@ -39,6 +39,20 @@ pub struct ProtocolStats {
     pub feedmes_received: u64,
     /// Feed-me messages that actually changed the receiver's view.
     pub feedmes_adopted: u64,
+    /// Served events whose payload failed [`Event::verify`] and were
+    /// dropped before delivery/storage/re-proposal (validate-before-relay).
+    ///
+    /// [`Event::verify`]: crate::Event::verify
+    pub corrupted_events_detected: u64,
+    /// Corrupted ids re-requested from an alternate proposer.
+    pub corrupt_rerequests: u64,
+    /// Peers demoted out of partner selection for repeated misbehaviour.
+    pub peers_demoted: u64,
+    /// `[PROPOSE]` messages ignored because the sender was demoted.
+    pub proposes_from_demoted_ignored: u64,
+    /// Proposed ids rejected by the dense-offset horizon (garbage ids that
+    /// would otherwise inflate per-window bookkeeping rows).
+    pub garbage_ids_rejected: u64,
 }
 
 impl ProtocolStats {
@@ -59,6 +73,11 @@ impl ProtocolStats {
         self.feedmes_sent += other.feedmes_sent;
         self.feedmes_received += other.feedmes_received;
         self.feedmes_adopted += other.feedmes_adopted;
+        self.corrupted_events_detected += other.corrupted_events_detected;
+        self.corrupt_rerequests += other.corrupt_rerequests;
+        self.peers_demoted += other.peers_demoted;
+        self.proposes_from_demoted_ignored += other.proposes_from_demoted_ignored;
+        self.garbage_ids_rejected += other.garbage_ids_rejected;
     }
 }
 
@@ -69,13 +88,21 @@ mod tests {
     #[test]
     fn merge_adds_everything() {
         let mut a = ProtocolStats { rounds: 1, proposes_sent: 2, ..Default::default() };
-        let b =
-            ProtocolStats { rounds: 10, serves_sent: 5, feedmes_adopted: 1, ..Default::default() };
+        let b = ProtocolStats {
+            rounds: 10,
+            serves_sent: 5,
+            feedmes_adopted: 1,
+            corrupted_events_detected: 3,
+            peers_demoted: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.rounds, 11);
         assert_eq!(a.proposes_sent, 2);
         assert_eq!(a.serves_sent, 5);
         assert_eq!(a.feedmes_adopted, 1);
+        assert_eq!(a.corrupted_events_detected, 3);
+        assert_eq!(a.peers_demoted, 1);
     }
 
     #[test]

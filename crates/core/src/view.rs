@@ -50,24 +50,33 @@ impl PartnerView {
     /// Returns the partner set for this round, refreshing it if the round
     /// counter says so.
     ///
-    /// `membership` is the full node list; `self_id` is excluded from
+    /// `membership` is the full node list; `self_id` and every id in
+    /// `banned` (peers demoted for misbehaviour) are excluded from
     /// selection. `fanout` partners are drawn without replacement (fewer if
-    /// the membership is too small).
+    /// the eligible membership is too small). A freshly banned current
+    /// partner forces an immediate refresh regardless of `X`.
     pub fn select(
         &mut self,
         fanout: usize,
         membership: &[NodeId],
         self_id: NodeId,
+        banned: &[NodeId],
         rng: &mut DetRng,
     ) -> &[NodeId] {
+        let eligible = if banned.is_empty() {
+            membership.len().saturating_sub(1)
+        } else {
+            membership.iter().filter(|&&m| m != self_id && !banned.contains(&m)).count()
+        };
         let needs_refresh = !self.initialised
-            || self.partners.len() != fanout.min(membership.len().saturating_sub(1))
+            || self.partners.len() != fanout.min(eligible)
+            || (!banned.is_empty() && self.partners.iter().any(|p| banned.contains(p)))
             || match self.refresh_rounds {
                 Some(x) => self.calls_since_refresh >= x,
                 None => false,
             };
         if needs_refresh {
-            self.refresh(fanout, membership, self_id, rng);
+            self.refresh(fanout, membership, self_id, banned, rng);
             self.calls_since_refresh = 0;
         }
         self.calls_since_refresh += 1;
@@ -75,12 +84,20 @@ impl PartnerView {
     }
 
     /// Unconditionally re-draws the partner set.
-    fn refresh(&mut self, fanout: usize, membership: &[NodeId], self_id: NodeId, rng: &mut DetRng) {
-        // Draw from membership excluding self. Dead nodes are *not*
-        // excluded: the paper's protocol has no failure detector, which is
-        // precisely why proactiveness matters under churn.
+    fn refresh(
+        &mut self,
+        fanout: usize,
+        membership: &[NodeId],
+        self_id: NodeId,
+        banned: &[NodeId],
+        rng: &mut DetRng,
+    ) {
+        // Draw from membership excluding self and demoted peers. Dead nodes
+        // are *not* excluded: the paper's protocol has no failure detector,
+        // which is precisely why proactiveness matters under churn.
         self.scratch_candidates.clear();
-        self.scratch_candidates.extend(membership.iter().copied().filter(|&m| m != self_id));
+        self.scratch_candidates
+            .extend(membership.iter().copied().filter(|&m| m != self_id && !banned.contains(&m)));
         rng.sample_indices_into(self.scratch_candidates.len(), fanout, &mut self.scratch_indices);
         self.partners.clear();
         self.partners.extend(self.scratch_indices.iter().map(|&i| self.scratch_candidates[i]));
@@ -89,11 +106,15 @@ impl PartnerView {
 
     /// Handles a feed-me request from `newcomer`: replaces one uniformly
     /// random current partner with it (no-op if the newcomer is already a
-    /// partner or the view is empty).
+    /// partner, is banned, or the view is empty).
     ///
     /// Returns `true` if the view changed.
-    pub fn adopt(&mut self, newcomer: NodeId, rng: &mut DetRng) -> bool {
-        if !self.initialised || self.partners.is_empty() || self.partners.contains(&newcomer) {
+    pub fn adopt(&mut self, newcomer: NodeId, banned: &[NodeId], rng: &mut DetRng) -> bool {
+        if !self.initialised
+            || self.partners.is_empty()
+            || self.partners.contains(&newcomer)
+            || banned.contains(&newcomer)
+        {
             return false;
         }
         let slot = rng.index(self.partners.len());
@@ -126,7 +147,7 @@ mod tests {
         let mut view = PartnerView::new(Some(1));
         let m = members(20);
         let me = NodeId::new(3);
-        let partners = view.select(7, &m, me, &mut rng).to_vec();
+        let partners = view.select(7, &m, me, &[], &mut rng).to_vec();
         assert_eq!(partners.len(), 7);
         assert!(!partners.contains(&me));
         let mut sorted = partners.clone();
@@ -141,8 +162,8 @@ mod tests {
         let mut view = PartnerView::new(Some(1));
         let m = members(100);
         let me = NodeId::new(0);
-        let a = view.select(10, &m, me, &mut rng).to_vec();
-        let b = view.select(10, &m, me, &mut rng).to_vec();
+        let a = view.select(10, &m, me, &[], &mut rng).to_vec();
+        let b = view.select(10, &m, me, &[], &mut rng).to_vec();
         // With 99 candidates choose 10, two consecutive draws are virtually
         // never identical.
         assert_ne!(a, b, "X=1 must re-draw partners each round");
@@ -154,9 +175,9 @@ mod tests {
         let mut view = PartnerView::new(Some(2));
         let m = members(100);
         let me = NodeId::new(0);
-        let r1 = view.select(8, &m, me, &mut rng).to_vec();
-        let r2 = view.select(8, &m, me, &mut rng).to_vec();
-        let r3 = view.select(8, &m, me, &mut rng).to_vec();
+        let r1 = view.select(8, &m, me, &[], &mut rng).to_vec();
+        let r2 = view.select(8, &m, me, &[], &mut rng).to_vec();
+        let r3 = view.select(8, &m, me, &[], &mut rng).to_vec();
         assert_eq!(r1, r2, "X=2 keeps partners for two rounds");
         assert_ne!(r2, r3, "...then refreshes");
     }
@@ -167,9 +188,9 @@ mod tests {
         let mut view = PartnerView::new(None);
         let m = members(50);
         let me = NodeId::new(1);
-        let first = view.select(6, &m, me, &mut rng).to_vec();
+        let first = view.select(6, &m, me, &[], &mut rng).to_vec();
         for _ in 0..100 {
-            assert_eq!(view.select(6, &m, me, &mut rng), &first[..]);
+            assert_eq!(view.select(6, &m, me, &[], &mut rng), &first[..]);
         }
     }
 
@@ -178,7 +199,7 @@ mod tests {
         let mut rng = DetRng::seed_from(5);
         let mut view = PartnerView::new(Some(1));
         let m = members(5);
-        let partners = view.select(10, &m, NodeId::new(0), &mut rng).to_vec();
+        let partners = view.select(10, &m, NodeId::new(0), &[], &mut rng).to_vec();
         assert_eq!(partners.len(), 4, "can never select more than n-1 partners");
     }
 
@@ -188,8 +209,8 @@ mod tests {
         let mut view = PartnerView::new(None);
         let m = members(50);
         let me = NodeId::new(0);
-        assert_eq!(view.select(5, &m, me, &mut rng).len(), 5);
-        assert_eq!(view.select(9, &m, me, &mut rng).len(), 9);
+        assert_eq!(view.select(5, &m, me, &[], &mut rng).len(), 5);
+        assert_eq!(view.select(9, &m, me, &[], &mut rng).len(), 9);
     }
 
     #[test]
@@ -198,12 +219,12 @@ mod tests {
         let mut view = PartnerView::new(None);
         let m = members(50);
         let me = NodeId::new(0);
-        let before = view.select(8, &m, me, &mut rng).to_vec();
+        let before = view.select(8, &m, me, &[], &mut rng).to_vec();
         let newcomer = (1..50)
             .map(NodeId::new)
             .find(|id| !before.contains(id) && *id != me)
             .expect("some node is not a partner");
-        assert!(view.adopt(newcomer, &mut rng));
+        assert!(view.adopt(newcomer, &[], &mut rng));
         let after = view.current().to_vec();
         assert!(after.contains(&newcomer));
         let kept = after.iter().filter(|p| before.contains(p)).count();
@@ -214,10 +235,29 @@ mod tests {
     fn adopt_is_noop_for_existing_partner_or_uninitialised_view() {
         let mut rng = DetRng::seed_from(8);
         let mut view = PartnerView::new(None);
-        assert!(!view.adopt(NodeId::new(1), &mut rng), "uninitialised view ignores feed-me");
+        assert!(!view.adopt(NodeId::new(1), &[], &mut rng), "uninitialised view ignores feed-me");
         let m = members(10);
-        let partners = view.select(9, &m, NodeId::new(0), &mut rng).to_vec();
-        assert!(!view.adopt(partners[0], &mut rng), "existing partner is not re-adopted");
+        let partners = view.select(9, &m, NodeId::new(0), &[], &mut rng).to_vec();
+        assert!(!view.adopt(partners[0], &[], &mut rng), "existing partner is not re-adopted");
+    }
+
+    #[test]
+    fn banned_peers_are_never_selected_and_evict_current_partners() {
+        let mut rng = DetRng::seed_from(10);
+        let mut view = PartnerView::new(None); // X = ∞: only bans force refresh
+        let m = members(12);
+        let me = NodeId::new(0);
+        let first = view.select(5, &m, me, &[], &mut rng).to_vec();
+        // Ban one current partner: the next select must evict it despite
+        // the static mesh, and never re-draw it while banned.
+        let banned = [first[0]];
+        for _ in 0..20 {
+            let now = view.select(5, &m, me, &banned, &mut rng).to_vec();
+            assert!(!now.contains(&banned[0]), "banned peer drawn into the view");
+            assert_eq!(now.len(), 5, "10 eligible peers still fill fanout 5");
+        }
+        // A banned newcomer is refused adoption.
+        assert!(!view.adopt(banned[0], &banned, &mut rng));
     }
 
     #[test]
@@ -226,11 +266,11 @@ mod tests {
         let mut view = PartnerView::new(Some(3));
         let m = members(60);
         let me = NodeId::new(0);
-        view.select(5, &m, me, &mut rng);
+        view.select(5, &m, me, &[], &mut rng);
         let newcomer = (1..60).map(NodeId::new).find(|id| !view.current().contains(id)).unwrap();
-        view.adopt(newcomer, &mut rng);
+        view.adopt(newcomer, &[], &mut rng);
         // Round 2 and 3 keep the adopted partner (X=3: refresh on round 4).
-        assert!(view.select(5, &m, me, &mut rng).contains(&newcomer));
-        assert!(view.select(5, &m, me, &mut rng).contains(&newcomer));
+        assert!(view.select(5, &m, me, &[], &mut rng).contains(&newcomer));
+        assert!(view.select(5, &m, me, &[], &mut rng).contains(&newcomer));
     }
 }

@@ -20,7 +20,7 @@ use gossip_experiments::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <fig1|...|fig8|all|adv|adv-catastrophic|adv-poisson|adv-flash-crowd|adv-free-riders|ext|ext-membership|ext-heterogeneous|ext-scaling|ext-period|ext-churn-timeline> [--scale full|quick|tiny] [--seed N] [--trials N]\n\
+        "usage: repro <fig1|...|fig8|all|adv|adv-catastrophic|adv-poisson|adv-flash-crowd|adv-free-riders|adv-byzantine|adv-partition|adv-throttle|ext|ext-membership|ext-heterogeneous|ext-scaling|ext-period|ext-churn-timeline> [--scale full|quick|tiny] [--seed N] [--trials N]\n\
          regenerates the figures of 'Stretching Gossip with Live Streaming' (DSN 2009) plus extensions"
     );
     ExitCode::FAILURE
@@ -92,6 +92,9 @@ fn main() -> ExitCode {
         "adv-poisson" => print(adversity::run_poisson(scale, seed)),
         "adv-flash-crowd" => print(adversity::run_flash_crowd(scale, seed)),
         "adv-free-riders" => print(adversity::run_free_riders(scale, seed)),
+        "adv-byzantine" => print(adversity::run_byzantine(scale, seed)),
+        "adv-partition" => print(adversity::run_partition(scale, seed)),
+        "adv-throttle" => print(adversity::run_throttle(scale, seed)),
         "ext-membership" => print(extensions::run_membership(scale, seed)),
         "ext-heterogeneous" => print(extensions::run_heterogeneous(scale, seed)),
         "ext-scaling" => print(extensions::run_scaling(seed)),

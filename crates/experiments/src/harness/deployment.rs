@@ -15,7 +15,7 @@
 //! completions, retransmission timers) carry and are filtered by, so no
 //! event armed before a crash can touch the state of a later incarnation.
 
-use gossip_adversity::CompiledAdversity;
+use gossip_adversity::{CompiledAdversity, PartitionState};
 use gossip_core::{GossipNode, Message};
 use gossip_membership::{CyclonView, ShuffleMessage};
 use gossip_net::{LatencySampler, LossProcess, NetStats, UploadLink};
@@ -54,6 +54,10 @@ pub(crate) struct Deployment<'a> {
     pub(crate) cfg: &'a Scenario,
     /// The compiled adversity plan (inert for a plain run).
     pub(crate) compiled: CompiledAdversity,
+    /// Which compiled partitions are currently splitting the network.
+    pub(crate) partition: PartitionState,
+    /// Every node's unthrottled upload cap, for restoring at `ThrottleEnd`.
+    pub(crate) base_caps: Vec<Option<u64>>,
     pub(crate) nodes: Vec<GossipNode<StreamPacket>>,
     pub(crate) players: Vec<StreamPlayer>,
     pub(crate) links: Vec<UploadLink<(NodeId, Envelope)>>,
@@ -117,9 +121,10 @@ impl<'a> Deployment<'a> {
             setup_rng.shuffle(&mut caps);
             caps
         });
-        let links = (0..total)
-            .map(|i| UploadLink::new(node_cap(cfg, &compiled, &class_caps, i), cfg.max_queue_delay))
-            .collect();
+        let base_caps: Vec<Option<u64>> =
+            (0..total).map(|i| node_cap(cfg, &compiled, &class_caps, i)).collect();
+        let links =
+            base_caps.iter().map(|&cap| UploadLink::new(cap, cfg.max_queue_delay)).collect();
         let players = (0..total).map(|_| StreamPlayer::new(cfg.stream)).collect();
         let latency = LatencySampler::new(cfg.latency.clone(), total, &mut setup_rng);
         let loss = LossProcess::new(cfg.loss, total);
@@ -183,6 +188,8 @@ impl<'a> Deployment<'a> {
             net_rng: DetRng::seed_from(cfg.seed).split(0xBEEF),
             source: StreamSource::new(cfg.stream, Time::ZERO),
             compiled,
+            partition: PartitionState::new(),
+            base_caps,
         };
         (deployment, engine)
     }
@@ -391,7 +398,7 @@ mod tests {
         }
         let first_join = dep.compiled.timeline.events()[0];
         assert!(matches!(first_join.action, FaultAction::Join(_)));
-        let v = first_join.action.node();
+        let v = first_join.action.node().expect("a join names its node");
         dep.join(first_join.at, v);
         assert!(dep.alive[v.index()]);
         assert_eq!(dep.members.len(), 21);

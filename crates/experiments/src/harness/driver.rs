@@ -1,9 +1,11 @@
 //! The event loop: dispatches engine events to nodes, links, players and
 //! membership views until the scenario's time horizon.
 
-use gossip_core::{Output, TimerToken};
+use gossip_adversity::{ByzantineBehaviour, FaultAction};
+use gossip_core::{Event, Message, Output, TimerToken};
 use gossip_net::Enqueued;
 use gossip_sim::Engine;
+use gossip_stream::byzantine;
 use gossip_types::{Duration, NodeId, Time};
 
 use crate::harness::deployment::{Deployment, Envelope};
@@ -133,6 +135,15 @@ impl<'a> Driver<'a> {
                     stats.bytes_received += envelope.wire_size() as u64;
                     match envelope {
                         Envelope::Gossip(msg) => {
+                            // A request-eating Byzantine peer accepts the
+                            // datagram and then does nothing with it: the
+                            // requester's RTO eventually retries elsewhere.
+                            if matches!(msg, Message::Request { .. })
+                                && self.dep.compiled.profiles[to.index()].byzantine
+                                    == Some(ByzantineBehaviour::EatRequests)
+                            {
+                                return;
+                            }
                             self.depth.enter_serve(from);
                             self.dep.nodes[to.index()].on_message(now, from, msg);
                             self.drain_outputs(now, to);
@@ -158,14 +169,30 @@ impl<'a> Driver<'a> {
             Ev::Fault(k) => {
                 let fault = self.dep.compiled.timeline.events()[k];
                 match fault.action {
-                    gossip_adversity::FaultAction::Crash(v) => self.dep.crash(&[v]),
-                    gossip_adversity::FaultAction::Rejoin(v) => {
+                    FaultAction::Crash(v) => self.dep.crash(&[v]),
+                    FaultAction::Rejoin(v) => {
                         self.dep.revive(v);
                         self.start_node(now, v);
                     }
-                    gossip_adversity::FaultAction::Join(v) => {
+                    FaultAction::Join(v) => {
                         self.dep.join(now, v);
                         self.start_node(now, v);
+                    }
+                    FaultAction::Partition(_) | FaultAction::Heal(_) => {
+                        self.dep.partition.on_event(fault.action);
+                    }
+                    FaultAction::ThrottleStart(t) => {
+                        let plan = &self.dep.compiled.throttles[t as usize];
+                        let (cap, victims) = (plan.cap_bps, plan.victims.clone());
+                        for v in victims {
+                            self.dep.links[v.index()].set_rate(cap);
+                        }
+                    }
+                    FaultAction::ThrottleEnd(t) => {
+                        let victims = self.dep.compiled.throttles[t as usize].victims.clone();
+                        for v in victims {
+                            self.dep.links[v.index()].set_rate(self.dep.base_caps[v.index()]);
+                        }
                     }
                 }
             }
@@ -188,14 +215,20 @@ impl<'a> Driver<'a> {
         }
     }
 
-    /// A message finished transmitting: apply in-network loss, then latency,
-    /// then deliver (unless the destination died meanwhile).
+    /// A message finished transmitting: apply any active partition, then
+    /// in-network loss, then latency, then deliver (unless the destination
+    /// died meanwhile).
     fn dispatch_transmitted(
         &mut self,
         now: Time,
         from: NodeId,
         (to, envelope): (NodeId, Envelope),
     ) {
+        if self.dep.partition.is_split() && !self.dep.partition.allows(&self.dep.compiled, from, to)
+        {
+            self.dep.rx_stats[from.index()].msgs_lost_in_network += 1;
+            return; // the cut swallows cross-cell traffic silently
+        }
         if self.dep.loss.is_lost(to, &mut self.dep.net_rng) {
             self.dep.rx_stats[from.index()].msgs_lost_in_network += 1;
             return;
@@ -225,6 +258,15 @@ impl<'a> Driver<'a> {
         while let Some(out) = self.dep.nodes[id.index()].poll_output() {
             match out {
                 Output::Send { to, msg } => {
+                    // Byzantine behaviours act at the network boundary: the
+                    // node itself always runs the honest code, its *output*
+                    // is what gets corrupted (the node believes it serves
+                    // faithfully, like compromised middleware would).
+                    let msg = match self.dep.compiled.profiles[id.index()].byzantine {
+                        Some(ByzantineBehaviour::ServeCorrupt) => byzantine::corrupt_serves(msg),
+                        Some(ByzantineBehaviour::ProposeGarbage) => byzantine::garble_proposes(msg),
+                        _ => msg,
+                    };
                     // The paper's limiter is an application-level shaper: it
                     // charges the bytes the application sends (message
                     // payloads and headers), not the kernel's IP/UDP
@@ -233,9 +275,15 @@ impl<'a> Driver<'a> {
                     self.send_envelope(now, id, to, Envelope::Gossip(msg));
                 }
                 Output::Deliver { event } => {
-                    let packet_id = event.packet_id();
-                    self.dep.players[id.index()].on_packet(now, packet_id);
-                    self.depth.record(id, packet_id);
+                    // The player only counts packets whose payload matches
+                    // the checksum: a poisoned packet accepted because
+                    // verification is disabled is garbage on screen, not a
+                    // viewed window.
+                    if event.verify() {
+                        let packet_id = event.packet_id();
+                        self.dep.players[id.index()].on_packet(now, packet_id);
+                        self.depth.record(id, packet_id);
+                    }
                 }
                 Output::ScheduleTimer { token, at } => {
                     self.engine.schedule(at, Ev::NodeTimer(id, token, self.dep.epoch[id.index()]));

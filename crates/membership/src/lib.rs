@@ -37,6 +37,7 @@
 
 mod cyclon;
 mod full;
+pub mod wire;
 
 pub use cyclon::{CyclonConfig, CyclonView, ShuffleMessage};
 pub use full::FullMembership;

@@ -74,6 +74,9 @@ pub struct UploadLink<T> {
     /// Maximum queued backlog expressed as wire time (depth ≈ rate ×
     /// max_queue_delay).
     max_queue_bytes: usize,
+    /// The configured queueing-delay bound, kept so a rate change
+    /// ([`UploadLink::set_rate`]) can recompute `max_queue_bytes`.
+    max_queue_delay: Duration,
     queue: VecDeque<Pending<T>>,
     queued_bytes: usize,
     /// The message currently on the wire, if any.
@@ -113,11 +116,30 @@ impl<T> UploadLink<T> {
             rate_bps,
             rate_reciprocal,
             max_queue_bytes,
+            max_queue_delay,
             queue: VecDeque::new(),
             queued_bytes: 0,
             in_flight: None,
             stats: NetStats::default(),
         }
+    }
+
+    /// Changes the link's upload cap in place (a scheduled throttle event).
+    ///
+    /// Takes effect from the *next* transmission start: the message
+    /// currently on the wire keeps its already-computed completion time —
+    /// exactly how a kernel token bucket behaves when its rate is reduced
+    /// mid-packet. Queued messages, traffic accounting and drop statistics
+    /// are preserved; only the rate, its reciprocal and the backlog bound
+    /// change.
+    pub fn set_rate(&mut self, rate_bps: Option<u64>) {
+        self.max_queue_bytes = match rate_bps {
+            Some(bps) => ((bps as u128 * self.max_queue_delay.as_micros() as u128) / 8_000_000)
+                .min(usize::MAX as u128) as usize,
+            None => usize::MAX,
+        };
+        self.rate_reciprocal = rate_bps.map_or(0, |bps| (u64::MAX / bps).wrapping_add(1));
+        self.rate_bps = rate_bps;
     }
 
     /// Creates an unconstrained link (for tests and uncapped scenarios).
@@ -384,5 +406,30 @@ mod tests {
         }
         assert_eq!(queued, 125);
         assert_eq!(dropped, 75);
+    }
+
+    #[test]
+    fn set_rate_changes_wire_time_from_the_next_start() {
+        // 800 kbps: 1000 bytes take 10 ms.
+        let mut link: UploadLink<u8> = UploadLink::new(Some(800_000), Duration::from_secs(1));
+        match link.enqueue(Time::ZERO, 1000, 0) {
+            Enqueued::Started { completes_at } => assert_eq!(completes_at, Time::from_millis(10)),
+            other => panic!("expected start, got {other:?}"),
+        }
+        link.enqueue(Time::ZERO, 1000, 1);
+        // Throttle to 80 kbps mid-flight: the in-flight message keeps its
+        // completion time; the queued one transmits at the new rate.
+        link.set_rate(Some(80_000));
+        assert_eq!(link.rate_bps(), Some(80_000));
+        let (_, next) = link.complete_head(Time::from_millis(10));
+        assert_eq!(next, Some(Time::from_millis(110)), "1000 bytes at 80 kbps = 100 ms");
+        // Restoring the original rate restores the original wire time.
+        let (_, none) = link.complete_head(Time::from_millis(110));
+        assert_eq!(none, None);
+        link.set_rate(Some(800_000));
+        match link.enqueue(Time::from_millis(110), 1000, 2) {
+            Enqueued::Started { completes_at } => assert_eq!(completes_at, Time::from_millis(120)),
+            other => panic!("expected start, got {other:?}"),
+        }
     }
 }

@@ -37,15 +37,15 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use gossip_adversity::{CompiledAdversity, FaultAction};
-use gossip_core::wire::decode_frame;
-use gossip_core::wire::encode_message;
-use gossip_core::{Output, TimerToken};
-use gossip_sim::EventQueue;
-use gossip_stream::StreamPacket;
+use gossip_adversity::{ByzantineBehaviour, CompiledAdversity, FaultAction, PartitionState};
+use gossip_core::wire::{decode_frame, encode_message, FrameKind};
+use gossip_core::{Event, Output, TimerToken};
+use gossip_membership::{wire as shuffle_wire, CyclonConfig, CyclonView, ShuffleMessage};
+use gossip_sim::{DetRng, EventQueue};
+use gossip_stream::{byzantine, StreamPacket};
 use gossip_types::{Duration, NodeId, Time};
 use gossip_udp::clock::ClusterClock;
-use gossip_udp::cluster::ClusterConfig;
+use gossip_udp::cluster::{ClusterConfig, JoinerBootstrap};
 use gossip_udp::report::{NodeReport, ShardStats};
 
 use crate::demux;
@@ -145,6 +145,15 @@ struct Shard {
     /// Bumped on every join; nodes whose `members_seen` lags refresh
     /// their membership lazily at their next round.
     members_version: u32,
+    /// Which partition events are live. Every shard walks the same fault
+    /// timeline, so every shard's view of the split agrees; cross-cell
+    /// frames are dropped on arrival in [`Shard::route_frame`].
+    partition: PartitionState,
+    /// RNG stream for membership work — Cyclon bootstrap samples, shuffle
+    /// subsets, reply samples. Seeded per shard; the reactor's wall-clock
+    /// arrival order makes shuffle sequences non-deterministic anyway
+    /// (like everything else this runtime measures statistically).
+    membership_rng: DetRng,
     /// Released-but-unsent datagrams of this loop iteration:
     /// `(sending socket, destination, unframed wire bytes)`.
     outbox: Vec<(usize, NodeId, Vec<u8>)>,
@@ -222,6 +231,7 @@ impl Shard {
         }
 
         let members: Vec<NodeId> = (0..compiled.base_n as u32).map(NodeId::new).collect();
+        let membership_rng = DetRng::seed_from(cluster.seed).split(0xC1C1_0000 + index as u64);
         Ok(Shard {
             index,
             shards,
@@ -237,6 +247,8 @@ impl Shard {
             wheel,
             members,
             members_version: 0,
+            partition: PartitionState::new(),
+            membership_rng,
             outbox: Vec::new(),
             outbox_since: None,
             stats: ShardStats::default(),
@@ -382,13 +394,105 @@ impl Shard {
             return; // injected network loss: the frame evaporates
         }
         vn.recv_msgs += 1;
+        if shuffle_wire::is_shuffle(wire) {
+            // Membership traffic rides the same sockets as the protocol
+            // but never reaches the state machine.
+            match shuffle_wire::decode_shuffle(wire) {
+                Some((from, msg)) => {
+                    if self.partition.is_split()
+                        && !self.partition.allows(&self.compiled, from, dest)
+                    {
+                        return; // the split eats shuffles too
+                    }
+                    self.on_shuffle(local, from, msg, now);
+                }
+                None => vn.decode_errors += 1,
+            }
+            return;
+        }
         match decode_frame::<StreamPacket>(wire) {
             Some(frame) => {
+                if self.partition.is_split()
+                    && !self.partition.allows(&self.compiled, frame.sender(), dest)
+                {
+                    return; // the split eats cross-cell traffic on arrival
+                }
+                if frame.kind() == FrameKind::Request
+                    && self.compiled.profiles[dest.index()].byzantine
+                        == Some(ByzantineBehaviour::EatRequests)
+                {
+                    return; // a request-eater silently ignores pulls
+                }
+                if let Some(view) = vn.view.as_mut() {
+                    // Contact is proof of life: protocol traffic keeps the
+                    // sender's entry young in a joiner's partial view.
+                    view.adopt(frame.sender());
+                }
                 vn.node.on_frame(now, &frame);
                 self.drain_outputs(local, now);
             }
             None => vn.decode_errors += 1,
         }
+    }
+
+    /// One Cyclon shuffle round for a partial-view joiner: age the view,
+    /// shuffle with the oldest peer (its reply merges asynchronously on
+    /// arrival), and refresh the node's membership from what remains.
+    fn shuffle_round(&mut self, local: usize, now: Time) {
+        let vn = &mut self.nodes[local];
+        let Some(view) = vn.view.as_mut() else { return };
+        if let Some((target, request)) = view.on_shuffle_round(&mut self.membership_rng) {
+            let bytes = shuffle_wire::encode_shuffle(vn.id, &request);
+            let len = bytes.len();
+            vn.shaper.offer(now, len, (target, bytes));
+        }
+        let mut membership = view.view();
+        membership.push(vn.id);
+        vn.node.set_membership(membership);
+        self.flush_shaper(local, now);
+    }
+
+    /// Handles one membership shuffle frame addressed to a local node.
+    ///
+    /// A partial-view joiner runs the real Cyclon exchange (merge and,
+    /// for requests, a reply). An established full-membership node
+    /// answers statelessly: it adopts the sender and every offered peer
+    /// into its membership — this is how a tracker-less joiner becomes
+    /// reachable — and replies with a random sample of what it knows, so
+    /// the joiner's view keeps growing beyond its bootstrap sample.
+    fn on_shuffle(&mut self, local: usize, from: NodeId, msg: ShuffleMessage, now: Time) {
+        let vn = &mut self.nodes[local];
+        if let Some(view) = vn.view.as_mut() {
+            if let Some(reply) = view.on_message(from, msg, &mut self.membership_rng) {
+                let bytes = shuffle_wire::encode_shuffle(vn.id, &reply);
+                let len = bytes.len();
+                vn.shaper.offer(now, len, (from, bytes));
+                self.flush_shaper(local, now);
+            }
+            return;
+        }
+        let ShuffleMessage::Request(offered) = msg else {
+            return; // a stray reply to a full-membership node: nothing to do
+        };
+        let mut membership = vn.node.membership().to_vec();
+        for peer in offered.iter().map(|&(n, _)| n).chain([from]) {
+            if peer != vn.id && !membership.contains(&peer) {
+                membership.push(peer);
+            }
+        }
+        let candidates: Vec<NodeId> =
+            membership.iter().copied().filter(|&m| m != vn.id && m != from).collect();
+        let picked = self
+            .membership_rng
+            .sample_indices(candidates.len(), CyclonConfig::default_small().shuffle_size);
+        // Age 0 throughout: a full-membership node has no staleness signal
+        // to offer.
+        let reply = ShuffleMessage::Reply(picked.into_iter().map(|k| (candidates[k], 0)).collect());
+        vn.node.set_membership(membership);
+        let bytes = shuffle_wire::encode_shuffle(vn.id, &reply);
+        let len = bytes.len();
+        vn.shaper.offer(now, len, (from, bytes));
+        self.flush_shaper(local, now);
     }
 
     /// Fires one wheel deadline.
@@ -397,15 +501,23 @@ impl Shard {
             Fire::Round(l, ep) => {
                 let local = l as usize;
                 let vn = &mut self.nodes[local];
-                if vn.members_seen != self.members_version && !vn.down {
+                if vn.view.is_none() && vn.members_seen != self.members_version && !vn.down {
                     // Pick up joiners introduced since this node's last
-                    // round (see the Join arm of `apply_fault`).
+                    // round (see the Join arm of `apply_fault`). Partial-view
+                    // joiners are exempt: their membership comes from the
+                    // Cyclon view, never the census.
                     vn.node.set_membership(self.members.clone());
                     vn.members_seen = self.members_version;
                 }
                 if vn.down || vn.epoch != ep {
                     return; // this incarnation's round chain ends here
                 }
+                if self.nodes[local].view.is_some() {
+                    // One membership shuffle per gossip round, and this
+                    // round's partner selection draws from the shuffled view.
+                    self.shuffle_round(local, now);
+                }
+                let vn = &mut self.nodes[local];
                 vn.node.on_round(now);
                 self.drain_outputs(local, now);
                 // Re-arm from the scheduled time, not `now`: rounds must
@@ -459,47 +571,102 @@ impl Shard {
 
     /// Applies the k-th compiled fault event. Crash and rejoin concern only
     /// the hosting shard; a join also updates the membership every active
-    /// node selects partners from.
+    /// node selects partners from; partition and throttle events are
+    /// network-wide and tracked (or applied to hosted victims) by every
+    /// shard identically.
     fn apply_fault(&mut self, k: usize, now: Time) {
         let event = self.compiled.timeline.events()[k];
-        let v = event.action.node();
-        let hosted_here = demux::shard_of(v.as_u32(), self.shards) == self.index;
-        let local = demux::local_of(v.as_u32(), self.shards);
         match event.action {
-            FaultAction::Crash(_) => {
-                if hosted_here && !self.nodes[local].down {
-                    self.nodes[local].crash();
+            FaultAction::Crash(v) => {
+                if let Some(local) = self.local_slot(v) {
+                    if !self.nodes[local].down {
+                        self.nodes[local].crash();
+                    }
                 }
             }
-            FaultAction::Rejoin(_) => {
-                if hosted_here && self.nodes[local].down {
-                    let members = self.members.clone();
-                    let free_rider = self.compiled.profiles[v.index()].free_rider;
-                    self.nodes[local].revive(&self.cluster, members, free_rider);
-                    self.nodes[local].members_seen = self.members_version;
-                    self.arm_round(local, now);
+            FaultAction::Rejoin(v) => {
+                if let Some(local) = self.local_slot(v) {
+                    if self.nodes[local].down {
+                        let members = self.members.clone();
+                        let free_rider = self.compiled.profiles[v.index()].free_rider;
+                        self.nodes[local].revive(&self.cluster, members, free_rider);
+                        self.nodes[local].members_seen = self.members_version;
+                        self.arm_round(local, now);
+                    }
                 }
             }
-            FaultAction::Join(_) => {
-                // A tracker-style introduction, like the simulator's
-                // full-membership mode — but applied lazily: bumping the
-                // version makes every local node refresh its membership at
-                // its next gossip round (one clone per node per join
-                // *wave*, not per join — a 100-node flash crowd would
-                // otherwise cost O(joins × nodes) clones inside the
-                // real-time loop).
-                self.members.push(v);
-                self.members_version += 1;
-                if hosted_here {
-                    let vn = &mut self.nodes[local];
-                    debug_assert!(vn.down, "double join of {v}");
-                    vn.node.set_membership(self.members.clone());
-                    vn.members_seen = self.members_version;
-                    vn.down = false;
-                    self.arm_round(local, now);
+            FaultAction::Join(v) => match self.cluster.joiner_bootstrap {
+                JoinerBootstrap::Tracker => {
+                    // A tracker-style introduction, like the simulator's
+                    // full-membership mode — but applied lazily: bumping the
+                    // version makes every local node refresh its membership at
+                    // its next gossip round (one clone per node per join
+                    // *wave*, not per join — a 100-node flash crowd would
+                    // otherwise cost O(joins × nodes) clones inside the
+                    // real-time loop).
+                    self.members.push(v);
+                    self.members_version += 1;
+                    if let Some(local) = self.local_slot(v) {
+                        let vn = &mut self.nodes[local];
+                        debug_assert!(vn.down, "double join of {v}");
+                        vn.node.set_membership(self.members.clone());
+                        vn.members_seen = self.members_version;
+                        vn.down = false;
+                        self.arm_round(local, now);
+                    }
+                }
+                JoinerBootstrap::Cyclon { degree } => {
+                    // No tracker push: the census grows (later bootstrap
+                    // samples and rejoins see the joiner) but nobody is
+                    // told and `members_version` stays put. The joiner
+                    // starts from a bounded random partial view; its
+                    // per-round shuffles carry its id outward, and
+                    // established nodes adopt it on contact — knowledge
+                    // spreads epidemically instead of by directory.
+                    let sample: Vec<NodeId> = {
+                        let candidates: Vec<NodeId> =
+                            self.members.iter().copied().filter(|&m| m != v).collect();
+                        let picked = self.membership_rng.sample_indices(candidates.len(), degree);
+                        picked.into_iter().map(|k| candidates[k]).collect()
+                    };
+                    self.members.push(v);
+                    if let Some(local) = self.local_slot(v) {
+                        let view = CyclonView::new(v, CyclonConfig::default_small(), &sample);
+                        let vn = &mut self.nodes[local];
+                        debug_assert!(vn.down, "double join of {v}");
+                        let mut membership = view.view();
+                        membership.push(v);
+                        vn.node.set_membership(membership);
+                        vn.view = Some(view);
+                        vn.members_seen = self.members_version;
+                        vn.down = false;
+                        self.arm_round(local, now);
+                    }
+                }
+            },
+            FaultAction::Partition(_) | FaultAction::Heal(_) => {
+                self.partition.on_event(event.action);
+            }
+            FaultAction::ThrottleStart(t) | FaultAction::ThrottleEnd(t) => {
+                let compiled = Arc::clone(&self.compiled);
+                let plan = &compiled.throttles[t as usize];
+                let throttled = matches!(event.action, FaultAction::ThrottleStart(_));
+                for &v in &plan.victims {
+                    if let Some(local) = self.local_slot(v) {
+                        let vn = &mut self.nodes[local];
+                        let rate = if throttled { plan.cap_bps } else { vn.base_rate };
+                        vn.shaper.set_rate(rate);
+                    }
                 }
             }
         }
+    }
+
+    /// The local slot of node `v` when this shard hosts it.
+    fn local_slot(&self, v: NodeId) -> Option<usize> {
+        (demux::shard_of(v.as_u32(), self.shards) == self.index)
+            .then(|| demux::local_of(v.as_u32(), self.shards))
+            .filter(|&local| local < self.nodes.len())
     }
 
     /// Starts (or restarts) a node's round chain, staggered within one
@@ -520,6 +687,14 @@ impl Shard {
         while let Some(out) = vn.node.poll_output() {
             match out {
                 Output::Send { to, msg } => {
+                    // A Byzantine host corrupts its node's *output* at the
+                    // runtime boundary, before the bytes exist — the node
+                    // itself runs honest code (see `gossip_stream::byzantine`).
+                    let msg = match self.compiled.profiles[vn.id.index()].byzantine {
+                        Some(ByzantineBehaviour::ServeCorrupt) => byzantine::corrupt_serves(msg),
+                        Some(ByzantineBehaviour::ProposeGarbage) => byzantine::garble_proposes(msg),
+                        _ => msg,
+                    };
                     let bytes = encode_message(vn.id, &msg);
                     let len = bytes.len();
                     // The shaper charges the unframed wire size, so pacing
@@ -527,7 +702,11 @@ impl Shard {
                     vn.shaper.offer(now, len, (to, bytes));
                 }
                 Output::Deliver { event } => {
-                    vn.player.on_packet(now, event.packet_id());
+                    // Only verified payloads count as watchable (matches
+                    // the sim and thread runtimes' measurement boundary).
+                    if event.verify() {
+                        vn.player.on_packet(now, event.packet_id());
+                    }
                 }
                 Output::ScheduleTimer { token, at } => {
                     self.wheel.push(at, Fire::Timer(local as u32, token, vn.epoch));

@@ -7,6 +7,7 @@
 
 use gossip_adversity::CompiledAdversity;
 use gossip_core::GossipNode;
+use gossip_membership::CyclonView;
 use gossip_sim::DetRng;
 use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
 use gossip_types::{NodeId, Time};
@@ -28,6 +29,9 @@ pub(crate) struct VirtualNode {
     /// addressed to it: crashed churn victims, and flash-crowd joiners
     /// before their join fires.
     pub down: bool,
+    /// The node's unthrottled upload cap, kept so a `ThrottleEnd` event can
+    /// restore the shaper after a scheduled bandwidth dip.
+    pub base_rate: Option<u64>,
     /// Incarnation counter, bumped on every crash: wheel deadlines carry
     /// the epoch they were armed in and are dropped on mismatch, so no
     /// timer from an earlier life can poke a revived node's fresh state.
@@ -35,6 +39,12 @@ pub(crate) struct VirtualNode {
     /// The shard `members_version` this node's membership reflects; a lag
     /// means joiners arrived since its last round (refreshed lazily).
     pub members_seen: u32,
+    /// Cyclon partial view, for joiners bootstrapped without a tracker
+    /// push ([`gossip_udp::cluster::JoinerBootstrap::Cyclon`]): the node's
+    /// membership is refreshed from this view every round, one shuffle per
+    /// round grows and heals it, and every received frame re-adopts its
+    /// sender. `None` for tracker-introduced and base-population nodes.
+    pub view: Option<CyclonView>,
     /// Whether a shaper-release event for this node is pending in the
     /// shard's timer wheel (at most one at a time).
     pub shaper_armed: bool,
@@ -79,9 +89,11 @@ impl VirtualNode {
             shaper: UploadShaper::new(upload_cap, config.max_backlog),
             source: is_source.then(|| StreamSource::new(config.stream, Time::ZERO)),
             stream_end: is_source.then(|| Time::ZERO + config.stream_duration),
+            base_rate: upload_cap,
             down: profile.join_at.is_some(),
             epoch: 0,
             members_seen: 0,
+            view: None,
             shaper_armed: false,
             home_socket,
             loss_rng: DetRng::seed_from(config.seed).split(0xD409 + u64::from(id)),
@@ -97,6 +109,9 @@ impl VirtualNode {
         self.epoch += 1;
         self.shaper.discard_backlog();
         self.shaper_armed = false;
+        // The partial view is protocol-adjacent state: it dies with the
+        // incarnation (a later rejoin revives with the shard's census).
+        self.view = None;
     }
 
     /// Brings the node back with *fresh* protocol state (a crash loses

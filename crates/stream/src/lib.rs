@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod packet;
 pub mod player;
 pub mod quality;

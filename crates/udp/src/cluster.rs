@@ -58,6 +58,32 @@ pub struct ClusterConfig {
     /// thread-per-node runtime supports the crash/free-rider/bandwidth
     /// subset (see [`UdpCluster::run`]).
     pub adversity: AdversitySpec,
+    /// How flash-crowd joiners learn their first peers (see
+    /// [`JoinerBootstrap`]). Consumed by the join-capable reactor runtime;
+    /// the thread-per-node runtime rejects joining specs outright.
+    pub joiner_bootstrap: JoinerBootstrap,
+}
+
+/// How a mid-run joiner is introduced to the swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinerBootstrap {
+    /// Tracker-style (the simulator's full-membership mode): the joiner
+    /// receives the complete node list and every existing node instantly
+    /// learns the joiner. Simple, but assumes an out-of-band directory
+    /// that scales with the swarm.
+    #[default]
+    Tracker,
+    /// Cyclon-style: the joiner starts from a bounded partial view of
+    /// `degree` random peers (a `gossip_membership::CyclonView`) and runs
+    /// one membership shuffle per gossip round. Established nodes answer
+    /// shuffles from their full membership and adopt the newcomer (and any
+    /// peers its shuffle offers) on contact, so knowledge of the joiner
+    /// spreads epidemically — no tracker push, only the introducer sample.
+    Cyclon {
+        /// Peers in the joiner's bootstrap view (its only a-priori
+        /// knowledge of the swarm).
+        degree: usize,
+    },
 }
 
 impl ClusterConfig {
@@ -81,6 +107,7 @@ impl ClusterConfig {
             inject_loss: 0.0,
             crashes: Vec::new(),
             adversity: AdversitySpec::none(),
+            joiner_bootstrap: JoinerBootstrap::Tracker,
         }
     }
 
@@ -142,6 +169,46 @@ impl ClusterReport {
     pub fn nodes_all_windows_ok(&self) -> usize {
         self.quality.nodes().iter().filter(|q| q.complete_fraction() >= 1.0 - 1e-9).count()
     }
+
+    /// Cluster-wide resilience totals: the defense-layer counters of every
+    /// node's [`gossip_core::ProtocolStats`], summed.
+    pub fn resilience(&self) -> ResilienceTotals {
+        let mut t = ResilienceTotals::default();
+        for n in &self.nodes {
+            t.corrupted_events_detected += n.protocol.corrupted_events_detected;
+            t.corrupt_rerequests += n.protocol.corrupt_rerequests;
+            t.peers_demoted += n.protocol.peers_demoted;
+            t.garbage_ids_rejected += n.protocol.garbage_ids_rejected;
+            t.proposes_from_demoted_ignored += n.protocol.proposes_from_demoted_ignored;
+        }
+        t
+    }
+
+    /// Partition re-convergence: the first window at index ≥ `from_window`
+    /// that *every* receiver eventually decoded (`None` if no such window).
+    /// With `from_window` set to the first window published after a heal
+    /// event, the gap to the heal measures how fast the mesh re-converges.
+    pub fn reconvergence_window(&self, from_window: u32) -> Option<u32> {
+        let last = from_window.checked_add(self.windows_measured)?;
+        (from_window..last)
+            .find(|&w| self.nodes.iter().skip(1).all(|n| n.player.window_decodable_at(w).is_some()))
+    }
+}
+
+/// Summed defense-layer counters of a finished run (see
+/// [`ClusterReport::resilience`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceTotals {
+    /// Served events whose payload failed verification.
+    pub corrupted_events_detected: u64,
+    /// Re-requests of a corrupted id from an alternate proposer.
+    pub corrupt_rerequests: u64,
+    /// Peers demoted for repeat misbehaviour (summed over all nodes).
+    pub peers_demoted: u64,
+    /// Proposed ids rejected by the dense-offset horizon.
+    pub garbage_ids_rejected: u64,
+    /// Proposals ignored because their sender was already demoted.
+    pub proposes_from_demoted_ignored: u64,
 }
 
 /// Errors from running a cluster.
@@ -192,8 +259,10 @@ impl UdpCluster {
         // One thread per node cannot grow the population or restart a
         // thread's protocol state mid-run; it maps the compiled timeline
         // onto per-thread one-shot crash deadlines plus the static
-        // profiles. Everything richer needs the reactor runtime.
-        let compiled = config.compiled_adversity();
+        // profiles, and shares the full plan so each thread can walk the
+        // network-scoped events (partitions, throttles) and its Byzantine
+        // profile on its own. Everything richer needs the reactor runtime.
+        let compiled = Arc::new(config.compiled_adversity());
         if compiled.total_n > compiled.base_n {
             return Err(ClusterError::Unsupported(
                 "flash-crowd joins need the reactor runtime (`ReactorCluster`)".to_string(),
@@ -236,6 +305,7 @@ impl UdpCluster {
                     .first_crash_of(NodeId::new(i as u32))
                     .map(|at| at.saturating_since(Time::ZERO)),
                 free_rider: profile.free_rider,
+                compiled: Arc::clone(&compiled),
             };
             let addresses = Arc::clone(&addresses);
             let stop = Arc::clone(&stop);

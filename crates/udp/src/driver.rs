@@ -4,10 +4,11 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use gossip_adversity::{ByzantineBehaviour, CompiledAdversity, FaultAction, PartitionState};
 use gossip_core::wire::{decode_message, encode_message};
-use gossip_core::{GossipNode, Output, TimerToken};
+use gossip_core::{Event, GossipNode, Message, Output, TimerToken};
 use gossip_sim::{DetRng, EventQueue};
-use gossip_stream::{StreamPacket, StreamPlayer, StreamSource};
+use gossip_stream::{byzantine, StreamPacket, StreamPlayer, StreamSource};
 use gossip_types::{Duration, NodeId, Time};
 
 use crate::clock::ClusterClock;
@@ -41,6 +42,12 @@ pub struct DriverConfig {
     /// Whether this node free-rides (requests but never proposes or
     /// serves) — the selfish peer of the adversity experiments.
     pub free_rider: bool,
+    /// The cluster's compiled fault plan (shared, read-only). Each thread
+    /// walks the *network-scoped* events — partition/heal and scheduled
+    /// throttles — on its own cursor, and reads its own Byzantine profile;
+    /// node-scoped crash events are pre-resolved into
+    /// [`DriverConfig::crash_at`] by the cluster.
+    pub compiled: Arc<CompiledAdversity>,
 }
 
 /// Runs one node until `stop` is raised. Returns the node's report.
@@ -83,6 +90,9 @@ pub fn run_node(
     let mut decode_errors = 0u64;
     let mut loss_rng = DetRng::seed_from(config.seed).split(0xD409 + u64::from(config.id.as_u32()));
     let crash_at = config.crash_at.map(|d| Time::ZERO + d);
+    let byzantine = config.compiled.profiles[config.id.index()].byzantine;
+    let mut partition = PartitionState::new();
+    let mut fault_cursor = 0usize;
 
     socket.set_nonblocking(false)?;
 
@@ -94,6 +104,33 @@ pub fn run_node(
         if crash_at.is_some_and(|at| now >= at) {
             std::thread::sleep(std::time::Duration::from_millis(20));
             continue;
+        }
+
+        // Network-scoped fault events: every thread walks the same compiled
+        // timeline on its own cursor, so all threads agree on which
+        // partitions are live and when a throttle hits this node's shaper.
+        while let Some(event) = config.compiled.timeline.events().get(fault_cursor) {
+            if event.at > now {
+                break;
+            }
+            fault_cursor += 1;
+            match event.action {
+                FaultAction::Partition(_) | FaultAction::Heal(_) => {
+                    partition.on_event(event.action)
+                }
+                FaultAction::ThrottleStart(t) => {
+                    let plan = &config.compiled.throttles[t as usize];
+                    if plan.victims.contains(&config.id) {
+                        shaper.set_rate(plan.cap_bps);
+                    }
+                }
+                FaultAction::ThrottleEnd(t)
+                    if config.compiled.throttles[t as usize].victims.contains(&config.id) =>
+                {
+                    shaper.set_rate(config.upload_cap_bps);
+                }
+                _ => {}
+            }
         }
 
         // 1. Source emission.
@@ -120,12 +157,24 @@ pub fn run_node(
         while let Some(out) = node.poll_output() {
             match out {
                 Output::Send { to, msg } => {
+                    // A Byzantine node corrupts its *output* at the runtime
+                    // boundary — the protocol state machine itself runs
+                    // honest code (see `gossip_stream::byzantine`).
+                    let msg = match byzantine {
+                        Some(ByzantineBehaviour::ServeCorrupt) => byzantine::corrupt_serves(msg),
+                        Some(ByzantineBehaviour::ProposeGarbage) => byzantine::garble_proposes(msg),
+                        _ => msg,
+                    };
                     let bytes = encode_message(config.id, &msg);
                     let len = bytes.len();
                     shaper.offer(now, len, (to, bytes));
                 }
                 Output::Deliver { event } => {
-                    player.on_packet(now, event.packet_id());
+                    // Only verified payloads count as watchable (matches
+                    // the sim's measurement boundary).
+                    if event.verify() {
+                        player.on_packet(now, event.packet_id());
+                    }
                 }
                 Output::ScheduleTimer { token, at } => {
                     timers.push(at, token);
@@ -162,7 +211,17 @@ pub fn run_node(
                     recv_msgs += 1;
                     match decode_message::<StreamPacket>(&recv_buf[..len]) {
                         Some((from, msg)) => {
-                            node.on_message(clock.now(), from, msg);
+                            if partition.is_split()
+                                && !partition.allows(&config.compiled, from, config.id)
+                            {
+                                // The split eats cross-cell traffic on arrival.
+                            } else if byzantine == Some(ByzantineBehaviour::EatRequests)
+                                && matches!(msg, Message::Request { .. })
+                            {
+                                // A request-eater silently ignores pulls.
+                            } else {
+                                node.on_message(clock.now(), from, msg);
+                            }
                         }
                         None => decode_errors += 1,
                     }

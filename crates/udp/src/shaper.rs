@@ -90,6 +90,14 @@ impl<T> UploadShaper<T> {
         true
     }
 
+    /// Changes the shaping rate (`None` = unshaped), effective from the
+    /// next offered datagram: already-queued datagrams keep the release
+    /// times they were paced to — like reconfiguring a kernel token bucket
+    /// under traffic. Drives the adversity layer's scheduled throttles.
+    pub fn set_rate(&mut self, rate_bps: Option<u64>) {
+        self.rate_bps = rate_bps;
+    }
+
     /// Pops the head datagram if its release time has passed.
     pub fn pop_due(&mut self, now: Time) -> Option<T> {
         if self.queue.front().is_some_and(|s| s.release_at <= now) {
@@ -185,6 +193,25 @@ mod tests {
         // After a long idle gap, a new datagram goes out immediately.
         assert!(s.offer(Time::from_secs(5), 1250, 1));
         assert_eq!(s.pop_due(Time::from_secs(5)), Some(1));
+    }
+
+    #[test]
+    fn set_rate_repaces_from_the_next_offer() {
+        // 800 kbps: 1000 bytes = 10 ms; throttled to 80 kbps: 100 ms.
+        let mut s: UploadShaper<u32> = UploadShaper::new(Some(800_000), Duration::from_secs(10));
+        assert!(s.offer(Time::ZERO, 1000, 0)); // wire free at 10 ms
+        s.set_rate(Some(80_000));
+        assert!(s.offer(Time::ZERO, 1000, 1)); // released 10 ms, occupies until 110 ms
+        assert!(s.offer(Time::ZERO, 1000, 2));
+        assert_eq!(s.pop_due(Time::ZERO), Some(0));
+        assert_eq!(s.pop_due(Time::from_millis(10)), Some(1));
+        assert_eq!(s.pop_due(Time::from_millis(109)), None, "head paced at the throttled rate");
+        assert_eq!(s.pop_due(Time::from_millis(110)), Some(2));
+        s.set_rate(None);
+        assert!(s.offer(Time::from_secs(1), 1000, 3));
+        assert!(s.offer(Time::from_secs(1), 1000, 4));
+        assert_eq!(s.pop_due(Time::from_secs(1)), Some(3));
+        assert_eq!(s.pop_due(Time::from_secs(1)), Some(4), "unshaped again after the heal");
     }
 
     #[test]

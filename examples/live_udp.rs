@@ -94,6 +94,7 @@ fn main() {
         inject_loss: 0.0,
         crashes: Vec::new(),
         adversity,
+        joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
     };
 
     let faults = config.compiled_adversity();
@@ -139,6 +140,16 @@ fn main() {
     let recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
     let errs: u64 = report.nodes.iter().map(|r| r.decode_errors).sum();
     println!("  datagrams sent {sent}, received {recv}, malformed {errs}");
+    let res = report.resilience();
+    println!(
+        "  resilience: {} corrupted serves detected, {} re-requested from alternates, \
+         {} garbage ids rejected",
+        res.corrupted_events_detected, res.corrupt_rerequests, res.garbage_ids_rejected
+    );
+    println!(
+        "  resilience: {} peers demoted, {} proposals from demoted peers ignored",
+        res.peers_demoted, res.proposes_from_demoted_ignored
+    );
     if let Some(total) = report.io_stats() {
         println!(
             "  kernel batching: {} ({} shards)",

@@ -27,6 +27,7 @@ fn reactor_cluster(n: usize, secs: u64) -> ClusterConfig {
         inject_loss: 0.0,
         crashes: Vec::new(),
         adversity: gossip_adversity::AdversitySpec::none(),
+        joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
     }
 }
 
@@ -188,6 +189,121 @@ fn figure_7_8_spec_runs_on_sim_and_reactor() {
     );
 }
 
+/// The adversarial-resilience acceptance scenario: ONE TOML spec with 20 %
+/// serve-corrupting Byzantine peers, parsed once and applied unchanged to
+/// both the simulator and the live reactor. Both runtimes compile the
+/// identical corruptor set from `(spec, n, seed)`; with the defenses on
+/// (the default) both must detect every poisoned Serve, keep the honest
+/// receivers streaming, and agree within the wall-clock noise band.
+#[test]
+fn byzantine_toml_spec_runs_on_sim_and_reactor() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_experiments::Scenario;
+    use gossip_net::{LatencyModel, LossModel};
+
+    let toml = "[byzantine]\nfraction = 0.2\nserve_corrupt = 1.0\n";
+    let spec = AdversitySpec::from_toml_str(toml).expect("the TOML grammar covers byzantine");
+
+    let n = 40;
+    let seed = 7;
+    let mut config = reactor_cluster(n, 6);
+    config.seed = seed;
+    config.gossip = GossipConfig::new(6)
+        .with_gossip_period(Duration::from_millis(100))
+        .with_refresh_rounds(Some(1));
+    config.adversity = spec.clone();
+
+    // Both runtimes compile the identical corruptor set.
+    let compiled = config.compiled_adversity();
+    let corruptors: Vec<usize> = compiled
+        .profiles
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.byzantine.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !corruptors.is_empty() && !corruptors.contains(&0),
+        "receivers corrupt, never the source"
+    );
+
+    let report = ReactorCluster::run_with(config.clone(), small_reactor()).expect("cluster runs");
+
+    // The same workload on the simulator (loopback-like network).
+    let mut scenario = Scenario::tiny(6)
+        .with_seed(seed)
+        .with_gossip(config.gossip.clone())
+        .with_adversity(spec.clone());
+    scenario.n = n;
+    scenario.stream = config.stream;
+    scenario.upload_cap_bps = config.upload_cap_bps;
+    scenario.stream_duration = config.stream_duration;
+    scenario.drain_duration = config.drain_duration;
+    scenario.latency = LatencyModel::Constant(Duration::from_micros(200));
+    scenario.loss = LossModel::None;
+    scenario.measure_from_window = 1;
+    let sim = scenario.run();
+
+    // Every corruption is counted, in both worlds: corruptors tamper every
+    // Serve they send, so with traffic flowing the checksum must trip.
+    assert!(sim.protocol.corrupted_events_detected > 0, "the sim must detect poisoned serves");
+    assert!(sim.protocol.corrupt_rerequests > 0, "detected corruption is re-requested");
+    let res = report.resilience();
+    assert!(res.corrupted_events_detected > 0, "the reactor must detect poisoned serves");
+
+    // Honest receivers keep streaming in both runtimes, and the two tell
+    // the same story (generous band: wall-clock scheduling is noisy).
+    let honest_avg = |qualities: &[gossip_stream::NodeQuality]| {
+        let honest: Vec<f64> = qualities
+            .iter()
+            .enumerate()
+            // Quality index r is node r + 1 (node 0 is the source).
+            .filter(|(r, _)| !corruptors.contains(&(r + 1)))
+            .map(|(_, q)| 100.0 * q.complete_fraction())
+            .collect();
+        honest.iter().sum::<f64>() / honest.len() as f64
+    };
+    let sim_avg = honest_avg(sim.quality.nodes());
+    let reactor_avg = honest_avg(report.quality.nodes());
+    assert!(sim_avg >= 60.0, "sim honest receivers must keep streaming: {sim_avg:.1}%");
+    assert!(reactor_avg >= 60.0, "reactor honest receivers must keep streaming: {reactor_avg:.1}%");
+    assert!(
+        (sim_avg - reactor_avg).abs() <= 35.0,
+        "sim ({sim_avg:.1}%) and reactor ({reactor_avg:.1}%) disagree beyond the band"
+    );
+}
+
+/// Partition/heal on the live reactor: the demux drops cross-cell frames
+/// while the split is live, so live viewing craters for the cells away
+/// from the source, then re-converges once the timeline heals the split.
+#[test]
+fn partition_heals_and_reconverges_on_reactor() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_experiments::figures::adversity::partition_phases;
+
+    let split_at = Duration::from_secs(2);
+    let heal_at = Duration::from_secs(5);
+    let mut config = reactor_cluster(24, 8);
+    config.gossip = GossipConfig::new(5)
+        .with_gossip_period(Duration::from_millis(100))
+        .with_refresh_rounds(Some(1));
+    config.adversity = AdversitySpec::none().with_partition(split_at, heal_at, 2);
+    let report = ReactorCluster::run_with(config.clone(), small_reactor()).expect("cluster runs");
+
+    let p = partition_phases(
+        report.quality.nodes(),
+        &config.stream,
+        1, // the cluster report measures from window 1
+        split_at,
+        heal_at,
+        Duration::from_millis(1500),
+    );
+    assert!(p.before_20s > 60.0, "pre-split live viewing healthy: {p:?}");
+    assert!(p.during_20s < p.before_20s - 20.0, "a 2-cell split must crater live viewing: {p:?}");
+    assert!(p.after_20s > p.during_20s, "healing must restore live viewing: {p:?}");
+    assert!(p.reconverge_s.is_some(), "the swarm re-converges after the heal: {p:?}");
+}
+
 /// A composed spec — Poisson leave/rejoin churn plus a mid-stream flash
 /// crowd — runs to completion on the reactor, with the joiners reaching
 /// non-trivial completeness over the windows published after they joined.
@@ -224,4 +340,33 @@ fn reactor_hosts_churn_and_flash_crowd() {
     assert!(total.datagrams_sent > 0);
     let ratio = total.syscalls_per_datagram().expect("traffic flowed");
     assert!(ratio <= 1.0 + 1e-9, "coalescing cannot take more syscalls than datagrams: {ratio}");
+}
+
+/// Cyclon-bootstrapped joiners: a flash crowd enters knowing only a
+/// bounded random sample of peers — no tracker push tells the swarm about
+/// them. Their per-round membership shuffles spread their ids epidemically
+/// (established nodes adopt shuffle senders and offered peers on contact),
+/// so the joiners must still catch up on the stream, while the base swarm
+/// keeps streaming undisturbed.
+#[test]
+fn cyclon_bootstrapped_joiners_catch_up_without_tracker_push() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_udp::cluster::JoinerBootstrap;
+
+    let mut config = reactor_cluster(30, 6);
+    config.joiner_bootstrap = JoinerBootstrap::Cyclon { degree: 5 };
+    config.adversity =
+        AdversitySpec::none().with_flash_crowd(Duration::from_secs(2), 8, Duration::from_secs(1));
+    let report = ReactorCluster::run_with(config, small_reactor()).expect("cluster runs");
+
+    assert_eq!(report.nodes.len(), 38, "joiners must report too");
+    let joiners = report.joiner_quality.as_ref().expect("the wave joined mid-stream");
+    assert_eq!(joiners.nodes().len(), 8);
+    let catch_up = joiners.average_quality_percent(Duration::MAX);
+    assert!(
+        catch_up >= 40.0,
+        "partial-view joiners must catch up without a tracker: {catch_up:.1}%"
+    );
+    let base = report.quality.average_quality_percent(Duration::MAX);
+    assert!(base >= 80.0, "the base swarm must be undisturbed by the wave: {base:.1}%");
 }

@@ -27,6 +27,7 @@ fn small_cluster(n: usize, secs: u64) -> ClusterConfig {
         inject_loss: 0.0,
         crashes: Vec::new(),
         adversity: gossip_adversity::AdversitySpec::none(),
+        joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
     }
 }
 
@@ -171,6 +172,43 @@ fn threads_runtime_consumes_catastrophic_spec() {
         .collect();
     let avg = survivors.iter().sum::<f64>() / survivors.len() as f64;
     assert!(avg >= 60.0, "survivors should keep streaming: {avg:.1}%");
+}
+
+/// Byzantine serve-corruptors on the thread runtime: every thread maps its
+/// own outputs through the shared corruption helpers, the honest threads'
+/// checksum verification catches the poisoned serves, and the per-node
+/// reports aggregate the resilience counters.
+#[test]
+fn threads_runtime_detects_byzantine_corruption() {
+    use gossip_adversity::{AdversitySpec, ByzantineMix};
+
+    let mut config = small_cluster(12, 5);
+    config.gossip = config.gossip.with_refresh_rounds(Some(1));
+    config.adversity = AdversitySpec::none().with_byzantine(0.25, ByzantineMix::serve_corruptors());
+    let compiled = config.compiled_adversity();
+    let corruptors: Vec<usize> = compiled
+        .profiles
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.byzantine.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!corruptors.is_empty() && !corruptors.contains(&0), "receivers only, never the source");
+
+    let report = UdpCluster::run(config).expect("cluster runs");
+    let res = report.resilience();
+    assert!(res.corrupted_events_detected > 0, "poisoned serves must trip the checksum");
+
+    let honest: Vec<f64> = report
+        .quality
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !corruptors.contains(&(r + 1)))
+        .map(|(_, q)| 100.0 * q.complete_fraction())
+        .collect();
+    let avg = honest.iter().sum::<f64>() / honest.len() as f64;
+    assert!(avg >= 60.0, "honest receivers must keep streaming: {avg:.1}%");
 }
 
 /// Specs the thread runtime cannot host are rejected loudly instead of
