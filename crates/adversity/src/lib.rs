@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod spec;
 pub mod timeline;
 pub mod toml;
 
+pub use chaos::{ChaosPlan, ChaosSpec};
 pub use spec::{
     AdversitySpec, BandwidthClass, ByzantineMix, ByzantinePeers, Catastrophic, FlashCrowd,
     PartitionSpec, PoissonChurn, ThrottleSpec,

@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 use gossip_sim::DetRng;
 use gossip_types::{Duration, NodeId, Time};
 
+use crate::chaos::ChaosSpec;
 use crate::timeline::{
     ByzantineBehaviour, CompiledAdversity, FaultAction, FaultEvent, FaultTimeline, NodeProfile,
     PartitionCells, ThrottlePlan,
@@ -154,6 +155,10 @@ pub struct AdversitySpec {
     pub partitions: Vec<PartitionSpec>,
     /// Scheduled time-varying bandwidth throttles.
     pub throttles: Vec<ThrottleSpec>,
+    /// Syscall-boundary fault injection for the reactor runtime (drop /
+    /// duplicate / reorder / delay / truncate plus errno faults). The
+    /// default injects nothing.
+    pub chaos: ChaosSpec,
 }
 
 impl AdversitySpec {
@@ -272,6 +277,17 @@ impl AdversitySpec {
         assert!(start < end, "a throttle must end strictly after it starts");
         assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
         self.throttles.push(ThrottleSpec { start, end, fraction, cap_bps });
+        self
+    }
+
+    /// Sets the syscall-boundary chaos description (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is not within `[0, 1]`.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        chaos.validate();
+        self.chaos = chaos;
         self
     }
 
@@ -533,6 +549,9 @@ impl AdversitySpec {
             profiles,
             partitions,
             throttles,
+            // The chaos seed comes off its own stream (not `rng`), so a
+            // `[chaos]` section never perturbs the protocol-fault draws.
+            chaos: self.chaos.compile(seed),
         }
     }
 }

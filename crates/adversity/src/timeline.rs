@@ -3,6 +3,8 @@
 
 use gossip_types::{NodeId, Time};
 
+use crate::chaos::ChaosPlan;
+
 /// What happens at one instant of the fault timeline.
 ///
 /// Node-scoped actions (`Crash`/`Rejoin`/`Join`) name their victim;
@@ -272,6 +274,10 @@ pub struct CompiledAdversity {
     /// Throttle plans referenced by [`FaultAction::ThrottleStart`]/
     /// [`FaultAction::ThrottleEnd`].
     pub throttles: Vec<ThrottlePlan>,
+    /// Syscall-boundary fault injection plan for the reactor runtime
+    /// (inert for the simulator and the thread-per-node runtime, which
+    /// have no kernel I/O path to inject into).
+    pub chaos: ChaosPlan,
 }
 
 impl CompiledAdversity {
@@ -284,6 +290,7 @@ impl CompiledAdversity {
             profiles: vec![NodeProfile::default(); n],
             partitions: Vec::new(),
             throttles: Vec::new(),
+            chaos: ChaosPlan::none(),
         }
     }
 
@@ -294,6 +301,7 @@ impl CompiledAdversity {
             && self.profiles.iter().all(|p| *p == NodeProfile::default())
             && self.partitions.is_empty()
             && self.throttles.is_empty()
+            && self.chaos.is_none()
     }
 
     /// The earliest crash time of each node, for runtimes that only

@@ -52,6 +52,20 @@
 //! end_secs = 40.0
 //! fraction = 0.5
 //! cap_kbps = 100                # cap_kbps = 0 means "uncapped"
+//!
+//! [chaos]                       # syscall-boundary faults (reactor only)
+//! drop = 0.05                   # per-datagram mutation probabilities
+//! duplicate = 0.02
+//! reorder = 0.05
+//! delay = 0.02
+//! truncate = 0.01
+//! eagain = 0.02                 # per-syscall errno probabilities
+//! eintr = 0.01
+//! short_send = 0.05
+//! enobufs_at_secs = 2.0         # timed ENOBUFS burst...
+//! enobufs_secs = 1.0            # ...lasting this long (default 1 s)
+//! kill_socket_at_secs = 3.0     # one socket per shard dies (re-bind)
+//! enosys_at_secs = 4.0          # batched backend downgrades mid-run
 //! ```
 
 use gossip_types::Duration;
@@ -275,6 +289,41 @@ impl AdversitySpec {
                         cap_bps: if kbps == 0.0 { None } else { Some((kbps * 1000.0) as u64) },
                     });
                 }
+                "chaos" => {
+                    let prob = |key: &str| -> Result<f64, SpecParseError> {
+                        let p = section.get(key).unwrap_or(0.0);
+                        if (0.0..=1.0).contains(&p) {
+                            Ok(p)
+                        } else {
+                            Err(SpecParseError(format!(
+                                "[chaos] {key} must be within [0, 1], got {p}"
+                            )))
+                        }
+                    };
+                    let mut chaos = crate::chaos::ChaosSpec {
+                        drop: prob("drop")?,
+                        duplicate: prob("duplicate")?,
+                        reorder: prob("reorder")?,
+                        delay: prob("delay")?,
+                        truncate: prob("truncate")?,
+                        eagain: prob("eagain")?,
+                        eintr: prob("eintr")?,
+                        short_send: prob("short_send")?,
+                        ..Default::default()
+                    };
+                    if let Some(at) = section.get("enobufs_at_secs") {
+                        chaos.enobufs_at = Some(secs(at, "enobufs_at_secs")?);
+                        chaos.enobufs_for =
+                            secs(section.get("enobufs_secs").unwrap_or(1.0), "enobufs_secs")?;
+                    }
+                    if let Some(at) = section.get("kill_socket_at_secs") {
+                        chaos.kill_socket_at = Some(secs(at, "kill_socket_at_secs")?);
+                    }
+                    if let Some(at) = section.get("enosys_at_secs") {
+                        chaos.enosys_at = Some(secs(at, "enosys_at_secs")?);
+                    }
+                    spec.chaos = chaos;
+                }
                 other => {
                     return Err(SpecParseError(format!("unknown section [{other}]")));
                 }
@@ -330,6 +379,15 @@ start_secs = 20
 end_secs = 40
 fraction = 0.5
 cap_kbps = 100
+
+[chaos]
+drop = 0.05
+duplicate = 0.02
+reorder = 0.05
+short_send = 0.1
+enobufs_at_secs = 2
+kill_socket_at_secs = 3
+enosys_at_secs = 4
 ";
 
     #[test]
@@ -356,6 +414,19 @@ cap_kbps = 100
         assert_eq!(spec.partitions[0].heal, Duration::from_secs(60));
         assert_eq!(spec.throttles.len(), 1);
         assert_eq!(spec.throttles[0].cap_bps, Some(100_000));
+        assert!((spec.chaos.drop - 0.05).abs() < 1e-12);
+        assert!((spec.chaos.short_send - 0.1).abs() < 1e-12);
+        assert_eq!(spec.chaos.enobufs_at, Some(Duration::from_secs(2)));
+        assert_eq!(spec.chaos.enobufs_for, Duration::from_secs(1), "burst length defaults to 1 s");
+        assert_eq!(spec.chaos.kill_socket_at, Some(Duration::from_secs(3)));
+        assert_eq!(spec.chaos.enosys_at, Some(Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn empty_chaos_section_keeps_the_spec_empty() {
+        let spec = AdversitySpec::from_toml_str("[chaos]\n").expect("parses");
+        assert!(spec.chaos.is_none());
+        assert!(spec.is_none(), "an empty [chaos] section must not count as adversity");
     }
 
     #[test]
@@ -405,6 +476,10 @@ cap_kbps = 100
         .unwrap_err()
         .0
         .contains("end strictly after"));
+        assert!(AdversitySpec::from_toml_str("[chaos]\ndrop = 2\n")
+            .unwrap_err()
+            .0
+            .contains("within [0, 1]"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn coalesced_proposes(k: u32, ids: u16) -> Vec<u8> {
             ids: (0..ids).map(|i| PacketId::new(dest, i)).collect::<Vec<_>>().into(),
         };
         let wire = encode_message(NodeId::new(1000 + dest), &msg);
-        demux::append_frame(&mut buf, NodeId::new(dest), &wire);
+        assert!(demux::append_frame(&mut buf, NodeId::new(dest), &wire));
     }
     buf
 }
@@ -45,7 +45,7 @@ fn coalesced_serves(k: u32, payload: usize) -> Vec<u8> {
         );
         let msg: Message<StreamPacket> = Message::Serve { events: vec![packet] };
         let wire = encode_message(NodeId::new(1000 + dest), &msg);
-        demux::append_frame(&mut buf, NodeId::new(dest), &wire);
+        assert!(demux::append_frame(&mut buf, NodeId::new(dest), &wire));
     }
     buf
 }

@@ -26,6 +26,11 @@
 //!   loopback, short stream), write its report and exit non-zero if the
 //!   run is unhealthy (low quality, malformed datagrams). This is the CI
 //!   `reactor-smoke` job;
+//! * `--chaos-smoke` — run *only* the gating chaos cell (the n = 64 cell
+//!   under a pinned syscall-fault plan: datagram drop/duplicate/reorder,
+//!   an ENOBUFS burst, a one-shot socket kill), write its report and exit
+//!   non-zero unless every recovery mechanism engaged, no shard aborted
+//!   and the cluster still streamed. This is the CI `chaos-smoke` job;
 //! * `--adversity-smoke` — run *only* a gating adversity cell (n = 60
 //!   simulated, 50 % catastrophic crash plus a flash crowd under `X = 1`),
 //!   write its report and exit non-zero unless survivors keep streaming
@@ -64,7 +69,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gossip_adversity::{AdversitySpec, ByzantineMix};
+use gossip_adversity::{AdversitySpec, ByzantineMix, ChaosSpec};
 use gossip_core::GossipConfig;
 use gossip_experiments::{MembershipMode, Scale, Scenario};
 use gossip_fec::WindowParams;
@@ -72,7 +77,7 @@ use gossip_membership::CyclonConfig;
 use gossip_reactor::ReactorCluster;
 use gossip_stream::StreamConfig;
 use gossip_types::Duration;
-use gossip_udp::cluster::ClusterConfig;
+use gossip_udp::cluster::{ClusterConfig, RecoveryReport};
 
 /// Regression threshold for the warn-only delta guard.
 const REGRESSION_WARN_PCT: f64 = 10.0;
@@ -216,6 +221,9 @@ struct ReactorResult {
     /// drain) — the runtime's throughput trajectory number.
     datagrams_per_sec: f64,
     avg_quality_percent: f64,
+    /// Fault-injection and self-healing counters (all zero on a run
+    /// without chaos and without real kernel trouble).
+    recovery: RecoveryReport,
 }
 
 /// The reactor workload, shaped entirely by the cell.
@@ -247,10 +255,16 @@ fn reactor_config(cell: &ReactorCell) -> ClusterConfig {
 /// real time: wall-clock ≈ stream + drain regardless of load, and the
 /// number that tracks the runtime is datagrams moved per live second.
 fn run_reactor(cell: &ReactorCell, repeat: u32) -> ReactorResult {
+    run_reactor_config(cell, &reactor_config(cell), repeat)
+}
+
+/// [`run_reactor`] with an explicit configuration, so gating modes can
+/// attach an adversity spec (e.g. the chaos plan) to the cell's workload.
+fn run_reactor_config(cell: &ReactorCell, config: &ClusterConfig, repeat: u32) -> ReactorResult {
     let mut best: Option<ReactorResult> = None;
     for _ in 0..repeat {
         let start = Instant::now();
-        let report = ReactorCluster::run(reactor_config(cell)).expect("reactor cluster runs");
+        let report = ReactorCluster::run(config.clone()).expect("reactor cluster runs");
         let wall_secs = start.elapsed().as_secs_f64();
         let datagrams_sent: u64 = report.nodes.iter().map(|r| r.sent_msgs).sum();
         let datagrams_recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
@@ -280,6 +294,7 @@ fn run_reactor(cell: &ReactorCell, repeat: u32) -> ReactorResult {
             wall_secs,
             datagrams_per_sec: datagrams_recv as f64 / live_secs,
             avg_quality_percent: report.quality.average_quality_percent(Duration::MAX),
+            recovery: report.recovery(),
         };
         if best.as_ref().is_none_or(|b| sample.datagrams_per_sec > b.datagrams_per_sec) {
             best = Some(sample);
@@ -290,7 +305,7 @@ fn run_reactor(cell: &ReactorCell, repeat: u32) -> ReactorResult {
 
 fn reactor_json(r: &ReactorResult) -> String {
     format!(
-        "{{ \"label\": \"{}\", \"n\": {}, \"fanout\": {}, \"period_ms\": {}, \"rate_bps\": {}, \"stream_secs\": {}, \"drain_secs\": {}, \"mmsg\": {}, \"datagrams_sent\": {}, \"datagrams_recv\": {}, \"decode_errors\": {}, \"frame_errors\": {}, \"send_syscalls\": {}, \"recv_syscalls\": {}, \"syscalls_per_datagram\": {:.4}, \"datagrams_per_send_syscall\": {:.1}, \"datagrams_per_recv_syscall\": {:.1}, \"recv_batch_occupancy\": {:.3}, \"syscalls_per_iteration\": {:.2}, \"wall_secs\": {:.4}, \"datagrams_per_sec\": {:.0}, \"avg_quality_percent\": {:.1} }}",
+        "{{ \"label\": \"{}\", \"n\": {}, \"fanout\": {}, \"period_ms\": {}, \"rate_bps\": {}, \"stream_secs\": {}, \"drain_secs\": {}, \"mmsg\": {}, \"datagrams_sent\": {}, \"datagrams_recv\": {}, \"decode_errors\": {}, \"frame_errors\": {}, \"send_syscalls\": {}, \"recv_syscalls\": {}, \"syscalls_per_datagram\": {:.4}, \"datagrams_per_send_syscall\": {:.1}, \"datagrams_per_recv_syscall\": {:.1}, \"recv_batch_occupancy\": {:.3}, \"syscalls_per_iteration\": {:.2}, \"wall_secs\": {:.4}, \"datagrams_per_sec\": {:.0}, \"avg_quality_percent\": {:.1}, \"faults_injected\": {}, \"transients_recovered\": {}, \"send_backoffs\": {}, \"datagrams_shed\": {}, \"socket_rebinds\": {}, \"backend_downgrades\": {}, \"encode_errors\": {}, \"aborted_shards\": {} }}",
         r.label,
         r.n,
         r.fanout,
@@ -313,6 +328,14 @@ fn reactor_json(r: &ReactorResult) -> String {
         r.wall_secs,
         r.datagrams_per_sec,
         r.avg_quality_percent,
+        r.recovery.faults_injected,
+        r.recovery.transients_recovered,
+        r.recovery.send_backoffs,
+        r.recovery.datagrams_shed,
+        r.recovery.socket_rebinds,
+        r.recovery.backend_downgrades,
+        r.recovery.encode_errors,
+        r.recovery.aborted_shards,
     )
 }
 
@@ -543,6 +566,109 @@ fn reactor_smoke(out: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The `--chaos-smoke` workload: a steady drop/duplicate/reorder mix on
+/// every datagram, an ENOBUFS burst through the stream midpoint, and a
+/// one-shot socket kill shortly after — every recovery path (backoff,
+/// retained retry, re-bind) must engage in one short run.
+fn chaos_smoke_spec() -> AdversitySpec {
+    AdversitySpec::none().with_chaos(ChaosSpec {
+        drop: 0.02,
+        duplicate: 0.02,
+        reorder: 0.05,
+        enobufs_at: Some(Duration::from_millis(1000)),
+        enobufs_for: Duration::from_millis(400),
+        kill_socket_at: Some(Duration::from_millis(1600)),
+        ..ChaosSpec::default()
+    })
+}
+
+/// The "hurt but healed" checks of the chaos gate. Deliberately NOT
+/// [`reactor_health`]: injected truncation/duplication legitimately
+/// produces frame and decode errors on the receive side, so this gate
+/// checks instead that faults were actually injected, every recovery
+/// mechanism fired, no shard aborted, and the cluster still streamed.
+fn chaos_health(r: &ReactorResult) -> Vec<String> {
+    let mut failures = Vec::new();
+    if r.datagrams_recv == 0 {
+        failures.push("no datagrams were received".to_string());
+    }
+    if r.avg_quality_percent < 50.0 {
+        failures.push(format!("average quality {:.1}% below 50%", r.avg_quality_percent));
+    }
+    if r.recovery.aborted_shards > 0 {
+        failures.push(format!("{} shards aborted mid-run", r.recovery.aborted_shards));
+    }
+    if r.recovery.faults_injected == 0 {
+        failures.push("no faults injected (the chaos plan never engaged)".to_string());
+    }
+    if r.recovery.send_backoffs == 0 {
+        failures.push("no send backoffs (the ENOBUFS burst must trigger them)".to_string());
+    }
+    if r.recovery.socket_rebinds == 0 {
+        failures.push("no socket re-binds (the socket kill must force one)".to_string());
+    }
+    failures
+}
+
+/// The gating CI mode for the chaos/recovery layer: the n = 64 loopback
+/// cell under the pinned chaos plan (see [`chaos_smoke_spec`]),
+/// health-checked by [`chaos_health`]. Runs on both I/O backends in CI
+/// (the second leg pins the fallback via `GOSSIP_REACTOR_NO_MMSG`).
+fn chaos_smoke(out: &str) -> ! {
+    eprintln!(
+        "perfbench: gating chaos smoke (n=64, loopback, drop+dup+reorder + ENOBUFS burst + \
+         socket kill, {})",
+        if gossip_reactor::mmsg_active() { "sendmmsg/recvmmsg" } else { "portable fallback" },
+    );
+    let cell = ReactorCell {
+        label: "reactor_n64_chaos",
+        n: 64,
+        fanout: 5,
+        period_ms: 100,
+        rate_bps: 300_000,
+        payload_bytes: 1000,
+        window: (20, 4),
+        stream_secs: 3,
+        drain_secs: 2,
+    };
+    let mut config = reactor_config(&cell);
+    config.adversity = chaos_smoke_spec();
+    let result = run_reactor_config(&cell, &config, 1);
+    eprintln!(
+        "  {:.3} s wall, {} datagrams received ({:.0}/s live), quality {:.1}%",
+        result.wall_secs,
+        result.datagrams_recv,
+        result.datagrams_per_sec,
+        result.avg_quality_percent,
+    );
+    eprintln!(
+        "  recovery: {} injected, {} transients recovered, {} backoffs, {} shed, {} re-binds, \
+         {} downgrades, {} aborted shards",
+        result.recovery.faults_injected,
+        result.recovery.transients_recovered,
+        result.recovery.send_backoffs,
+        result.recovery.datagrams_shed,
+        result.recovery.socket_rebinds,
+        result.recovery.backend_downgrades,
+        result.recovery.aborted_shards,
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_smoke\",\n  \"reactor\": {}\n}}\n",
+        reactor_json(&result)
+    );
+    std::fs::write(out, json).expect("write chaos smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    let failures = chaos_health(&result);
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: chaos smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 /// The gating CI mode for the adversity subsystem: a small catastrophic +
 /// flash-crowd run on the (deterministic) simulator, health-checked.
 ///
@@ -676,6 +802,7 @@ fn byzantine_smoke(out: &str) -> ! {
 fn main() {
     let mut smoke = false;
     let mut gate_reactor = false;
+    let mut gate_chaos = false;
     let mut gate_adversity = false;
     let mut gate_byzantine = false;
     let mut reactor_only = false;
@@ -687,6 +814,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--reactor-smoke" => gate_reactor = true,
+            "--chaos-smoke" => gate_chaos = true,
             "--adversity-smoke" => gate_adversity = true,
             "--byzantine-smoke" => gate_byzantine = true,
             "--reactor-only" => reactor_only = true,
@@ -703,7 +831,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--reactor-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--chaos-smoke] [--adversity-smoke] [--byzantine-smoke] [--reactor-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
@@ -714,6 +842,9 @@ fn main() {
     // clobber the tracked trajectory report with a smoke-only file.
     if gate_reactor {
         reactor_smoke(out.as_deref().unwrap_or("REACTOR_smoke.json"));
+    }
+    if gate_chaos {
+        chaos_smoke(out.as_deref().unwrap_or("CHAOS_smoke.json"));
     }
     if gate_adversity {
         adversity_smoke(out.as_deref().unwrap_or("ADVERSITY_smoke.json"));

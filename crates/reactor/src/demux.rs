@@ -30,15 +30,20 @@ pub const HEADER_LEN: usize = 6;
 /// Appends one frame (header + wire bytes) onto `buf` without clearing it,
 /// so callers can pack several frames into one datagram.
 ///
-/// # Panics
-///
-/// Panics if `wire` exceeds `u16::MAX` bytes — the protocol's MTU-sized
-/// serve datagrams are an order of magnitude below the limit.
-pub fn append_frame(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) {
-    let len = u16::try_from(wire.len()).expect("a protocol datagram fits a u16 length");
+/// Returns `false` — leaving `buf` untouched — if `wire` exceeds the
+/// `u16::MAX`-byte frame limit. The protocol's MTU-sized serve datagrams
+/// sit an order of magnitude below it, so an oversized wire is a bug in
+/// the caller; the shard counts it as an encode error instead of
+/// panicking mid-run.
+#[must_use]
+pub fn append_frame(buf: &mut Vec<u8>, dest: NodeId, wire: &[u8]) -> bool {
+    let Ok(len) = u16::try_from(wire.len()) else {
+        return false;
+    };
     buf.extend_from_slice(&dest.as_u32().to_le_bytes());
     buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(wire);
+    true
 }
 
 /// Iterates the frames of a received datagram as `(destination, wire)`
@@ -119,7 +124,7 @@ mod tests {
     #[test]
     fn single_frame_roundtrip() {
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(0xAABBCCDD), b"hello");
+        assert!(append_frame(&mut buf, NodeId::new(0xAABBCCDD), b"hello"));
         let mut it = frames(&buf);
         let (dest, wire) = it.next().expect("well-formed");
         assert_eq!(dest, NodeId::new(0xAABBCCDD));
@@ -130,9 +135,9 @@ mod tests {
     #[test]
     fn coalesced_frames_roundtrip_in_order() {
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(1), b"first");
-        append_frame(&mut buf, NodeId::new(2), b"");
-        append_frame(&mut buf, NodeId::new(3), &[7u8; 1400]);
+        assert!(append_frame(&mut buf, NodeId::new(1), b"first"));
+        assert!(append_frame(&mut buf, NodeId::new(2), b""));
+        assert!(append_frame(&mut buf, NodeId::new(3), &[7u8; 1400]));
         let got: Vec<(NodeId, usize)> = frames(&buf).map(|(d, w)| (d, w.len())).collect();
         assert_eq!(got, vec![(NodeId::new(1), 5), (NodeId::new(2), 0), (NodeId::new(3), 1400)]);
     }
@@ -142,11 +147,28 @@ mod tests {
         assert_eq!(frames(&[1, 2, 3]).count(), 0);
         assert_eq!(frames(&[]).count(), 0);
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(1), b"ok");
-        append_frame(&mut buf, NodeId::new(2), b"gone");
+        assert!(append_frame(&mut buf, NodeId::new(1), b"ok"));
+        assert!(append_frame(&mut buf, NodeId::new(2), b"gone"));
         buf.truncate(buf.len() - 2); // cut the last frame short
         let got: Vec<NodeId> = frames(&buf).map(|(d, _)| d).collect();
         assert_eq!(got, vec![NodeId::new(1)], "only the intact frame survives");
+    }
+
+    #[test]
+    fn frame_length_boundary_is_exact() {
+        // 65535 bytes is the last wire that fits the u16 length field;
+        // 65536 must be rejected without touching the buffer.
+        let mut buf = Vec::new();
+        assert!(append_frame(&mut buf, NodeId::new(1), &vec![0xAA; 65_535]));
+        let (dest, wire) = frames(&buf).next().expect("well-formed");
+        assert_eq!(dest, NodeId::new(1));
+        assert_eq!(wire.len(), 65_535);
+
+        let len_before = buf.len();
+        assert!(!append_frame(&mut buf, NodeId::new(2), &vec![0xBB; 65_536]));
+        assert_eq!(buf.len(), len_before, "a rejected frame leaves the buffer untouched");
+        let got: Vec<NodeId> = frames(&buf).map(|(d, _)| d).collect();
+        assert_eq!(got, vec![NodeId::new(1)], "the earlier frame still parses");
     }
 
     /// Walks a datagram to exhaustion, returning the salvaged frames and
@@ -164,8 +186,8 @@ mod tests {
         assert!(!malformed, "an empty datagram is vacuously well-formed");
 
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(5), b"payload");
-        append_frame(&mut buf, NodeId::new(6), b""); // zero-length frame is legal
+        assert!(append_frame(&mut buf, NodeId::new(5), b"payload"));
+        assert!(append_frame(&mut buf, NodeId::new(6), b"")); // zero-length frame is legal
         let (got, malformed) = walk(&buf);
         assert_eq!(got.len(), 2);
         assert_eq!(got[1], (NodeId::new(6), Vec::new()));
@@ -175,7 +197,7 @@ mod tests {
     #[test]
     fn truncated_header_is_malformed_after_salvage() {
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(1), b"keep");
+        assert!(append_frame(&mut buf, NodeId::new(1), b"keep"));
         buf.extend_from_slice(&[9, 9, 9]); // 3 trailing garbage bytes: a runt header
         let (got, malformed) = walk(&buf);
         assert_eq!(got, vec![(NodeId::new(1), b"keep".to_vec())], "intact prefix salvaged");
@@ -185,7 +207,7 @@ mod tests {
     #[test]
     fn length_past_datagram_end_is_malformed() {
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(1), b"keep");
+        assert!(append_frame(&mut buf, NodeId::new(1), b"keep"));
         // Hand-craft a header whose length field overruns the datagram.
         buf.extend_from_slice(&2u32.to_le_bytes());
         buf.extend_from_slice(&1000u16.to_le_bytes());
@@ -200,8 +222,8 @@ mod tests {
         // The same damaged datagram walks identically every time: same
         // salvage, same verdict — no state leaks between iterations.
         let mut buf = Vec::new();
-        append_frame(&mut buf, NodeId::new(1), b"a");
-        append_frame(&mut buf, NodeId::new(2), b"bb");
+        assert!(append_frame(&mut buf, NodeId::new(1), b"a"));
+        assert!(append_frame(&mut buf, NodeId::new(2), b"bb"));
         buf.truncate(buf.len() - 1);
         let first = walk(&buf);
         for _ in 0..5 {

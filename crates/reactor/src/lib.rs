@@ -59,6 +59,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 pub mod demux;
 pub mod mmsg;
 pub mod runtime;

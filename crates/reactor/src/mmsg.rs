@@ -13,8 +13,12 @@
 //!   reusable byte arena plus a segment table `(offset, len, destination)`.
 //!   [`flush_queue`] then drains the whole queue, [`MAX_VLEN`] datagrams
 //!   per syscall, resuming after partial sends (the kernel may accept
-//!   fewer than asked) and dropping — never duplicating — a datagram the
-//!   kernel refuses, exactly the UDP semantics of the old `send_to` loop.
+//!   fewer than asked). Send errors go through an explicit taxonomy
+//!   ([`classify`]): *transient* pressure retains the unsent tail for a
+//!   backed-off retry, `ENOSYS` asks the caller to downgrade the backend,
+//!   and a *fatal* socket error drops exactly the refused datagram,
+//!   retains the rest, and asks the caller to re-bind the socket — the
+//!   [`SendVerdict`] tells the shard which recovery to run.
 //! * **Recv** — a [`RecvQueue`] owns a pool of fixed buffers; one
 //!   `recvmmsg` fills up to a batch of them, and the shard demuxes each as
 //!   a borrowed slice.
@@ -143,6 +147,19 @@ impl SendQueue {
         (&self.buf[s.start..s.start + s.len], s.addr)
     }
 
+    /// Appends one complete datagram (open / copy / close in one call) —
+    /// the retention path repacks unsent tails with it.
+    pub fn push_datagram(&mut self, addr: SocketAddr, bytes: &[u8]) {
+        self.open(addr);
+        self.buf.extend_from_slice(bytes);
+        self.close();
+    }
+
+    /// Bytes held in the arena (sealed segments plus any open datagram).
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Empties the queue, keeping both allocations for reuse.
     pub fn clear(&mut self) {
         debug_assert!(self.open.is_none(), "clear() with a datagram still open");
@@ -199,36 +216,132 @@ impl BatchSender for MmsgSender {
     }
 }
 
-/// Drives a sender across the whole queue with partial-send resumption:
-/// a short return re-enters at the first unsent segment; an error drops
-/// exactly the head segment and carries on (UDP semantics — a refused
-/// datagram is a lost datagram, absorbed like any other loss). Every
-/// segment is offered to the kernel exactly once. Clears the queue.
+/// What [`classify`] says an I/O error means for the socket it hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ErrorClass {
+    /// Momentary pressure or interruption (`EAGAIN`, `EINTR`, `ENOBUFS`,
+    /// `ENOMEM`, the shutdown-window `ECONNREFUSED` echo): the socket is
+    /// fine, retry soon.
+    Transient,
+    /// The batched syscall is not available (`ENOSYS`): switch to the
+    /// portable fallback and carry on.
+    Downgrade,
+    /// The socket itself is broken (`EBADF` and everything else): replace
+    /// it.
+    Fatal,
+}
+
+/// The explicit transient/fatal error taxonomy every reactor I/O path
+/// routes errors through. Classification is by `ErrorKind` first and raw
+/// errno second, so both real kernel returns and injected
+/// `io::Error::from_raw_os_error` faults land in the same class.
+pub(crate) fn classify(e: &io::Error) -> ErrorClass {
+    const EAGAIN: i32 = 11;
+    const EINTR: i32 = 4;
+    const ENOMEM: i32 = 12;
+    const ENOSYS: i32 = 38;
+    const ENOBUFS: i32 = 105;
+    match e.kind() {
+        io::ErrorKind::WouldBlock
+        | io::ErrorKind::TimedOut
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::ConnectionRefused => ErrorClass::Transient,
+        _ => match e.raw_os_error() {
+            Some(EAGAIN | EINTR | ENOMEM | ENOBUFS) => ErrorClass::Transient,
+            Some(ENOSYS) => ErrorClass::Downgrade,
+            _ => ErrorClass::Fatal,
+        },
+    }
+}
+
+/// What a [`drain_queue`] pass asks its caller to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendVerdict {
+    /// Every segment was offered to the kernel.
+    Drained,
+    /// A transient error stopped the drain: the unsent tail (including
+    /// the refused segment) moved to `pending` — back off, then retry.
+    Backoff,
+    /// `ENOSYS` mid-run: the unsent tail moved to `pending` — downgrade
+    /// the backend, then retry.
+    Downgrade,
+    /// A fatal socket error: the refused head was dropped (counted), the
+    /// rest moved to `pending` — re-bind the socket, then retry.
+    Rebind,
+}
+
+/// Consecutive `EINTR` returns retried in place before the drain gives up
+/// and backs off (guards against a pathological interruption storm).
+const MAX_EINTR_RETRIES: u32 = 8;
+
+/// Drives a sender across the whole queue with partial-send resumption: a
+/// short return re-enters at the first unsent segment; `EINTR` retries in
+/// place (the syscall did nothing). Any other error routes through
+/// [`classify`]: the unsent tail is retained into `pending` — minus the
+/// refused head on a fatal error — and the [`SendVerdict`] names the
+/// recovery the caller owes the socket. No segment is ever offered to the
+/// kernel twice by one pass. Clears `queue` (retained bytes live on in
+/// `pending`).
 pub(crate) fn drain_queue<S: BatchSender>(
     sender: &mut S,
     socket: &UdpSocket,
     queue: &mut SendQueue,
+    pending: &mut SendQueue,
     stats: &mut ShardStats,
-) {
+) -> SendVerdict {
     let mut first = 0;
-    while first < queue.len() {
+    let mut eintr = 0u32;
+    let verdict = loop {
+        if first >= queue.len() {
+            break SendVerdict::Drained;
+        }
         match sender.send_from(socket, queue, first) {
             Ok(sent) => {
                 stats.send_syscalls += 1;
+                eintr = 0;
                 // A compliant sender returns 1..=remaining; clamp so a
                 // misbehaving one cannot stall or overrun the loop.
                 let sent = sent.clamp(1, queue.len() - first);
                 stats.kernel_sent += sent as u64;
                 first += sent;
             }
-            Err(_) => {
+            Err(e) => {
                 stats.send_syscalls += 1;
-                stats.send_drops += 1;
-                first += 1;
+                match classify(&e) {
+                    ErrorClass::Transient
+                        if e.kind() == io::ErrorKind::Interrupted && eintr < MAX_EINTR_RETRIES =>
+                    {
+                        eintr += 1;
+                        stats.transients_recovered += 1;
+                    }
+                    ErrorClass::Transient => {
+                        stats.transients_recovered += 1;
+                        retain_tail(queue, first, pending);
+                        break SendVerdict::Backoff;
+                    }
+                    ErrorClass::Downgrade => {
+                        retain_tail(queue, first, pending);
+                        break SendVerdict::Downgrade;
+                    }
+                    ErrorClass::Fatal => {
+                        stats.send_drops += 1;
+                        retain_tail(queue, first + 1, pending);
+                        break SendVerdict::Rebind;
+                    }
+                }
             }
         }
-    }
+    };
     queue.clear();
+    verdict
+}
+
+/// Copies segments `first..` of `queue` into `pending`, preserving order.
+fn retain_tail(queue: &SendQueue, first: usize, pending: &mut SendQueue) {
+    for i in first..queue.len() {
+        let (bytes, addr) = queue.seg(i);
+        pending.push_datagram(addr, bytes);
+    }
 }
 
 /// Flushes a sealed queue on `socket` with the chosen backend.
@@ -236,14 +349,15 @@ pub(crate) fn flush_queue(
     backend: Backend,
     socket: &UdpSocket,
     queue: &mut SendQueue,
+    pending: &mut SendQueue,
     stats: &mut ShardStats,
-) {
+) -> SendVerdict {
     if queue.is_empty() {
-        return;
+        return SendVerdict::Drained;
     }
     match backend {
-        Backend::Mmsg => drain_queue(&mut MmsgSender, socket, queue, stats),
-        Backend::Fallback => drain_queue(&mut FallbackSender, socket, queue, stats),
+        Backend::Mmsg => drain_queue(&mut MmsgSender, socket, queue, pending, stats),
+        Backend::Fallback => drain_queue(&mut FallbackSender, socket, queue, pending, stats),
     }
 }
 
@@ -334,14 +448,13 @@ impl RecvQueue {
 }
 
 /// Receive errors that mean "no datagram right now", not "the socket is
-/// broken": empty queue (`WouldBlock`/`TimedOut`) and the ICMP
-/// port-unreachable echo Linux surfaces when a peer socket has already
-/// closed at shutdown (`ConnectionRefused`).
+/// broken": empty queue (`WouldBlock`/`TimedOut`), interruption, and the
+/// ICMP port-unreachable echo Linux surfaces when a peer socket has
+/// already closed at shutdown (`ConnectionRefused`). A thin view of
+/// [`classify`] for the receive path, which absorbs transients as
+/// zero-datagram reads.
 pub(crate) fn transient_recv_error(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::ConnectionRefused
-    )
+    classify(e) == ErrorClass::Transient
 }
 
 /// Grows `socket`'s kernel buffers to `bytes` in each direction, best
@@ -626,30 +739,75 @@ mod tests {
         // The kernel accepts 2 of 5, then 1, then the remaining 2.
         let mut sender = ScriptedSender { script: vec![Ok(2), Ok(1), Ok(2)], calls: Vec::new() };
         let mut stats = ShardStats::default();
-        drain_queue(&mut sender, &socket, &mut queue, &mut stats);
+        let mut pending = SendQueue::default();
+        let verdict = drain_queue(&mut sender, &socket, &mut queue, &mut pending, &mut stats);
+        assert_eq!(verdict, SendVerdict::Drained);
         assert_eq!(sender.calls, vec![0, 2, 3], "each retry resumes at the first unsent segment");
         assert_eq!(stats.send_syscalls, 3);
         assert_eq!(stats.kernel_sent, 5, "every datagram handed off exactly once");
         assert_eq!(stats.send_drops, 0);
         assert!(queue.is_empty(), "the queue is consumed");
+        assert!(pending.is_empty(), "nothing retained on a clean drain");
     }
 
     #[test]
-    fn send_error_drops_exactly_the_head_segment() {
+    fn transient_send_error_retains_the_unsent_tail() {
         let (socket, _peer, addr) = loopback_pair();
         let payloads: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 4]).collect();
         let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
         let mut queue = queue_of(&refs, addr);
         let mut sender = ScriptedSender {
-            script: vec![Ok(1), Err(io::Error::from(io::ErrorKind::WouldBlock)), Ok(2)],
+            script: vec![Ok(1), Err(io::Error::from(io::ErrorKind::WouldBlock))],
             calls: Vec::new(),
         };
         let mut stats = ShardStats::default();
-        drain_queue(&mut sender, &socket, &mut queue, &mut stats);
-        assert_eq!(sender.calls, vec![0, 1, 2], "the failed segment is skipped, not retried");
-        assert_eq!(stats.kernel_sent, 3);
-        assert_eq!(stats.send_drops, 1);
-        assert_eq!(stats.send_syscalls, 3);
+        let mut pending = SendQueue::default();
+        let verdict = drain_queue(&mut sender, &socket, &mut queue, &mut pending, &mut stats);
+        assert_eq!(verdict, SendVerdict::Backoff);
+        assert_eq!(sender.calls, vec![0, 1], "the drain stops at the transient error");
+        assert_eq!(stats.kernel_sent, 1);
+        assert_eq!(stats.send_drops, 0, "pressure loses nothing");
+        assert_eq!(stats.transients_recovered, 1);
+        assert_eq!(pending.len(), 3, "the refused segment and the tail are retained");
+        assert_eq!(pending.seg(0).0, payloads[1].as_slice(), "retention preserves order");
+    }
+
+    #[test]
+    fn fatal_send_error_drops_the_head_and_asks_for_a_rebind() {
+        let (socket, _peer, addr) = loopback_pair();
+        let payloads: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 4]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let mut queue = queue_of(&refs, addr);
+        const EBADF: i32 = 9;
+        let mut sender = ScriptedSender {
+            script: vec![Ok(1), Err(io::Error::from_raw_os_error(EBADF))],
+            calls: Vec::new(),
+        };
+        let mut stats = ShardStats::default();
+        let mut pending = SendQueue::default();
+        let verdict = drain_queue(&mut sender, &socket, &mut queue, &mut pending, &mut stats);
+        assert_eq!(verdict, SendVerdict::Rebind);
+        assert_eq!(stats.send_drops, 1, "exactly the refused datagram is lost");
+        assert_eq!(pending.len(), 2, "the rest outlives the socket");
+        assert_eq!(pending.seg(0).0, payloads[2].as_slice());
+    }
+
+    #[test]
+    fn eintr_retries_in_place_without_losing_position() {
+        let (socket, _peer, addr) = loopback_pair();
+        let mut queue = queue_of(&[b"a", b"b"], addr);
+        let mut sender = ScriptedSender {
+            script: vec![Ok(1), Err(io::Error::from(io::ErrorKind::Interrupted)), Ok(1)],
+            calls: Vec::new(),
+        };
+        let mut stats = ShardStats::default();
+        let mut pending = SendQueue::default();
+        let verdict = drain_queue(&mut sender, &socket, &mut queue, &mut pending, &mut stats);
+        assert_eq!(verdict, SendVerdict::Drained);
+        assert_eq!(sender.calls, vec![0, 1, 1], "the interrupted segment is retried in place");
+        assert_eq!(stats.kernel_sent, 2);
+        assert_eq!(stats.transients_recovered, 1);
+        assert!(pending.is_empty());
     }
 
     #[test]
@@ -659,9 +817,26 @@ mod tests {
         // Ok(0) would loop forever and Ok(100) would overrun; both clamp.
         let mut sender = ScriptedSender { script: vec![Ok(0), Ok(100)], calls: Vec::new() };
         let mut stats = ShardStats::default();
-        drain_queue(&mut sender, &socket, &mut queue, &mut stats);
+        let mut pending = SendQueue::default();
+        drain_queue(&mut sender, &socket, &mut queue, &mut pending, &mut stats);
         assert_eq!(sender.calls, vec![0, 1]);
         assert_eq!(stats.kernel_sent, 2);
+    }
+
+    #[test]
+    fn error_classes_cover_the_injected_errnos() {
+        const CASES: &[(i32, ErrorClass)] = &[
+            (4, ErrorClass::Transient),   // EINTR
+            (11, ErrorClass::Transient),  // EAGAIN
+            (12, ErrorClass::Transient),  // ENOMEM
+            (105, ErrorClass::Transient), // ENOBUFS
+            (38, ErrorClass::Downgrade),  // ENOSYS
+            (9, ErrorClass::Fatal),       // EBADF
+        ];
+        for &(errno, class) in CASES {
+            let e = io::Error::from_raw_os_error(errno);
+            assert_eq!(classify(&e), class, "errno {errno}");
+        }
     }
 
     #[test]
@@ -669,7 +844,8 @@ mod tests {
         let (tx, rx, addr) = loopback_pair();
         let mut queue = queue_of(&[b"one", b"two", b"three"], addr);
         let mut stats = ShardStats::default();
-        drain_queue(&mut FallbackSender, &tx, &mut queue, &mut stats);
+        let mut pending = SendQueue::default();
+        drain_queue(&mut FallbackSender, &tx, &mut queue, &mut pending, &mut stats);
         assert_eq!(stats.send_syscalls, 3);
         assert_eq!(stats.kernel_sent, 3);
         rx.set_nonblocking(true).expect("nonblocking");
@@ -695,7 +871,8 @@ mod tests {
         let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
         let mut queue = queue_of(&refs, addr);
         let mut stats = ShardStats::default();
-        flush_queue(Backend::Mmsg, &tx, &mut queue, &mut stats);
+        let mut pending = SendQueue::default();
+        flush_queue(Backend::Mmsg, &tx, &mut queue, &mut pending, &mut stats);
         assert_eq!(stats.kernel_sent, 10);
         assert_eq!(stats.send_syscalls, 1, "one sendmmsg covers the whole queue");
         rx.set_nonblocking(true).expect("nonblocking");

@@ -2,6 +2,7 @@
 //! the run and assembles the report.
 
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -150,15 +151,20 @@ impl ReactorCluster {
                 compiled: Arc::clone(&compiled),
                 sockets,
                 addresses: Arc::clone(&addresses),
+                socket_buffer_bytes: options.socket_buffer_bytes,
                 clock,
                 stop: Arc::clone(&stop),
             };
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("gossip-shard-{index}"))
-                    .spawn(move || run_shard(shard_config))
-                    .expect("spawning a shard thread"),
-            );
+            // A panicking shard must not sink the run: the unwind is caught
+            // at the thread boundary, the shard's nodes are reported
+            // missing, and the survivors' report is still assembled. (In
+            // the release profile panics abort; this isolation exists for
+            // the dev/test profile and for bugs in the fault injectors.)
+            let handle = thread::Builder::new()
+                .name(format!("gossip-shard-{index}"))
+                .spawn(move || catch_unwind(AssertUnwindSafe(move || run_shard(shard_config))))
+                .map_err(ClusterError::Io)?;
+            handles.push(handle);
         }
 
         // Let the cluster run, then stop every shard.
@@ -167,14 +173,36 @@ impl ReactorCluster {
 
         let mut nodes = Vec::with_capacity(total_n);
         let mut shard_stats = Vec::with_capacity(shards);
+        let mut aborted = 0;
+        let mut first_failure: Option<ClusterError> = None;
         for (index, handle) in handles.into_iter().enumerate() {
-            let (reports, stats) = handle.join().map_err(|_| ClusterError::NodePanic(index))??;
-            nodes.extend(reports);
-            shard_stats.push(stats);
+            // Three failure layers per shard: the thread itself (join),
+            // the caught unwind, and the shard's own I/O result. Any of
+            // them costs that shard's nodes but not the run — unless every
+            // shard is gone, in which case the first failure is reported.
+            let outcome = handle
+                .join()
+                .map_err(|_| ClusterError::NodePanic(index))
+                .and_then(|caught| caught.map_err(|_| ClusterError::NodePanic(index)))
+                .and_then(|result| result.map_err(ClusterError::Io));
+            match outcome {
+                Ok((reports, stats)) => {
+                    nodes.extend(reports);
+                    shard_stats.push(stats);
+                }
+                Err(e) => {
+                    aborted += 1;
+                    first_failure.get_or_insert(e);
+                }
+            }
+        }
+        if aborted == shards {
+            return Err(first_failure.unwrap_or(ClusterError::NodePanic(0)));
         }
 
         let mut report = assemble_report(&config, nodes);
         report.shard_stats = shard_stats;
+        report.aborted_shards = aborted;
         Ok(report)
     }
 }

@@ -33,11 +33,13 @@
 //! an ingress flood cannot stall the timers that keep rounds, sources
 //! and shapers on schedule.
 
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use gossip_adversity::{ByzantineBehaviour, CompiledAdversity, FaultAction, PartitionState};
+use gossip_adversity::{
+    ByzantineBehaviour, ChaosPlan, CompiledAdversity, FaultAction, PartitionState,
+};
 use gossip_core::wire::{decode_frame, encode_message, FrameKind};
 use gossip_core::{Event, Output, TimerToken};
 use gossip_membership::{wire as shuffle_wire, CyclonConfig, CyclonView, ShuffleMessage};
@@ -48,8 +50,9 @@ use gossip_udp::clock::ClusterClock;
 use gossip_udp::cluster::{ClusterConfig, JoinerBootstrap};
 use gossip_udp::report::{NodeReport, ShardStats};
 
+use crate::chaos::{self, DatagramFate, SenderChaos, SocketChaos};
 use crate::demux;
-use crate::mmsg::{self, transient_recv_error, Backend, RecvQueue, SendQueue};
+use crate::mmsg::{self, Backend, ErrorClass, RecvQueue, SendQueue, SendVerdict};
 use crate::vnode::VirtualNode;
 
 /// Upper bound on one park interval: short enough that the stop flag and
@@ -80,6 +83,30 @@ const MAX_FLUSH_HOLD: Duration = Duration::from_millis(1);
 /// Size of one receive buffer (max UDP datagram, like the thread
 /// runtime's): nothing a peer shard can send is ever truncated.
 const RECV_BUF_SIZE: usize = 65_536;
+
+/// First backoff interval after a transient send failure. Doubles per
+/// consecutive failure up to [`BACKOFF_CAP`], with deterministic jitter
+/// so the pool's sockets do not retry in lockstep.
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+
+/// Upper bound on one backoff interval: short against the protocol's
+/// 100 ms rounds, long enough to let a kernel buffer drain.
+const BACKOFF_CAP: Duration = Duration::from_millis(16);
+
+/// Byte budget of one socket's retained (pending-retry) queue: past it
+/// the oldest retained datagrams are shed, counted, and the stream's
+/// FEC + retransmission absorb the loss.
+const PENDING_BYTE_BUDGET: usize = 1 << 20;
+
+/// Age budget of retained datagrams: serve traffic for a live stream is
+/// stale after this long, so a recovering socket drops it instead of
+/// flooding peers with obsolete windows.
+const PENDING_AGE_BUDGET: Duration = Duration::from_millis(500);
+
+/// Byte budget of the shard outbox itself. Send failures must never
+/// block the timer wheel behind an unbounded backlog: past the budget
+/// the oldest outbox datagrams are shed, counted.
+const OUTBOX_BYTE_BUDGET: usize = 4 << 20;
 
 /// A deadline in the shard's timer wheel, tagged with the local slot of
 /// the node it belongs to. Per-node recurring deadlines also carry the
@@ -117,6 +144,8 @@ pub(crate) struct ShardConfig {
     pub sockets: Vec<UdpSocket>,
     /// Global node id → home socket address.
     pub addresses: Arc<Vec<SocketAddr>>,
+    /// Kernel buffer size re-applied when a socket is re-bound.
+    pub socket_buffer_bytes: usize,
     pub clock: ClusterClock,
     pub stop: Arc<AtomicBool>,
 }
@@ -172,6 +201,46 @@ struct Shard {
     recv_queue: RecvQueue,
     /// Reusable send arena the outbox packs into.
     send_queue: SendQueue,
+    /// Scratch arena the shedding rebuilds pack into.
+    scratch_queue: SendQueue,
+    /// Bytes currently held in the outbox (drives load shedding).
+    outbox_bytes: usize,
+    /// Per-socket recovery state: backoff clocks and retained queues.
+    recovery: Vec<SocketRecovery>,
+    /// Original local addresses of the pool, kept for in-place re-binds.
+    local_addrs: Vec<SocketAddr>,
+    /// Kernel buffer size re-applied when a socket is re-bound.
+    socket_buffer_bytes: usize,
+    /// The chaos engine, present only when the compiled plan injects
+    /// anything.
+    chaos: Option<ChaosState>,
+}
+
+/// Per-socket self-healing state.
+struct SocketRecovery {
+    /// Sends on this socket are paused until this instant, if set.
+    backoff_until: Option<Time>,
+    /// Consecutive transient failures (the backoff exponent).
+    backoff_level: u32,
+    /// Datagrams retained across a transient failure, oldest first.
+    pending: SendQueue,
+    /// When the oldest retained datagram entered `pending`.
+    pending_since: Option<Time>,
+    /// Deterministic jitter stream for the backoff intervals.
+    jitter: DetRng,
+}
+
+/// The shard's slice of the chaos plan: per-node fate streams, per-socket
+/// errno streams, and the delayed-datagram stash.
+struct ChaosState {
+    plan: ChaosPlan,
+    /// One fate stream per hosted node, indexed by local slot.
+    senders: Vec<SenderChaos>,
+    /// One errno stream per pool socket.
+    sockets: Vec<SocketChaos>,
+    /// Datagrams held back by a Delay fate, re-injected after the next
+    /// flush.
+    delayed: Vec<(usize, NodeId, Vec<u8>)>,
 }
 
 impl Shard {
@@ -185,6 +254,7 @@ impl Shard {
             compiled,
             sockets,
             addresses,
+            socket_buffer_bytes,
             clock,
             stop,
         } = config;
@@ -232,6 +302,27 @@ impl Shard {
 
         let members: Vec<NodeId> = (0..compiled.base_n as u32).map(NodeId::new).collect();
         let membership_rng = DetRng::seed_from(cluster.seed).split(0xC1C1_0000 + index as u64);
+        let plan = compiled.chaos;
+        let chaos = (!plan.is_none()).then(|| ChaosState {
+            plan,
+            senders: nodes.iter().map(|vn| SenderChaos::new(&plan, vn.id)).collect(),
+            // Socket 0 takes the one-shot kill: every shard then proves
+            // the re-bind path, and exactly one socket per shard dies.
+            sockets: (0..pool).map(|s| SocketChaos::new(&plan, index, s, s == 0)).collect(),
+            delayed: Vec::new(),
+        });
+        let recovery = (0..pool)
+            .map(|s| SocketRecovery {
+                backoff_until: None,
+                backoff_level: 0,
+                pending: SendQueue::default(),
+                pending_since: None,
+                jitter: DetRng::seed_from(cluster.seed)
+                    .split(0xBACC_0000 + (index * 1024 + s) as u64),
+            })
+            .collect();
+        let local_addrs =
+            sockets.iter().map(UdpSocket::local_addr).collect::<std::io::Result<Vec<_>>>()?;
         Ok(Shard {
             index,
             shards,
@@ -256,6 +347,12 @@ impl Shard {
             drain_cursor: 0,
             recv_queue: RecvQueue::new(recv_batch, RECV_BUF_SIZE),
             send_queue: SendQueue::default(),
+            scratch_queue: SendQueue::default(),
+            outbox_bytes: 0,
+            recovery,
+            local_addrs,
+            socket_buffer_bytes,
+            chaos,
         })
     }
 
@@ -274,14 +371,14 @@ impl Shard {
 
             // 3. Put the backlog on the wire once it makes a worthwhile
             // batch (or has waited long enough).
-            self.maybe_flush();
+            self.maybe_flush()?;
 
             // 4. Park until the next deadline, waking early for traffic.
             self.park()?;
-            self.maybe_flush();
+            self.maybe_flush()?;
         }
         // Don't strand held-back datagrams at shutdown.
-        self.flush_outbox();
+        self.flush_outbox()?;
         let stats = self.stats;
         Ok((self.nodes.into_iter().map(VirtualNode::into_report).collect(), stats))
     }
@@ -310,8 +407,13 @@ impl Shard {
                 self.on_datagram(&buf[..len], now);
                 Ok(())
             }
-            Err(e) if transient_recv_error(&e) => Ok(()),
-            Err(e) => Err(e),
+            // Transient noise (timeouts, EINTR) ends the park quietly; a
+            // fatal error means the socket itself is gone — re-bind it in
+            // place instead of taking the whole shard down.
+            Err(e) => match mmsg::classify(&e) {
+                ErrorClass::Transient | ErrorClass::Downgrade => Ok(()),
+                ErrorClass::Fatal => self.rebind_socket(0),
+            },
         };
         self.recv_buf = buf;
         outcome?;
@@ -335,7 +437,26 @@ impl Shard {
             let si = (self.drain_cursor + k) % self.sockets.len();
             let mut received = 0;
             while received < self.recv_batch {
-                let n = queue.recv(&self.sockets[si], self.backend, &mut self.stats)?;
+                let n = match queue.recv(&self.sockets[si], self.backend, &mut self.stats) {
+                    Ok(n) => n,
+                    Err(e) => match mmsg::classify(&e) {
+                        // The batched syscall vanished mid-run: fall back
+                        // to plain recv_from and retry next iteration.
+                        ErrorClass::Downgrade => {
+                            self.backend = Backend::Fallback;
+                            self.stats.backend_downgrades += 1;
+                            continue 'pool;
+                        }
+                        ErrorClass::Transient => break,
+                        // The socket is dead (e.g. EBADF): re-bind it and
+                        // move on — its kernel backlog is lost, which is
+                        // UDP semantics anyway.
+                        ErrorClass::Fatal => {
+                            self.rebind_socket(si)?;
+                            continue 'pool;
+                        }
+                    },
+                };
                 if n == 0 {
                     break; // socket empty
                 }
@@ -543,10 +664,14 @@ impl Shard {
                     return;
                 };
                 if now <= end {
-                    for packet in source.poll(now) {
+                    // Take the emissions and the next deadline in one
+                    // borrow of the source — no "still there" re-lookup
+                    // that could panic if a fault ever cleared it.
+                    let packets = source.poll(now);
+                    let next = source.next_packet_at();
+                    for packet in packets {
                         vn.node.publish(now, packet);
                     }
-                    let next = vn.source.as_ref().expect("still the source").next_packet_at();
                     if next <= end {
                         self.wheel.push(next, Fire::Source(l));
                     }
@@ -717,14 +842,45 @@ impl Shard {
     }
 
     /// Moves everything the node's shaper has released into the shard
-    /// outbox and arms one wheel deadline for the earliest datagram still
-    /// held back.
+    /// outbox — each datagram first drawing its fate from the node's
+    /// chaos stream, when a plan is active — and arms one wheel deadline
+    /// for the earliest datagram still held back.
     fn flush_shaper(&mut self, local: usize, now: Time) {
-        let vn = &mut self.nodes[local];
-        while let Some((to, bytes)) = vn.shaper.pop_due(now) {
-            self.outbox.push((vn.home_socket, to, bytes));
-            self.outbox_since.get_or_insert(now);
+        let home = self.nodes[local].home_socket;
+        while let Some((to, bytes)) = self.nodes[local].shaper.pop_due(now) {
+            let fate = match self.chaos.as_mut() {
+                Some(c) => c.senders[local].fate(&c.plan, bytes.len()),
+                None => DatagramFate::Deliver,
+            };
+            match fate {
+                DatagramFate::Deliver => self.enqueue(home, to, bytes, now),
+                DatagramFate::Drop => self.stats.faults_injected += 1,
+                DatagramFate::Duplicate => {
+                    self.stats.faults_injected += 1;
+                    self.enqueue(home, to, bytes.clone(), now);
+                    self.enqueue(home, to, bytes, now);
+                }
+                DatagramFate::Truncate(at) => {
+                    self.stats.faults_injected += 1;
+                    self.enqueue(home, to, bytes[..at.min(bytes.len())].to_vec(), now);
+                }
+                DatagramFate::Delay => {
+                    self.stats.faults_injected += 1;
+                    if let Some(c) = self.chaos.as_mut() {
+                        c.delayed.push((home, to, bytes));
+                    }
+                }
+                DatagramFate::Reorder => {
+                    self.stats.faults_injected += 1;
+                    self.enqueue(home, to, bytes, now);
+                    let n = self.outbox.len();
+                    if n >= 2 {
+                        self.outbox.swap(n - 1, n - 2);
+                    }
+                }
+            }
         }
+        let vn = &mut self.nodes[local];
         if !vn.shaper_armed {
             if let Some(at) = vn.shaper.next_release() {
                 self.wheel.push(at, Fire::Shaper(local as u32, vn.epoch));
@@ -733,29 +889,87 @@ impl Shard {
         }
     }
 
+    /// Appends one datagram to the outbox, keeping the byte gauge and the
+    /// age clock in step.
+    fn enqueue(&mut self, home: usize, to: NodeId, bytes: Vec<u8>, now: Time) {
+        self.outbox_bytes += bytes.len();
+        self.outbox.push((home, to, bytes));
+        self.outbox_since.get_or_insert(now);
+    }
+
     /// Flushes the outbox if it holds a worthwhile `sendmmsg` batch
     /// ([`MIN_FLUSH_DATAGRAMS`]) or its oldest datagram has waited
     /// [`MAX_FLUSH_HOLD`] — the policy that keeps batches dense even when
-    /// an idle loop iterates every few microseconds.
-    fn maybe_flush(&mut self) {
-        let Some(since) = self.outbox_since else { return };
-        if self.outbox.len() >= MIN_FLUSH_DATAGRAMS || self.clock.now() >= since + MAX_FLUSH_HOLD {
-            self.flush_outbox();
+    /// an idle loop iterates every few microseconds. With an empty outbox
+    /// a flush still runs when a socket's backoff has expired and retained
+    /// datagrams are waiting for their retry.
+    fn maybe_flush(&mut self) -> std::io::Result<()> {
+        self.shed_outbox();
+        let due = match self.outbox_since {
+            Some(since) => {
+                self.outbox.len() >= MIN_FLUSH_DATAGRAMS
+                    || self.clock.now() >= since + MAX_FLUSH_HOLD
+            }
+            None => self.retry_due(),
+        };
+        if due {
+            self.flush_outbox()?;
         }
+        Ok(())
+    }
+
+    /// Whether any socket holds retained datagrams whose backoff has
+    /// expired (or never backed off at all, e.g. after a re-bind).
+    fn retry_due(&self) -> bool {
+        let now = self.clock.now();
+        self.recovery
+            .iter()
+            .any(|r| !r.pending.is_empty() && r.backoff_until.is_none_or(|until| now >= until))
+    }
+
+    /// Sheds the oldest outbox datagrams once the backlog exceeds
+    /// [`OUTBOX_BYTE_BUDGET`]: send failures must never grow an unbounded
+    /// queue that stalls the timer wheel. Shed datagrams are counted; the
+    /// protocol's FEC + retransmission absorb the loss.
+    fn shed_outbox(&mut self) {
+        if self.outbox_bytes <= OUTBOX_BYTE_BUDGET {
+            return;
+        }
+        let mut freed = 0;
+        let mut k = 0;
+        while self.outbox_bytes - freed > OUTBOX_BYTE_BUDGET && k < self.outbox.len() {
+            freed += self.outbox[k].2.len();
+            k += 1;
+        }
+        self.outbox.drain(..k);
+        self.outbox_bytes -= freed;
+        self.stats.datagrams_shed += k as u64;
     }
 
     /// Packs the outbox into the send arena — grouped by sending socket,
     /// consecutive datagrams for the same destination address coalesced
     /// into one kernel datagram (up to [`MAX_COALESCED`] bytes) — and
-    /// flushes each socket's queue through the batched backend.
+    /// flushes each socket's queue through the batched backend, retained
+    /// datagrams from earlier transient failures going out first.
     ///
     /// UDP semantics throughout: a full kernel buffer drops the datagram,
     /// like any congested link; the protocol's FEC + retransmission absorb
     /// it.
-    fn flush_outbox(&mut self) {
+    fn flush_outbox(&mut self) -> std::io::Result<()> {
         self.outbox_since = None;
-        if self.outbox.is_empty() {
-            return;
+        self.outbox_bytes = 0;
+        let now = self.clock.now();
+        // The scheduled ENOSYS fires at the shard level: the next batched
+        // flush discovers the syscall gone and downgrades, once.
+        if self.backend == Backend::Mmsg {
+            if let Some(c) = self.chaos.as_mut() {
+                if c.plan.enosys_at.is_some_and(|t| now >= t) {
+                    c.plan.enosys_at = None;
+                    self.backend = Backend::Fallback;
+                    self.stats.faults_injected += 1;
+                    self.stats.backend_downgrades += 1;
+                }
+            }
         }
         let outbox = std::mem::take(&mut self.outbox);
         let mut queue = std::mem::take(&mut self.send_queue);
@@ -767,16 +981,167 @@ impl Shard {
                     queue.close();
                     queue.open(addr);
                 }
-                demux::append_frame(queue.buf_mut(), *to, bytes);
-                self.stats.datagrams_sent += 1;
+                if demux::append_frame(queue.buf_mut(), *to, bytes) {
+                    self.stats.datagrams_sent += 1;
+                } else {
+                    self.stats.encode_errors += 1;
+                }
             }
             queue.close();
-            mmsg::flush_queue(self.backend, &self.sockets[si], &mut queue, &mut self.stats);
+            self.flush_socket(si, &mut queue, now)?;
         }
         self.send_queue = queue;
         // Hand the (now empty) allocation back for the next iteration.
         self.outbox = outbox;
         self.outbox.clear();
+        // Chaos-delayed datagrams re-enter the outbox after the flush
+        // they sat out.
+        if let Some(c) = self.chaos.as_mut() {
+            let delayed = std::mem::take(&mut c.delayed);
+            for (home, to, bytes) in delayed {
+                self.enqueue(home, to, bytes, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains one socket's packed queue through the backend (chaos
+    /// interposed when a plan is active), honouring its backoff clock and
+    /// handling the drain verdict: exponential backoff with deterministic
+    /// jitter on transient failures, a backend downgrade on ENOSYS, an
+    /// in-place re-bind on fatal errors. Retained datagrams go out ahead
+    /// of this flush's batch, oldest first.
+    fn flush_socket(&mut self, si: usize, queue: &mut SendQueue, now: Time) -> std::io::Result<()> {
+        {
+            let rec = &mut self.recovery[si];
+            // Retained traffic for a live stream goes stale: past the age
+            // budget it is shed wholesale rather than flooding peers with
+            // obsolete windows on recovery.
+            if rec.pending_since.is_some_and(|since| now >= since + PENDING_AGE_BUDGET) {
+                self.stats.datagrams_shed += rec.pending.len() as u64;
+                rec.pending.clear();
+                rec.pending_since = None;
+            }
+            if rec.backoff_until.is_some_and(|until| now < until) {
+                // Still backing off: retain this flush's batch behind the
+                // already-pending datagrams and keep the budgets enforced.
+                for k in 0..queue.len() {
+                    let (bytes, addr) = queue.seg(k);
+                    rec.pending.push_datagram(addr, bytes);
+                }
+                queue.clear();
+                if !rec.pending.is_empty() {
+                    rec.pending_since.get_or_insert(now);
+                }
+                Self::shed_pending(rec, &mut self.scratch_queue, &mut self.stats);
+                return Ok(());
+            }
+            rec.backoff_until = None;
+            if !rec.pending.is_empty() {
+                // Retry window: retained datagrams lead, this flush's
+                // batch follows, order preserved.
+                for k in 0..queue.len() {
+                    let (bytes, addr) = queue.seg(k);
+                    rec.pending.push_datagram(addr, bytes);
+                }
+                queue.clear();
+                std::mem::swap(queue, &mut rec.pending);
+                rec.pending_since = None;
+            }
+        }
+        if queue.is_empty() {
+            return Ok(());
+        }
+        let verdict = match self.chaos.as_mut() {
+            Some(c) => chaos::flush_queue_chaos(
+                self.backend,
+                &c.plan,
+                &mut c.sockets[si],
+                now,
+                &self.sockets[si],
+                queue,
+                &mut self.recovery[si].pending,
+                &mut self.stats,
+            ),
+            None => mmsg::flush_queue(
+                self.backend,
+                &self.sockets[si],
+                queue,
+                &mut self.recovery[si].pending,
+                &mut self.stats,
+            ),
+        };
+        let rec = &mut self.recovery[si];
+        match verdict {
+            SendVerdict::Drained => rec.backoff_level = 0,
+            SendVerdict::Backoff => {
+                let base = BACKOFF_BASE.as_micros() << rec.backoff_level.min(4);
+                let capped = base.min(BACKOFF_CAP.as_micros());
+                let jitter = rec.jitter.range_u64(0, capped / 2 + 1);
+                rec.backoff_until = Some(now + Duration::from_micros(capped + jitter));
+                rec.backoff_level = (rec.backoff_level + 1).min(8);
+                rec.pending_since.get_or_insert(now);
+                self.stats.send_backoffs += 1;
+                Self::shed_pending(rec, &mut self.scratch_queue, &mut self.stats);
+            }
+            SendVerdict::Downgrade => {
+                self.backend = Backend::Fallback;
+                self.stats.backend_downgrades += 1;
+                if !rec.pending.is_empty() {
+                    rec.pending_since.get_or_insert(now);
+                }
+            }
+            SendVerdict::Rebind => {
+                if !rec.pending.is_empty() {
+                    rec.pending_since.get_or_insert(now);
+                }
+            }
+        }
+        if verdict == SendVerdict::Rebind {
+            self.rebind_socket(si)?;
+        }
+        Ok(())
+    }
+
+    /// Sheds the oldest retained datagrams once a socket's pending queue
+    /// exceeds [`PENDING_BYTE_BUDGET`].
+    fn shed_pending(rec: &mut SocketRecovery, scratch: &mut SendQueue, stats: &mut ShardStats) {
+        if rec.pending.byte_len() <= PENDING_BYTE_BUDGET {
+            return;
+        }
+        let mut excess = rec.pending.byte_len() - PENDING_BYTE_BUDGET;
+        let mut dropped = 0;
+        for k in 0..rec.pending.len() {
+            if excess == 0 {
+                break;
+            }
+            let (bytes, _) = rec.pending.seg(k);
+            excess = excess.saturating_sub(bytes.len());
+            dropped += 1;
+        }
+        scratch.clear();
+        for k in dropped..rec.pending.len() {
+            let (bytes, addr) = rec.pending.seg(k);
+            scratch.push_datagram(addr, bytes);
+        }
+        std::mem::swap(&mut rec.pending, scratch);
+        scratch.clear();
+        stats.datagrams_shed += dropped as u64;
+    }
+
+    /// Re-binds a dead pool socket to its original local address, restoring
+    /// non-blocking mode and the kernel buffer sizes. The old socket is
+    /// dropped first (via a throwaway placeholder) so the port is free to
+    /// re-bind.
+    fn rebind_socket(&mut self, si: usize) -> std::io::Result<()> {
+        let placeholder = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        drop(std::mem::replace(&mut self.sockets[si], placeholder));
+        let fresh = UdpSocket::bind(self.local_addrs[si])?;
+        fresh.set_nonblocking(true)?;
+        mmsg::set_socket_buffers(&fresh, self.socket_buffer_bytes);
+        self.sockets[si] = fresh;
+        self.stats.socket_rebinds += 1;
+        Ok(())
     }
 }
 
@@ -808,6 +1173,7 @@ mod tests {
             compiled,
             sockets: vec![socket],
             addresses,
+            socket_buffer_bytes: 1 << 20,
             clock: ClusterClock::start(),
             stop: Arc::clone(&stop),
         };
@@ -823,7 +1189,7 @@ mod tests {
         overrun.extend_from_slice(&60_000u16.to_le_bytes());
         overrun.extend_from_slice(&[0xAB; 32]);
         let mut junk = Vec::new();
-        demux::append_frame(&mut junk, NodeId::new(1), &[0x7F; 24]);
+        assert!(demux::append_frame(&mut junk, NodeId::new(1), &[0x7F; 24]));
         for _wave in 0..10 {
             for _ in 0..500 {
                 for datagram in [&runt[..], &overrun[..], &junk[..]] {

@@ -144,6 +144,11 @@ pub struct ClusterReport {
     /// Per-shard I/O statistics (empty for the thread-per-node runtime,
     /// which has no shards).
     pub shard_stats: Vec<ShardStats>,
+    /// Reactor shards that aborted mid-run (panicked or died on an
+    /// unrecoverable I/O error). Their nodes are missing from
+    /// [`ClusterReport::nodes`]; the report covers the survivors. Always
+    /// zero for the thread-per-node runtime.
+    pub aborted_shards: usize,
 }
 
 impl ClusterReport {
@@ -163,6 +168,24 @@ impl ClusterReport {
             total.merge(s);
         }
         Some(total)
+    }
+
+    /// Fault-injection and self-healing totals of a finished run: the
+    /// recovery counters of every shard's [`ShardStats`] summed, plus the
+    /// count of shards that aborted outright. All-zero for a chaos-free
+    /// run on a healthy host.
+    pub fn recovery(&self) -> RecoveryReport {
+        let io = self.io_stats().unwrap_or_default();
+        RecoveryReport {
+            faults_injected: io.faults_injected,
+            transients_recovered: io.transients_recovered,
+            send_backoffs: io.send_backoffs,
+            datagrams_shed: io.datagrams_shed,
+            socket_rebinds: io.socket_rebinds,
+            backend_downgrades: io.backend_downgrades,
+            encode_errors: io.encode_errors,
+            aborted_shards: self.aborted_shards,
+        }
     }
 
     /// Receivers for which every measured window became decodable.
@@ -193,6 +216,28 @@ impl ClusterReport {
         (from_window..last)
             .find(|&w| self.nodes.iter().skip(1).all(|n| n.player.window_decodable_at(w).is_some()))
     }
+}
+
+/// Summed fault-injection and self-healing counters of a finished run
+/// (see [`ClusterReport::recovery`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chaos faults injected at the syscall boundary.
+    pub faults_injected: u64,
+    /// Transient send errors absorbed without losing the queue.
+    pub transients_recovered: u64,
+    /// Backoff intervals entered after transient send failures.
+    pub send_backoffs: u64,
+    /// Datagrams shed by the outbox load-shedding budgets.
+    pub datagrams_shed: u64,
+    /// Fatal socket errors recovered by re-binding in place.
+    pub socket_rebinds: u64,
+    /// Mid-run I/O backend downgrades (`ENOSYS` → portable fallback).
+    pub backend_downgrades: u64,
+    /// Protocol datagrams too large for the u16 frame length.
+    pub encode_errors: u64,
+    /// Shards that aborted mid-run (report covers the survivors).
+    pub aborted_shards: usize,
 }
 
 /// Summed defense-layer counters of a finished run (see
@@ -362,6 +407,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
             windows_measured: 0,
             windows_verified: 0,
             shard_stats: Vec::new(),
+            aborted_shards: 0,
         };
     }
     let qualities: Vec<NodeQuality> = nodes
@@ -398,6 +444,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
         windows_measured: last - first + 1,
         windows_verified,
         shard_stats: Vec::new(),
+        aborted_shards: 0,
     }
 }
 

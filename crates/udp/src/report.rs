@@ -66,8 +66,27 @@ pub struct ShardStats {
     /// failures are attributed to the destination node's `decode_errors`
     /// instead; these had no readable destination.
     pub frame_errors: u64,
+    /// Protocol datagrams that could not be framed at all (an oversized
+    /// wire buffer that does not fit the u16 frame length).
+    pub encode_errors: u64,
     /// Event-loop iterations the shard ran.
     pub iterations: u64,
+    /// Chaos faults injected at the syscall boundary: datagram mutations
+    /// (drop / duplicate / reorder / delay / truncate) plus forced errno
+    /// returns (zero outside chaos runs).
+    pub faults_injected: u64,
+    /// Transient send errors absorbed without losing the queue (the
+    /// unsent tail was retained and retried after a backoff).
+    pub transients_recovered: u64,
+    /// Backoff intervals entered after transient send failures.
+    pub send_backoffs: u64,
+    /// Datagrams shed by the outbox/pending load-shedding budgets (oldest
+    /// first, once a byte or age budget was exceeded).
+    pub datagrams_shed: u64,
+    /// Fatal socket errors recovered by re-binding the socket in place.
+    pub socket_rebinds: u64,
+    /// Mid-run I/O backend downgrades (`ENOSYS` → portable fallback).
+    pub backend_downgrades: u64,
 }
 
 impl ShardStats {
@@ -119,6 +138,13 @@ impl ShardStats {
         self.kernel_received += other.kernel_received;
         self.recv_capacity += other.recv_capacity;
         self.frame_errors += other.frame_errors;
+        self.encode_errors += other.encode_errors;
         self.iterations += other.iterations;
+        self.faults_injected += other.faults_injected;
+        self.transients_recovered += other.transients_recovered;
+        self.send_backoffs += other.send_backoffs;
+        self.datagrams_shed += other.datagrams_shed;
+        self.socket_rebinds += other.socket_rebinds;
+        self.backend_downgrades += other.backend_downgrades;
     }
 }

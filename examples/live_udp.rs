@@ -174,5 +174,19 @@ fn main() {
         if let Some(spi) = total.syscalls_per_iteration() {
             println!("  syscalls per loop iteration: {spi:.2}");
         }
+        let rec = report.recovery();
+        println!(
+            "  recovery: {} faults injected, {} transients recovered, {} send backoffs",
+            rec.faults_injected, rec.transients_recovered, rec.send_backoffs
+        );
+        println!(
+            "  recovery: {} datagrams shed, {} socket re-binds, {} backend downgrades, \
+             {} encode errors, {} aborted shards",
+            rec.datagrams_shed,
+            rec.socket_rebinds,
+            rec.backend_downgrades,
+            rec.encode_errors,
+            rec.aborted_shards
+        );
     }
 }

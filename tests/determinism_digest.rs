@@ -110,3 +110,22 @@ fn empty_adversity_spec_leaves_digest_pinned() {
         "an empty adversity spec must not perturb the simulation schedule"
     );
 }
+
+/// The chaos regression of the spec engine: an explicitly empty `[chaos]`
+/// section compiles to the inert plan without drawing from the compile
+/// stream, so the simulation digest stays byte-identical to the pinned
+/// constant. (Chaos only ever acts at the reactor's syscall boundary; the
+/// simulator must be untouched even by a *non*-empty section, but the
+/// empty one must be free everywhere.)
+#[test]
+fn empty_chaos_section_leaves_digest_pinned() {
+    use gossip::adversity::{AdversitySpec, ChaosSpec};
+
+    let mut h = Fnv::new();
+    for fanout in [5usize, 7] {
+        let spec = AdversitySpec::none().with_chaos(ChaosSpec::none());
+        let result = Scenario::tiny(fanout).with_seed(42).with_adversity(spec).run();
+        fold_result(&mut h, &result);
+    }
+    assert_eq!(h.0, PINNED_DIGEST, "an empty [chaos] section must not perturb the schedule");
+}
