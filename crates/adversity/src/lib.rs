@@ -43,11 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anchor;
 pub mod chaos;
 pub mod spec;
 pub mod timeline;
 pub mod toml;
 
+pub use anchor::WallClockAnchor;
 pub use chaos::{ChaosPlan, ChaosSpec};
 pub use spec::{
     AdversitySpec, BandwidthClass, ByzantineMix, ByzantinePeers, Catastrophic, FlashCrowd,

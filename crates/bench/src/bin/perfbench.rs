@@ -16,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
 //! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
@@ -40,9 +40,18 @@
 //!   on), write its report and exit non-zero unless honest receivers keep
 //!   streaming and the corruptions were detected and re-requested. This
 //!   is the CI `byzantine-smoke` job;
+//! * `--deploy-smoke` — run *only* a gating cross-process deployment
+//!   cell (3 local `gossipd` child processes hosting n = 48 between
+//!   them, coordinated over the control socket), write its report and
+//!   exit non-zero unless every worker reported and the merged report
+//!   shows a healthy stream. This is the CI `deploy-smoke` job; it needs
+//!   a `gossipd` binary next to `perfbench` (or via `GOSSIPD_BIN`);
 //! * `--reactor-only` — run *only* the tracked reactor cells (no
 //!   simulator matrix, nothing written): the iteration mode for runtime
 //!   I/O work;
+//! * `--deploy-only` — run *only* the tracked deployment cell and print
+//!   its JSON line (nothing written): the iteration mode for deploy
+//!   work;
 //! * `--out PATH` — where to write the JSON (default `BENCH_hotpath.json`
 //!   in the current directory; `--reactor-smoke` defaults to
 //!   `REACTOR_smoke.json` instead so the gate never clobbers the
@@ -71,6 +80,7 @@ use std::time::Instant;
 
 use gossip_adversity::{AdversitySpec, ByzantineMix, ChaosSpec};
 use gossip_core::GossipConfig;
+use gossip_deploy::{run_coordinator, CoordOptions};
 use gossip_experiments::{MembershipMode, Scale, Scenario};
 use gossip_fec::WindowParams;
 use gossip_membership::CyclonConfig;
@@ -455,6 +465,210 @@ fn run_reactor_cells(cells: &[ReactorCell], repeat: u32) -> Vec<ReactorResult> {
     reactors
 }
 
+/// One cross-process deployment cell: `processes` local `gossipd` child
+/// processes split n between them, coordinated over the control socket.
+/// The workload matches the reactor cells' protocol geometry so the
+/// number is comparable — what it adds is real process boundaries: every
+/// inter-slice datagram crosses the kernel between two address spaces.
+struct DeployCell {
+    label: &'static str,
+    n: usize,
+    processes: usize,
+    stream_secs: u64,
+    drain_secs: u64,
+}
+
+/// One deployment measurement, merged across all worker processes.
+struct DeployResult {
+    label: String,
+    n: usize,
+    processes: usize,
+    stream_secs: u64,
+    drain_secs: u64,
+    /// Workers that delivered a report (dead ones synthesise dark nodes).
+    reported: usize,
+    datagrams_recv: u64,
+    /// Wall-clock of the whole deployment including spawn and handshake.
+    wall_secs: f64,
+    /// Datagrams received per second of the live window (stream + drain)
+    /// summed across every process — the deployment trajectory number.
+    datagrams_per_sec: f64,
+    avg_quality_percent: f64,
+    /// Mean decodable-window fraction across every receiver of every
+    /// process, from the merged report.
+    completeness_percent: f64,
+    windows_measured: u32,
+    windows_verified: u64,
+    degraded: bool,
+    aborted_shards: usize,
+}
+
+/// Locates the `gossipd` worker binary: `GOSSIPD_BIN` wins, else the
+/// sibling of this executable (the layout `cargo build` produces).
+fn gossipd_binary() -> Option<std::path::PathBuf> {
+    if let Ok(path) = std::env::var("GOSSIPD_BIN") {
+        let path = std::path::PathBuf::from(path);
+        return path.exists().then_some(path);
+    }
+    let me = std::env::current_exe().ok()?;
+    let sibling = me.with_file_name(if cfg!(windows) { "gossipd.exe" } else { "gossipd" });
+    sibling.exists().then_some(sibling)
+}
+
+/// The deployment spec a cell compiles to — the same TOML an operator
+/// would feed `gossip-coord`.
+fn deploy_toml(cell: &DeployCell) -> String {
+    format!(
+        "[cluster]\nn = {}\nfanout = 6\nperiod_ms = 100\nrate_kbps = 200\npayload_bytes = 500\n\
+         data_packets = 10\nparity_packets = 3\nupload_cap_kbps = 0\nstream_secs = {}\n\
+         drain_secs = {}\nseed = 42\n\n[deploy]\nprocesses = {}\nshards_per_process = 1\n\
+         sockets_per_shard = 2\nstart_delay_ms = 400\n",
+        cell.n, cell.stream_secs, cell.drain_secs, cell.processes,
+    )
+}
+
+/// Runs one deployment cell end to end: spawn the workers, stream, merge.
+/// Real child processes in real time — no repeat loop; the run is
+/// wall-clock bound like the reactor cells but pays process spawns too.
+fn run_deploy(cell: &DeployCell, gossipd: &std::path::Path) -> DeployResult {
+    let start = Instant::now();
+    let aggregate = run_coordinator(&CoordOptions {
+        config_text: deploy_toml(cell),
+        gossipd: Some(gossipd.to_path_buf()),
+        spawn_local: true,
+    })
+    .expect("deployment runs");
+    let wall_secs = start.elapsed().as_secs_f64();
+    let report = &aggregate.report;
+    let datagrams_recv: u64 = report.nodes.iter().map(|r| r.recv_msgs).sum();
+    let live_secs = (cell.stream_secs + cell.drain_secs) as f64;
+    DeployResult {
+        label: cell.label.to_string(),
+        n: cell.n,
+        processes: cell.processes,
+        stream_secs: cell.stream_secs,
+        drain_secs: cell.drain_secs,
+        reported: aggregate.outcomes.iter().filter(|o| o.reported).count(),
+        datagrams_recv,
+        wall_secs,
+        datagrams_per_sec: datagrams_recv as f64 / live_secs,
+        avg_quality_percent: report.quality.average_quality_percent(Duration::MAX),
+        completeness_percent: 100.0 * aggregate.completeness_of(0, cell.n as u32),
+        windows_measured: report.windows_measured,
+        windows_verified: report.windows_verified,
+        degraded: report.degraded,
+        aborted_shards: report.aborted_shards,
+    }
+}
+
+fn deploy_json(r: &DeployResult) -> String {
+    format!(
+        "{{ \"label\": \"{}\", \"n\": {}, \"processes\": {}, \"stream_secs\": {}, \"drain_secs\": {}, \"reported\": {}, \"datagrams_recv\": {}, \"wall_secs\": {:.4}, \"datagrams_per_sec\": {:.0}, \"avg_quality_percent\": {:.1}, \"completeness_percent\": {:.1}, \"windows_measured\": {}, \"windows_verified\": {}, \"degraded\": {}, \"aborted_shards\": {} }}",
+        r.label,
+        r.n,
+        r.processes,
+        r.stream_secs,
+        r.drain_secs,
+        r.reported,
+        r.datagrams_recv,
+        r.wall_secs,
+        r.datagrams_per_sec,
+        r.avg_quality_percent,
+        r.completeness_percent,
+        r.windows_measured,
+        r.windows_verified,
+        r.degraded,
+        r.aborted_shards,
+    )
+}
+
+/// The "every process held its slice" health checks a deployment cell
+/// must clear: all workers reported, the merged report is clean, traffic
+/// crossed process boundaries, and the stream byte-verified end to end.
+fn deploy_health(r: &DeployResult) -> Vec<String> {
+    let mut failures = Vec::new();
+    if r.reported < r.processes {
+        failures.push(format!("only {}/{} workers reported", r.reported, r.processes));
+    }
+    if r.degraded {
+        failures.push("merged report marked degraded".to_string());
+    }
+    if r.aborted_shards > 0 {
+        failures.push(format!("{} shards aborted inside the workers", r.aborted_shards));
+    }
+    if r.datagrams_recv == 0 {
+        failures.push("no datagrams were received".to_string());
+    }
+    if r.avg_quality_percent < 50.0 {
+        failures.push(format!("average quality {:.1}% below 50%", r.avg_quality_percent));
+    }
+    if r.completeness_percent < 70.0 {
+        failures.push(format!("completeness {:.1}% below 70%", r.completeness_percent));
+    }
+    if r.windows_verified == 0 {
+        failures.push("no windows byte-verified in the merged report".to_string());
+    }
+    failures
+}
+
+/// The tracked deployment cell: 3 `gossipd` processes hosting n = 96. The
+/// `_smoke` suffix rule matches the reactor cells — a smoke run never
+/// compares its smaller workload against a full report's number.
+fn deploy_cell(smoke: bool) -> DeployCell {
+    if smoke {
+        DeployCell {
+            label: "gossipd_n3proc_smoke",
+            n: 48,
+            processes: 3,
+            stream_secs: 3,
+            drain_secs: 2,
+        }
+    } else {
+        DeployCell { label: "gossipd_n3proc", n: 96, processes: 3, stream_secs: 4, drain_secs: 2 }
+    }
+}
+
+/// Runs the tracked deployment cell, printing its measurement and health
+/// verdict (warn-only, like the reactor cells — the gating mode is
+/// `--deploy-smoke`). Returns `None`, with a loud warning, when no
+/// `gossipd` binary is available: a partial build must not silently
+/// shrink the trajectory report.
+fn run_deploy_cell(cell: &DeployCell) -> Option<DeployResult> {
+    let Some(gossipd) = gossipd_binary() else {
+        eprintln!(
+            "perfbench: ** WARNING: no gossipd binary (build gossip-deploy or set GOSSIPD_BIN) \
+             — skipping deploy cell {} **",
+            cell.label,
+        );
+        return None;
+    };
+    eprintln!(
+        "perfbench: deploy {} ({} gossipd processes, n={}, {}s stream + {}s drain, real time)",
+        cell.label, cell.processes, cell.n, cell.stream_secs, cell.drain_secs,
+    );
+    let result = run_deploy(cell, &gossipd);
+    eprintln!(
+        "  {:.3} s wall, {} datagrams received ({:.0}/s live), quality {:.1}%, \
+         completeness {:.1}%, {}/{} workers reported",
+        result.wall_secs,
+        result.datagrams_recv,
+        result.datagrams_per_sec,
+        result.avg_quality_percent,
+        result.completeness_percent,
+        result.reported,
+        result.processes,
+    );
+    let failures = deploy_health(&result);
+    if failures.is_empty() {
+        eprintln!("  health: ok");
+    } else {
+        for f in &failures {
+            eprintln!("  ** WARNING: health check failed: {f} **");
+        }
+    }
+    Some(result)
+}
+
 fn run_scenario(s: &Scenario, seed: u64, repeat: u32) -> RunSample {
     let mut best: Option<RunSample> = None;
     for _ in 0..repeat {
@@ -799,13 +1013,69 @@ fn byzantine_smoke(out: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The gating CI mode for the deployment subsystem: 3 local `gossipd`
+/// child processes hosting n = 48 between them, coordinated, merged and
+/// health-checked by [`deploy_health`].
+///
+/// Exits non-zero when the deployment looks broken — a worker that never
+/// reports, a degraded or unverified merged report, or a cluster that
+/// cannot stream across process boundaries on loopback means the deploy
+/// layer (not the box) is at fault.
+fn deploy_smoke(out: &str) -> ! {
+    let cell = DeployCell {
+        label: "gossipd_n3proc_gate",
+        n: 48,
+        processes: 3,
+        stream_secs: 3,
+        drain_secs: 2,
+    };
+    eprintln!(
+        "perfbench: gating deploy smoke ({} gossipd processes, n={}, loopback)",
+        cell.processes, cell.n,
+    );
+    let Some(gossipd) = gossipd_binary() else {
+        eprintln!(
+            "perfbench: deploy smoke FAILED: no gossipd binary (build gossip-deploy or set \
+             GOSSIPD_BIN)"
+        );
+        std::process::exit(1);
+    };
+    let result = run_deploy(&cell, &gossipd);
+    eprintln!(
+        "  {:.3} s wall, {} datagrams received ({:.0}/s live), quality {:.1}%, \
+         completeness {:.1}%, {}/{} workers reported",
+        result.wall_secs,
+        result.datagrams_recv,
+        result.datagrams_per_sec,
+        result.avg_quality_percent,
+        result.completeness_percent,
+        result.reported,
+        result.processes,
+    );
+    let json =
+        format!("{{\n  \"bench\": \"deploy_smoke\",\n  \"deploy\": {}\n}}\n", deploy_json(&result));
+    std::fs::write(out, json).expect("write deploy smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    let failures = deploy_health(&result);
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: deploy smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut smoke = false;
     let mut gate_reactor = false;
     let mut gate_chaos = false;
     let mut gate_adversity = false;
     let mut gate_byzantine = false;
+    let mut gate_deploy = false;
     let mut reactor_only = false;
+    let mut deploy_only = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<f64> = None;
     let mut repeat: u32 = 1;
@@ -817,7 +1087,9 @@ fn main() {
             "--chaos-smoke" => gate_chaos = true,
             "--adversity-smoke" => gate_adversity = true,
             "--byzantine-smoke" => gate_byzantine = true,
+            "--deploy-smoke" => gate_deploy = true,
             "--reactor-only" => reactor_only = true,
+            "--deploy-only" => deploy_only = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
             "--baseline" => {
                 let v = args.next().expect("--baseline requires a number");
@@ -831,7 +1103,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--reactor-smoke] [--chaos-smoke] [--adversity-smoke] [--byzantine-smoke] [--reactor-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--chaos-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--reactor-only] [--deploy-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
@@ -852,11 +1124,25 @@ fn main() {
     if gate_byzantine {
         byzantine_smoke(out.as_deref().unwrap_or("BYZANTINE_smoke.json"));
     }
+    if gate_deploy {
+        deploy_smoke(out.as_deref().unwrap_or("DEPLOY_smoke.json"));
+    }
     if reactor_only {
         // Iteration mode for runtime work: just the reactor cells, no
         // simulator matrix, nothing written.
         run_reactor_cells(reactor_cells(smoke), repeat);
         std::process::exit(0);
+    }
+    if deploy_only {
+        // Iteration mode for deploy work: just the tracked deployment
+        // cell, its JSON line on stdout, nothing written.
+        match run_deploy_cell(&deploy_cell(smoke)) {
+            Some(result) => {
+                println!("{}", deploy_json(&result));
+                std::process::exit(0);
+            }
+            None => std::process::exit(1),
+        }
     }
     let out = out.unwrap_or_else(|| String::from("BENCH_hotpath.json"));
 
@@ -936,6 +1222,9 @@ fn main() {
     // The live runtime: real datagrams through shared sockets.
     let reactors = run_reactor_cells(reactor_cells(smoke), repeat);
 
+    // The deployed runtime: real datagrams between real processes.
+    let deploys: Vec<DeployResult> = run_deploy_cell(&deploy_cell(smoke)).into_iter().collect();
+
     // Trajectory guard: per-scenario delta against the previous report.
     let pinned_label = if smoke { "pinned_smoke" } else { "pinned" };
     if previous.is_empty() {
@@ -949,6 +1238,9 @@ fn main() {
         }
         for r in &reactors {
             eprintln!("{}", delta_line(&r.label, r.datagrams_per_sec, &previous));
+        }
+        for d in &deploys {
+            eprintln!("{}", delta_line(&d.label, d.datagrams_per_sec, &previous));
         }
     }
 
@@ -1008,6 +1300,12 @@ fn main() {
     for (i, r) in reactors.iter().enumerate() {
         let comma = if i + 1 < reactors.len() { "," } else { "" };
         json.push_str(&format!("    {}{}\n", reactor_json(r), comma));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"deploy\": [\n");
+    for (i, d) in deploys.iter().enumerate() {
+        let comma = if i + 1 < deploys.len() { "," } else { "" };
+        json.push_str(&format!("    {}{}\n", deploy_json(d), comma));
     }
     json.push_str("  ]");
     if let Some(base) = baseline {

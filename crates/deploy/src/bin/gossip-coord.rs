@@ -1,0 +1,100 @@
+//! `gossip-coord` — drive a whole deployment from one TOML file.
+//!
+//! Usage: `gossip-coord --config FILE [--gossipd PATH] [--print-commands]`
+//!
+//! Spawns the `gossipd` workers locally (default) or prints one command
+//! per worker for the operator to run elsewhere (`--print-commands`),
+//! coordinates discovery and the start barrier, optionally hard-kills one
+//! worker mid-stream (the `kill_process` config key), and prints the
+//! merged cluster report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gossip_deploy::CoordOptions;
+use gossip_types::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gossip-coord --config FILE [--gossipd PATH] [--print-commands]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config_path: Option<PathBuf> = None;
+    let mut gossipd: Option<PathBuf> = None;
+    let mut spawn_local = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => {
+                let Some(value) = args.next() else { return usage() };
+                config_path = Some(PathBuf::from(value));
+            }
+            "--gossipd" => {
+                let Some(value) = args.next() else { return usage() };
+                gossipd = Some(PathBuf::from(value));
+            }
+            "--print-commands" => spawn_local = false,
+            "--help" | "-h" => {
+                println!("usage: gossip-coord --config FILE [--gossipd PATH] [--print-commands]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gossip-coord: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let Some(config_path) = config_path else { return usage() };
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("gossip-coord: cannot read {}: {e}", config_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let aggregate =
+        match gossip_deploy::run_coordinator(&CoordOptions { config_text, gossipd, spawn_local }) {
+            Ok(aggregate) => aggregate,
+            Err(e) => {
+                eprintln!("gossip-coord: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let report = &aggregate.report;
+    println!("== merged cluster report ==");
+    println!(
+        "nodes: {} ({} receivers), windows measured: {}, verified: {}",
+        report.nodes.len(),
+        report.receivers(),
+        report.windows_measured,
+        report.windows_verified,
+    );
+    println!(
+        "average quality: {:.1}% | degraded: {} | aborted shards: {}",
+        report.quality.average_quality_percent(Duration::MAX),
+        report.degraded,
+        report.aborted_shards,
+    );
+    for outcome in &aggregate.outcomes {
+        let (lo, hi) = outcome.slice;
+        println!(
+            "worker {}: nodes [{lo}, {hi})  completeness {:.1}%  {}{}",
+            outcome.index,
+            100.0 * aggregate.completeness_of(lo, hi),
+            if outcome.reported {
+                if outcome.degraded {
+                    "reported (degraded)"
+                } else {
+                    "reported"
+                }
+            } else {
+                "no report (dark)"
+            },
+            if outcome.killed { ", killed by scenario" } else { "" },
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,439 @@
+//! The deployment config file: one TOML describing cluster, processes and
+//! adversity.
+//!
+//! The build is fully offline, so this module extends the hand-rolled
+//! TOML-subset approach of [`gossip_adversity::toml`]: the `[cluster]` and
+//! `[deploy]` sections are parsed here (numbers plus one quoted `bind`
+//! string), and every *other* line is handed verbatim to
+//! [`AdversitySpec::from_toml_str`] — so the full adversity grammar
+//! (churn, flash crowds, partitions, chaos, …) works unchanged inside a
+//! deployment file, and one file drives the whole cluster.
+//!
+//! # File format
+//!
+//! ```toml
+//! [cluster]
+//! n = 96                 # total nodes including the source (node 0)
+//! fanout = 6
+//! period_ms = 100
+//! rate_kbps = 200        # stream bit-rate
+//! payload_bytes = 500
+//! data_packets = 10      # FEC window geometry
+//! parity_packets = 3
+//! upload_cap_kbps = 2000 # 0 = uncapped (source is always uncapped)
+//! stream_secs = 5
+//! drain_secs = 3
+//! seed = 1
+//! inject_loss = 0.0
+//! cyclon_degree = 0      # >0: flash-crowd joiners bootstrap via Cyclon
+//!
+//! [deploy]
+//! processes = 3
+//! shards_per_process = 1 # 0 = auto (per-core)
+//! sockets_per_shard = 2
+//! start_delay_ms = 500   # start barrier: epoch this far in the future
+//! bind = "127.0.0.1"     # interface the reactor sockets bind
+//! kill_process = 2       # optional: hard-kill this worker mid-stream...
+//! kill_at_secs = 2.0     # ...this far into the stream
+//!
+//! [catastrophic]         # any gossip-adversity section rides along
+//! at_secs = 3.0
+//! fraction = 0.2
+//! ```
+
+use std::net::Ipv4Addr;
+
+use gossip_adversity::AdversitySpec;
+use gossip_core::GossipConfig;
+use gossip_fec::WindowParams;
+use gossip_stream::StreamConfig;
+use gossip_types::Duration;
+use gossip_udp::cluster::{ClusterConfig, JoinerBootstrap};
+
+/// A deployment-file parse or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployParseError(pub String);
+
+impl std::fmt::Display for DeployParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deploy config: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeployParseError {}
+
+/// Everything one TOML file says about a deployment: the cluster workload
+/// (shared by every process) plus the process topology.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// The runtime-independent cluster description, including the parsed
+    /// adversity spec. Identical in every process — workers re-derive the
+    /// compiled fault timeline from it.
+    pub cluster: ClusterConfig,
+    /// Number of `gossipd` processes the cluster splits across.
+    pub processes: usize,
+    /// Reactor shards per process (`None`: per-core auto).
+    pub shards_per_process: Option<usize>,
+    /// Sockets per reactor shard.
+    pub sockets_per_shard: usize,
+    /// How far in the future the coordinator sets the shared start epoch:
+    /// long enough for every process to receive it before it fires.
+    pub start_delay: std::time::Duration,
+    /// Interface the reactor pool sockets bind (loopback for single-host).
+    pub bind: Ipv4Addr,
+    /// Chaos: hard-kill this worker process (by index) mid-stream.
+    pub kill_process: Option<usize>,
+    /// When the kill fires, measured from the shared start epoch.
+    pub kill_at: std::time::Duration,
+}
+
+impl DeployConfig {
+    /// Parses a deployment file (see the [module docs](self) for the
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeployParseError`] naming the offending line, missing
+    /// key, or invalid combination.
+    pub fn from_toml_str(input: &str) -> Result<Self, DeployParseError> {
+        #[derive(PartialEq)]
+        enum At {
+            Cluster,
+            Deploy,
+            Elsewhere,
+        }
+        let mut at = At::Elsewhere;
+        let mut seen_cluster = false;
+        let mut seen_deploy = false;
+        let mut numbers: Vec<(At2, String, f64)> = Vec::new();
+        let mut bind: Option<Ipv4Addr> = None;
+        let mut rest = String::new();
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum At2 {
+            Cluster,
+            Deploy,
+        }
+
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| DeployParseError(format!("line {}: {msg}", lineno + 1));
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                match header.trim() {
+                    "cluster" => {
+                        if seen_cluster {
+                            return Err(err("duplicate [cluster] section".to_string()));
+                        }
+                        seen_cluster = true;
+                        at = At::Cluster;
+                    }
+                    "deploy" => {
+                        if seen_deploy {
+                            return Err(err("duplicate [deploy] section".to_string()));
+                        }
+                        seen_deploy = true;
+                        at = At::Deploy;
+                    }
+                    _ => {
+                        at = At::Elsewhere;
+                        rest.push_str(line);
+                        rest.push('\n');
+                    }
+                }
+                continue;
+            }
+            match at {
+                At::Elsewhere => {
+                    rest.push_str(line);
+                    rest.push('\n');
+                }
+                At::Cluster | At::Deploy => {
+                    let Some((key, value)) = line.split_once('=') else {
+                        return Err(err(format!("cannot parse `{line}`")));
+                    };
+                    let (key, value) = (key.trim(), value.trim());
+                    if key == "bind" {
+                        if at != At::Deploy {
+                            return Err(err("`bind` belongs in [deploy]".to_string()));
+                        }
+                        let quoted = value
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .ok_or_else(|| err("`bind` must be a quoted string".to_string()))?;
+                        bind = Some(
+                            quoted
+                                .parse()
+                                .map_err(|_| err(format!("`{quoted}` is not an IPv4 address")))?,
+                        );
+                        continue;
+                    }
+                    let value: f64 =
+                        value.parse().map_err(|_| err(format!("`{value}` is not a number")))?;
+                    let section = if at == At::Cluster { At2::Cluster } else { At2::Deploy };
+                    numbers.push((section, key.to_string(), value));
+                }
+            }
+        }
+        if !seen_cluster {
+            return Err(DeployParseError("missing [cluster] section".to_string()));
+        }
+        if !seen_deploy {
+            return Err(DeployParseError("missing [deploy] section".to_string()));
+        }
+
+        let get = |section: At2, key: &str| -> Option<f64> {
+            numbers.iter().find(|(s, k, _)| *s == section && k == key).map(|&(_, _, v)| v)
+        };
+        for (section, key, _) in &numbers {
+            let known: &[&str] = match section {
+                At2::Cluster => &[
+                    "n",
+                    "fanout",
+                    "period_ms",
+                    "rate_kbps",
+                    "payload_bytes",
+                    "data_packets",
+                    "parity_packets",
+                    "upload_cap_kbps",
+                    "stream_secs",
+                    "drain_secs",
+                    "seed",
+                    "inject_loss",
+                    "cyclon_degree",
+                ],
+                At2::Deploy => &[
+                    "processes",
+                    "shards_per_process",
+                    "sockets_per_shard",
+                    "start_delay_ms",
+                    "kill_process",
+                    "kill_at_secs",
+                ],
+            };
+            if !known.contains(&key.as_str()) {
+                let name = if *section == At2::Cluster { "cluster" } else { "deploy" };
+                return Err(DeployParseError(format!("unknown key `{key}` in [{name}]")));
+            }
+        }
+        let integer = |v: f64, what: &str| -> Result<usize, DeployParseError> {
+            if v >= 0.0 && v.fract() == 0.0 && v.is_finite() {
+                Ok(v as usize)
+            } else {
+                Err(DeployParseError(format!("{what} must be a non-negative integer, got {v}")))
+            }
+        };
+        let secs = |v: f64, what: &str| -> Result<Duration, DeployParseError> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(Duration::from_secs_f64(v))
+            } else {
+                Err(DeployParseError(format!("{what} must be non-negative seconds, got {v}")))
+            }
+        };
+
+        let n = integer(
+            get(At2::Cluster, "n")
+                .ok_or_else(|| DeployParseError("[cluster] is missing `n`".to_string()))?,
+            "n",
+        )?;
+        if n < 2 {
+            return Err(DeployParseError("a cluster needs at least 2 nodes".to_string()));
+        }
+        let fanout = integer(get(At2::Cluster, "fanout").unwrap_or(6.0), "fanout")?.max(1);
+        let period_ms = integer(get(At2::Cluster, "period_ms").unwrap_or(100.0), "period_ms")?;
+        let rate_kbps = integer(get(At2::Cluster, "rate_kbps").unwrap_or(200.0), "rate_kbps")?;
+        let payload =
+            integer(get(At2::Cluster, "payload_bytes").unwrap_or(500.0), "payload_bytes")?;
+        let data = integer(get(At2::Cluster, "data_packets").unwrap_or(10.0), "data_packets")?;
+        let parity = integer(get(At2::Cluster, "parity_packets").unwrap_or(3.0), "parity_packets")?;
+        if data == 0 || payload == 0 || rate_kbps == 0 || period_ms == 0 {
+            return Err(DeployParseError(
+                "rate_kbps, payload_bytes, data_packets and period_ms must be positive".to_string(),
+            ));
+        }
+        let cap_kbps =
+            integer(get(At2::Cluster, "upload_cap_kbps").unwrap_or(2000.0), "upload_cap_kbps")?;
+        let stream_secs = get(At2::Cluster, "stream_secs").unwrap_or(5.0);
+        let drain_secs = get(At2::Cluster, "drain_secs").unwrap_or(3.0);
+        let seed = integer(get(At2::Cluster, "seed").unwrap_or(1.0), "seed")? as u64;
+        let inject_loss = get(At2::Cluster, "inject_loss").unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&inject_loss) {
+            return Err(DeployParseError(format!(
+                "inject_loss must be within [0, 1], got {inject_loss}"
+            )));
+        }
+        let cyclon = integer(get(At2::Cluster, "cyclon_degree").unwrap_or(0.0), "cyclon_degree")?;
+
+        let adversity = AdversitySpec::from_toml_str(&rest)
+            .map_err(|e| DeployParseError(format!("adversity sections: {}", e.0)))?;
+
+        let cluster = ClusterConfig {
+            n,
+            gossip: GossipConfig::new(fanout)
+                .with_gossip_period(Duration::from_millis(period_ms as u64)),
+            stream: StreamConfig {
+                rate_bps: rate_kbps as u64 * 1000,
+                packet_payload_bytes: payload,
+                window: WindowParams::new(data, parity),
+            },
+            upload_cap_bps: (cap_kbps > 0).then(|| cap_kbps as u64 * 1000),
+            source_uncapped: true,
+            max_backlog: Duration::from_secs(5),
+            stream_duration: secs(stream_secs, "stream_secs")?,
+            drain_duration: secs(drain_secs, "drain_secs")?,
+            seed,
+            inject_loss,
+            crashes: Vec::new(),
+            adversity,
+            joiner_bootstrap: if cyclon > 0 {
+                JoinerBootstrap::Cyclon { degree: cyclon }
+            } else {
+                JoinerBootstrap::Tracker
+            },
+        };
+
+        let processes = integer(
+            get(At2::Deploy, "processes")
+                .ok_or_else(|| DeployParseError("[deploy] is missing `processes`".to_string()))?,
+            "processes",
+        )?;
+        let total_n = cluster.compiled_adversity().total_n;
+        if processes == 0 || processes > total_n {
+            return Err(DeployParseError(format!(
+                "processes must be within [1, {total_n}], got {processes}"
+            )));
+        }
+        let shards =
+            integer(get(At2::Deploy, "shards_per_process").unwrap_or(0.0), "shards_per_process")?;
+        let sockets =
+            integer(get(At2::Deploy, "sockets_per_shard").unwrap_or(2.0), "sockets_per_shard")?
+                .max(1);
+        let start_delay_ms =
+            integer(get(At2::Deploy, "start_delay_ms").unwrap_or(500.0), "start_delay_ms")?;
+        let kill_process = match get(At2::Deploy, "kill_process") {
+            Some(v) => {
+                let k = integer(v, "kill_process")?;
+                if k >= processes {
+                    return Err(DeployParseError(format!(
+                        "kill_process {k} out of range (processes = {processes})"
+                    )));
+                }
+                Some(k)
+            }
+            None => None,
+        };
+        let kill_at = secs(get(At2::Deploy, "kill_at_secs").unwrap_or(0.0), "kill_at_secs")?;
+
+        Ok(DeployConfig {
+            cluster,
+            processes,
+            shards_per_process: (shards > 0).then_some(shards),
+            sockets_per_shard: sockets,
+            start_delay: std::time::Duration::from_millis(start_delay_ms as u64),
+            bind: bind.unwrap_or(Ipv4Addr::LOCALHOST),
+            kill_process,
+            kill_at: std::time::Duration::from_secs_f64(kill_at.as_secs_f64()),
+        })
+    }
+
+    /// The id slice worker `k` hosts: an even split of the total
+    /// population (base nodes plus joiners) into `processes` contiguous
+    /// ranges, node 0 (the source) always in process 0.
+    pub fn slice_of(&self, k: usize, total_n: usize) -> (u32, u32) {
+        let p = self.processes;
+        let lo = (k * total_n / p) as u32;
+        let hi = ((k + 1) * total_n / p) as u32;
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a 3-process deployment
+[cluster]
+n = 96
+fanout = 6
+period_ms = 100
+rate_kbps = 200
+payload_bytes = 500
+data_packets = 10
+parity_packets = 3
+upload_cap_kbps = 0
+stream_secs = 5
+drain_secs = 3
+seed = 7
+
+[deploy]
+processes = 3
+shards_per_process = 1
+sockets_per_shard = 2
+start_delay_ms = 250
+bind = "127.0.0.1"
+kill_process = 2
+kill_at_secs = 2.0
+
+[catastrophic]
+at_secs = 3.0
+fraction = 0.1
+"#;
+
+    #[test]
+    fn sample_file_parses_end_to_end() {
+        let config = DeployConfig::from_toml_str(SAMPLE).expect("parses");
+        assert_eq!(config.cluster.n, 96);
+        assert_eq!(config.cluster.seed, 7);
+        assert_eq!(config.cluster.upload_cap_bps, None, "0 kbps means uncapped");
+        assert_eq!(config.cluster.stream.rate_bps, 200_000);
+        assert_eq!(config.processes, 3);
+        assert_eq!(config.shards_per_process, Some(1));
+        assert_eq!(config.sockets_per_shard, 2);
+        assert_eq!(config.start_delay, std::time::Duration::from_millis(250));
+        assert_eq!(config.kill_process, Some(2));
+        assert!(config.cluster.adversity.catastrophic.is_some(), "adversity rides along");
+    }
+
+    #[test]
+    fn slices_cover_the_population_without_gaps() {
+        let config = DeployConfig::from_toml_str(SAMPLE).expect("parses");
+        let total = config.cluster.compiled_adversity().total_n;
+        let mut covered = 0u32;
+        for k in 0..config.processes {
+            let (lo, hi) = config.slice_of(k, total);
+            assert_eq!(lo, covered, "slices must be contiguous");
+            assert!(hi > lo, "every process hosts at least one node");
+            covered = hi;
+        }
+        assert_eq!(covered as usize, total);
+        assert_eq!(config.slice_of(0, total).0, 0, "the source lives in process 0");
+    }
+
+    #[test]
+    fn defaults_fill_in_for_a_minimal_file() {
+        let config = DeployConfig::from_toml_str("[cluster]\nn = 8\n[deploy]\nprocesses = 2\n")
+            .expect("parses");
+        assert_eq!(config.cluster.n, 8);
+        assert_eq!(config.processes, 2);
+        assert_eq!(config.bind, Ipv4Addr::LOCALHOST);
+        assert_eq!(config.kill_process, None);
+        assert!(config.cluster.adversity.is_none());
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let e = |s: &str| DeployConfig::from_toml_str(s).unwrap_err().0;
+        assert!(e("[deploy]\nprocesses = 2\n").contains("missing [cluster]"));
+        assert!(e("[cluster]\nn = 8\n").contains("missing [deploy]"));
+        assert!(e("[cluster]\nn = 8\nbogus = 1\n[deploy]\nprocesses = 1\n").contains("bogus"));
+        assert!(e("[cluster]\nn = 8\n[deploy]\nprocesses = 9\n").contains("within [1, 8]"));
+        assert!(e("[cluster]\nn = 8\n[deploy]\nprocesses = 2\nkill_process = 5\n")
+            .contains("out of range"));
+        assert!(e("[cluster]\nn = 8\n[deploy]\nprocesses = 2\nbind = 127\n").contains("quoted"));
+        assert!(e("[cluster]\nn = 8\n[deploy]\nprocesses = 2\n[nonsense]\nx = 1\n")
+            .contains("unknown section"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The `gossipd` worker: host one id-slice of the cluster and report back.
+//!
+//! Life of a worker: connect to the coordinator (with retry, so workers
+//! can start before it listens), say hello, learn the assigned id slice
+//! and the deployment file, bind the slice via
+//! [`gossip_reactor::NodeHost::bind`], publish the hosted addresses, wait
+//! at the start barrier, anchor the cluster clock on the broadcast
+//! wall-clock epoch, run, and ship the binary-encoded report.
+//!
+//! A SIGINT/SIGTERM at any point after the sockets are bound turns into a
+//! *degraded partial report*: the stop flag is raised, the shards drain
+//! out within one poll interval, and whatever was measured goes to the
+//! coordinator with `degraded = true` — an interrupted deployment still
+//! yields data.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gossip_reactor::{NodeHost, ReactorOptions};
+use gossip_udp::clock::ClusterClock;
+use gossip_udp::codec;
+
+use gossip_adversity::WallClockAnchor;
+
+use crate::config::DeployConfig;
+use crate::proto::{read_message, write_message, Message, ProtoError};
+use crate::signal;
+
+/// How long and how often the worker retries the coordinator connection:
+/// workers may be exec'd before the coordinator listens.
+const CONNECT_ATTEMPTS: usize = 100;
+const CONNECT_PAUSE: Duration = Duration::from_millis(100);
+/// Patience for the coordinator's Welcome after Hello.
+const WELCOME_TIMEOUT: Duration = Duration::from_secs(30);
+/// Patience for the start barrier: every other worker must bind and
+/// publish first.
+const START_TIMEOUT: Duration = Duration::from_secs(120);
+/// Granularity of the pre-start wait, so a signal during the countdown is
+/// honoured promptly.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// A worker-side failure: config, transport, protocol or cluster.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The control connection or handshake failed.
+    Proto(ProtoError),
+    /// The deployment file the coordinator sent does not parse.
+    Config(crate::config::DeployParseError),
+    /// The reactor could not bind or run the slice.
+    Cluster(gossip_udp::cluster::ClusterError),
+    /// The coordinator violated the handshake order.
+    Handshake(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Proto(e) => write!(f, "{e}"),
+            WorkerError::Config(e) => write!(f, "{e}"),
+            WorkerError::Cluster(e) => write!(f, "cluster: {e}"),
+            WorkerError::Handshake(m) => write!(f, "handshake: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<ProtoError> for WorkerError {
+    fn from(e: ProtoError) -> Self {
+        WorkerError::Proto(e)
+    }
+}
+
+fn connect_with_retry(coord: SocketAddr) -> Result<TcpStream, WorkerError> {
+    let mut last = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(coord) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(CONNECT_PAUSE);
+            }
+        }
+    }
+    Err(WorkerError::Proto(ProtoError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "coordinator unreachable")
+    }))))
+}
+
+/// Runs one `gossipd` worker to completion: handshake, host the slice,
+/// report. Returns once the report (full or degraded) is on the wire.
+///
+/// # Errors
+///
+/// Returns a [`WorkerError`] if the coordinator is unreachable, the
+/// handshake breaks, the config does not parse, or the slice cannot be
+/// bound or run.
+pub fn run_worker(coord: SocketAddr, index: u32) -> Result<(), WorkerError> {
+    signal::install();
+    let mut control = connect_with_retry(coord)?;
+    write_message(&mut control, &Message::Hello { index })?;
+
+    control.set_read_timeout(Some(WELCOME_TIMEOUT)).map_err(ProtoError::Io)?;
+    let (lo, hi, config) = match read_message(&mut control)? {
+        Message::Welcome { lo, hi, config_toml } => {
+            let config = DeployConfig::from_toml_str(&config_toml).map_err(WorkerError::Config)?;
+            (lo, hi, config)
+        }
+        other => return Err(WorkerError::Handshake(format!("expected Welcome, got {other:?}"))),
+    };
+
+    let options = ReactorOptions {
+        shards: config.shards_per_process,
+        sockets_per_shard: config.sockets_per_shard,
+        bind_addr: config.bind,
+        ..ReactorOptions::default()
+    };
+    let host = NodeHost::bind(config.cluster.clone(), &options, Some((lo, hi)))
+        .map_err(WorkerError::Cluster)?;
+    let total_n = host.total_n();
+    let addrs = host.local_addresses().iter().map(|&(id, addr)| (id.as_u32(), addr)).collect();
+    write_message(&mut control, &Message::Addrs { addrs })?;
+
+    control.set_read_timeout(Some(START_TIMEOUT)).map_err(ProtoError::Io)?;
+    let (anchor, table) = match read_message(&mut control)? {
+        Message::Start { start_unix_micros, table } => {
+            if table.len() != total_n {
+                return Err(WorkerError::Handshake(format!(
+                    "address table covers {} nodes, cluster has {total_n}",
+                    table.len()
+                )));
+            }
+            (WallClockAnchor::new(start_unix_micros), table)
+        }
+        other => return Err(WorkerError::Handshake(format!("expected Start, got {other:?}"))),
+    };
+
+    // Anchor the cluster clock on the shared wall-clock epoch: Time::ZERO
+    // falls at the same instant in every process, so the compiled fault
+    // timelines coincide. (The clock saturates at zero, so residual skew
+    // from a late start only shortens the quiet lead-in.)
+    let clock = ClusterClock::with_epoch(anchor.epoch_instant());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Wait out the countdown in short slices so a signal before the start
+    // still produces a (mostly empty, degraded) report instead of nothing.
+    loop {
+        if signal::stop_requested() {
+            stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let left = anchor.until_start();
+        if left.is_zero() {
+            break;
+        }
+        std::thread::sleep(left.min(WAIT_SLICE));
+    }
+
+    // Relay future signals into the run's stop flag. The watcher is
+    // detached on purpose: it wakes every poll interval and exits when the
+    // run is over (the `done` flag) — joining it would add nothing.
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                if signal::stop_requested() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                std::thread::sleep(WAIT_SLICE);
+            }
+        });
+    }
+
+    let run_for =
+        ClusterClock::to_std(config.cluster.stream_duration + config.cluster.drain_duration);
+    let outcome = host.run(Arc::new(table), clock, Arc::clone(&stop), run_for).map_err(|e| {
+        done.store(true, Ordering::Relaxed);
+        WorkerError::Cluster(e)
+    })?;
+    done.store(true, Ordering::Relaxed);
+
+    let payload = codec::encode_process_reports(&outcome.nodes, &outcome.shard_stats);
+    control.set_read_timeout(None).map_err(ProtoError::Io)?;
+    write_message(
+        &mut control,
+        &Message::Report {
+            degraded: outcome.degraded,
+            aborted_shards: outcome.aborted_shards as u32,
+            payload,
+        },
+    )?;
+    Ok(())
+}

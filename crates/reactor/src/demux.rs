@@ -97,6 +97,81 @@ impl<'a> Iterator for Frames<'a> {
     }
 }
 
+/// The contiguous slice of the global id space one process hosts, and how
+/// that slice stripes across the process's worker shards.
+///
+/// A single-process run hosts the whole id space (`lo = 0`, `hi = n`); a
+/// deployed `gossipd` hosts `[lo, hi)` while its peers host the rest. The
+/// striping arithmetic is the same two integer divisions as the free
+/// functions below, applied after rebasing ids to the slice — so placement
+/// stays table-free and a shard can route any *hosted* destination id in
+/// constant time, while ids outside the slice simply resolve to a remote
+/// process's socket address in the global address book.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_reactor::demux::Placement;
+///
+/// // The middle third of a 96-node cluster, striped over 2 shards.
+/// let p = Placement::slice(32, 64, 2);
+/// assert!(p.contains(33) && !p.contains(64));
+/// assert_eq!(p.hosted(), 32);
+/// assert_eq!(p.global_of(p.shard_of(47), p.local_of(47)), 47);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// First hosted global id (inclusive).
+    pub lo: u32,
+    /// One past the last hosted global id.
+    pub hi: u32,
+    /// Worker shards the slice stripes across.
+    pub shards: usize,
+}
+
+impl Placement {
+    /// The whole id space of an `n`-node cluster (single-process hosting).
+    pub fn whole(n: usize, shards: usize) -> Self {
+        Placement::slice(0, n as u32, shards)
+    }
+
+    /// The slice `[lo, hi)`, striped over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or zero shards.
+    pub fn slice(lo: u32, hi: u32, shards: usize) -> Self {
+        assert!(hi > lo, "a placement must host at least one node");
+        assert!(shards >= 1, "a placement needs at least one shard");
+        Placement { lo, hi, shards }
+    }
+
+    /// Number of nodes this process hosts.
+    pub fn hosted(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether global node `g` lives in this process.
+    pub fn contains(&self, g: u32) -> bool {
+        (self.lo..self.hi).contains(&g)
+    }
+
+    /// The shard hosting global node `g` (`g` must be contained).
+    pub fn shard_of(&self, g: u32) -> usize {
+        shard_of(g - self.lo, self.shards)
+    }
+
+    /// The local slot of global node `g` within its shard.
+    pub fn local_of(&self, g: u32) -> usize {
+        local_of(g - self.lo, self.shards)
+    }
+
+    /// The global id of `shard`'s `local`-th hosted node.
+    pub fn global_of(&self, shard: usize, local: usize) -> u32 {
+        self.lo + global_of(shard, local, self.shards)
+    }
+}
+
 /// Returns the shard hosting global node `g`.
 pub fn shard_of(g: u32, shards: usize) -> usize {
     g as usize % shards
@@ -231,6 +306,29 @@ mod tests {
         }
         assert!(first.1);
         assert_eq!(first.0.len(), 1);
+    }
+
+    #[test]
+    fn sliced_placement_is_a_bijection_over_its_slice() {
+        let p = Placement::slice(40, 97, 3);
+        assert_eq!(p.hosted(), 57);
+        assert!(!p.contains(39) && p.contains(40) && p.contains(96) && !p.contains(97));
+        let mut seen = std::collections::HashSet::new();
+        for g in 40..97u32 {
+            let (s, l) = (p.shard_of(g), p.local_of(g));
+            assert!(s < 3);
+            assert_eq!(p.global_of(s, l), g);
+            assert!(seen.insert((s, l)), "slot collision at {g}");
+        }
+    }
+
+    #[test]
+    fn whole_placement_matches_the_free_functions() {
+        let p = Placement::whole(1000, 4);
+        for g in 0..1000u32 {
+            assert_eq!(p.shard_of(g), shard_of(g, 4));
+            assert_eq!(p.local_of(g), local_of(g, 4));
+        }
     }
 
     #[test]

@@ -67,4 +67,4 @@ mod shard;
 mod vnode;
 
 pub use mmsg::{mmsg_active, NO_MMSG_ENV};
-pub use runtime::{ReactorCluster, ReactorOptions};
+pub use runtime::{HostOutcome, NodeHost, ReactorCluster, ReactorOptions};

@@ -1,17 +1,34 @@
 //! The cluster runtime: binds the socket pools, spawns the shards, stops
 //! the run and assembles the report.
+//!
+//! Two layers live here. [`NodeHost`] is the deployable half: it binds the
+//! socket pools for one process's id-slice, exposes the local part of the
+//! address book, and runs the shards against an *externally supplied*
+//! clock, stop flag and full address table — which is exactly what a
+//! multi-process `gossipd` needs (the `gossip-deploy` crate drives it).
+//! [`ReactorCluster`] is the single-process convenience on top: whole id
+//! space, fresh clock, sleep-then-stop, report assembled in place.
 
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
+use gossip_adversity::CompiledAdversity;
+use gossip_types::NodeId;
 use gossip_udp::clock::ClusterClock;
 use gossip_udp::cluster::{assemble_report, ClusterConfig, ClusterError, ClusterReport};
+use gossip_udp::report::{NodeReport, ShardStats};
 
-use crate::demux;
+use crate::demux::Placement;
 use crate::shard::{run_shard, ShardConfig};
+
+/// How often a running host rechecks its stop flag while waiting out the
+/// run: short enough that a signal or coordinator stop is honoured
+/// promptly, long enough to cost nothing.
+const STOP_POLL: std::time::Duration = std::time::Duration::from_millis(20);
 
 /// Tuning knobs of the reactor runtime (the workload itself comes from
 /// [`ClusterConfig`]).
@@ -43,6 +60,10 @@ pub struct ReactorOptions {
     /// buffers overflow under burst and every overflow is a datagram lost
     /// on loopback.
     pub socket_buffer_bytes: usize,
+    /// Address the pool sockets bind to (port 0: the kernel picks).
+    /// Loopback by default; a deployed `gossipd` binds a routable
+    /// interface so peer processes on other hosts can reach it.
+    pub bind_addr: Ipv4Addr,
 }
 
 impl Default for ReactorOptions {
@@ -53,12 +74,13 @@ impl Default for ReactorOptions {
             recv_batch: 64,
             mmsg: None,
             socket_buffer_bytes: 8 << 20,
+            bind_addr: Ipv4Addr::LOCALHOST,
         }
     }
 }
 
 impl ReactorOptions {
-    /// Resolves the shard count for a cluster of `n` nodes.
+    /// Resolves the shard count for `n` hosted nodes.
     fn resolve_shards(&self, n: usize) -> usize {
         if let Some(s) = self.shards {
             return s.max(1).min(n);
@@ -66,6 +88,250 @@ impl ReactorOptions {
         let cores = thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
         // No point spinning up a shard for fewer than ~16 nodes.
         cores.min(n.div_ceil(16)).max(1)
+    }
+}
+
+/// What a finished [`NodeHost::run`] hands back: the hosted nodes' reports
+/// plus this process's I/O accounting. One process of a deployment ships
+/// this to its coordinator; [`ReactorCluster`] feeds it straight into
+/// [`assemble_report`].
+#[derive(Debug)]
+pub struct HostOutcome {
+    /// One report per hosted node that survived (nodes of aborted shards
+    /// are missing).
+    pub nodes: Vec<NodeReport>,
+    /// Per-shard I/O statistics of the surviving shards.
+    pub shard_stats: Vec<ShardStats>,
+    /// Shards that aborted mid-run (panic or unrecoverable I/O error).
+    pub aborted_shards: usize,
+    /// Whether the run was cut short by an external stop (signal or
+    /// coordinator) before its scheduled deadline.
+    pub degraded: bool,
+}
+
+/// One process's half of a reactor cluster: the socket pools and shard
+/// threads hosting a contiguous slice of the id space.
+///
+/// Binding and running are split so a deployment can interleave discovery:
+/// bind first, publish [`NodeHost::local_addresses`] to the tracker, learn
+/// every peer's addresses, then [`NodeHost::run`] with the full table and
+/// a shared wall-clock epoch. The demux id-prefix makes placement
+/// location-transparent — a frame for node `g` routes the same way whether
+/// `g`'s home socket is in this process or another host's.
+#[derive(Debug)]
+pub struct NodeHost {
+    config: ClusterConfig,
+    compiled: Arc<CompiledAdversity>,
+    placement: Placement,
+    recv_batch: usize,
+    socket_buffer_bytes: usize,
+    backend: crate::mmsg::Backend,
+    pools: Vec<Vec<UdpSocket>>,
+    local_addresses: Vec<(NodeId, SocketAddr)>,
+}
+
+impl NodeHost {
+    /// Binds the socket pools for the id-slice `[lo, hi)` of `config`'s
+    /// cluster (`None`: the whole id space, joiners included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Io`] if a socket cannot be bound and
+    /// [`ClusterError::Unsupported`] if the slice is empty or runs past
+    /// the compiled population.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical options (zero sockets per shard or a zero
+    /// receive batch) — configuration bugs, not runtime conditions.
+    pub fn bind(
+        config: ClusterConfig,
+        options: &ReactorOptions,
+        slice: Option<(u32, u32)>,
+    ) -> Result<NodeHost, ClusterError> {
+        assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
+        assert!(options.sockets_per_shard >= 1, "each shard needs at least one socket");
+        assert!(options.recv_batch >= 1, "the receive batch must be positive");
+        // The reactor hosts the full compiled plan: crashed nodes revive
+        // with fresh state, flash-crowd joiners boot mid-run, so slices
+        // and the address book are sized for the total population (base
+        // nodes plus joiners).
+        let compiled = Arc::new(config.compiled_adversity());
+        let total_n = compiled.total_n as u32;
+        let (lo, hi) = slice.unwrap_or((0, total_n));
+        if lo >= hi || hi > total_n {
+            return Err(ClusterError::Unsupported(format!(
+                "id slice [{lo}, {hi}) does not fit the compiled population of {total_n}"
+            )));
+        }
+        let shards = options.resolve_shards((hi - lo) as usize);
+        let placement = Placement::slice(lo, hi, shards);
+        // Resolve the I/O backend once (runtime probe + env toggle +
+        // explicit preference); every shard runs the same path.
+        let backend = crate::mmsg::select_backend(options.mmsg);
+
+        // Bind every shard's pool up front so this process's part of the
+        // address book exists before anything starts.
+        let mut pools: Vec<Vec<UdpSocket>> = Vec::with_capacity(shards);
+        let mut pool_addrs: Vec<Vec<SocketAddr>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let mut pool = Vec::with_capacity(options.sockets_per_shard);
+            let mut addrs = Vec::with_capacity(options.sockets_per_shard);
+            for _ in 0..options.sockets_per_shard {
+                let socket = UdpSocket::bind((options.bind_addr, 0)).map_err(ClusterError::Io)?;
+                crate::mmsg::set_socket_buffers(&socket, options.socket_buffer_bytes);
+                addrs.push(socket.local_addr().map_err(ClusterError::Io)?);
+                pool.push(socket);
+            }
+            pools.push(pool);
+            pool_addrs.push(addrs);
+        }
+
+        // Hosted node id → its home socket's address, in id order.
+        let local_addresses = (lo..hi)
+            .map(|g| {
+                let shard = placement.shard_of(g);
+                let local = placement.local_of(g);
+                let home = crate::demux::home_socket(local, options.sockets_per_shard);
+                (NodeId::new(g), pool_addrs[shard][home])
+            })
+            .collect();
+
+        Ok(NodeHost {
+            config,
+            compiled,
+            placement,
+            recv_batch: options.recv_batch,
+            socket_buffer_bytes: options.socket_buffer_bytes,
+            backend,
+            pools,
+            local_addresses,
+        })
+    }
+
+    /// The hosted nodes and their home socket addresses, in id order —
+    /// what a deployed process publishes to the tracker.
+    pub fn local_addresses(&self) -> &[(NodeId, SocketAddr)] {
+        &self.local_addresses
+    }
+
+    /// Total population of the compiled plan (base nodes plus joiners):
+    /// the length the full address table must have.
+    pub fn total_n(&self) -> usize {
+        self.compiled.total_n
+    }
+
+    /// The id slice this host serves.
+    pub fn slice(&self) -> (u32, u32) {
+        (self.placement.lo, self.placement.hi)
+    }
+
+    /// Runs the hosted slice until `run_for` elapses on the shared clock
+    /// or `stop` is raised externally, whichever comes first, then stops
+    /// the shards and collects their reports.
+    ///
+    /// `addresses[g]` must be node `g`'s home socket address for *every*
+    /// node of the cluster — this process's from
+    /// [`NodeHost::local_addresses`], every other process's learned via
+    /// the tracker. The `clock` fixes where `Time::ZERO` falls; a
+    /// deployment anchors all processes' clocks on one wall-clock start
+    /// so the compiled fault timelines coincide.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if *every* shard aborted; partial failures
+    /// surface as [`HostOutcome::aborted_shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addresses` does not cover the compiled population.
+    pub fn run(
+        self,
+        addresses: Arc<Vec<SocketAddr>>,
+        clock: ClusterClock,
+        stop: Arc<AtomicBool>,
+        run_for: std::time::Duration,
+    ) -> Result<HostOutcome, ClusterError> {
+        assert_eq!(
+            addresses.len(),
+            self.compiled.total_n,
+            "the address table must cover every node of the cluster"
+        );
+        let shards = self.placement.shards;
+        let mut handles = Vec::with_capacity(shards);
+        for (index, sockets) in self.pools.into_iter().enumerate() {
+            let shard_config = ShardConfig {
+                index,
+                placement: self.placement,
+                recv_batch: self.recv_batch,
+                backend: self.backend,
+                cluster: self.config.clone(),
+                compiled: Arc::clone(&self.compiled),
+                sockets,
+                addresses: Arc::clone(&addresses),
+                socket_buffer_bytes: self.socket_buffer_bytes,
+                clock,
+                stop: Arc::clone(&stop),
+            };
+            // A panicking shard must not sink the run: the unwind is caught
+            // at the thread boundary, the shard's nodes are reported
+            // missing, and the survivors' report is still assembled. (In
+            // the release profile panics abort; this isolation exists for
+            // the dev/test profile and for bugs in the fault injectors.)
+            let handle = thread::Builder::new()
+                .name(format!("gossip-shard-{index}"))
+                .spawn(move || catch_unwind(AssertUnwindSafe(move || run_shard(shard_config))))
+                .map_err(ClusterError::Io)?;
+            handles.push(handle);
+        }
+
+        // Wait out the run, honouring an external stop (operator signal,
+        // coordinator abort) promptly: that cuts the measurement short and
+        // marks the outcome degraded instead of losing it.
+        let deadline = Instant::now() + run_for;
+        let mut degraded = false;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                degraded = true;
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            thread::sleep((deadline - now).min(STOP_POLL));
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut nodes = Vec::with_capacity(self.placement.hosted());
+        let mut shard_stats = Vec::with_capacity(shards);
+        let mut aborted = 0;
+        let mut first_failure: Option<ClusterError> = None;
+        for (index, handle) in handles.into_iter().enumerate() {
+            // Three failure layers per shard: the thread itself (join),
+            // the caught unwind, and the shard's own I/O result. Any of
+            // them costs that shard's nodes but not the run — unless every
+            // shard is gone, in which case the first failure is reported.
+            let outcome = handle
+                .join()
+                .map_err(|_| ClusterError::NodePanic(index))
+                .and_then(|caught| caught.map_err(|_| ClusterError::NodePanic(index)))
+                .and_then(|result| result.map_err(ClusterError::Io));
+            match outcome {
+                Ok((reports, stats)) => {
+                    nodes.extend(reports);
+                    shard_stats.push(stats);
+                }
+                Err(e) => {
+                    aborted += 1;
+                    first_failure.get_or_insert(e);
+                }
+            }
+        }
+        if aborted == shards {
+            return Err(first_failure.unwrap_or(ClusterError::NodePanic(0)));
+        }
+        Ok(HostOutcome { nodes, shard_stats, aborted_shards: aborted, degraded })
     }
 }
 
@@ -95,114 +361,16 @@ impl ReactorCluster {
         config: ClusterConfig,
         options: ReactorOptions,
     ) -> Result<ClusterReport, ClusterError> {
-        assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
-        assert!(options.sockets_per_shard >= 1, "each shard needs at least one socket");
-        assert!(options.recv_batch >= 1, "the receive batch must be positive");
-        // The reactor hosts the full compiled plan: crashed nodes revive
-        // with fresh state, flash-crowd joiners boot mid-run, so the
-        // address book and every shard's node slice are sized for the
-        // total population (base nodes plus joiners).
-        let compiled = Arc::new(config.compiled_adversity());
-        let total_n = compiled.total_n;
-        let shards = options.resolve_shards(total_n);
-        // Resolve the I/O backend once (runtime probe + env toggle +
-        // explicit preference); every shard runs the same path.
-        let backend = crate::mmsg::select_backend(options.mmsg);
-
-        // Bind every shard's pool up front so the full address book exists
-        // before any shard starts.
-        let mut pools: Vec<Vec<UdpSocket>> = Vec::with_capacity(shards);
-        let mut pool_addrs: Vec<Vec<SocketAddr>> = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let mut pool = Vec::with_capacity(options.sockets_per_shard);
-            let mut addrs = Vec::with_capacity(options.sockets_per_shard);
-            for _ in 0..options.sockets_per_shard {
-                let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
-                crate::mmsg::set_socket_buffers(&socket, options.socket_buffer_bytes);
-                addrs.push(socket.local_addr()?);
-                pool.push(socket);
-            }
-            pools.push(pool);
-            pool_addrs.push(addrs);
-        }
-
-        // Global node id → its home socket's address.
-        let addresses: Arc<Vec<SocketAddr>> = Arc::new(
-            (0..total_n as u32)
-                .map(|g| {
-                    let shard = demux::shard_of(g, shards);
-                    let local = demux::local_of(g, shards);
-                    pool_addrs[shard][demux::home_socket(local, options.sockets_per_shard)]
-                })
-                .collect(),
-        );
-
-        let clock = ClusterClock::start();
-        let stop = Arc::new(AtomicBool::new(false));
-
-        let mut handles = Vec::with_capacity(shards);
-        for (index, sockets) in pools.into_iter().enumerate() {
-            let shard_config = ShardConfig {
-                index,
-                shards,
-                recv_batch: options.recv_batch,
-                backend,
-                cluster: config.clone(),
-                compiled: Arc::clone(&compiled),
-                sockets,
-                addresses: Arc::clone(&addresses),
-                socket_buffer_bytes: options.socket_buffer_bytes,
-                clock,
-                stop: Arc::clone(&stop),
-            };
-            // A panicking shard must not sink the run: the unwind is caught
-            // at the thread boundary, the shard's nodes are reported
-            // missing, and the survivors' report is still assembled. (In
-            // the release profile panics abort; this isolation exists for
-            // the dev/test profile and for bugs in the fault injectors.)
-            let handle = thread::Builder::new()
-                .name(format!("gossip-shard-{index}"))
-                .spawn(move || catch_unwind(AssertUnwindSafe(move || run_shard(shard_config))))
-                .map_err(ClusterError::Io)?;
-            handles.push(handle);
-        }
-
-        // Let the cluster run, then stop every shard.
-        thread::sleep(ClusterClock::to_std(config.stream_duration + config.drain_duration));
-        stop.store(true, Ordering::Relaxed);
-
-        let mut nodes = Vec::with_capacity(total_n);
-        let mut shard_stats = Vec::with_capacity(shards);
-        let mut aborted = 0;
-        let mut first_failure: Option<ClusterError> = None;
-        for (index, handle) in handles.into_iter().enumerate() {
-            // Three failure layers per shard: the thread itself (join),
-            // the caught unwind, and the shard's own I/O result. Any of
-            // them costs that shard's nodes but not the run — unless every
-            // shard is gone, in which case the first failure is reported.
-            let outcome = handle
-                .join()
-                .map_err(|_| ClusterError::NodePanic(index))
-                .and_then(|caught| caught.map_err(|_| ClusterError::NodePanic(index)))
-                .and_then(|result| result.map_err(ClusterError::Io));
-            match outcome {
-                Ok((reports, stats)) => {
-                    nodes.extend(reports);
-                    shard_stats.push(stats);
-                }
-                Err(e) => {
-                    aborted += 1;
-                    first_failure.get_or_insert(e);
-                }
-            }
-        }
-        if aborted == shards {
-            return Err(first_failure.unwrap_or(ClusterError::NodePanic(0)));
-        }
-
-        let mut report = assemble_report(&config, nodes);
-        report.shard_stats = shard_stats;
-        report.aborted_shards = aborted;
+        let host = NodeHost::bind(config.clone(), &options, None)?;
+        let addresses: Arc<Vec<SocketAddr>> =
+            Arc::new(host.local_addresses().iter().map(|&(_, addr)| addr).collect());
+        let run_for = ClusterClock::to_std(config.stream_duration + config.drain_duration);
+        let outcome =
+            host.run(addresses, ClusterClock::start(), Arc::new(AtomicBool::new(false)), run_for)?;
+        let mut report = assemble_report(&config, outcome.nodes);
+        report.shard_stats = outcome.shard_stats;
+        report.aborted_shards = outcome.aborted_shards;
+        report.degraded = outcome.degraded;
         Ok(report)
     }
 }
@@ -231,5 +399,57 @@ mod tests {
         assert!(report.windows_verified > 0, "some windows must be byte-verified");
         let decode_errors: u64 = report.nodes.iter().map(|n| n.decode_errors).sum();
         assert_eq!(decode_errors, 0, "no malformed datagrams on loopback");
+        assert!(!report.degraded, "an undisturbed run is never degraded");
+    }
+
+    #[test]
+    fn invalid_slices_are_rejected_at_bind() {
+        let config = ClusterConfig::smoke_test(); // n = 8
+        let opts = ReactorOptions::default();
+        assert!(matches!(
+            NodeHost::bind(config.clone(), &opts, Some((4, 4))),
+            Err(ClusterError::Unsupported(_))
+        ));
+        assert!(matches!(
+            NodeHost::bind(config, &opts, Some((0, 9))),
+            Err(ClusterError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn bound_slice_publishes_its_ids_in_order() {
+        let host =
+            NodeHost::bind(ClusterConfig::smoke_test(), &ReactorOptions::default(), Some((2, 6)))
+                .expect("binds");
+        assert_eq!(host.slice(), (2, 6));
+        assert_eq!(host.total_n(), 8);
+        let ids: Vec<u32> = host.local_addresses().iter().map(|&(id, _)| id.as_u32()).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn external_stop_marks_the_outcome_degraded() {
+        let config = ClusterConfig::smoke_test();
+        let host = NodeHost::bind(config, &ReactorOptions::default(), None).expect("binds");
+        let addresses: Arc<Vec<SocketAddr>> =
+            Arc::new(host.local_addresses().iter().map(|&(_, addr)| addr).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        let stopper = Arc::clone(&stop);
+        let killer = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(300));
+            stopper.store(true, Ordering::Relaxed);
+        });
+        let outcome = host
+            .run(
+                addresses,
+                ClusterClock::start(),
+                stop,
+                std::time::Duration::from_secs(60), // far past the stop
+            )
+            .expect("runs");
+        killer.join().expect("killer thread");
+        assert!(outcome.degraded, "an external stop must mark the outcome degraded");
+        assert_eq!(outcome.aborted_shards, 0);
+        assert!(!outcome.nodes.is_empty());
     }
 }

@@ -130,8 +130,11 @@ enum Fire {
 pub(crate) struct ShardConfig {
     /// This shard's index.
     pub index: usize,
-    /// Total number of shards (the stripe modulus).
-    pub shards: usize,
+    /// The id slice this *process* hosts and its stripe over the process's
+    /// shards. Single-process runs host the whole id space; a deployed
+    /// `gossipd` hosts a contiguous slice while the address book still
+    /// covers every node in the cluster.
+    pub placement: demux::Placement,
     /// Maximum datagrams drained per socket per loop iteration.
     pub recv_batch: usize,
     /// Which I/O backend to run (resolved once by the runtime).
@@ -142,7 +145,7 @@ pub(crate) struct ShardConfig {
     pub compiled: Arc<CompiledAdversity>,
     /// This shard's socket pool, already bound.
     pub sockets: Vec<UdpSocket>,
-    /// Global node id → home socket address.
+    /// Global node id → home socket address (local or remote alike).
     pub addresses: Arc<Vec<SocketAddr>>,
     /// Kernel buffer size re-applied when a socket is re-bound.
     pub socket_buffer_bytes: usize,
@@ -158,7 +161,7 @@ pub(crate) fn run_shard(config: ShardConfig) -> std::io::Result<(Vec<NodeReport>
 
 struct Shard {
     index: usize,
-    shards: usize,
+    placement: demux::Placement,
     recv_batch: usize,
     backend: Backend,
     cluster: ClusterConfig,
@@ -247,7 +250,7 @@ impl Shard {
     fn new(config: ShardConfig) -> std::io::Result<Self> {
         let ShardConfig {
             index,
-            shards,
+            placement,
             recv_batch,
             backend,
             cluster,
@@ -263,14 +266,14 @@ impl Shard {
         }
         let pool = sockets.len();
         let nodes: Vec<VirtualNode> = (0..)
-            .map(|local| demux::global_of(index, local, shards))
-            .take_while(|&g| (g as usize) < compiled.total_n)
+            .map(|local| placement.global_of(index, local))
+            .take_while(|&g| placement.contains(g))
             .map(|g| {
                 VirtualNode::new(
                     &cluster,
                     &compiled,
                     g,
-                    demux::home_socket(demux::local_of(g, shards), pool),
+                    demux::home_socket(placement.local_of(g), pool),
                 )
             })
             .collect();
@@ -325,7 +328,7 @@ impl Shard {
             sockets.iter().map(UdpSocket::local_addr).collect::<std::io::Result<Vec<_>>>()?;
         Ok(Shard {
             index,
-            shards,
+            placement,
             recv_batch,
             backend,
             cluster,
@@ -500,10 +503,10 @@ impl Shard {
     /// Routes one protocol frame to its destination node.
     fn route_frame(&mut self, dest: NodeId, wire: &[u8], now: Time) {
         let g = dest.as_u32();
-        if demux::shard_of(g, self.shards) != self.index {
-            return; // stray frame for another shard's socket
+        if !self.placement.contains(g) || self.placement.shard_of(g) != self.index {
+            return; // stray frame for another shard's (or process's) socket
         }
-        let local = demux::local_of(g, self.shards);
+        let local = self.placement.local_of(g);
         if local >= self.nodes.len() {
             return;
         }
@@ -789,8 +792,9 @@ impl Shard {
 
     /// The local slot of node `v` when this shard hosts it.
     fn local_slot(&self, v: NodeId) -> Option<usize> {
-        (demux::shard_of(v.as_u32(), self.shards) == self.index)
-            .then(|| demux::local_of(v.as_u32(), self.shards))
+        let g = v.as_u32();
+        (self.placement.contains(g) && self.placement.shard_of(g) == self.index)
+            .then(|| self.placement.local_of(g))
             .filter(|&local| local < self.nodes.len())
     }
 
@@ -1166,7 +1170,7 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let config = ShardConfig {
             index: 0,
-            shards: 1,
+            placement: demux::Placement::whole(4, 1),
             recv_batch: 8,
             backend,
             cluster,

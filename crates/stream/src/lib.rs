@@ -45,6 +45,6 @@ mod config;
 
 pub use config::StreamConfig;
 pub use packet::{PacketId, StreamPacket};
-pub use player::StreamPlayer;
+pub use player::{PlayerSnapshot, StreamPlayer, WindowSnapshot};
 pub use quality::{NodeQuality, QualityReport};
 pub use source::StreamSource;

@@ -157,6 +157,85 @@ impl StreamPlayer {
     pub fn highest_window(&self) -> Option<u32> {
         self.windows.last().map(|&(w, _)| w)
     }
+
+    /// Captures the player's complete reception state as plain data, for
+    /// serialization across a process boundary (the deploy runtime ships
+    /// per-node reports to its coordinator over a control socket).
+    pub fn snapshot(&self) -> PlayerSnapshot {
+        PlayerSnapshot {
+            packets_received: self.packets_received,
+            duplicate_packets: self.duplicate_packets,
+            windows: self
+                .windows
+                .iter()
+                .map(|(w, r)| WindowSnapshot {
+                    window: *w,
+                    received: r.received.clone(),
+                    count: r.count,
+                    decodable_at: r.decodable_at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a player from a [`StreamPlayer::snapshot`]. The stream
+    /// configuration is not part of the snapshot — every process of one
+    /// cluster derives it from the same spec — so the caller supplies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's windows are not strictly sorted or a
+    /// bitmask does not match the configured window geometry: a snapshot
+    /// that violates either was corrupted in transit.
+    pub fn restore(config: StreamConfig, snapshot: PlayerSnapshot) -> Self {
+        let words = config.window.total_packets().div_ceil(64);
+        let mut windows = Vec::with_capacity(snapshot.windows.len());
+        for ws in snapshot.windows {
+            assert_eq!(ws.received.len(), words, "bitmask does not match window geometry");
+            if let Some(&(last, _)) = windows.last() {
+                assert!(ws.window > last, "snapshot windows must be strictly sorted");
+            }
+            windows.push((
+                ws.window,
+                WindowRecord {
+                    received: ws.received,
+                    count: ws.count,
+                    decodable_at: ws.decodable_at,
+                },
+            ));
+        }
+        StreamPlayer {
+            config,
+            windows,
+            cursor: Cell::new(0),
+            packets_received: snapshot.packets_received,
+            duplicate_packets: snapshot.duplicate_packets,
+        }
+    }
+}
+
+/// Plain-data image of a [`StreamPlayer`] (see [`StreamPlayer::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlayerSnapshot {
+    /// Total distinct packets received.
+    pub packets_received: u64,
+    /// Duplicate packet receptions.
+    pub duplicate_packets: u64,
+    /// Per-window reception state, sorted by window number.
+    pub windows: Vec<WindowSnapshot>,
+}
+
+/// One window's reception state inside a [`PlayerSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// The window number.
+    pub window: u32,
+    /// Bitmask of received packet indices (`total_packets` bits).
+    pub received: Vec<u64>,
+    /// Distinct packets received.
+    pub count: u16,
+    /// When the window first became decodable, if it did.
+    pub decodable_at: Option<Time>,
 }
 
 #[cfg(test)]
@@ -221,6 +300,40 @@ mod tests {
     fn out_of_geometry_index_panics() {
         let mut p = small_player();
         p.on_packet(Time::ZERO, PacketId::new(0, 24));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let mut p = small_player();
+        for i in 0..20u16 {
+            p.on_packet(Time::from_millis(i as u64), PacketId::new(0, i));
+        }
+        p.on_packet(Time::from_millis(30), PacketId::new(2, 3));
+        p.on_packet(Time::from_millis(30), PacketId::new(2, 3)); // duplicate
+        let snap = p.snapshot();
+        let restored = StreamPlayer::restore(StreamConfig::test_small(), snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.window_decodable_at(0), p.window_decodable_at(0));
+        assert_eq!(restored.packets_in_window(2), 1);
+        assert_eq!(restored.packets_received(), p.packets_received());
+        assert_eq!(restored.duplicate_packets(), 1);
+        assert_eq!(restored.highest_window(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window geometry")]
+    fn snapshot_with_wrong_geometry_is_rejected() {
+        let snap = PlayerSnapshot {
+            packets_received: 0,
+            duplicate_packets: 0,
+            windows: vec![WindowSnapshot {
+                window: 0,
+                received: vec![0u64; 9],
+                count: 0,
+                decodable_at: None,
+            }],
+        };
+        let _ = StreamPlayer::restore(StreamConfig::test_small(), snap);
     }
 
     #[test]

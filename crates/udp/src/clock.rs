@@ -32,9 +32,21 @@ impl ClusterClock {
         ClusterClock { epoch: Instant::now() }
     }
 
-    /// Returns the current virtual time.
+    /// Fixes the epoch at an explicit instant — possibly in the future.
+    ///
+    /// This is how a multi-process deployment synchronises its timeline:
+    /// the coordinator broadcasts one wall-clock start, every process maps
+    /// it onto a local [`Instant`] and anchors its clock there, so
+    /// `Time::ZERO` (and with it the compiled fault timeline) coincides
+    /// across processes to within wall-clock skew. Before the epoch,
+    /// [`ClusterClock::now`] saturates at [`Time::ZERO`].
+    pub fn with_epoch(epoch: Instant) -> Self {
+        ClusterClock { epoch }
+    }
+
+    /// Returns the current virtual time ([`Time::ZERO`] before the epoch).
     pub fn now(&self) -> Time {
-        Time::from_micros(self.epoch.elapsed().as_micros() as u64)
+        Time::from_micros(Instant::now().saturating_duration_since(self.epoch).as_micros() as u64)
     }
 
     /// Converts a virtual deadline back into a wall-clock wait from now

@@ -9,12 +9,13 @@ use std::thread;
 use gossip_adversity::{AdversitySpec, CompiledAdversity, FaultAction};
 use gossip_core::GossipConfig;
 use gossip_fec::{WindowDecoder, WindowParams};
+use gossip_sim::DetRng;
 use gossip_stream::source::synth_payload;
 use gossip_stream::{NodeQuality, PacketId, QualityReport, StreamConfig};
 use gossip_types::{Duration, NodeId, Time};
 
 use crate::clock::ClusterClock;
-use crate::driver::{run_node, DriverConfig, NodeReport};
+use crate::driver::{run_node, DriverConfig, JoinPlan, NodeReport};
 use crate::report::ShardStats;
 
 /// Configuration of a loopback deployment.
@@ -149,6 +150,11 @@ pub struct ClusterReport {
     /// [`ClusterReport::nodes`]; the report covers the survivors. Always
     /// zero for the thread-per-node runtime.
     pub aborted_shards: usize,
+    /// Whether the run was cut short (an operator signal — SIGINT/SIGTERM —
+    /// stopped a deployed process before its scheduled deadline, or a
+    /// killed process's nodes were synthesised as dark by a coordinator).
+    /// A degraded report is a faithful partial measurement, not a full run.
+    pub degraded: bool,
 }
 
 impl ClusterReport {
@@ -301,16 +307,24 @@ impl UdpCluster {
     pub fn run(config: ClusterConfig) -> Result<ClusterReport, ClusterError> {
         assert!(config.n >= 2, "a cluster needs a source and at least one receiver");
 
-        // One thread per node cannot grow the population or restart a
-        // thread's protocol state mid-run; it maps the compiled timeline
-        // onto per-thread one-shot crash deadlines plus the static
-        // profiles, and shares the full plan so each thread can walk the
-        // network-scoped events (partitions, throttles) and its Byzantine
-        // profile on its own. Everything richer needs the reactor runtime.
+        // One thread per node cannot restart a thread's protocol state
+        // mid-run; it maps the compiled timeline onto per-thread one-shot
+        // crash deadlines plus the static profiles, and shares the full
+        // plan so each thread can walk the network-scoped events
+        // (partitions, throttles) and its Byzantine profile on its own.
+        // Flash-crowd joins are hosted for the Cyclon bootstrap only: a
+        // joiner's thread parks until its join offset, then boots from a
+        // partial view — no cross-thread membership push required. The
+        // tracker bootstrap (push to every established node) and
+        // leave/rejoin churn still need the reactor runtime.
         let compiled = Arc::new(config.compiled_adversity());
-        if compiled.total_n > compiled.base_n {
+        if compiled.total_n > compiled.base_n
+            && !matches!(config.joiner_bootstrap, JoinerBootstrap::Cyclon { .. })
+        {
             return Err(ClusterError::Unsupported(
-                "flash-crowd joins need the reactor runtime (`ReactorCluster`)".to_string(),
+                "tracker-bootstrap flash-crowd joins need the reactor runtime \
+                 (`ReactorCluster`) — or use `JoinerBootstrap::Cyclon`"
+                    .to_string(),
             ));
         }
         if compiled.timeline.events().iter().any(|e| matches!(e.action, FaultAction::Rejoin(_))) {
@@ -319,11 +333,12 @@ impl UdpCluster {
             ));
         }
 
-        // Bind all sockets up front so every thread starts with the full
-        // address book.
-        let mut sockets = Vec::with_capacity(config.n);
-        let mut addresses = Vec::with_capacity(config.n);
-        for _ in 0..config.n {
+        // Bind all sockets up front (joiners included) so every thread
+        // starts with the full address book.
+        let total_n = compiled.total_n;
+        let mut sockets = Vec::with_capacity(total_n);
+        let mut addresses = Vec::with_capacity(total_n);
+        for _ in 0..total_n {
             let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
             addresses.push(socket.local_addr()?);
             sockets.push(socket);
@@ -332,9 +347,24 @@ impl UdpCluster {
         let clock = ClusterClock::start();
         let stop = Arc::new(AtomicBool::new(false));
 
-        let mut handles = Vec::with_capacity(config.n);
+        // Each joiner's introducer sample, drawn deterministically from
+        // the base population (the cluster plays introduction service; the
+        // rest of the joiner's knowledge spreads via shuffles).
+        let mut join_rng = DetRng::seed_from(config.seed).split(0x10_1F);
+
+        let mut handles = Vec::with_capacity(total_n);
         for (i, socket) in sockets.into_iter().enumerate() {
             let profile = &compiled.profiles[i];
+            let join = profile.join_at.map(|at| {
+                let JoinerBootstrap::Cyclon { degree } = config.joiner_bootstrap else {
+                    unreachable!("tracker joins were rejected above");
+                };
+                let picked = join_rng.sample_indices(compiled.base_n, degree);
+                JoinPlan {
+                    at: at.saturating_since(Time::ZERO),
+                    bootstrap: picked.into_iter().map(|k| NodeId::new(k as u32)).collect(),
+                }
+            });
             let uniform_cap =
                 if i == 0 && config.source_uncapped { None } else { config.upload_cap_bps };
             let driver = DriverConfig {
@@ -351,6 +381,7 @@ impl UdpCluster {
                     .map(|at| at.saturating_since(Time::ZERO)),
                 free_rider: profile.free_rider,
                 compiled: Arc::clone(&compiled),
+                join,
             };
             let addresses = Arc::clone(&addresses);
             let stop = Arc::clone(&stop);
@@ -366,7 +397,7 @@ impl UdpCluster {
         thread::sleep(ClusterClock::to_std(config.stream_duration + config.drain_duration));
         stop.store(true, Ordering::Relaxed);
 
-        let mut nodes = Vec::with_capacity(config.n);
+        let mut nodes = Vec::with_capacity(total_n);
         for (i, handle) in handles.into_iter().enumerate() {
             let report = handle.join().map_err(|_| ClusterError::NodePanic(i))??;
             nodes.push(report);
@@ -408,6 +439,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
             windows_verified: 0,
             shard_stats: Vec::new(),
             aborted_shards: 0,
+            degraded: false,
         };
     }
     let qualities: Vec<NodeQuality> = nodes
@@ -445,6 +477,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
         windows_verified,
         shard_stats: Vec::new(),
         aborted_shards: 0,
+        degraded: false,
     }
 }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use gossip_adversity::{ByzantineBehaviour, CompiledAdversity, FaultAction, PartitionState};
 use gossip_core::wire::{decode_message, encode_message};
 use gossip_core::{Event, GossipNode, Message, Output, TimerToken};
+use gossip_membership::{wire as shuffle_wire, CyclonConfig, CyclonView, ShuffleMessage};
 use gossip_sim::{DetRng, EventQueue};
 use gossip_stream::{byzantine, StreamPacket, StreamPlayer, StreamSource};
 use gossip_types::{Duration, NodeId, Time};
@@ -48,6 +49,22 @@ pub struct DriverConfig {
     /// node-scoped crash events are pre-resolved into
     /// [`DriverConfig::crash_at`] by the cluster.
     pub compiled: Arc<CompiledAdversity>,
+    /// If set, this node is a flash-crowd joiner: the thread parks until
+    /// the join offset, then boots with a Cyclon partial view seeded from
+    /// the bootstrap sample and runs one membership shuffle per gossip
+    /// round (mirroring the reactor runtime's `JoinerBootstrap::Cyclon`).
+    pub join: Option<JoinPlan>,
+}
+
+/// How and when a flash-crowd joiner enters the swarm (thread runtime;
+/// pre-resolved from the compiled timeline by the cluster).
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Join offset from the cluster start.
+    pub at: Duration,
+    /// The joiner's introducer sample — its only a-priori knowledge of
+    /// the swarm.
+    pub bootstrap: Vec<NodeId>,
 }
 
 /// Runs one node until `stop` is raised. Returns the node's report.
@@ -68,8 +85,14 @@ pub fn run_node(
     clock: ClusterClock,
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<NodeReport> {
-    let n = addresses.len();
-    let membership: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+    // Established nodes know the base population from the start; a
+    // flash-crowd joiner starts blank and learns its membership from its
+    // Cyclon bootstrap view once it boots.
+    let membership: Vec<NodeId> = if config.join.is_some() {
+        Vec::new()
+    } else {
+        (0..config.compiled.base_n as u32).map(NodeId::new).collect()
+    };
     let mut node: GossipNode<StreamPacket> = if config.stream_for.is_some() {
         GossipNode::new_source(config.id, config.gossip.clone(), membership, config.seed)
     } else {
@@ -93,6 +116,10 @@ pub fn run_node(
     let byzantine = config.compiled.profiles[config.id.index()].byzantine;
     let mut partition = PartitionState::new();
     let mut fault_cursor = 0usize;
+    let mut joining = config.join.clone();
+    let mut cyclon: Option<CyclonView> = None;
+    let mut membership_rng =
+        DetRng::seed_from(config.seed).split(0xC1C7 + u64::from(config.id.as_u32()));
 
     socket.set_nonblocking(false)?;
 
@@ -104,6 +131,25 @@ pub fn run_node(
         if crash_at.is_some_and(|at| now >= at) {
             std::thread::sleep(std::time::Duration::from_millis(20));
             continue;
+        }
+
+        // A not-yet-joined flash-crowd node parks silently (nobody knows
+        // its address yet, so nothing meaningful can arrive either). At
+        // its join offset it boots from the Cyclon bootstrap view; its
+        // per-round shuffles then carry its id outward epidemically.
+        if let Some(plan) = &joining {
+            let boot_at = Time::ZERO + plan.at;
+            if now < boot_at {
+                std::thread::sleep(clock.until(boot_at).min(std::time::Duration::from_millis(20)));
+                continue;
+            }
+            let view = CyclonView::new(config.id, CyclonConfig::default_small(), &plan.bootstrap);
+            let mut members = view.view();
+            members.push(config.id);
+            node.set_membership(members);
+            cyclon = Some(view);
+            next_round = now;
+            joining = None;
         }
 
         // Network-scoped fault events: every thread walks the same compiled
@@ -142,8 +188,20 @@ pub fn run_node(
             }
         }
 
-        // 2. Gossip rounds.
+        // 2. Gossip rounds. A partial-view joiner also runs one Cyclon
+        // shuffle per round and draws this round's membership from the
+        // shuffled view (mirroring the reactor's `shuffle_round`).
         while now >= next_round {
+            if let Some(view) = cyclon.as_mut() {
+                if let Some((target, request)) = view.on_shuffle_round(&mut membership_rng) {
+                    let bytes = shuffle_wire::encode_shuffle(config.id, &request);
+                    let len = bytes.len();
+                    shaper.offer(now, len, (target, bytes));
+                }
+                let mut members = view.view();
+                members.push(config.id);
+                node.set_membership(members);
+            }
             node.on_round(now);
             next_round += config.gossip.gossip_period;
         }
@@ -207,6 +265,60 @@ pub fn run_node(
             Ok((len, _)) => {
                 if config.inject_loss > 0.0 && loss_rng.chance(config.inject_loss) {
                     // Injected network loss: the datagram evaporates.
+                } else if shuffle_wire::is_shuffle(&recv_buf[..len]) {
+                    // Membership traffic rides the same socket as the
+                    // protocol but never reaches the state machine.
+                    recv_msgs += 1;
+                    match shuffle_wire::decode_shuffle(&recv_buf[..len]) {
+                        Some((from, msg)) => {
+                            if partition.is_split()
+                                && !partition.allows(&config.compiled, from, config.id)
+                            {
+                                // The split eats shuffles too.
+                            } else if let Some(view) = cyclon.as_mut() {
+                                // A partial-view joiner runs the real
+                                // Cyclon exchange.
+                                if let Some(reply) = view.on_message(from, msg, &mut membership_rng)
+                                {
+                                    let bytes = shuffle_wire::encode_shuffle(config.id, &reply);
+                                    let blen = bytes.len();
+                                    shaper.offer(clock.now(), blen, (from, bytes));
+                                }
+                            } else if let ShuffleMessage::Request(offered) = msg {
+                                // An established full-membership node
+                                // answers statelessly: adopt the sender and
+                                // every offered peer — this is how a
+                                // tracker-less joiner becomes reachable —
+                                // and reply with a random sample of what it
+                                // knows.
+                                let mut members = node.membership().to_vec();
+                                for peer in offered.iter().map(|&(p, _)| p).chain([from]) {
+                                    if peer != config.id && !members.contains(&peer) {
+                                        members.push(peer);
+                                    }
+                                }
+                                let candidates: Vec<NodeId> = members
+                                    .iter()
+                                    .copied()
+                                    .filter(|&m| m != config.id && m != from)
+                                    .collect();
+                                let picked = membership_rng.sample_indices(
+                                    candidates.len(),
+                                    CyclonConfig::default_small().shuffle_size,
+                                );
+                                // Age 0 throughout: a full-membership node
+                                // has no staleness signal to offer.
+                                let reply = ShuffleMessage::Reply(
+                                    picked.into_iter().map(|k| (candidates[k], 0)).collect(),
+                                );
+                                node.set_membership(members);
+                                let bytes = shuffle_wire::encode_shuffle(config.id, &reply);
+                                let blen = bytes.len();
+                                shaper.offer(clock.now(), blen, (from, bytes));
+                            }
+                        }
+                        None => decode_errors += 1,
+                    }
                 } else {
                     recv_msgs += 1;
                     match decode_message::<StreamPacket>(&recv_buf[..len]) {
@@ -220,6 +332,12 @@ pub fn run_node(
                             {
                                 // A request-eater silently ignores pulls.
                             } else {
+                                if let Some(view) = cyclon.as_mut() {
+                                    // Contact is proof of life: protocol
+                                    // traffic keeps the sender's entry
+                                    // young in a joiner's partial view.
+                                    view.adopt(from);
+                                }
                                 node.on_message(clock.now(), from, msg);
                             }
                         }

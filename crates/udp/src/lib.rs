@@ -13,6 +13,8 @@
 //!   [`gossip_types::Time`];
 //! * [`shaper`] — real-time upload rate limiting (the deployed counterpart
 //!   of the simulator's queueing link);
+//! * [`codec`] — the binary wire form of run reports, for deployments that
+//!   ship per-process reports to a coordinator (`gossip-deploy`);
 //! * [`driver`] — the per-node event loop around [`gossip_core::GossipNode`];
 //! * [`report`] — the per-node run report shared by every runtime;
 //! * [`cluster`] — spawns a source plus N receivers on loopback and collects
@@ -41,6 +43,7 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod codec;
 pub mod driver;
 pub mod report;
 pub mod shaper;

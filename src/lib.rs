@@ -11,12 +11,15 @@
 //! * [`gossip_experiments`] — the figure-by-figure reproduction harness;
 //! * [`gossip_udp`] — the real-socket runtime (thread per node);
 //! * [`gossip_reactor`] — the sharded shared-socket runtime (thousands of
-//!   live UDP nodes in one process).
+//!   live UDP nodes in one process);
+//! * [`gossip_deploy`] — the cross-process deployment layer (`gossipd`
+//!   node-host binary plus the `gossip-coord` cluster coordinator).
 
 #![forbid(unsafe_code)]
 
 pub use gossip_adversity as adversity;
 pub use gossip_core as core;
+pub use gossip_deploy as deploy;
 pub use gossip_experiments as experiments;
 pub use gossip_fec as fec;
 pub use gossip_membership as membership;

@@ -211,8 +211,36 @@ fn threads_runtime_detects_byzantine_corruption() {
     assert!(avg >= 60.0, "honest receivers must keep streaming: {avg:.1}%");
 }
 
+/// Cyclon-bootstrapped flash-crowd joiners on the *thread* runtime: each
+/// joiner's thread parks until its join offset, boots from a bounded
+/// random partial view (no tracker push), and catches up on the stream
+/// via per-round membership shuffles — same semantics as the reactor's
+/// `JoinerBootstrap::Cyclon`, hosted by one thread per joiner.
+#[test]
+fn threads_runtime_hosts_cyclon_joiners() {
+    use gossip_adversity::AdversitySpec;
+    use gossip_udp::cluster::JoinerBootstrap;
+
+    let mut config = small_cluster(14, 6);
+    config.joiner_bootstrap = JoinerBootstrap::Cyclon { degree: 4 };
+    config.adversity =
+        AdversitySpec::none().with_flash_crowd(Duration::from_secs(2), 4, Duration::from_secs(1));
+    let report = UdpCluster::run(config).expect("cluster runs");
+
+    assert_eq!(report.nodes.len(), 18, "joiners must report too");
+    let joiners = report.joiner_quality.as_ref().expect("the wave joined mid-stream");
+    assert_eq!(joiners.nodes().len(), 4);
+    let catch_up = joiners.average_quality_percent(Duration::MAX);
+    assert!(
+        catch_up >= 40.0,
+        "partial-view joiners must catch up without a tracker: {catch_up:.1}%"
+    );
+    let base = report.quality.average_quality_percent(Duration::MAX);
+    assert!(base >= 80.0, "the base swarm must be undisturbed by the wave: {base:.1}%");
+}
+
 /// Specs the thread runtime cannot host are rejected loudly instead of
-/// silently mis-running: joins and rejoins need the reactor.
+/// silently mis-running: tracker-push joins and rejoins need the reactor.
 #[test]
 fn threads_runtime_rejects_joins_and_rejoins() {
     use gossip_adversity::AdversitySpec;
