@@ -16,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--out PATH] [--baseline EVENTS_PER_SEC]
+//! perfbench [--smoke] [--reactor-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--telemetry-smoke] [--profile] [--trend] [--trend-record] [--out PATH] [--baseline EVENTS_PER_SEC]
 //! ```
 //!
 //! * `--smoke` — a reduced workload for CI: the ~10× smaller pinned
@@ -46,6 +46,23 @@
 //!   exit non-zero unless every worker reported and the merged report
 //!   shows a healthy stream. This is the CI `deploy-smoke` job; it needs
 //!   a `gossipd` binary next to `perfbench` (or via `GOSSIPD_BIN`);
+//! * `--telemetry-smoke` — run *only* a gating telemetry cell (the n = 64
+//!   reactor cell with live metrics on), scrape its Prometheus endpoint
+//!   twice **mid-run** and exit non-zero unless both scrapes parse, the
+//!   datagram counters are non-zero and advancing between them, and the
+//!   finished report carries the snapshot series. This is the CI
+//!   `telemetry-smoke` job;
+//! * `--profile` — run the small reactor cell with the per-phase wall-time
+//!   histograms on and write the shard loop's time split as folded stacks
+//!   (default `PROFILE_folded.txt`; render with
+//!   `flamegraph.pl PROFILE_folded.txt > profile.svg`);
+//! * `--trend-record` — append every labelled rate of the report at
+//!   `--out` (default `BENCH_hotpath.json`) to the append-only trend
+//!   history (default `BENCH_trend.jsonl`, override with `--trend-file`),
+//!   one JSONL point per cell stamped with the current commit;
+//! * `--trend` — evaluate that history with the sustained-regression
+//!   detector (median baseline, ±15 % noise floor, two consecutive bad
+//!   points required) and exit non-zero if any cell regressed;
 //! * `--reactor-only` — run *only* the tracked reactor cells (no
 //!   simulator matrix, nothing written): the iteration mode for runtime
 //!   I/O work;
@@ -76,17 +93,21 @@
 //! simulated and the deployed hot path.
 
 use std::fmt::Write as _;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gossip_adversity::{AdversitySpec, ByzantineMix, ChaosSpec};
+use gossip_bench::trend;
 use gossip_core::GossipConfig;
 use gossip_deploy::{run_coordinator, CoordOptions};
 use gossip_experiments::{MembershipMode, Scale, Scenario};
 use gossip_fec::WindowParams;
 use gossip_membership::CyclonConfig;
-use gossip_reactor::ReactorCluster;
+use gossip_reactor::{NodeHost, ReactorCluster, ReactorOptions};
 use gossip_stream::StreamConfig;
 use gossip_types::Duration;
+use gossip_udp::clock::ClusterClock;
 use gossip_udp::cluster::{ClusterConfig, RecoveryReport};
 
 /// Regression threshold for the warn-only delta guard.
@@ -257,6 +278,7 @@ fn reactor_config(cell: &ReactorCell) -> ClusterConfig {
         crashes: Vec::new(),
         adversity: gossip_adversity::AdversitySpec::none(),
         joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
+        telemetry: None,
     }
 }
 
@@ -1067,6 +1089,255 @@ fn deploy_smoke(out: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Sums one metric family (name without labels) over a scrape's samples.
+fn scrape_family_sum(samples: &[(String, f64)], family: &str) -> f64 {
+    let prefix = format!("{family}{{");
+    samples
+        .iter()
+        .filter(|(n, _)| n.as_str() == family || n.starts_with(&prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// The gating CI mode for the telemetry layer: an n = 64 reactor run with
+/// live metrics on, scraped **mid-stream** — twice, a second apart — over
+/// its real TCP endpoint.
+///
+/// Exits non-zero when observability is broken: the endpoint does not
+/// answer or does not parse, the datagram counters are zero or frozen
+/// between the two scrapes, or the finished run's report carries no
+/// snapshot series.
+fn telemetry_smoke(out: &str) -> ! {
+    eprintln!("perfbench: gating telemetry smoke (n=64, loopback, live mid-run scrapes)");
+    let cell = ReactorCell {
+        label: "reactor_n64_telemetry",
+        n: 64,
+        fanout: 5,
+        period_ms: 100,
+        rate_bps: 300_000,
+        payload_bytes: 1000,
+        window: (20, 4),
+        stream_secs: 3,
+        drain_secs: 2,
+    };
+    let mut config = reactor_config(&cell);
+    config.telemetry = Some(gossip_telemetry::TelemetryConfig {
+        sample_period: std::time::Duration::from_millis(100),
+        ..gossip_telemetry::TelemetryConfig::default()
+    });
+    let host =
+        NodeHost::bind(config.clone(), &ReactorOptions::default(), None).expect("host binds");
+    let scrape_addr = host.telemetry_addr().expect("telemetry is enabled");
+    let addresses: Arc<Vec<std::net::SocketAddr>> =
+        Arc::new(host.local_addresses().iter().map(|&(_, addr)| addr).collect());
+    let run_for = ClusterClock::to_std(config.stream_duration + config.drain_duration);
+    let stop = Arc::new(AtomicBool::new(false));
+    let runner =
+        std::thread::spawn(move || host.run(addresses, ClusterClock::start(), stop, run_for));
+
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let first = gossip_telemetry::scrape(scrape_addr);
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let second = gossip_telemetry::scrape(scrape_addr);
+    let outcome = runner.join().expect("runner thread").expect("reactor run completes");
+
+    let mut failures = Vec::new();
+    let recv_family = "gossip_shard_datagrams_received_total";
+    let (first_recv, second_recv) = match (&first, &second) {
+        (Ok(a), Ok(b)) => (scrape_family_sum(a, recv_family), scrape_family_sum(b, recv_family)),
+        (a, b) => {
+            if let Err(e) = a {
+                failures.push(format!("first mid-run scrape failed: {e}"));
+            }
+            if let Err(e) = b {
+                failures.push(format!("second mid-run scrape failed: {e}"));
+            }
+            (0.0, 0.0)
+        }
+    };
+    if failures.is_empty() {
+        if second_recv <= 0.0 {
+            failures.push("mid-run datagram counters are zero".to_string());
+        }
+        if second_recv <= first_recv {
+            failures.push(format!(
+                "datagram counters frozen between scrapes ({first_recv} then {second_recv})"
+            ));
+        }
+    }
+    let series = outcome.telemetry.as_ref();
+    let snapshots = series.map_or(0, |s| s.snapshots.len());
+    let final_recv = series.map_or(0.0, |s| s.final_total(recv_family));
+    if snapshots < 5 {
+        failures.push(format!("only {snapshots} snapshots in the finished series"));
+    }
+    if final_recv <= 0.0 {
+        failures.push("finished series records zero datagrams received".to_string());
+    }
+    eprintln!(
+        "  scraped {scrape_addr} mid-run: {first_recv:.0} then {second_recv:.0} datagrams; \
+         final series: {snapshots} snapshots, {final_recv:.0} datagrams"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_smoke\",\n  \"scrape_addr\": \"{scrape_addr}\",\n  \"first_scrape_datagrams\": {first_recv:.0},\n  \"second_scrape_datagrams\": {second_recv:.0},\n  \"series_snapshots\": {snapshots},\n  \"series_datagrams_recv\": {final_recv:.0},\n  \"aborted_shards\": {}\n}}\n",
+        outcome.aborted_shards,
+    );
+    std::fs::write(out, json).expect("write telemetry smoke report");
+    eprintln!("perfbench: wrote {out}");
+
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("perfbench: telemetry smoke FAILED: {f}");
+    }
+    std::process::exit(1);
+}
+
+/// The shard-loop phases, in the order the loop runs them.
+const PROFILE_PHASES: [&str; 4] = ["timers", "ingress", "flush", "park"];
+
+/// `--profile`: run the small reactor cell with telemetry on and write the
+/// shard loop's phase wall-time as folded stacks (one line per phase,
+/// sample unit = 1 µs) — `flamegraph.pl PROFILE_folded.txt > profile.svg`
+/// renders where the loop's time actually goes.
+fn profile(out: &str) -> ! {
+    eprintln!("perfbench: profiling the shard loop (n=256, loopback, phase histograms)");
+    let cell = ReactorCell {
+        label: "reactor_n256_profile",
+        n: 256,
+        fanout: 5,
+        period_ms: 100,
+        rate_bps: 300_000,
+        payload_bytes: 1000,
+        window: (20, 4),
+        stream_secs: 3,
+        drain_secs: 2,
+    };
+    let mut config = reactor_config(&cell);
+    config.telemetry = Some(gossip_telemetry::TelemetryConfig {
+        sample_period: std::time::Duration::from_millis(100),
+        ..gossip_telemetry::TelemetryConfig::default()
+    });
+    let report = ReactorCluster::run(config).expect("reactor cluster runs");
+    let series = report.telemetry.expect("telemetry was enabled");
+    let Some(last) = series.snapshots.last() else {
+        eprintln!("perfbench: profile FAILED: the series holds no snapshots");
+        std::process::exit(1);
+    };
+    let mut folded = String::new();
+    let mut total_us = 0u64;
+    for phase in PROFILE_PHASES {
+        let needle = format!("phase=\"{phase}\"");
+        let seconds: f64 = series
+            .names
+            .iter()
+            .zip(&last.values)
+            .filter(|(n, _)| {
+                n.starts_with("gossip_shard_phase_seconds_sum{") && n.contains(&needle)
+            })
+            .map(|(_, &v)| v)
+            .sum();
+        let us = (seconds * 1e6) as u64;
+        total_us += us;
+        folded.push_str(&format!("gossip_reactor;shard_loop;{phase} {us}\n"));
+    }
+    std::fs::write(out, &folded).expect("write folded stacks");
+    eprint!("{folded}");
+    eprintln!("perfbench: wrote {out} ({:.3} s of shard-loop time)", total_us as f64 / 1e6);
+    if total_us == 0 {
+        eprintln!("perfbench: profile FAILED: the phase histograms recorded nothing");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `--trend-record`: append every labelled rate of the current report to
+/// the append-only trend history, stamped with the checkout's commit.
+fn trend_record(report_path: &str, trend_path: &str) -> ! {
+    let report = match std::fs::read_to_string(report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perfbench: cannot read {report_path}: {e} (run perfbench first)");
+            std::process::exit(1);
+        }
+    };
+    let rates = trend::extract_report_rates(&report);
+    if rates.is_empty() {
+        eprintln!("perfbench: {report_path} carries no labelled rates");
+        std::process::exit(1);
+    }
+    let commit = trend::read_git_commit(std::path::Path::new("."));
+    let recorded_unix = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut lines = String::new();
+    for (label, metric, value) in &rates {
+        let point = trend::TrendPoint {
+            label: label.clone(),
+            metric: metric.clone(),
+            value: *value,
+            commit: commit.clone(),
+            recorded_unix,
+        };
+        lines.push_str(&point.to_line());
+        lines.push('\n');
+    }
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(trend_path)
+        .expect("open trend history");
+    file.write_all(lines.as_bytes()).expect("append trend points");
+    eprintln!("perfbench: recorded {} points at commit {commit} into {trend_path}", rates.len());
+    std::process::exit(0);
+}
+
+/// `--trend`: evaluate the recorded history with the sustained-regression
+/// detector and exit non-zero if any cell regressed.
+fn trend_check(trend_path: &str) -> ! {
+    let text = match std::fs::read_to_string(trend_path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("perfbench: no {trend_path} yet — nothing to gate on");
+            std::process::exit(0);
+        }
+    };
+    let points = trend::parse_jsonl(&text);
+    let cells = trend::evaluate(&points, trend::NOISE_FRACTION, trend::SUSTAIN, trend::MIN_HISTORY);
+    if cells.is_empty() {
+        eprintln!("perfbench: {trend_path} holds no parseable points");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "perfbench: trend over {trend_path} ({} points, noise floor {:.0}%, sustain {}):",
+        points.len(),
+        trend::NOISE_FRACTION * 100.0,
+        trend::SUSTAIN,
+    );
+    let mut regressions = 0usize;
+    for cell in &cells {
+        let verdict = if cell.regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if cell.points < trend::MIN_HISTORY {
+            "building history"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {} [{}]: last {:.0} vs baseline {:.0} ({:+.1}%), {} points — {verdict}",
+            cell.label, cell.metric, cell.last, cell.baseline, cell.delta_pct, cell.points,
+        );
+    }
+    if regressions == 0 {
+        std::process::exit(0);
+    }
+    eprintln!("perfbench: trend gate FAILED: {regressions} cell(s) sustained a regression");
+    std::process::exit(1);
+}
+
 fn main() {
     let mut smoke = false;
     let mut gate_reactor = false;
@@ -1076,6 +1347,11 @@ fn main() {
     let mut gate_deploy = false;
     let mut reactor_only = false;
     let mut deploy_only = false;
+    let mut gate_telemetry = false;
+    let mut profile_mode = false;
+    let mut trend_mode = false;
+    let mut trend_record_mode = false;
+    let mut trend_file: Option<String> = None;
     let mut out: Option<String> = None;
     let mut baseline: Option<f64> = None;
     let mut repeat: u32 = 1;
@@ -1088,6 +1364,11 @@ fn main() {
             "--adversity-smoke" => gate_adversity = true,
             "--byzantine-smoke" => gate_byzantine = true,
             "--deploy-smoke" => gate_deploy = true,
+            "--telemetry-smoke" => gate_telemetry = true,
+            "--profile" => profile_mode = true,
+            "--trend" => trend_mode = true,
+            "--trend-record" => trend_record_mode = true,
+            "--trend-file" => trend_file = Some(args.next().expect("--trend-file requires a path")),
             "--reactor-only" => reactor_only = true,
             "--deploy-only" => deploy_only = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
@@ -1103,7 +1384,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfbench [--smoke] [--reactor-smoke] [--chaos-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--reactor-only] [--deploy-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
+                    "usage: perfbench [--smoke] [--reactor-smoke] [--chaos-smoke] [--adversity-smoke] [--byzantine-smoke] [--deploy-smoke] [--telemetry-smoke] [--profile] [--trend] [--trend-record] [--trend-file PATH] [--reactor-only] [--deploy-only] [--out PATH] [--baseline EVENTS_PER_SEC] [--repeat N]"
                 );
                 std::process::exit(2);
             }
@@ -1126,6 +1407,21 @@ fn main() {
     }
     if gate_deploy {
         deploy_smoke(out.as_deref().unwrap_or("DEPLOY_smoke.json"));
+    }
+    if gate_telemetry {
+        telemetry_smoke(out.as_deref().unwrap_or("TELEMETRY_smoke.json"));
+    }
+    if profile_mode {
+        profile(out.as_deref().unwrap_or("PROFILE_folded.txt"));
+    }
+    if trend_record_mode {
+        trend_record(
+            out.as_deref().unwrap_or("BENCH_hotpath.json"),
+            trend_file.as_deref().unwrap_or("BENCH_trend.jsonl"),
+        );
+    }
+    if trend_mode {
+        trend_check(trend_file.as_deref().unwrap_or("BENCH_trend.jsonl"));
     }
     if reactor_only {
         // Iteration mode for runtime work: just the reactor cells, no

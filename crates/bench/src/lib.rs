@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trend;
+
 use gossip_experiments::{RunResult, Scenario};
 
 /// Runs a scenario and returns a scalar "work proxy" (events processed) so

@@ -1,0 +1,304 @@
+//! The trend gate: an append-only per-commit history of the tracked
+//! benchmark cells (`BENCH_trend.jsonl`) and a sustained-regression
+//! detector over it.
+//!
+//! One line per `(cell, metric)` per recorded run:
+//!
+//! ```text
+//! {"label": "reactor_n1000", "metric": "datagrams_per_sec", "value": 61500, "commit": "7abc5b9e12aa", "recorded_unix": 1754650000}
+//! ```
+//!
+//! The detector deliberately does *not* compare against the immediately
+//! preceding point — single runs on shared CI boxes are tens of percent
+//! noisy. Instead each cell's **baseline** is the median of its history
+//! excluding the newest [`SUSTAIN`] points, and a regression is flagged
+//! only when every one of those newest points sits below the baseline by
+//! more than the [`NOISE_FRACTION`] floor. A one-off stall never trips
+//! the gate; a real slowdown trips it on the second recorded run.
+
+use std::path::Path;
+
+/// Fractional noise floor: a point must fall more than this far below the
+/// baseline to count towards a regression.
+pub const NOISE_FRACTION: f64 = 0.15;
+
+/// How many consecutive newest points must all be below the floor.
+pub const SUSTAIN: usize = 2;
+
+/// Minimum points a cell needs before the detector will flag it at all
+/// (the baseline median needs some history to mean anything).
+pub const MIN_HISTORY: usize = 5;
+
+/// One recorded trajectory point of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// The cell label (`pinned`, `reactor_n1000`, `gossipd_n3proc`, …).
+    pub label: String,
+    /// Which rate the value is (`events_per_sec` or `datagrams_per_sec`).
+    pub metric: String,
+    /// The recorded rate.
+    pub value: f64,
+    /// The commit the run measured (short hash, `unknown` outside a
+    /// checkout).
+    pub commit: String,
+    /// When the point was recorded, seconds since the Unix epoch.
+    pub recorded_unix: u64,
+}
+
+impl TrendPoint {
+    /// Renders the point as its JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"metric\": \"{}\", \"value\": {:.1}, \"commit\": \"{}\", \"recorded_unix\": {}}}",
+            self.label, self.metric, self.value, self.commit, self.recorded_unix,
+        )
+    }
+}
+
+/// Pulls one `"key": "string"` field out of a JSONL line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tail = line.split(&format!("\"{key}\": \"")).nth(1)?;
+    tail.split('"').next().map(str::to_string)
+}
+
+/// Pulls one `"key": number` field out of a JSONL line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tail = line.split(&format!("\"{key}\": ")).nth(1)?;
+    let num: String =
+        tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
+/// Parses a trend file. Malformed lines are skipped, not fatal: the file
+/// is append-only across many commits and one bad merge must not brick
+/// the gate.
+pub fn parse_jsonl(text: &str) -> Vec<TrendPoint> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() {
+                return None;
+            }
+            Some(TrendPoint {
+                label: field_str(line, "label")?,
+                metric: field_str(line, "metric")?,
+                value: field_num(line, "value")?,
+                commit: field_str(line, "commit").unwrap_or_else(|| "unknown".to_string()),
+                recorded_unix: field_num(line, "recorded_unix").unwrap_or(0.0) as u64,
+            })
+        })
+        .collect()
+}
+
+/// The per-cell rates of one `BENCH_hotpath.json` report, as
+/// `(label, metric, value)` — every JSON object carrying a `"label"`
+/// contributes its `events_per_sec` or `datagrams_per_sec`.
+pub fn extract_report_rates(report: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in report.lines() {
+        let line = line.trim();
+        let Some(label) = field_str(line, "label") else { continue };
+        if let Some(v) = field_num(line, "events_per_sec") {
+            out.push((label, "events_per_sec".to_string(), v));
+        } else if let Some(v) = field_num(line, "datagrams_per_sec") {
+            out.push((label, "datagrams_per_sec".to_string(), v));
+        }
+    }
+    out
+}
+
+/// The short commit hash of the checkout at `repo` (follows `HEAD` one
+/// level, searches `packed-refs` for packed branches). `"unknown"` when
+/// there is no readable git state — recording still works outside a
+/// checkout.
+pub fn read_git_commit(repo: &Path) -> String {
+    let head = match std::fs::read_to_string(repo.join(".git/HEAD")) {
+        Ok(h) => h.trim().to_string(),
+        Err(_) => return "unknown".to_string(),
+    };
+    let hash = if let Some(reference) = head.strip_prefix("ref: ") {
+        match std::fs::read_to_string(repo.join(".git").join(reference)) {
+            Ok(h) => h.trim().to_string(),
+            Err(_) => std::fs::read_to_string(repo.join(".git/packed-refs"))
+                .ok()
+                .and_then(|packed| {
+                    packed.lines().find_map(|l| {
+                        let (hash, name) = l.split_once(' ')?;
+                        (name == reference).then(|| hash.to_string())
+                    })
+                })
+                .unwrap_or_else(|| "unknown".to_string()),
+        }
+    } else {
+        head
+    };
+    if hash.len() >= 12 && hash.chars().all(|c| c.is_ascii_hexdigit()) {
+        hash[..12].to_string()
+    } else {
+        "unknown".to_string()
+    }
+}
+
+/// The detector's verdict on one `(label, metric)` cell.
+#[derive(Debug, Clone)]
+pub struct CellTrend {
+    /// The cell label.
+    pub label: String,
+    /// Which rate the cell tracks.
+    pub metric: String,
+    /// Points in the cell's history.
+    pub points: usize,
+    /// Median of the history excluding the newest [`SUSTAIN`] points
+    /// (`0.0` with fewer than two points).
+    pub baseline: f64,
+    /// The newest recorded value.
+    pub last: f64,
+    /// `last` relative to `baseline`, in percent.
+    pub delta_pct: f64,
+    /// Whether the newest `sustain` points *all* fall below the baseline
+    /// by more than the noise floor.
+    pub regressed: bool,
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN rates"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Runs the sustained-regression detector over a parsed trend history.
+///
+/// Points are grouped by `(label, metric)` in first-seen order; within a
+/// group, file order is history order (the file is append-only).
+pub fn evaluate(
+    points: &[TrendPoint],
+    noise_fraction: f64,
+    sustain: usize,
+    min_history: usize,
+) -> Vec<CellTrend> {
+    let mut cells: Vec<((String, String), Vec<f64>)> = Vec::new();
+    for p in points {
+        let key = (p.label.clone(), p.metric.clone());
+        match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, values)) => values.push(p.value),
+            None => cells.push((key, vec![p.value])),
+        }
+    }
+    cells
+        .into_iter()
+        .map(|((label, metric), values)| {
+            let n = values.len();
+            let prior = &values[..n.saturating_sub(sustain)];
+            let baseline = median(prior);
+            let last = *values.last().expect("groups are non-empty");
+            let delta_pct = if baseline > 0.0 { (last / baseline - 1.0) * 100.0 } else { 0.0 };
+            let floor = baseline * (1.0 - noise_fraction);
+            let newest = &values[n.saturating_sub(sustain)..];
+            let regressed = n >= min_history
+                && baseline > 0.0
+                && newest.len() == sustain
+                && newest.iter().all(|&v| v < floor);
+            CellTrend { label, metric, points: n, baseline, last, delta_pct, regressed }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(label: &str, values: &[f64]) -> Vec<TrendPoint> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| TrendPoint {
+                label: label.to_string(),
+                metric: "events_per_sec".to_string(),
+                value,
+                commit: format!("{i:012x}"),
+                recorded_unix: 1_700_000_000 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn points_roundtrip_through_jsonl() {
+        let points = history("pinned", &[100.0, 110.5, 95.0]);
+        let text: String = points.iter().map(|p| p.to_line() + "\n").collect();
+        assert_eq!(parse_jsonl(&text), points);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let text = "garbage\n{\"label\": \"a\", \"metric\": \"m\", \"value\": 5}\n{broken\n";
+        let points = parse_jsonl(text);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].label, "a");
+        assert_eq!(points[0].commit, "unknown");
+    }
+
+    #[test]
+    fn sustained_regression_is_flagged() {
+        let points = history("pinned", &[1000.0, 1020.0, 980.0, 1010.0, 700.0, 690.0]);
+        let cells = evaluate(&points, NOISE_FRACTION, SUSTAIN, MIN_HISTORY);
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].regressed, "two points ~30% below the median must trip the gate");
+        assert!(cells[0].delta_pct < -25.0);
+    }
+
+    #[test]
+    fn a_single_dip_does_not_trip_the_gate() {
+        let points = history("pinned", &[1000.0, 1020.0, 980.0, 1010.0, 990.0, 700.0]);
+        let cells = evaluate(&points, NOISE_FRACTION, SUSTAIN, MIN_HISTORY);
+        assert!(!cells[0].regressed, "one noisy point is not a sustained regression");
+    }
+
+    #[test]
+    fn noise_inside_the_floor_is_tolerated() {
+        let points = history("pinned", &[1000.0, 950.0, 1020.0, 980.0, 900.0, 940.0]);
+        let cells = evaluate(&points, NOISE_FRACTION, SUSTAIN, MIN_HISTORY);
+        assert!(!cells[0].regressed, "±15% wobble stays inside the noise floor");
+    }
+
+    #[test]
+    fn short_history_never_regresses() {
+        let points = history("pinned", &[1000.0, 500.0, 400.0, 300.0]);
+        let cells = evaluate(&points, NOISE_FRACTION, SUSTAIN, MIN_HISTORY);
+        assert!(!cells[0].regressed, "below MIN_HISTORY the gate stays open");
+    }
+
+    #[test]
+    fn cells_are_evaluated_independently() {
+        let mut points = history("pinned", &[1000.0, 1000.0, 1000.0, 1000.0, 600.0, 600.0]);
+        points.extend(history("reactor_n1000", &[50.0, 51.0, 49.0, 50.0, 50.0, 51.0]));
+        let cells = evaluate(&points, NOISE_FRACTION, SUSTAIN, MIN_HISTORY);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().find(|c| c.label == "pinned").unwrap().regressed);
+        assert!(!cells.iter().find(|c| c.label == "reactor_n1000").unwrap().regressed);
+    }
+
+    #[test]
+    fn report_rates_are_extracted_per_label() {
+        let report = r#"{
+  "total": { "label": "pinned", "wall_secs": 3.0, "events": 90, "events_per_sec": 30 },
+  "reactor": [
+    { "label": "reactor_n1000", "datagrams_per_sec": 61500, "wall_secs": 9.0 }
+  ]
+}"#;
+        let rates = extract_report_rates(report);
+        assert!(rates.contains(&("pinned".to_string(), "events_per_sec".to_string(), 30.0)));
+        assert!(rates.contains(&(
+            "reactor_n1000".to_string(),
+            "datagrams_per_sec".to_string(),
+            61500.0
+        )));
+    }
+}

@@ -1,23 +1,28 @@
 //! `gossipd` — one worker process of a deployed gossip cluster.
 //!
-//! Usage: `gossipd --coord HOST:PORT --index K`
+//! Usage: `gossipd --coord HOST:PORT --index K [--telemetry-json PATH]`
 //!
 //! Connects to the coordinator, learns its id slice and the deployment
 //! config, hosts the slice on the reactor runtime and ships its report
 //! back. SIGINT/SIGTERM cut the run short and flush a partial report
-//! marked degraded.
+//! marked degraded. `--telemetry-json PATH` makes the worker rewrite
+//! `PATH` with its live metric snapshot series as JSON throughout the run
+//! (and enables telemetry even without a `[telemetry]` config section).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: gossipd --coord HOST:PORT --index K [--telemetry-json PATH]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: gossipd --coord HOST:PORT --index K");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut coord: Option<SocketAddr> = None;
     let mut index: Option<u32> = None;
+    let mut telemetry_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,8 +46,12 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--telemetry-json" => {
+                let Some(value) = args.next() else { return usage() };
+                telemetry_json = Some(value);
+            }
             "--help" | "-h" => {
-                println!("usage: gossipd --coord HOST:PORT --index K");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -53,7 +62,7 @@ fn main() -> ExitCode {
     }
     let (Some(coord), Some(index)) = (coord, index) else { return usage() };
 
-    match gossip_deploy::run_worker(coord, index) {
+    match gossip_deploy::run_worker(coord, index, telemetry_json) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("gossipd[{index}]: {e}");

@@ -36,6 +36,10 @@
 //! kill_process = 2       # optional: hard-kill this worker mid-stream...
 //! kill_at_secs = 2.0     # ...this far into the stream
 //!
+//! [telemetry]            # optional: live metrics on every worker
+//! port_base = 9600       # worker k scrapes on port_base + k (0: ephemeral)
+//! sample_ms = 250        # snapshot cadence
+//!
 //! [catastrophic]         # any gossip-adversity section rides along
 //! at_secs = 3.0
 //! fraction = 0.2
@@ -85,6 +89,32 @@ pub struct DeployConfig {
     pub kill_process: Option<usize>,
     /// When the kill fires, measured from the shared start epoch.
     pub kill_at: std::time::Duration,
+    /// Live telemetry for every worker (the `[telemetry]` section; `None`
+    /// when the file has no such section).
+    pub telemetry: Option<TelemetrySection>,
+}
+
+/// The `[telemetry]` section of a deployment file: every worker serves a
+/// scrape endpoint, and the coordinator polls them into a fleet view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySection {
+    /// Worker `k` binds its scrape endpoint on `port_base + k`
+    /// (`0`: each worker takes an ephemeral port and reports it to the
+    /// coordinator in its address exchange).
+    pub port_base: u16,
+    /// Snapshot cadence in milliseconds.
+    pub sample_ms: u64,
+}
+
+impl TelemetrySection {
+    /// The scrape config of worker `k` under this section.
+    pub fn config_for_worker(&self, k: usize) -> gossip_telemetry::TelemetryConfig {
+        let port = if self.port_base == 0 { 0 } else { self.port_base.saturating_add(k as u16) };
+        gossip_telemetry::TelemetryConfig {
+            sample_period: std::time::Duration::from_millis(self.sample_ms),
+            ..gossip_telemetry::TelemetryConfig::on_port(port)
+        }
+    }
 }
 
 impl DeployConfig {
@@ -100,11 +130,13 @@ impl DeployConfig {
         enum At {
             Cluster,
             Deploy,
+            Telemetry,
             Elsewhere,
         }
         let mut at = At::Elsewhere;
         let mut seen_cluster = false;
         let mut seen_deploy = false;
+        let mut seen_telemetry = false;
         let mut numbers: Vec<(At2, String, f64)> = Vec::new();
         let mut bind: Option<Ipv4Addr> = None;
         let mut rest = String::new();
@@ -113,6 +145,7 @@ impl DeployConfig {
         enum At2 {
             Cluster,
             Deploy,
+            Telemetry,
         }
 
         for (lineno, raw) in input.lines().enumerate() {
@@ -137,6 +170,13 @@ impl DeployConfig {
                         seen_deploy = true;
                         at = At::Deploy;
                     }
+                    "telemetry" => {
+                        if seen_telemetry {
+                            return Err(err("duplicate [telemetry] section".to_string()));
+                        }
+                        seen_telemetry = true;
+                        at = At::Telemetry;
+                    }
                     _ => {
                         at = At::Elsewhere;
                         rest.push_str(line);
@@ -150,7 +190,7 @@ impl DeployConfig {
                     rest.push_str(line);
                     rest.push('\n');
                 }
-                At::Cluster | At::Deploy => {
+                At::Cluster | At::Deploy | At::Telemetry => {
                     let Some((key, value)) = line.split_once('=') else {
                         return Err(err(format!("cannot parse `{line}`")));
                     };
@@ -172,7 +212,12 @@ impl DeployConfig {
                     }
                     let value: f64 =
                         value.parse().map_err(|_| err(format!("`{value}` is not a number")))?;
-                    let section = if at == At::Cluster { At2::Cluster } else { At2::Deploy };
+                    let section = match at {
+                        At::Cluster => At2::Cluster,
+                        At::Deploy => At2::Deploy,
+                        At::Telemetry => At2::Telemetry,
+                        At::Elsewhere => unreachable!("handled above"),
+                    };
                     numbers.push((section, key.to_string(), value));
                 }
             }
@@ -212,9 +257,14 @@ impl DeployConfig {
                     "kill_process",
                     "kill_at_secs",
                 ],
+                At2::Telemetry => &["port_base", "sample_ms"],
             };
             if !known.contains(&key.as_str()) {
-                let name = if *section == At2::Cluster { "cluster" } else { "deploy" };
+                let name = match section {
+                    At2::Cluster => "cluster",
+                    At2::Deploy => "deploy",
+                    At2::Telemetry => "telemetry",
+                };
                 return Err(DeployParseError(format!("unknown key `{key}` in [{name}]")));
             }
         }
@@ -292,6 +342,9 @@ impl DeployConfig {
             } else {
                 JoinerBootstrap::Tracker
             },
+            // Per-worker telemetry is attached by the host from the
+            // `[telemetry]` section (each worker needs its own port).
+            telemetry: None,
         };
 
         let processes = integer(
@@ -326,6 +379,18 @@ impl DeployConfig {
         };
         let kill_at = secs(get(At2::Deploy, "kill_at_secs").unwrap_or(0.0), "kill_at_secs")?;
 
+        let telemetry = if seen_telemetry {
+            let port_base = integer(get(At2::Telemetry, "port_base").unwrap_or(0.0), "port_base")?;
+            if port_base > u16::MAX as usize {
+                return Err(DeployParseError(format!("port_base {port_base} exceeds 65535")));
+            }
+            let sample_ms =
+                integer(get(At2::Telemetry, "sample_ms").unwrap_or(250.0), "sample_ms")?.max(10);
+            Some(TelemetrySection { port_base: port_base as u16, sample_ms: sample_ms as u64 })
+        } else {
+            None
+        };
+
         Ok(DeployConfig {
             cluster,
             processes,
@@ -335,6 +400,7 @@ impl DeployConfig {
             bind: bind.unwrap_or(Ipv4Addr::LOCALHOST),
             kill_process,
             kill_at: std::time::Duration::from_secs_f64(kill_at.as_secs_f64()),
+            telemetry,
         })
     }
 
@@ -377,6 +443,10 @@ bind = "127.0.0.1"
 kill_process = 2
 kill_at_secs = 2.0
 
+[telemetry]
+port_base = 9600
+sample_ms = 100
+
 [catastrophic]
 at_secs = 3.0
 fraction = 0.1
@@ -395,6 +465,12 @@ fraction = 0.1
         assert_eq!(config.start_delay, std::time::Duration::from_millis(250));
         assert_eq!(config.kill_process, Some(2));
         assert!(config.cluster.adversity.catastrophic.is_some(), "adversity rides along");
+        let tel = config.telemetry.expect("telemetry section parses");
+        assert_eq!(tel.port_base, 9600);
+        assert_eq!(tel.sample_ms, 100);
+        let worker2 = tel.config_for_worker(2);
+        assert_eq!(worker2.scrape_addr.port(), 9602);
+        assert_eq!(worker2.sample_period, std::time::Duration::from_millis(100));
     }
 
     #[test]

@@ -22,8 +22,11 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use gossip_telemetry::{Registry, TelemetrySeries, TelemetrySnapshot};
 
 use gossip_adversity::WallClockAnchor;
 use gossip_core::ProtocolStats;
@@ -160,6 +163,115 @@ impl AggregateReport {
     }
 }
 
+/// Sums the final value of every sample whose family (name without
+/// labels) matches — totalling a per-shard metric across one scrape.
+fn family_sum(samples: &[(String, f64)], family: &str) -> f64 {
+    let prefix = format!("{family}{{");
+    samples
+        .iter()
+        .filter(|(n, _)| n.as_str() == family || n.starts_with(&prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Mean of every sample of one family, if any are present.
+fn family_mean(samples: &[(String, f64)], family: &str) -> Option<f64> {
+    let prefix = format!("{family}{{");
+    let values: Vec<f64> = samples
+        .iter()
+        .filter(|(n, _)| n.as_str() == family || n.starts_with(&prefix))
+        .map(|(_, v)| *v)
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// The coordinator's fleet monitor: scrapes every worker's telemetry
+/// endpoint once per second, folds the per-shard families into `fleet_*`
+/// cells, prints a live status line, and accumulates the snapshots that
+/// become the merged report's [`TelemetrySeries`].
+fn monitor_fleet(endpoints: Vec<SocketAddr>, stop: Arc<AtomicBool>) -> TelemetrySeries {
+    let registry = Registry::new();
+    let workers_live = registry.gauge(
+        "fleet_workers_live",
+        "Workers whose scrape endpoint answered the last fleet poll.",
+        &[],
+    );
+    let sent = registry.counter(
+        "fleet_datagrams_sent_total",
+        "Protocol datagrams sent, summed across every worker's shards.",
+        &[],
+    );
+    let received = registry.counter(
+        "fleet_datagrams_received_total",
+        "Protocol datagrams received, summed across every worker's shards.",
+        &[],
+    );
+    let shed = registry.counter(
+        "fleet_datagrams_shed_total",
+        "Datagrams shed by outbox/retry budgets, summed across the fleet.",
+        &[],
+    );
+    let backoffs = registry.counter(
+        "fleet_send_backoffs_total",
+        "Backoff intervals entered after transient send failures, fleet-wide.",
+        &[],
+    );
+    let completeness = registry.gauge_f64(
+        "fleet_completeness_percent",
+        "Mean per-shard stream completeness across the fleet.",
+        &[],
+    );
+    let workers = endpoints.len();
+    let mut snapshots = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let mut live = 0usize;
+        let mut fold: Vec<(String, f64)> = Vec::new();
+        for &addr in &endpoints {
+            if let Ok(mut samples) = gossip_telemetry::scrape(addr) {
+                live += 1;
+                fold.append(&mut samples);
+            }
+        }
+        workers_live.store(live as u64);
+        let sent_now = family_sum(&fold, "gossip_shard_datagrams_sent_total");
+        let recv_now = family_sum(&fold, "gossip_shard_datagrams_received_total");
+        let shed_now = family_sum(&fold, "gossip_shard_datagrams_shed_total");
+        let backoffs_now = family_sum(&fold, "gossip_shard_send_backoffs_total");
+        let pct = family_mean(&fold, "gossip_shard_completeness_percent");
+        sent.store(sent_now as u64);
+        received.store(recv_now as u64);
+        shed.store(shed_now as u64);
+        backoffs.store(backoffs_now as u64);
+        completeness.store_f64(pct.unwrap_or(0.0));
+        let at_unix_millis =
+            SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64);
+        snapshots.push(TelemetrySnapshot { at_unix_millis, values: registry.snapshot_values() });
+        if live > 0 {
+            println!(
+                "fleet: {live}/{workers} workers | sent {} | recv {} | shed {} | backoffs {} | completeness {}",
+                sent_now as u64,
+                recv_now as u64,
+                shed_now as u64,
+                backoffs_now as u64,
+                pct.map_or_else(|| "n/a".to_string(), |p| format!("{p:.1}%")),
+            );
+        }
+        // Sleep in short slices so the monitor stops promptly once the
+        // last report is in.
+        let mut left = Duration::from_secs(1);
+        while !left.is_zero() && !stop.load(Ordering::Relaxed) {
+            let slice = left.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+    TelemetrySeries { names: registry.snapshot_names(), snapshots }
+}
+
 fn gossipd_path(opts: &CoordOptions) -> Result<PathBuf, DeployError> {
     if let Some(path) = &opts.gossipd {
         return Ok(path.clone());
@@ -266,10 +378,14 @@ pub fn run_coordinator(opts: &CoordOptions) -> Result<AggregateReport, DeployErr
         write_message(stream, &Message::Welcome { lo, hi, config_toml: opts.config_text.clone() })?;
     }
     let mut table: Vec<Option<SocketAddr>> = vec![None; total_n];
+    let mut scrape_endpoints: Vec<SocketAddr> = Vec::new();
     for (k, stream) in control.iter_mut().enumerate() {
         let (lo, hi) = config.slice_of(k, total_n);
         match read_message(stream)? {
-            Message::Addrs { addrs } => {
+            Message::Addrs { addrs, telemetry } => {
+                if let Some(addr) = telemetry {
+                    scrape_endpoints.push(addr);
+                }
                 for (g, addr) in addrs {
                     if g < lo || g >= hi {
                         return Err(DeployError::Protocol(format!(
@@ -296,6 +412,18 @@ pub fn run_coordinator(opts: &CoordOptions) -> Result<AggregateReport, DeployErr
             &Message::Start { start_unix_micros: anchor.start_unix_micros, table: table.clone() },
         )?;
     }
+
+    // Live observability: poll every published scrape endpoint at 1 Hz
+    // for the duration of the run. A worker whose endpoint stops
+    // answering (killed, crashed) simply drops out of `fleet_workers_live`
+    // — visible in the time series well before its report goes missing.
+    let fleet_stop = Arc::new(AtomicBool::new(false));
+    let fleet_handle = if scrape_endpoints.is_empty() {
+        None
+    } else {
+        let stop = Arc::clone(&fleet_stop);
+        Some(std::thread::spawn(move || monitor_fleet(scrape_endpoints, stop)))
+    };
 
     // Chaos: hard-kill one worker mid-stream. SIGKILL, not SIGTERM — the
     // point is a process that vanishes without flushing anything.
@@ -369,9 +497,13 @@ pub fn run_coordinator(opts: &CoordOptions) -> Result<AggregateReport, DeployErr
         }
     }
 
+    fleet_stop.store(true, Ordering::Relaxed);
+    let fleet_series = fleet_handle.and_then(|h| h.join().ok());
+
     let mut report = assemble_report(&config.cluster, nodes);
     report.shard_stats = shard_stats;
     report.aborted_shards = aborted_total;
+    report.telemetry = fleet_series;
     for k in 0..processes {
         let &(reported, degraded, aborted) = per_process.get(&k).expect("every worker recorded");
         let killed = config.kill_process == Some(k);

@@ -92,12 +92,21 @@ fn connect_with_retry(coord: SocketAddr) -> Result<TcpStream, WorkerError> {
 /// Runs one `gossipd` worker to completion: handshake, host the slice,
 /// report. Returns once the report (full or degraded) is on the wire.
 ///
+/// `telemetry_json`, when set, makes the worker's sampler rewrite that
+/// file with the live snapshot series as JSON — and switches telemetry on
+/// (ephemeral scrape port) even when the deployment file has no
+/// `[telemetry]` section.
+///
 /// # Errors
 ///
 /// Returns a [`WorkerError`] if the coordinator is unreachable, the
 /// handshake breaks, the config does not parse, or the slice cannot be
 /// bound or run.
-pub fn run_worker(coord: SocketAddr, index: u32) -> Result<(), WorkerError> {
+pub fn run_worker(
+    coord: SocketAddr,
+    index: u32,
+    telemetry_json: Option<String>,
+) -> Result<(), WorkerError> {
     signal::install();
     let mut control = connect_with_retry(coord)?;
     write_message(&mut control, &Message::Hello { index })?;
@@ -117,11 +126,26 @@ pub fn run_worker(coord: SocketAddr, index: u32) -> Result<(), WorkerError> {
         bind_addr: config.bind,
         ..ReactorOptions::default()
     };
-    let host = NodeHost::bind(config.cluster.clone(), &options, Some((lo, hi)))
-        .map_err(WorkerError::Cluster)?;
+    // Telemetry: the `[telemetry]` section gives worker k its own scrape
+    // port; `--telemetry-json` adds the periodic file dump (and stands
+    // alone, on an ephemeral port, when the section is absent).
+    let mut cluster = config.cluster.clone();
+    cluster.telemetry = match (&config.telemetry, &telemetry_json) {
+        (Some(section), json) => {
+            let mut tc = section.config_for_worker(index as usize);
+            tc.json_path = json.clone();
+            Some(tc)
+        }
+        (None, Some(path)) => Some(gossip_telemetry::TelemetryConfig {
+            json_path: Some(path.clone()),
+            ..gossip_telemetry::TelemetryConfig::default()
+        }),
+        (None, None) => None,
+    };
+    let host = NodeHost::bind(cluster, &options, Some((lo, hi))).map_err(WorkerError::Cluster)?;
     let total_n = host.total_n();
     let addrs = host.local_addresses().iter().map(|&(id, addr)| (id.as_u32(), addr)).collect();
-    write_message(&mut control, &Message::Addrs { addrs })?;
+    write_message(&mut control, &Message::Addrs { addrs, telemetry: host.telemetry_addr() })?;
 
     control.set_read_timeout(Some(START_TIMEOUT)).map_err(ProtoError::Io)?;
     let (anchor, table) = match read_message(&mut control)? {

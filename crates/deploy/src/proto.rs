@@ -8,7 +8,8 @@
 //!    plus the full deployment config (as TOML text, so both sides parse
 //!    the *same* bytes and compile the same fault timeline);
 //! 3. worker → coordinator [`Message::Addrs`] — the worker's hosted node
-//!    ids and their home socket addresses (the tracker step);
+//!    ids and their home socket addresses (the tracker step), plus the
+//!    worker's telemetry scrape endpoint when live metrics are on;
 //! 4. coordinator → worker [`Message::Start`] — the merged address table
 //!    for the whole cluster plus one wall-clock start epoch (UNIX
 //!    microseconds), the start barrier every process anchors its
@@ -77,6 +78,10 @@ pub enum Message {
     Addrs {
         /// `(node id, home socket address)` for every hosted node.
         addrs: Vec<(u32, SocketAddr)>,
+        /// The worker's telemetry scrape endpoint, when the deployment
+        /// enables live metrics (the coordinator polls it mid-run for the
+        /// fleet status line and the merged time series).
+        telemetry: Option<SocketAddr>,
     },
     /// The start barrier: full address table plus shared epoch.
     Start {
@@ -183,11 +188,18 @@ impl Message {
                 put_u32(&mut out, *hi);
                 put_str(&mut out, config_toml);
             }
-            Message::Addrs { addrs } => {
+            Message::Addrs { addrs, telemetry } => {
                 put_u32(&mut out, addrs.len() as u32);
                 for (id, addr) in addrs {
                     put_u32(&mut out, *id);
                     put_addr(&mut out, addr);
+                }
+                match telemetry {
+                    Some(addr) => {
+                        out.push(1);
+                        put_addr(&mut out, addr);
+                    }
+                    None => out.push(0),
                 }
             }
             Message::Start { start_unix_micros, table } => {
@@ -224,7 +236,16 @@ impl Message {
                     let id = cur.u32()?;
                     addrs.push((id, cur.addr()?));
                 }
-                Message::Addrs { addrs }
+                let telemetry = match cur.take(1)?[0] {
+                    0 => None,
+                    1 => Some(cur.addr()?),
+                    other => {
+                        return Err(ProtoError::Malformed(format!(
+                            "telemetry presence flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Message::Addrs { addrs, telemetry }
             }
             4 => {
                 let start_unix_micros = cur.u64()?;
@@ -316,6 +337,11 @@ mod tests {
                     (0, "127.0.0.1:4000".parse().unwrap()),
                     (1, "127.0.0.1:4001".parse().unwrap()),
                 ],
+                telemetry: None,
+            },
+            Message::Addrs {
+                addrs: vec![(7, "127.0.0.1:4007".parse().unwrap())],
+                telemetry: Some("127.0.0.1:9607".parse().unwrap()),
             },
             Message::Start {
                 start_unix_micros: 1_700_000_000_000_000,

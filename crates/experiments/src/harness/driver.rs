@@ -45,6 +45,83 @@ pub(crate) fn execute(cfg: &Scenario) -> RunResult {
     Driver::new(cfg).run()
 }
 
+/// Like [`execute`], publishing live aggregates into `registry` on every
+/// per-second probe (metric publication never feeds back into the
+/// simulation, so a telemetered run is bit-identical to a silent one).
+pub(crate) fn execute_with_telemetry(
+    cfg: &Scenario,
+    registry: &gossip_telemetry::Registry,
+) -> RunResult {
+    let mut driver = Driver::new(cfg);
+    driver.telemetry = Some(SimCells::register(registry));
+    driver.run()
+}
+
+/// The simulation's live metric cells, published once per simulated
+/// second (on [`Ev::Probe`], alongside the timeline sample).
+pub(crate) struct SimCells {
+    sim_seconds: gossip_telemetry::Cell,
+    events_processed: gossip_telemetry::Cell,
+    packets_delivered: gossip_telemetry::Cell,
+    msgs_received: gossip_telemetry::Cell,
+    bytes_received: gossip_telemetry::Cell,
+    msgs_lost: gossip_telemetry::Cell,
+    nodes_alive: gossip_telemetry::Cell,
+}
+
+impl SimCells {
+    fn register(registry: &gossip_telemetry::Registry) -> SimCells {
+        SimCells {
+            sim_seconds: registry.gauge_f64(
+                "sim_time_seconds",
+                "Current simulated time of the run.",
+                &[],
+            ),
+            events_processed: registry.counter(
+                "sim_events_processed_total",
+                "Engine events dispatched so far.",
+                &[],
+            ),
+            packets_delivered: registry.counter(
+                "sim_packets_delivered_total",
+                "Stream packets delivered across all receivers.",
+                &[],
+            ),
+            msgs_received: registry.counter(
+                "sim_msgs_received_total",
+                "Protocol messages received across all nodes.",
+                &[],
+            ),
+            bytes_received: registry.counter(
+                "sim_bytes_received_total",
+                "Protocol bytes received across all nodes.",
+                &[],
+            ),
+            msgs_lost: registry.counter(
+                "sim_msgs_lost_total",
+                "Messages swallowed by partitions and in-network loss.",
+                &[],
+            ),
+            nodes_alive: registry.gauge(
+                "sim_nodes_alive",
+                "Nodes currently alive (source included).",
+                &[],
+            ),
+        }
+    }
+
+    fn publish(&self, now: Time, dep: &Deployment<'_>, events: u64) {
+        self.sim_seconds.store_f64(now.as_secs_f64());
+        self.events_processed.store(events);
+        let delivered: u64 = (1..dep.total_n()).map(|i| dep.players[i].packets_received()).sum();
+        self.packets_delivered.store(delivered);
+        self.msgs_received.store(dep.rx_stats.iter().map(|s| s.msgs_received).sum());
+        self.bytes_received.store(dep.rx_stats.iter().map(|s| s.bytes_received).sum());
+        self.msgs_lost.store(dep.rx_stats.iter().map(|s| s.msgs_lost_in_network).sum());
+        self.nodes_alive.store(dep.alive.iter().filter(|&&a| a).count() as u64);
+    }
+}
+
 /// The running simulation: deployment state plus the engine and the per-run
 /// observers.
 pub(crate) struct Driver<'a> {
@@ -52,13 +129,14 @@ pub(crate) struct Driver<'a> {
     pub(crate) engine: Engine<Ev>,
     pub(crate) timeline: RunTimeline,
     pub(crate) depth: DepthTracker,
+    pub(crate) telemetry: Option<SimCells>,
 }
 
 impl<'a> Driver<'a> {
     pub(crate) fn new(cfg: &'a Scenario) -> Self {
         let (dep, engine) = Deployment::new(cfg);
         let depth = DepthTracker::new(cfg);
-        Driver { dep, engine, timeline: RunTimeline::new(), depth }
+        Driver { dep, engine, timeline: RunTimeline::new(), depth, telemetry: None }
     }
 
     /// Runs the event loop until the horizon, then collects the result.
@@ -164,6 +242,9 @@ impl<'a> Driver<'a> {
             }
             Ev::Probe => {
                 self.timeline.sample(now, &self.dep);
+                if let Some(cells) = &self.telemetry {
+                    cells.publish(now, &self.dep, self.engine.processed());
+                }
                 self.engine.schedule(now + Duration::from_secs(1), Ev::Probe);
             }
             Ev::Fault(k) => {

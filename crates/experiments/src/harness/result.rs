@@ -192,7 +192,7 @@ impl DepthTracker {
 
 /// Assembles the [`RunResult`] from a finished driver.
 pub(crate) fn collect(driver: Driver<'_>) -> RunResult {
-    let Driver { dep, engine, timeline, depth } = driver;
+    let Driver { dep, engine, timeline, depth, telemetry: _ } = driver;
     let cfg = dep.cfg;
     let first = cfg.measure_from_window;
     let last = cfg.last_measured_window();

@@ -275,6 +275,20 @@ impl Scenario {
         crate::harness::driver::execute(self)
     }
 
+    /// Like [`Scenario::run`], publishing live aggregates (simulated time,
+    /// delivered packets, message/byte totals, live node count) into
+    /// `registry` once per simulated second. Publication only reads the
+    /// deployment, so a telemetered run stays bit-identical to a silent
+    /// one with the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is degenerate (fewer than 2 nodes).
+    pub fn run_with_telemetry(&self, registry: &gossip_telemetry::Registry) -> RunResult {
+        assert!(self.n >= 2, "a deployment needs a source and at least one receiver");
+        crate::harness::driver::execute_with_telemetry(self, registry)
+    }
+
     /// The total simulated time of the run.
     pub fn total_duration(&self) -> Duration {
         self.stream_duration + self.drain_duration

@@ -64,6 +64,7 @@ pub mod demux;
 pub mod mmsg;
 pub mod runtime;
 mod shard;
+mod telemetry;
 mod vnode;
 
 pub use mmsg::{mmsg_active, NO_MMSG_ENV};

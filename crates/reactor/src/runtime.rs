@@ -97,16 +97,22 @@ impl ReactorOptions {
 /// [`assemble_report`].
 #[derive(Debug)]
 pub struct HostOutcome {
-    /// One report per hosted node that survived (nodes of aborted shards
-    /// are missing).
+    /// One report per hosted node. A shard that aborted on an I/O error
+    /// still contributes the state its nodes had accumulated; only a
+    /// *panicking* shard loses its nodes.
     pub nodes: Vec<NodeReport>,
-    /// Per-shard I/O statistics of the surviving shards.
+    /// Per-shard I/O statistics — including those of shards that aborted
+    /// on an I/O error mid-run, so a degraded report still carries their
+    /// io/recovery counters.
     pub shard_stats: Vec<ShardStats>,
     /// Shards that aborted mid-run (panic or unrecoverable I/O error).
     pub aborted_shards: usize,
     /// Whether the run was cut short by an external stop (signal or
     /// coordinator) before its scheduled deadline.
     pub degraded: bool,
+    /// The sampled telemetry series of the run (present only when the
+    /// cluster config enabled telemetry).
+    pub telemetry: Option<gossip_telemetry::TelemetrySeries>,
 }
 
 /// One process's half of a reactor cluster: the socket pools and shard
@@ -128,6 +134,10 @@ pub struct NodeHost {
     backend: crate::mmsg::Backend,
     pools: Vec<Vec<UdpSocket>>,
     local_addresses: Vec<(NodeId, SocketAddr)>,
+    /// The telemetry hub, started at bind time (when the config asks for
+    /// one) so the scrape endpoint is known — and scrapeable — before the
+    /// run starts.
+    telemetry: Option<gossip_telemetry::Hub>,
 }
 
 impl NodeHost {
@@ -197,6 +207,11 @@ impl NodeHost {
             })
             .collect();
 
+        let telemetry = match &config.telemetry {
+            Some(tc) => Some(gossip_telemetry::Hub::start(tc).map_err(ClusterError::Io)?),
+            None => None,
+        };
+
         Ok(NodeHost {
             config,
             compiled,
@@ -206,7 +221,15 @@ impl NodeHost {
             backend,
             pools,
             local_addresses,
+            telemetry,
         })
+    }
+
+    /// The address of the live scrape endpoint, when the cluster config
+    /// enabled telemetry. Available from bind time, so a deployment can
+    /// publish it (and an operator can scrape it) while the run is live.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry.as_ref().map(gossip_telemetry::Hub::scrape_addr)
     }
 
     /// The hosted nodes and their home socket addresses, in id order —
@@ -239,8 +262,9 @@ impl NodeHost {
     ///
     /// # Errors
     ///
-    /// Returns an error only if *every* shard aborted; partial failures
-    /// surface as [`HostOutcome::aborted_shards`].
+    /// Returns an error only if *every* shard aborted without handing
+    /// back any state (all panicked); failures surface as
+    /// [`HostOutcome::aborted_shards`] otherwise.
     ///
     /// # Panics
     ///
@@ -272,6 +296,10 @@ impl NodeHost {
                 socket_buffer_bytes: self.socket_buffer_bytes,
                 clock,
                 stop: Arc::clone(&stop),
+                telemetry: self
+                    .telemetry
+                    .as_ref()
+                    .map(|hub| crate::telemetry::ShardTelemetry::register(hub.registry(), index)),
             };
             // A panicking shard must not sink the run: the unwind is caught
             // at the thread boundary, the shard's nodes are reported
@@ -306,21 +334,30 @@ impl NodeHost {
         let mut nodes = Vec::with_capacity(self.placement.hosted());
         let mut shard_stats = Vec::with_capacity(shards);
         let mut aborted = 0;
+        let mut failed_ok = 0;
         let mut first_failure: Option<ClusterError> = None;
         for (index, handle) in handles.into_iter().enumerate() {
             // Three failure layers per shard: the thread itself (join),
-            // the caught unwind, and the shard's own I/O result. Any of
-            // them costs that shard's nodes but not the run — unless every
-            // shard is gone, in which case the first failure is reported.
-            let outcome = handle
+            // the caught unwind, and the shard's own I/O result. A panic
+            // costs the shard's nodes; an I/O abort keeps the partial
+            // reports and stats the shard had accumulated (an operator
+            // signal must not erase the io/recovery counters of shards
+            // that never finished their drain). Either way the run
+            // survives — unless every shard is gone, in which case the
+            // first failure is reported.
+            let caught = handle
                 .join()
                 .map_err(|_| ClusterError::NodePanic(index))
-                .and_then(|caught| caught.map_err(|_| ClusterError::NodePanic(index)))
-                .and_then(|result| result.map_err(ClusterError::Io));
-            match outcome {
-                Ok((reports, stats)) => {
+                .and_then(|caught| caught.map_err(|_| ClusterError::NodePanic(index)));
+            match caught {
+                Ok((reports, stats, failure)) => {
                     nodes.extend(reports);
                     shard_stats.push(stats);
+                    if let Some(e) = failure {
+                        aborted += 1;
+                        failed_ok += 1;
+                        first_failure.get_or_insert(ClusterError::Io(e));
+                    }
                 }
                 Err(e) => {
                     aborted += 1;
@@ -328,10 +365,11 @@ impl NodeHost {
                 }
             }
         }
-        if aborted == shards {
+        if aborted == shards && failed_ok == 0 {
             return Err(first_failure.unwrap_or(ClusterError::NodePanic(0)));
         }
-        Ok(HostOutcome { nodes, shard_stats, aborted_shards: aborted, degraded })
+        let telemetry = self.telemetry.map(gossip_telemetry::Hub::finish);
+        Ok(HostOutcome { nodes, shard_stats, aborted_shards: aborted, degraded, telemetry })
     }
 }
 
@@ -371,6 +409,7 @@ impl ReactorCluster {
         report.shard_stats = outcome.shard_stats;
         report.aborted_shards = outcome.aborted_shards;
         report.degraded = outcome.degraded;
+        report.telemetry = outcome.telemetry;
         Ok(report)
     }
 }

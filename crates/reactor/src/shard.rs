@@ -53,6 +53,7 @@ use gossip_udp::report::{NodeReport, ShardStats};
 use crate::chaos::{self, DatagramFate, SenderChaos, SocketChaos};
 use crate::demux;
 use crate::mmsg::{self, Backend, ErrorClass, RecvQueue, SendQueue, SendVerdict};
+use crate::telemetry::{ShardTelemetry, GAUGE_PERIOD};
 use crate::vnode::VirtualNode;
 
 /// Upper bound on one park interval: short enough that the stop flag and
@@ -151,12 +152,23 @@ pub(crate) struct ShardConfig {
     pub socket_buffer_bytes: usize,
     pub clock: ClusterClock,
     pub stop: Arc<AtomicBool>,
+    /// Live telemetry cells, pre-registered by the runtime (`None` when
+    /// the run has no registry — the hot loop then carries no atomic
+    /// traffic and no clock reads beyond its own).
+    pub telemetry: Option<ShardTelemetry>,
 }
 
-/// Runs a shard to completion (until `stop` is raised) and returns the
-/// reports of its nodes plus the shard's I/O statistics.
-pub(crate) fn run_shard(config: ShardConfig) -> std::io::Result<(Vec<NodeReport>, ShardStats)> {
-    Shard::new(config)?.run()
+/// Runs a shard until `stop` is raised and returns the reports of its
+/// nodes, the shard's I/O statistics, and the I/O error that ended the
+/// loop early, if any. Even a failed shard hands back everything it
+/// accumulated: a partial measurement beats a silent gap in the report.
+pub(crate) fn run_shard(
+    config: ShardConfig,
+) -> (Vec<NodeReport>, ShardStats, Option<std::io::Error>) {
+    match Shard::new(config) {
+        Ok(shard) => shard.run(),
+        Err(e) => (Vec::new(), ShardStats::default(), Some(e)),
+    }
 }
 
 struct Shard {
@@ -217,6 +229,11 @@ struct Shard {
     /// The chaos engine, present only when the compiled plan injects
     /// anything.
     chaos: Option<ChaosState>,
+    /// Live telemetry cells (`None`: telemetry off, zero loop cost).
+    telemetry: Option<ShardTelemetry>,
+    /// Next time the telemetry gauges (completeness scan, queue depths)
+    /// are recomputed.
+    next_gauge_publish: Time,
 }
 
 /// Per-socket self-healing state.
@@ -260,6 +277,7 @@ impl Shard {
             socket_buffer_bytes,
             clock,
             stop,
+            telemetry,
         } = config;
         for socket in &sockets {
             socket.set_nonblocking(true)?;
@@ -356,34 +374,111 @@ impl Shard {
             local_addrs,
             socket_buffer_bytes,
             chaos,
+            telemetry,
+            next_gauge_publish: Time::ZERO,
         })
     }
 
-    fn run(mut self) -> std::io::Result<(Vec<NodeReport>, ShardStats)> {
+    fn run(mut self) -> (Vec<NodeReport>, ShardStats, Option<std::io::Error>) {
+        let failure = self.run_loop().err();
+        // Don't strand held-back datagrams at shutdown (best-effort once
+        // the loop already failed — the first error is the one reported).
+        let failure = match self.flush_outbox() {
+            Ok(()) => failure,
+            Err(e) => failure.or(Some(e)),
+        };
+        // Final mirror: the run's last snapshot and any post-stop scrape
+        // carry the exact totals, and a failed shard's counters are still
+        // visible.
+        if let Some(tel) = &self.telemetry {
+            tel.publish_counters(&self.stats);
+        }
+        let stats = self.stats;
+        (self.nodes.into_iter().map(VirtualNode::into_report).collect(), stats, failure)
+    }
+
+    fn run_loop(&mut self) -> std::io::Result<()> {
         while !self.stop.load(Ordering::Relaxed) {
             self.stats.iterations += 1;
             let now = self.clock.now();
+
+            // Phase wall-time brackets exist only when telemetry is on:
+            // four monotonic clock reads per iteration, nothing otherwise.
+            let t0 = self.telemetry.as_ref().map(|_| std::time::Instant::now());
 
             // 1. Fire every due deadline.
             while let Some((at, fire)) = self.wheel.pop_before(now) {
                 self.dispatch(fire, at, now);
             }
+            let t1 = t0.map(|_| std::time::Instant::now());
 
             // 2. Budgeted batched receive across the socket pool.
             self.drain_sockets()?;
+            let t2 = t0.map(|_| std::time::Instant::now());
 
             // 3. Put the backlog on the wire once it makes a worthwhile
             // batch (or has waited long enough).
             self.maybe_flush()?;
+            let t3 = t0.map(|_| std::time::Instant::now());
 
             // 4. Park until the next deadline, waking early for traffic.
             self.park()?;
             self.maybe_flush()?;
+
+            self.publish_telemetry(now, t0.zip(t1), t1.zip(t2), t2.zip(t3), t3);
         }
-        // Don't strand held-back datagrams at shutdown.
-        self.flush_outbox()?;
-        let stats = self.stats;
-        Ok((self.nodes.into_iter().map(VirtualNode::into_report).collect(), stats))
+        Ok(())
+    }
+
+    /// Mirrors the loop's statistics into the telemetry cells: phase
+    /// durations and counters every iteration, the gauges (queue depths,
+    /// aggregate completeness — an O(nodes + windows) scan) only at
+    /// [`GAUGE_PERIOD`] cadence.
+    fn publish_telemetry(
+        &mut self,
+        now: Time,
+        timers: Option<(std::time::Instant, std::time::Instant)>,
+        ingress: Option<(std::time::Instant, std::time::Instant)>,
+        flush: Option<(std::time::Instant, std::time::Instant)>,
+        park_from: Option<std::time::Instant>,
+    ) {
+        let Some(tel) = &self.telemetry else { return };
+        let micros = |(from, to): (std::time::Instant, std::time::Instant)| {
+            u64::try_from((to - from).as_micros()).unwrap_or(u64::MAX)
+        };
+        if let Some(span) = timers {
+            tel.phase_timers.observe_micros(micros(span));
+        }
+        if let Some(span) = ingress {
+            tel.phase_ingress.observe_micros(micros(span));
+        }
+        if let Some(span) = flush {
+            tel.phase_flush.observe_micros(micros(span));
+        }
+        if let Some(from) = park_from {
+            tel.phase_park.observe_micros(micros((from, std::time::Instant::now())));
+        }
+        tel.publish_counters(&self.stats);
+        if now >= self.next_gauge_publish {
+            self.next_gauge_publish = now + GAUGE_PERIOD;
+            let (mut decodable, mut observed) = (0usize, 0usize);
+            for vn in &self.nodes {
+                let (d, o) = vn.player.windows_decodable();
+                decodable += d;
+                observed += o;
+            }
+            let backoff = self.recovery.iter().map(|r| r.backoff_level).max().unwrap_or(0);
+            let pending = self.recovery.iter().map(|r| r.pending.byte_len()).sum();
+            tel.publish_gauges(&crate::telemetry::GaugeSample {
+                outbox_datagrams: self.outbox.len(),
+                outbox_bytes: self.outbox_bytes,
+                wheel_resident: self.wheel.len(),
+                backoff_level: backoff,
+                pending_bytes: pending,
+                decodable,
+                observed,
+            });
+        }
     }
 
     /// Blocks on the first pool socket for up to the time until the next
@@ -1180,6 +1275,7 @@ mod tests {
             socket_buffer_bytes: 1 << 20,
             clock: ClusterClock::start(),
             stop: Arc::clone(&stop),
+            telemetry: None,
         };
         let handle = thread::spawn(move || run_shard(config));
 
@@ -1203,7 +1299,9 @@ mod tests {
             thread::sleep(std::time::Duration::from_millis(30));
         }
         stop.store(true, Ordering::Relaxed);
-        handle.join().expect("shard thread").expect("shard io")
+        let (reports, stats, failure) = handle.join().expect("shard thread");
+        assert!(failure.is_none(), "shard io failed: {failure:?}");
+        (reports, stats)
     }
 
     /// Regression test for the recv head-of-line stall: a sustained

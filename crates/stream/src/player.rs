@@ -158,6 +158,15 @@ impl StreamPlayer {
         self.windows.last().map(|&(w, _)| w)
     }
 
+    /// Returns `(decodable, observed)` window counts — the live
+    /// completeness gauge of the telemetry layer. One linear pass over
+    /// the window records (no per-window lookup), cheap enough to call at
+    /// a sampling cadence.
+    pub fn windows_decodable(&self) -> (usize, usize) {
+        let decodable = self.windows.iter().filter(|(_, r)| r.decodable_at.is_some()).count();
+        (decodable, self.windows.len())
+    }
+
     /// Captures the player's complete reception state as plain data, for
     /// serialization across a process boundary (the deploy runtime ships
     /// per-node reports to its coordinator over a control socket).

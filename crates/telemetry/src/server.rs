@@ -1,0 +1,124 @@
+//! The scrape endpoint: a tiny TCP server speaking just enough HTTP/1.0
+//! for Prometheus, `curl` and [`crate::scrape`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{render, Registry};
+
+/// A running scrape endpoint. Shut down explicitly with
+/// [`TelemetryServer::shutdown`] or implicitly on drop.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Serves `registry` as Prometheus text on `addr` (port 0: ephemeral —
+/// read the bound port back from [`TelemetryServer::local_addr`]). Every
+/// connection gets one fresh rendering regardless of the request bytes,
+/// which keeps the server useful to raw-TCP clients too.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: SocketAddr, registry: Registry) -> std::io::Result<TelemetryServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread =
+        std::thread::Builder::new().name("gossip-telemetry".to_string()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                // Render + write inline: scrapes are rare (1 Hz-ish) and
+                // tiny; a thread per connection would be overkill.
+                let _ = answer(stream, &registry);
+            }
+        })?;
+    Ok(TelemetryServer { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+/// Reads whatever request arrived (bounded, best-effort) and writes one
+/// HTTP/1.0 response carrying the rendered registry.
+fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    // Drain up to one small request's worth of bytes; a raw-TCP client
+    // that sends nothing still gets the body after the timeout.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = render(registry);
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    Ok(())
+}
+
+impl TelemetryServer {
+    /// The address the endpoint actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Unblock the accept: connect once to our own listener.
+            let _ = TcpStream::connect_timeout(&self.addr, std::time::Duration::from_millis(200));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape;
+
+    #[test]
+    fn scrape_round_trips_over_real_tcp() {
+        let registry = Registry::new();
+        let c = registry.counter("t_total", "test", &[("shard", "2".to_string())]);
+        let g = registry.gauge_f64("pct", "", &[]);
+        c.store(7);
+        g.store_f64(12.5);
+        let mut server =
+            serve(SocketAddr::from(([127, 0, 0, 1], 0)), registry.clone()).expect("binds");
+        let parsed = scrape(server.local_addr()).expect("scrapes");
+        assert!(parsed.contains(&("t_total{shard=\"2\"}".to_string(), 7.0)));
+        assert!(parsed.contains(&("pct".to_string(), 12.5)));
+
+        // A second scrape sees updated values: the endpoint is live, not
+        // a point-in-time dump.
+        c.store(9);
+        let parsed = scrape(server.local_addr()).expect("scrapes again");
+        assert!(parsed.contains(&("t_total{shard=\"2\"}".to_string(), 9.0)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_prompt() {
+        let mut server =
+            serve(SocketAddr::from(([127, 0, 0, 1], 0)), Registry::new()).expect("binds");
+        server.shutdown();
+        server.shutdown();
+        assert!(scrape(server.local_addr()).is_err(), "endpoint must be gone after shutdown");
+    }
+}

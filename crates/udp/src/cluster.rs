@@ -63,6 +63,12 @@ pub struct ClusterConfig {
     /// [`JoinerBootstrap`]). Consumed by the join-capable reactor runtime;
     /// the thread-per-node runtime rejects joining specs outright.
     pub joiner_bootstrap: JoinerBootstrap,
+    /// Live telemetry: when set, the runtime starts a metrics registry, a
+    /// scrape endpoint and a snapshot sampler for the duration of the run
+    /// and attaches the sampled series to the report. `None` (the default
+    /// everywhere) means no registry exists and the hot paths carry zero
+    /// telemetry cost.
+    pub telemetry: Option<gossip_telemetry::TelemetryConfig>,
 }
 
 /// How a mid-run joiner is introduced to the swarm.
@@ -109,6 +115,7 @@ impl ClusterConfig {
             crashes: Vec::new(),
             adversity: AdversitySpec::none(),
             joiner_bootstrap: JoinerBootstrap::Tracker,
+            telemetry: None,
         }
     }
 
@@ -146,15 +153,20 @@ pub struct ClusterReport {
     /// which has no shards).
     pub shard_stats: Vec<ShardStats>,
     /// Reactor shards that aborted mid-run (panicked or died on an
-    /// unrecoverable I/O error). Their nodes are missing from
-    /// [`ClusterReport::nodes`]; the report covers the survivors. Always
-    /// zero for the thread-per-node runtime.
+    /// unrecoverable I/O error). A shard that died on an I/O error still
+    /// contributes its nodes' partial reports and its [`ShardStats`];
+    /// only a panicking shard's nodes are missing from
+    /// [`ClusterReport::nodes`]. Always zero for the thread-per-node
+    /// runtime.
     pub aborted_shards: usize,
     /// Whether the run was cut short (an operator signal — SIGINT/SIGTERM —
     /// stopped a deployed process before its scheduled deadline, or a
     /// killed process's nodes were synthesised as dark by a coordinator).
     /// A degraded report is a faithful partial measurement, not a full run.
     pub degraded: bool,
+    /// The sampled telemetry time series of the run (present only when
+    /// [`ClusterConfig::telemetry`] was set).
+    pub telemetry: Option<gossip_telemetry::TelemetrySeries>,
 }
 
 impl ClusterReport {
@@ -347,6 +359,14 @@ impl UdpCluster {
         let clock = ClusterClock::start();
         let stop = Arc::new(AtomicBool::new(false));
 
+        // Live telemetry: one registry + scrape endpoint + sampler for the
+        // whole cluster; each node thread mirrors its counters into its own
+        // cells (single writer, relaxed stores).
+        let hub = match &config.telemetry {
+            Some(tc) => Some(gossip_telemetry::Hub::start(tc)?),
+            None => None,
+        };
+
         // Each joiner's introducer sample, drawn deterministically from
         // the base population (the cluster plays introduction service; the
         // rest of the joiner's knowledge spreads via shuffles).
@@ -382,6 +402,9 @@ impl UdpCluster {
                 free_rider: profile.free_rider,
                 compiled: Arc::clone(&compiled),
                 join,
+                telemetry: hub
+                    .as_ref()
+                    .map(|h| crate::driver::NodeCells::register(h.registry(), i)),
             };
             let addresses = Arc::clone(&addresses);
             let stop = Arc::clone(&stop);
@@ -403,7 +426,9 @@ impl UdpCluster {
             nodes.push(report);
         }
 
-        Ok(assemble_report(&config, nodes))
+        let mut report = assemble_report(&config, nodes);
+        report.telemetry = hub.map(gossip_telemetry::Hub::finish);
+        Ok(report)
     }
 }
 
@@ -440,6 +465,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
             shard_stats: Vec::new(),
             aborted_shards: 0,
             degraded: false,
+            telemetry: None,
         };
     }
     let qualities: Vec<NodeQuality> = nodes
@@ -478,6 +504,7 @@ pub fn assemble_report(config: &ClusterConfig, mut nodes: Vec<NodeReport>) -> Cl
         shard_stats: Vec::new(),
         aborted_shards: 0,
         degraded: false,
+        telemetry: None,
     }
 }
 

@@ -54,6 +54,91 @@ pub struct DriverConfig {
     /// the bootstrap sample and runs one membership shuffle per gossip
     /// round (mirroring the reactor runtime's `JoinerBootstrap::Cyclon`).
     pub join: Option<JoinPlan>,
+    /// Live telemetry cells of this node (pre-registered by the cluster;
+    /// `None` when telemetry is off — the default — keeping the loop free
+    /// of atomic traffic).
+    pub telemetry: Option<NodeCells>,
+}
+
+/// The live telemetry cells one node thread mirrors its counters into.
+///
+/// Registered once by the cluster (labelled `node="<index>"`), then written
+/// by exactly one thread with relaxed stores at a coarse cadence — the hot
+/// loop keeps its plain-field counters and the cells shadow them.
+#[derive(Debug, Clone)]
+pub struct NodeCells {
+    datagrams_sent: gossip_telemetry::Cell,
+    bytes_sent: gossip_telemetry::Cell,
+    shaper_drops: gossip_telemetry::Cell,
+    datagrams_received: gossip_telemetry::Cell,
+    decode_errors: gossip_telemetry::Cell,
+    packets_received: gossip_telemetry::Cell,
+    completeness: gossip_telemetry::Cell,
+}
+
+impl NodeCells {
+    /// Registers the per-node metric family instances for node `index`.
+    pub fn register(registry: &gossip_telemetry::Registry, index: usize) -> NodeCells {
+        let labels: &[(&str, String)] = &[("node", index.to_string())];
+        NodeCells {
+            datagrams_sent: registry.counter(
+                "gossip_node_datagrams_sent_total",
+                "Datagrams this node put on the wire.",
+                labels,
+            ),
+            bytes_sent: registry.counter(
+                "gossip_node_bytes_sent_total",
+                "Payload bytes this node put on the wire.",
+                labels,
+            ),
+            shaper_drops: registry.counter(
+                "gossip_node_shaper_drops_total",
+                "Datagrams dropped by the upload shaper's backlog bound.",
+                labels,
+            ),
+            datagrams_received: registry.counter(
+                "gossip_node_datagrams_received_total",
+                "Datagrams this node received and attempted to decode.",
+                labels,
+            ),
+            decode_errors: registry.counter(
+                "gossip_node_decode_errors_total",
+                "Received datagrams that failed to decode.",
+                labels,
+            ),
+            packets_received: registry.counter(
+                "gossip_node_stream_packets_total",
+                "Verified stream packets delivered to the player.",
+                labels,
+            ),
+            completeness: registry.gauge_f64(
+                "gossip_node_completeness_percent",
+                "Percentage of observed stream windows currently decodable.",
+                labels,
+            ),
+        }
+    }
+
+    /// Mirrors the loop's counters into the cells. Called at a coarse
+    /// cadence (not per iteration): the completeness gauge walks the
+    /// player's window records.
+    fn publish(
+        &self,
+        shaper: &UploadShaper<(NodeId, Vec<u8>)>,
+        recv_msgs: u64,
+        decode_errors: u64,
+        player: &StreamPlayer,
+    ) {
+        self.datagrams_sent.store(shaper.sent_msgs());
+        self.bytes_sent.store(shaper.sent_bytes());
+        self.shaper_drops.store(shaper.dropped_msgs());
+        self.datagrams_received.store(recv_msgs);
+        self.decode_errors.store(decode_errors);
+        self.packets_received.store(player.packets_received());
+        let (decodable, observed) = player.windows_decodable();
+        let pct = if observed == 0 { 100.0 } else { decodable as f64 / observed as f64 * 100.0 };
+        self.completeness.store_f64(pct);
+    }
 }
 
 /// How and when a flash-crowd joiner enters the swarm (thread runtime;
@@ -118,6 +203,10 @@ pub fn run_node(
     let mut fault_cursor = 0usize;
     let mut joining = config.join.clone();
     let mut cyclon: Option<CyclonView> = None;
+    // Telemetry mirror cadence: coarse enough that the completeness scan
+    // (O(windows)) never shows up in the loop's budget.
+    let publish_every = Duration::from_millis(200);
+    let mut next_publish = clock.now();
     let mut membership_rng =
         DetRng::seed_from(config.seed).split(0xC1C7 + u64::from(config.id.as_u32()));
 
@@ -245,6 +334,14 @@ pub fn run_node(
             let _ = socket.send_to(&bytes, addresses[to.index()]);
         }
 
+        // Mirror the loop's counters into the telemetry cells.
+        if let Some(cells) = &config.telemetry {
+            if now >= next_publish {
+                cells.publish(&shaper, recv_msgs, decode_errors, &player);
+                next_publish = now + publish_every;
+            }
+        }
+
         // 6. Sleep until the next deadline, receiving datagrams meanwhile.
         let mut deadline = next_round;
         if let Some(at) = timers.peek_time() {
@@ -350,6 +447,11 @@ pub fn run_node(
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(e) => return Err(e),
         }
+    }
+
+    // Final mirror so the run's last snapshot carries the exact totals.
+    if let Some(cells) = &config.telemetry {
+        cells.publish(&shaper, recv_msgs, decode_errors, &player);
     }
 
     Ok(NodeReport {

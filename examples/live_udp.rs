@@ -17,7 +17,19 @@
 //!     [--adversity <spec.toml>]     # full declarative spec
 //!     [--crash-frac <0..1>]         # shorthand: catastrophic crash
 //!     [--crash-at <seconds>]        # ... at this offset (default: midway)
+//!     [--watch]                     # live telemetry + 1 Hz status line
 //! ```
+//!
+//! `--watch` turns the telemetry layer on (Prometheus endpoint on
+//! `127.0.0.1:9898` — point a real scraper at it too) and self-scrapes it
+//! once a second, printing a live status line while the run streams:
+//!
+//! ```text
+//! live: completeness 87.3% | 10423 dgram/s | backoff L0 | shed 0
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use gossip_adversity::AdversitySpec;
 use gossip_core::GossipConfig;
@@ -27,12 +39,80 @@ use gossip_stream::StreamConfig;
 use gossip_types::Duration;
 use gossip_udp::cluster::{ClusterConfig, UdpCluster};
 
+/// Fixed scrape port for `--watch`: printable in the usage string and easy
+/// to point `curl`/Prometheus at while the example streams.
+const WATCH_PORT: u16 = 9898;
+
+/// Sums a metric family (both runtimes label per node/shard) over a scrape.
+fn family_sum(samples: &[(String, f64)], family: &str) -> f64 {
+    let prefix = format!("{family}{{");
+    samples
+        .iter()
+        .filter(|(n, _)| n.as_str() == family || n.starts_with(&prefix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Mean of a gauge family's labelled cells (0 when the family is absent).
+fn family_mean(samples: &[(String, f64)], family: &str) -> f64 {
+    let prefix = format!("{family}{{");
+    let cells: Vec<f64> = samples
+        .iter()
+        .filter(|(n, _)| n.as_str() == family || n.starts_with(&prefix))
+        .map(|(_, v)| *v)
+        .collect();
+    if cells.is_empty() {
+        0.0
+    } else {
+        cells.iter().sum::<f64>() / cells.len() as f64
+    }
+}
+
+/// The `--watch` loop: self-scrape the endpoint once a second and print a
+/// live status line. Works against either runtime — the thread runtime
+/// publishes `gossip_node_*`, the reactor `gossip_shard_*`; completeness
+/// and received-datagram families exist in both, the backoff/shed cells
+/// only in the reactor (they read 0 under threads).
+fn watch_loop(stop: &AtomicBool) {
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], WATCH_PORT));
+    let mut last_recv: Option<f64> = None;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        // The endpoint comes up once the cluster starts; until then (and
+        // after it stops) the scrape just fails quietly.
+        let Ok(samples) = gossip_telemetry::scrape(addr) else { continue };
+        let recv = family_sum(&samples, "gossip_shard_datagrams_received_total")
+            + family_sum(&samples, "gossip_node_datagrams_received_total");
+        let rate = last_recv.map_or(0.0, |prev| (recv - prev).max(0.0));
+        last_recv = Some(recv);
+        let completeness = {
+            let shard = family_mean(&samples, "gossip_shard_completeness_percent");
+            let node = family_mean(&samples, "gossip_node_completeness_percent");
+            if shard > 0.0 {
+                shard
+            } else {
+                node
+            }
+        };
+        let backoff = samples
+            .iter()
+            .filter(|(n, _)| n.starts_with("gossip_shard_backoff_level"))
+            .map(|(_, v)| *v)
+            .fold(0.0_f64, f64::max);
+        let shed = family_sum(&samples, "gossip_shard_datagrams_shed_total");
+        println!(
+            "live: completeness {completeness:.1}% | {rate:.0} dgram/s | backoff L{backoff:.0} | shed {shed:.0}"
+        );
+    }
+}
+
 fn main() {
     let mut positional: Vec<u64> = Vec::new();
     let mut runtime = String::from("threads");
     let mut spec_path: Option<String> = None;
     let mut crash_frac: Option<f64> = None;
     let mut crash_at: Option<f64> = None;
+    let mut watch = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,11 +130,12 @@ fn main() {
                 let v = args.next().expect("--crash-at requires seconds");
                 crash_at = Some(v.parse().expect("--crash-at must be a number of seconds"));
             }
+            "--watch" => watch = true,
             other => positional.push(other.parse().unwrap_or_else(|_| {
                 panic!(
                     "unexpected argument {other:?} (usage: live_udp [nodes] [seconds] \
                      [--runtime threads|reactor] [--adversity spec.toml] \
-                     [--crash-frac f] [--crash-at secs])"
+                     [--crash-frac f] [--crash-at secs] [--watch])"
                 )
             })),
         }
@@ -95,6 +176,7 @@ fn main() {
         crashes: Vec::new(),
         adversity,
         joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
+        telemetry: watch.then(|| gossip_telemetry::TelemetryConfig::on_port(WATCH_PORT)),
     };
 
     let faults = config.compiled_adversity();
@@ -111,11 +193,21 @@ fn main() {
             faults.total_n
         );
     }
+    let watch_stop = Arc::new(AtomicBool::new(false));
+    let watcher = watch.then(|| {
+        println!("  telemetry: scrape http://127.0.0.1:{WATCH_PORT}/metrics while this runs");
+        let stop = Arc::clone(&watch_stop);
+        std::thread::spawn(move || watch_loop(&stop))
+    });
     let report = match runtime.as_str() {
         "threads" => UdpCluster::run(config).expect("cluster runs"),
         "reactor" => ReactorCluster::run(config).expect("cluster runs"),
         other => panic!("unknown runtime {other:?} (expected `threads` or `reactor`)"),
     };
+    watch_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = watcher {
+        let _ = handle.join();
+    }
 
     println!("\nresults:");
     println!("  windows measured per node: {}", report.windows_measured);

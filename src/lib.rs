@@ -13,7 +13,9 @@
 //! * [`gossip_reactor`] — the sharded shared-socket runtime (thousands of
 //!   live UDP nodes in one process);
 //! * [`gossip_deploy`] — the cross-process deployment layer (`gossipd`
-//!   node-host binary plus the `gossip-coord` cluster coordinator).
+//!   node-host binary plus the `gossip-coord` cluster coordinator);
+//! * [`gossip_telemetry`] — live runtime observability (lock-free metric
+//!   registry, snapshot ring, Prometheus-text scrape endpoint).
 
 #![forbid(unsafe_code)]
 
@@ -28,5 +30,6 @@ pub use gossip_net as net;
 pub use gossip_reactor as reactor;
 pub use gossip_sim as sim;
 pub use gossip_stream as stream;
+pub use gossip_telemetry as telemetry;
 pub use gossip_types as types;
 pub use gossip_udp as udp;

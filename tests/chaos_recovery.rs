@@ -39,6 +39,7 @@ fn chaos_config() -> ClusterConfig {
             ..ChaosSpec::default()
         }),
         joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
+        telemetry: None,
     }
 }
 

@@ -28,6 +28,7 @@ fn reactor_cluster(n: usize, secs: u64) -> ClusterConfig {
         crashes: Vec::new(),
         adversity: gossip_adversity::AdversitySpec::none(),
         joiner_bootstrap: gossip_udp::cluster::JoinerBootstrap::Tracker,
+        telemetry: None,
     }
 }
 
